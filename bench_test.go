@@ -1,0 +1,246 @@
+// Package newtos_bench holds the top-level benchmark harness: one
+// testing.B benchmark per paper artifact (every Table II row, the
+// fault-injection tables, both crash-trace figures, the §IV micro-costs)
+// plus the ablation benches DESIGN.md calls out. The cmd/ binaries print
+// the paper-shaped reports; these benches make the same drivers available
+// to `go test -bench`.
+package newtos_bench
+
+import (
+	"testing"
+	"time"
+
+	"newtos/internal/channel"
+	"newtos/internal/core"
+	"newtos/internal/experiments"
+	"newtos/internal/kipc"
+	"newtos/internal/msg"
+	"newtos/internal/nic"
+)
+
+// benchTable2 runs one Table II row per benchmark iteration and reports
+// the measured rate as a custom metric.
+func benchTable2(b *testing.B, row experiments.Table2Row) {
+	b.ReportAllocs()
+	opts := experiments.Table2Opts{
+		Duration: 700 * time.Millisecond, Wires: 2, ConnsPerWire: 2,
+	}
+	var total float64
+	for i := 0; i < b.N; i++ {
+		mbps, err := experiments.RunTable2Row(row, opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		total += mbps
+	}
+	b.ReportMetric(total/float64(b.N), "Mbps")
+}
+
+func BenchmarkTable2_Row1_Minix3Sync(b *testing.B)   { benchTable2(b, experiments.RowMinix3) }
+func BenchmarkTable2_Row2_Split(b *testing.B)        { benchTable2(b, experiments.RowSplit) }
+func BenchmarkTable2_Row3_SplitSC(b *testing.B)      { benchTable2(b, experiments.RowSplitSC) }
+func BenchmarkTable2_Row4_SingleSC(b *testing.B)     { benchTable2(b, experiments.RowSingleSC) }
+func BenchmarkTable2_Row5_SingleSCTSO(b *testing.B)  { benchTable2(b, experiments.RowSingleTSO) }
+func BenchmarkTable2_Row6_SplitSCTSO(b *testing.B)   { benchTable2(b, experiments.RowSplitSCTSO) }
+func BenchmarkTable2_Row7_LinuxMono10G(b *testing.B) { benchTable2(b, experiments.RowLinux) }
+
+// BenchmarkTable3and4_FaultCampaign runs a scaled-down fault-injection
+// campaign (Tables III & IV are regenerated in full by cmd/faultinject).
+func BenchmarkTable3and4_FaultCampaign(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.RunCampaign(experiments.CampaignOpts{Runs: 4, Seed: int64(i + 1)})
+		if err != nil {
+			b.Fatal(err)
+		}
+		transparent, reachable, _, udpOK, _ := res.Counts()
+		b.ReportMetric(float64(transparent), "transparent/4")
+		b.ReportMetric(float64(reachable), "reachable/4")
+		b.ReportMetric(float64(udpOK), "udpOK/4")
+	}
+}
+
+// BenchmarkTable1_Recovery measures per-component recovery.
+func BenchmarkTable1_Recovery(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		reps, err := experiments.RunTable1()
+		if err != nil {
+			b.Fatal(err)
+		}
+		var worst time.Duration
+		for _, r := range reps {
+			if r.RecoveryDur > worst {
+				worst = r.RecoveryDur
+			}
+		}
+		b.ReportMetric(float64(worst.Microseconds()), "worst-restart-us")
+	}
+}
+
+// BenchmarkFigure4_IPCrash runs a shortened Figure 4 trace and reports the
+// post-recovery rate (the paper's claim: the connection recovers its
+// original bitrate after the NIC-reset gap).
+func BenchmarkFigure4_IPCrash(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		samples, err := experiments.RunCrashTrace(experiments.TraceOpts{
+			Target: core.CompIP, Total: 4 * time.Second,
+			CrashAt:     []time.Duration{1500 * time.Millisecond},
+			LinkUpDelay: 400 * time.Millisecond,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(samples) == 0 {
+			b.Fatal("no samples")
+		}
+		b.ReportMetric(samples[len(samples)-1].Mbps, "final-Mbps")
+	}
+}
+
+// BenchmarkFigure5_PFCrash runs a shortened Figure 5 trace (two PF crashes
+// with 1024 recovered rules) and reports the minimum post-warmup rate —
+// near-invisibility of the crashes means it stays well above zero.
+func BenchmarkFigure5_PFCrash(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		samples, err := experiments.RunCrashTrace(experiments.TraceOpts{
+			Target: core.CompPF, Total: 5 * time.Second,
+			CrashAt: []time.Duration{2 * time.Second, 3500 * time.Millisecond},
+			PFRules: 1024,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		min := -1.0
+		for _, s := range samples {
+			if s.T < time.Second {
+				continue // slow-start warmup
+			}
+			if min < 0 || s.Mbps < min {
+				min = s.Mbps
+			}
+		}
+		b.ReportMetric(min, "min-Mbps-after-warmup")
+	}
+}
+
+// --- §IV micro-benchmarks -------------------------------------------------
+
+// BenchmarkSec4_ChannelEnqueue is the ~30-cycle headline number.
+func BenchmarkSec4_ChannelEnqueue(b *testing.B) {
+	bell := channel.NewDoorbell()
+	out, in, _ := channel.NewQueue(4096, bell)
+	stop := make(chan struct{})
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for {
+			if _, ok := in.Recv(); !ok {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+			}
+		}
+	}()
+	r := msg.Req{Op: msg.OpPing}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for !out.Send(r) {
+		}
+	}
+	b.StopTimer()
+	close(stop)
+	<-done
+}
+
+// BenchmarkSec4_KernelTrapHot is the ~150-cycle comparison point.
+func BenchmarkSec4_KernelTrapHot(b *testing.B) {
+	k := kipc.New(kipc.DefaultConfig())
+	for i := 0; i < b.N; i++ {
+		k.TrapHot()
+	}
+}
+
+// BenchmarkSec4_KernelTrapCold is the ~3000-cycle comparison point.
+func BenchmarkSec4_KernelTrapCold(b *testing.B) {
+	k := kipc.New(kipc.DefaultConfig())
+	for i := 0; i < b.N; i++ {
+		k.TrapCold()
+	}
+}
+
+// --- Ablations (DESIGN.md) ------------------------------------------------
+
+// BenchmarkAblation_PFJunction measures the cost of the packet filter in
+// the T junction: the same transfer with and without PF.
+func BenchmarkAblation_PFJunction(b *testing.B) {
+	for _, withPF := range []bool{true, false} {
+		name := "with-pf"
+		if !withPF {
+			name = "without-pf"
+		}
+		b.Run(name, func(b *testing.B) {
+			var total float64
+			for i := 0; i < b.N; i++ {
+				mbps, err := runSplitOnce(withPF, true)
+				if err != nil {
+					b.Fatal(err)
+				}
+				total += mbps
+			}
+			b.ReportMetric(total/float64(b.N), "Mbps")
+		})
+	}
+}
+
+// BenchmarkAblation_TSO isolates TSO at fixed MTU on the split stack.
+func BenchmarkAblation_TSO(b *testing.B) {
+	for _, tso := range []bool{true, false} {
+		name := "tso-on"
+		if !tso {
+			name = "tso-off"
+		}
+		b.Run(name, func(b *testing.B) {
+			var total float64
+			for i := 0; i < b.N; i++ {
+				mbps, err := runSplitOnce(true, tso)
+				if err != nil {
+					b.Fatal(err)
+				}
+				total += mbps
+			}
+			b.ReportMetric(total/float64(b.N), "Mbps")
+		})
+	}
+}
+
+// runSplitOnce runs a quick single-wire split-stack transfer.
+func runSplitOnce(pf, tso bool) (float64, error) {
+	return experiments.RunSplitRowConfig(experiments.Table2Opts{
+		Duration: 600 * time.Millisecond, Wires: 1, ConnsPerWire: 2,
+	}, pf, tso, true)
+}
+
+// BenchmarkAblation_DoorbellSpin compares the doorbell's spin-then-block
+// wake-up against immediate blocking (the paper's MWAIT latency argument).
+func BenchmarkAblation_DoorbellSpin(b *testing.B) {
+	d := channel.NewDoorbell()
+	b.Run("ring-while-awake", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			d.Ring()
+		}
+	})
+	b.Run("arm-disarm-cycle", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			d.Arm()
+			d.Disarm()
+		}
+	})
+}
+
+// BenchmarkAblation_WirePacing sanity-checks the gigabit token bucket at
+// full MTU (regression guard for the pacing rework).
+func BenchmarkAblation_WirePacing(b *testing.B) {
+	_ = nic.Gigabit()
+	b.Skip("covered by nic.TestWireBandwidthShaping; placeholder for -bench discovery")
+}

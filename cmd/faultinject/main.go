@@ -1,0 +1,68 @@
+// Command faultinject regenerates the dependability evaluation:
+// Table III (distribution of injected crashes), Table IV (their
+// consequences), and — with -table1 — the Table I recovery-complexity
+// measurements.
+//
+// Usage:
+//
+//	faultinject [-runs 100] [-seed 1] [-table1]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"newtos/internal/experiments"
+	"newtos/internal/trace"
+)
+
+func main() {
+	runs := flag.Int("runs", 100, "fault injections to perform (paper: 100)")
+	seed := flag.Int64("seed", 1, "campaign seed")
+	table1 := flag.Bool("table1", false, "also measure per-component recovery complexity (Table I)")
+	flag.Parse()
+
+	if err := run(*runs, *seed, *table1); err != nil {
+		fmt.Fprintln(os.Stderr, "faultinject:", err)
+		os.Exit(1)
+	}
+}
+
+func run(runs int, seed int64, table1 bool) error {
+	if table1 {
+		reps, err := experiments.RunTable1()
+		if err != nil {
+			return err
+		}
+		rows := make([][2]string, 0, len(reps))
+		for _, r := range reps {
+			rows = append(rows, [2]string{r.Component,
+				fmt.Sprintf("state %4d B   restart %8v   %s", r.StateBytes, r.RecoveryDur.Round(0), r.Notes)})
+		}
+		fmt.Print(trace.Table("Table I — recovery complexity per component", rows))
+		fmt.Println()
+	}
+
+	res, err := experiments.RunCampaign(experiments.CampaignOpts{Runs: runs, Seed: seed})
+	if err != nil {
+		return err
+	}
+	dist := make([][2]string, 0, len(res.Distribution))
+	for _, comp := range []string{"tcp", "udp", "ip", "pf", "eth0"} {
+		dist = append(dist, [2]string{comp, fmt.Sprintf("%d", res.Distribution[comp])})
+	}
+	fmt.Print(trace.Table(fmt.Sprintf("Table III — distribution of %d injected faults", runs), dist))
+	fmt.Println()
+
+	transparent, reachable, tcpBroke, udpOK, reboot := res.Counts()
+	rows := [][2]string{
+		{"Fully transparent crashes", fmt.Sprintf("%d   (paper: 70/100)", transparent)},
+		{"Reachable from outside", fmt.Sprintf("%d   (paper: 90/100)", reachable)},
+		{"Crash broke TCP connections", fmt.Sprintf("%d   (paper: 30/100)", tcpBroke)},
+		{"Transparent to UDP", fmt.Sprintf("%d   (paper: 95/100)", udpOK)},
+		{"Reboot necessary", fmt.Sprintf("%d   (paper: 3/100)", reboot)},
+	}
+	fmt.Print(trace.Table("Table IV — consequences of crashes", rows))
+	return nil
+}

@@ -1,0 +1,119 @@
+// Filetransfer: bulk TCP transfer across the split stack with TSO,
+// reporting live bitrate — the iperf-like workload of the paper's
+// performance evaluation (§VI-A).
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"newtos/internal/core"
+	"newtos/internal/nic"
+	"newtos/internal/sock"
+	"newtos/internal/trace"
+)
+
+const totalBytes = 48 << 20 // 48 MB
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	lan, err := core.NewLAN(core.SplitTSO(), 1, nic.Gigabit())
+	if err != nil {
+		return err
+	}
+	defer lan.Stop()
+	if err := lan.Start(); err != nil {
+		return err
+	}
+
+	var meter trace.Meter
+	done := make(chan error, 1)
+	ready := make(chan struct{})
+	go func() { // receiver on B
+		cli, err := sock.NewClient(lan.B.Hub, "recv")
+		if err != nil {
+			done <- err
+			close(ready)
+			return
+		}
+		cli.CallTimeout = 2 * time.Minute
+		l, err := cli.Socket(sock.TCP)
+		if err != nil {
+			done <- err
+			close(ready)
+			return
+		}
+		if err := l.Bind(5001); err != nil {
+			done <- err
+			close(ready)
+			return
+		}
+		if err := l.Listen(1); err != nil {
+			done <- err
+			close(ready)
+			return
+		}
+		close(ready)
+		conn, err := l.Accept()
+		if err != nil {
+			done <- err
+			return
+		}
+		buf := make([]byte, 256*1024)
+		got := 0
+		for got < totalBytes {
+			n, err := conn.Recv(buf)
+			if err != nil {
+				done <- err
+				return
+			}
+			if n == 0 {
+				break
+			}
+			got += n
+			meter.Add(n)
+		}
+		done <- nil
+	}()
+	<-ready
+
+	cli, err := sock.NewClient(lan.A.Hub, "send")
+	if err != nil {
+		return err
+	}
+	cli.CallTimeout = 2 * time.Minute
+	s, err := cli.Socket(sock.TCP)
+	if err != nil {
+		return err
+	}
+	if err := s.Connect(lan.IPOf("b", 0), 5001); err != nil {
+		return err
+	}
+
+	sampler := trace.NewSampler(&meter, 250*time.Millisecond)
+	start := time.Now()
+	chunk := make([]byte, 64*1024)
+	sent := 0
+	for sent < totalBytes {
+		n, err := s.Send(chunk)
+		if err != nil {
+			return err
+		}
+		sent += n
+	}
+	if err := <-done; err != nil {
+		return err
+	}
+	elapsed := time.Since(start)
+	samples := sampler.Stop()
+	fmt.Printf("transferred %d MB in %v (%s)\n", sent>>20, elapsed.Round(time.Millisecond),
+		trace.Mbps(uint64(sent), elapsed))
+	fmt.Print(trace.Plot(samples, 8))
+	return nil
+}

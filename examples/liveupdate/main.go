@@ -1,0 +1,157 @@
+// Liveupdate: replace the UDP server mid-traffic without rebooting — the
+// paper's MS11-083 scenario (§V): "we are able to replace the buggy UDP
+// component without rebooting. Given the fact that most Internet traffic
+// is carried by the TCP protocol, this traffic remains completely
+// unaffected by the replacement."
+//
+// The demo runs a TCP transfer and periodic UDP queries simultaneously,
+// "live-updates" the UDP server (a restart into a new incarnation — the
+// same mechanism loads patched code), and shows that TCP never hiccups and
+// the UDP socket keeps working without being reopened.
+package main
+
+import (
+	"fmt"
+	"log"
+	"sync/atomic"
+	"time"
+
+	"newtos/internal/core"
+	"newtos/internal/nic"
+	"newtos/internal/sock"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	cfg := core.SplitTSO()
+	cfg.HeartbeatMiss = 150 * time.Millisecond
+	lan, err := core.NewLAN(cfg, 1, nic.Gigabit())
+	if err != nil {
+		return err
+	}
+	defer lan.Stop()
+	if err := lan.Start(); err != nil {
+		return err
+	}
+
+	// TCP echo service + UDP time service on B.
+	ready := make(chan struct{})
+	go func() {
+		cli, _ := sock.NewClient(lan.B.Hub, "services")
+		l, _ := cli.Socket(sock.TCP)
+		_ = l.Bind(80)
+		_ = l.Listen(2)
+		u, _ := cli.Socket(sock.UDP)
+		_ = u.Bind(123)
+		go func() {
+			buf := make([]byte, 2048)
+			for {
+				n, src, sport, err := u.RecvFrom(buf)
+				if err != nil {
+					return
+				}
+				_, _ = u.SendTo(buf[:n], src, sport)
+			}
+		}()
+		close(ready)
+		conn, err := l.Accept()
+		if err != nil {
+			return
+		}
+		buf := make([]byte, 64*1024)
+		for {
+			n, err := conn.Recv(buf)
+			if err != nil || n == 0 {
+				return
+			}
+			if _, err := conn.Send(buf[:n]); err != nil {
+				return
+			}
+		}
+	}()
+	<-ready
+
+	cli, err := sock.NewClient(lan.A.Hub, "client")
+	if err != nil {
+		return err
+	}
+	cli.CallTimeout = 15 * time.Second
+	tcp, err := cli.Socket(sock.TCP)
+	if err != nil {
+		return err
+	}
+	if err := tcp.Connect(lan.IPOf("b", 0), 80); err != nil {
+		return err
+	}
+	udp, err := cli.Socket(sock.UDP)
+	if err != nil {
+		return err
+	}
+	_ = udp.Bind(31123)
+
+	// Continuous TCP traffic; count every successful echo.
+	var tcpEchoes, tcpErrors atomic.Int64
+	go func() {
+		payload := make([]byte, 8192)
+		buf := make([]byte, 16384)
+		for {
+			if _, err := tcp.Send(payload); err != nil {
+				tcpErrors.Add(1)
+				return
+			}
+			got := 0
+			for got < len(payload) {
+				n, err := tcp.Recv(buf)
+				if err != nil || n == 0 {
+					tcpErrors.Add(1)
+					return
+				}
+				got += n
+			}
+			tcpEchoes.Add(1)
+		}
+	}()
+
+	query := func(tag string) bool {
+		if _, err := udp.SendTo([]byte(tag), lan.IPOf("b", 0), 123); err != nil {
+			return false
+		}
+		buf := make([]byte, 256)
+		n, _, _, err := udp.RecvFrom(buf)
+		return err == nil && string(buf[:n]) == tag
+	}
+	if !query("before-update") {
+		return fmt.Errorf("UDP service not answering before the update")
+	}
+	before := tcpEchoes.Load()
+	fmt.Printf("baseline: UDP answering, %d TCP echoes so far\n", before)
+
+	// THE LIVE UPDATE: restart the UDP server on B into a new incarnation.
+	fmt.Println("live-updating the UDP server on node B ...")
+	if err := lan.B.Proc(core.CompUDP).Restart(); err != nil {
+		return err
+	}
+	time.Sleep(200 * time.Millisecond) // rewiring settles
+
+	// The socket must still work without reopening (recovered 4-tuples).
+	ok := false
+	for i := 0; i < 10 && !ok; i++ {
+		ok = query(fmt.Sprintf("after-update-%d", i))
+	}
+	if !ok {
+		return fmt.Errorf("UDP socket dead after the update")
+	}
+	time.Sleep(300 * time.Millisecond)
+	after := tcpEchoes.Load()
+	if tcpErrors.Load() > 0 {
+		return fmt.Errorf("TCP traffic disturbed by the UDP update")
+	}
+	fmt.Printf("update complete: UDP socket survived without reopening,\n")
+	fmt.Printf("TCP ran undisturbed throughout (%d -> %d echoes, 0 errors)\n", before, after)
+	return nil
+}

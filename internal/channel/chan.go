@@ -1,0 +1,109 @@
+package channel
+
+import (
+	"fmt"
+
+	"newtos/internal/msg"
+	"newtos/internal/spsc"
+)
+
+// DefaultDepth is the default queue depth (slots) for stack channels.
+const DefaultDepth = 512
+
+// Out is the producer end of a unidirectional channel queue. Each queue has
+// exactly one producer and one consumer (paper §IV: "single-producer,
+// single-consumer ... they do not require any locking").
+type Out struct {
+	ring *spsc.Ring[msg.Req]
+	bell *Doorbell
+}
+
+// Send enqueues r and rings the consumer's doorbell. It reports false when
+// the queue is full; the paper mandates that senders must never block in
+// that case — each server takes its own action (drop the packet, remember
+// the request, ...).
+func (o Out) Send(r msg.Req) bool {
+	if o.ring == nil {
+		return false
+	}
+	if !o.ring.TryEnqueue(r) {
+		return false
+	}
+	o.bell.Ring()
+	return true
+}
+
+// Valid reports whether the endpoint is wired.
+func (o Out) Valid() bool { return o.ring != nil }
+
+// Len returns the approximate number of queued requests.
+func (o Out) Len() int {
+	if o.ring == nil {
+		return 0
+	}
+	return o.ring.Len()
+}
+
+// In is the consumer end of a unidirectional channel queue.
+type In struct {
+	ring *spsc.Ring[msg.Req]
+}
+
+// Recv pops one request.
+func (i In) Recv() (msg.Req, bool) {
+	if i.ring == nil {
+		return msg.Req{}, false
+	}
+	return i.ring.TryDequeue()
+}
+
+// RecvBatch pops up to len(dst) requests, returning the count.
+func (i In) RecvBatch(dst []msg.Req) int {
+	if i.ring == nil {
+		return 0
+	}
+	return i.ring.DequeueBatch(dst)
+}
+
+// Empty reports whether the queue appears empty.
+func (i In) Empty() bool { return i.ring == nil || i.ring.Empty() }
+
+// Valid reports whether the endpoint is wired.
+func (i In) Valid() bool { return i.ring != nil }
+
+// NewQueue builds one unidirectional queue of the given depth whose
+// consumer is woken through bell.
+func NewQueue(depth int, bell *Doorbell) (Out, In, error) {
+	r, err := spsc.New[msg.Req](depth)
+	if err != nil {
+		return Out{}, In{}, fmt.Errorf("channel: %w", err)
+	}
+	return Out{ring: r, bell: bell}, In{ring: r}, nil
+}
+
+// Duplex is one side's view of a bidirectional channel: a queue to the peer
+// and a queue from it. The paper: "We must use two queues to set up
+// communication in both directions."
+type Duplex struct {
+	// Out sends requests (or replies) to the peer.
+	Out Out
+	// In receives the peer's requests (or replies).
+	In In
+}
+
+// Valid reports whether both directions are wired.
+func (d Duplex) Valid() bool { return d.Out.Valid() && d.In.Valid() }
+
+// NewDuplex creates a bidirectional channel between two servers. bellA wakes
+// side A (when B sends), bellB wakes side B. Both directions share depth.
+func NewDuplex(depth int, bellA, bellB *Doorbell) (a, b Duplex, err error) {
+	aOut, bIn, err := NewQueue(depth, bellB)
+	if err != nil {
+		return Duplex{}, Duplex{}, err
+	}
+	bOut, aIn, err := NewQueue(depth, bellA)
+	if err != nil {
+		return Duplex{}, Duplex{}, err
+	}
+	return Duplex{Out: aOut, In: aIn}, Duplex{Out: bOut, In: bIn}, nil
+}

@@ -1,0 +1,91 @@
+// Package channel implements the NewtOS fast-path communication
+// architecture (paper §IV): asynchronous user-space channels built from
+// single-producer single-consumer queues, shared-memory pools, a request
+// database with abort actions, and a publish/subscribe channel registry.
+//
+// The kernel (package kipc) is only involved in setting channels up; all
+// fast-path traffic moves through these structures without trapping.
+package channel
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// Doorbell is the software analogue of the paper's MONITOR/MWAIT idle-wait:
+// each server exports one memory location it watches while idle, and every
+// producer that appends to one of the server's queues "writes" to it.
+//
+// While the consumer is running, Ring costs a single atomic load. Only when
+// the consumer has announced it is going to sleep (Arm) does Ring pay for a
+// wake-up — mirroring the paper's observation that waking an idle core is
+// expensive (kernel-assisted MWAIT) while polling a hot one is free.
+type Doorbell struct {
+	// state is 0 while the consumer is awake and 1 once it has armed the
+	// bell before sleeping.
+	state atomic.Int32
+	wake  chan struct{}
+	rungs atomic.Uint64 // how many times a sleeper was actually woken
+}
+
+// NewDoorbell returns a ready-to-use doorbell.
+func NewDoorbell() *Doorbell {
+	return &Doorbell{wake: make(chan struct{}, 1)}
+}
+
+// Ring wakes the consumer if (and only if) it is sleeping. Producers call
+// it after every enqueue; in the common busy case it is one atomic load.
+func (d *Doorbell) Ring() {
+	if d.state.Load() == 1 && d.state.CompareAndSwap(1, 0) {
+		d.rungs.Add(1)
+		select {
+		case d.wake <- struct{}{}:
+		default:
+		}
+	}
+}
+
+// Arm announces that the consumer intends to sleep. After arming, the
+// consumer MUST re-check all of its queues before actually blocking: a
+// producer that enqueued before Arm will not ring. This is the classic
+// lost-wakeup protocol the MWAIT monitor provides in hardware.
+func (d *Doorbell) Arm() {
+	d.state.Store(1)
+}
+
+// Disarm cancels a pending Arm (the re-check found work). It also drains a
+// stale wake token so the next sleep does not return immediately.
+func (d *Doorbell) Disarm() {
+	d.state.Store(0)
+	select {
+	case <-d.wake:
+	default:
+	}
+}
+
+// Wait blocks until rung or until the timeout elapses. A zero or negative
+// timeout means wait indefinitely. It returns true if woken by a ring.
+// The consumer must have called Arm (and re-checked its queues) first.
+func (d *Doorbell) Wait(timeout time.Duration) bool {
+	if timeout <= 0 {
+		<-d.wake
+		d.state.Store(0)
+		return true
+	}
+	t := time.NewTimer(timeout)
+	defer t.Stop()
+	select {
+	case <-d.wake:
+		d.state.Store(0)
+		return true
+	case <-t.C:
+		// Timed out: disarm so producers stop trying to wake us, and
+		// drain any ring that raced with the timer.
+		d.Disarm()
+		return false
+	}
+}
+
+// Wakeups returns how many times a sleeping consumer was woken, an
+// indicator of how often the stack fell off the polling fast path.
+func (d *Doorbell) Wakeups() uint64 { return d.rungs.Load() }

@@ -1,0 +1,137 @@
+package channel
+
+import (
+	"strings"
+	"sync"
+)
+
+// Announcement is one published key/value pair. The paper (§IV-C): "Each
+// channel is identified by its creator and a unique id. The creator
+// publishes the id as a key-value pair with a meaningful string to which a
+// server can subscribe."
+type Announcement struct {
+	// Key is the meaningful string, e.g. "tcp/sc" or "drv/eth0".
+	Key string
+	// Gen is the publisher's incarnation for this key. It increments every
+	// time the key is re-published, which is how survivors notice that a
+	// channel belongs to a restarted server and must be re-attached.
+	Gen uint32
+	// Value is whatever the publisher exports — typically a Duplex end, a
+	// pool ID, or a small wiring struct.
+	Value any
+}
+
+// Registry is the publish/subscribe channel-management service. There is no
+// global manager in the system (it could crash, too); the registry is only
+// a name board through which servers announce their presence and export
+// channels to each other.
+type Registry struct {
+	mu      sync.Mutex
+	entries map[string]Announcement
+	subs    map[int]sub
+	nextSub int
+}
+
+type sub struct {
+	prefix string
+	fn     func(Announcement)
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		entries: make(map[string]Announcement),
+		subs:    make(map[int]sub),
+	}
+}
+
+// Publish announces value under key. Re-publishing a key bumps its
+// generation (a restarted server exporting fresh channels). All current
+// subscribers with a matching prefix are notified synchronously; callbacks
+// must be cheap (stash and ring your own doorbell).
+func (r *Registry) Publish(key string, value any) Announcement {
+	r.mu.Lock()
+	gen := r.entries[key].Gen + 1
+	a := Announcement{Key: key, Gen: gen, Value: value}
+	r.entries[key] = a
+	fns := r.matchingSubsLocked(key)
+	r.mu.Unlock()
+	for _, fn := range fns {
+		fn(a)
+	}
+	return a
+}
+
+// Withdraw removes a key (a server shutting down gracefully). Subscribers
+// are notified with a zero-Value announcement carrying the next generation.
+func (r *Registry) Withdraw(key string) {
+	r.mu.Lock()
+	cur, ok := r.entries[key]
+	if !ok {
+		r.mu.Unlock()
+		return
+	}
+	delete(r.entries, key)
+	a := Announcement{Key: key, Gen: cur.Gen + 1, Value: nil}
+	fns := r.matchingSubsLocked(key)
+	r.mu.Unlock()
+	for _, fn := range fns {
+		fn(a)
+	}
+}
+
+// Get returns the current announcement for key.
+func (r *Registry) Get(key string) (Announcement, bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	a, ok := r.entries[key]
+	return a, ok
+}
+
+// Subscribe registers fn for every current and future announcement whose
+// key starts with prefix. Existing matches are replayed before Subscribe
+// returns. The returned function unsubscribes.
+func (r *Registry) Subscribe(prefix string, fn func(Announcement)) (cancel func()) {
+	r.mu.Lock()
+	id := r.nextSub
+	r.nextSub++
+	r.subs[id] = sub{prefix: prefix, fn: fn}
+	replay := make([]Announcement, 0, 4)
+	for k, a := range r.entries {
+		if strings.HasPrefix(k, prefix) {
+			replay = append(replay, a)
+		}
+	}
+	r.mu.Unlock()
+	for _, a := range replay {
+		fn(a)
+	}
+	return func() {
+		r.mu.Lock()
+		delete(r.subs, id)
+		r.mu.Unlock()
+	}
+}
+
+// Keys returns all published keys with the given prefix.
+func (r *Registry) Keys(prefix string) []string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]string, 0, len(r.entries))
+	for k := range r.entries {
+		if strings.HasPrefix(k, prefix) {
+			out = append(out, k)
+		}
+	}
+	return out
+}
+
+func (r *Registry) matchingSubsLocked(key string) []func(Announcement) {
+	fns := make([]func(Announcement), 0, 4)
+	for _, s := range r.subs {
+		if strings.HasPrefix(key, s.prefix) {
+			fns = append(fns, s.fn)
+		}
+	}
+	return fns
+}

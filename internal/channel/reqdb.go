@@ -1,0 +1,98 @@
+package channel
+
+import "sort"
+
+// AbortAction is executed for an in-flight request when its destination
+// server crashes. Paper §IV: "We use the request database to store each
+// request and what to do with it in such a situation. We call this an abort
+// action (although a server can also decide to reissue the request)."
+type AbortAction func(id uint64, data any)
+
+// ReqDB is the lightweight request database each asynchronous server keeps:
+// it generates unique request identifiers, remembers what was submitted on
+// which channel, and matches replies to requests. It is used from a single
+// server goroutine and therefore needs no locking.
+type ReqDB struct {
+	next    uint64
+	pending map[uint64]dbEntry
+}
+
+type dbEntry struct {
+	dest  string
+	data  any
+	abort AbortAction
+}
+
+// NewReqDB returns an empty request database.
+func NewReqDB() *ReqDB {
+	return &ReqDB{pending: make(map[uint64]dbEntry, 64)}
+}
+
+// NewID returns a fresh, never-zero request identifier.
+func (db *ReqDB) NewID() uint64 {
+	db.next++
+	return db.next
+}
+
+// Track records an outstanding request to dest. data is whatever the server
+// needs to resume work when the reply arrives; abort (may be nil) runs if
+// the destination crashes before replying.
+func (db *ReqDB) Track(id uint64, dest string, data any, abort AbortAction) {
+	db.pending[id] = dbEntry{dest: dest, data: data, abort: abort}
+}
+
+// Complete removes a request upon its reply and returns the stored data.
+// Unknown IDs (e.g., replies from a previous incarnation after we generated
+// fresh identifiers during recovery) return ok=false and must be ignored,
+// exactly as the paper prescribes.
+func (db *ReqDB) Complete(id uint64) (data any, ok bool) {
+	e, ok := db.pending[id]
+	if !ok {
+		return nil, false
+	}
+	delete(db.pending, id)
+	return e.data, true
+}
+
+// Lookup returns the stored data without completing the request.
+func (db *ReqDB) Lookup(id uint64) (data any, ok bool) {
+	e, ok := db.pending[id]
+	return e.data, ok
+}
+
+// AbortDest removes every request addressed to dest, invoking each abort
+// action, and returns how many were aborted. Called when a server detects
+// the crash of a neighbour.
+func (db *ReqDB) AbortDest(dest string) int {
+	// Collect first (abort actions may Track replacement requests).
+	ids := make([]uint64, 0, 8)
+	for id, e := range db.pending {
+		if e.dest == dest {
+			ids = append(ids, id)
+		}
+	}
+	// Deterministic order helps tests and reproducibility of recovery.
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	for _, id := range ids {
+		e := db.pending[id]
+		delete(db.pending, id)
+		if e.abort != nil {
+			e.abort(id, e.data)
+		}
+	}
+	return len(ids)
+}
+
+// PendingTo returns the number of outstanding requests to dest.
+func (db *ReqDB) PendingTo(dest string) int {
+	n := 0
+	for _, e := range db.pending {
+		if e.dest == dest {
+			n++
+		}
+	}
+	return n
+}
+
+// Len returns the total number of outstanding requests.
+func (db *ReqDB) Len() int { return len(db.pending) }

@@ -1,0 +1,264 @@
+// Package core assembles NewtOS nodes: it builds the multiserver
+// networking stack in each of the paper's configurations (Table II),
+// wires the servers' channels, adopts every component at the
+// reincarnation server, and exposes lifecycle and fault-injection hooks
+// for the evaluation harnesses.
+//
+// One Node is one machine: a microkernel, a shared-memory space, a channel
+// registry, a storage server, a reincarnation server, and the stack
+// servers — driver(s), IP, PF, TCP, UDP, SYSCALL — each on its own
+// event-loop "core".
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"newtos/internal/ipeng"
+	"newtos/internal/kipc"
+	"newtos/internal/netpkt"
+	"newtos/internal/nic"
+	"newtos/internal/pf"
+	"newtos/internal/pfeng"
+	"newtos/internal/proc"
+	"newtos/internal/reinc"
+	"newtos/internal/storage"
+	"newtos/internal/syscallsrv"
+	"newtos/internal/tcpsrv"
+	"newtos/internal/udpsrv"
+	"newtos/internal/wiring"
+
+	"newtos/internal/driver"
+	"newtos/internal/ipsrv"
+)
+
+// Component names.
+const (
+	CompIP      = "ip"
+	CompTCP     = "tcp"
+	CompUDP     = "udp"
+	CompPF      = "pf"
+	CompSC      = "sc"
+	CompStorage = "storage"
+)
+
+// Config selects a stack configuration (one Table II row).
+type Config struct {
+	// Name identifies the node (diagnostics).
+	Name string
+	// Ifaces configures IP; one entry per attached device, names must
+	// match the device names.
+	Ifaces []ipeng.IfaceConfig
+	// SyscallServer interposes the SYSCALL server between applications
+	// and the transports (Table II rows 3 vs 2).
+	SyscallServer bool
+	// PF enables the packet filter in the T junction.
+	PF bool
+	// Offload requests device checksum offload.
+	Offload bool
+	// TSO additionally enables TCP segmentation offload (rows 5-6).
+	TSO bool
+	// DedicatedCores pins each server loop to an OS thread.
+	DedicatedCores bool
+	// Kernel sets the simulated kernel cost model.
+	Kernel kipc.Config
+	// HeartbeatMiss tunes hang detection (default 250ms).
+	HeartbeatMiss time.Duration
+	// LinkUpDelay is the device link-retrain time after a reset — the
+	// visible gap of Figure 4 (default 0 for fast tests).
+	LinkUpDelay time.Duration
+}
+
+// SplitTSO returns the flagship configuration: split stack, dedicated
+// cores, SYSCALL server, checksum offload and TSO (Table II row 6).
+func SplitTSO() Config {
+	return Config{
+		SyscallServer: true, PF: true, Offload: true, TSO: true,
+		Kernel: kipc.DefaultConfig(),
+	}
+}
+
+// Node is one running NewtOS instance.
+type Node struct {
+	Cfg     Config
+	Hub     *wiring.Hub
+	Kern    *kipc.Kernel
+	Monitor *reinc.Monitor
+
+	procs   map[string]*proc.Proc
+	devices map[string]*nic.Device
+}
+
+// NewNode builds a node over the given devices (keyed by interface name).
+// The devices must have been created against hub.Space — they DMA straight
+// into the node's pools.
+func NewNode(cfg Config, hub *wiring.Hub, devices map[string]*nic.Device) (*Node, error) {
+	kern := hub.Kern
+	n := &Node{
+		Cfg:     cfg,
+		Hub:     hub,
+		Kern:    kern,
+		Monitor: reinc.NewMonitor(reinc.Config{HeartbeatMiss: cfg.HeartbeatMiss}),
+		procs:   make(map[string]*proc.Proc),
+		devices: devices,
+	}
+
+	opts := proc.Options{DedicatedCore: cfg.DedicatedCores}
+
+	// Storage server.
+	n.addProc(CompStorage, opts, func() proc.Service {
+		return storage.NewService(hub.Store)
+	})
+
+	// Drivers: one per device, attached to devices built with the node's
+	// shared space.
+	drvNames := make([]string, 0, len(devices))
+	for name, dev := range devices {
+		name, dev := name, dev
+		drvNames = append(drvNames, name)
+		ports := wiring.NewPorts(hub, name)
+		n.addProc(name, opts, func() proc.Service {
+			return driver.New(name, ports, dev)
+		})
+	}
+
+	// IP.
+	ipPorts := wiring.NewPorts(hub, CompIP)
+	ipCfg := ipsrv.Config{
+		Ifaces: cfg.Ifaces, PFEnabled: cfg.PF, Offload: cfg.Offload,
+		Drivers: drvNames,
+	}
+	n.addProc(CompIP, opts, func() proc.Service {
+		return ipsrv.New(ipCfg, ipPorts)
+	})
+
+	// PF.
+	if cfg.PF {
+		pfPorts := wiring.NewPorts(hub, CompPF)
+		n.addProc(CompPF, opts, func() proc.Service {
+			return pf.New(pfPorts)
+		})
+	}
+
+	// Transports.
+	localIP := netpkt.IPAddr{}
+	if len(cfg.Ifaces) > 0 {
+		localIP = cfg.Ifaces[0].IP
+	}
+	srcFor := SrcSelector(cfg.Ifaces)
+	tcpPorts := wiring.NewPorts(hub, CompTCP)
+	tcpShim := wiring.NewPorts(hub, "shim-sc-tcp")
+	tcpCfg := tcpsrv.Config{LocalIP: localIP, SrcFor: srcFor, Offload: cfg.Offload, TSO: cfg.TSO}
+	n.addProc(CompTCP, opts, func() proc.Service {
+		s := tcpsrv.New(tcpCfg, tcpPorts)
+		if !cfg.SyscallServer {
+			return newDirectFrontWithPorts(s, tcpShim, "sc-tcp", syscallsrv.TCPFrontdoor)
+		}
+		return s
+	})
+	udpPorts := wiring.NewPorts(hub, CompUDP)
+	udpShim := wiring.NewPorts(hub, "shim-sc-udp")
+	udpCfg := udpsrv.Config{LocalIP: localIP, SrcFor: srcFor, Offload: cfg.Offload}
+	n.addProc(CompUDP, opts, func() proc.Service {
+		s := udpsrv.New(udpCfg, udpPorts)
+		if !cfg.SyscallServer {
+			return newDirectFrontWithPorts(s, udpShim, "sc-udp", syscallsrv.UDPFrontdoor)
+		}
+		return s
+	})
+
+	// SYSCALL server.
+	if cfg.SyscallServer {
+		scPorts := wiring.NewPorts(hub, CompSC)
+		n.addProc(CompSC, opts, func() proc.Service {
+			return syscallsrv.New(scPorts)
+		})
+	}
+	return n, nil
+}
+
+func (n *Node) addProc(name string, opts proc.Options, factory func() proc.Service) {
+	p := proc.New(name, factory, opts, n.Monitor.OnCrash())
+	n.procs[name] = p
+	n.Monitor.Adopt(p)
+}
+
+// Start launches every server and the reincarnation monitor.
+func (n *Node) Start() error {
+	// Order: storage first (everyone restores through it), then drivers,
+	// then the stack inside-out. The wiring layer tolerates any order,
+	// but a deterministic boot keeps logs readable.
+	order := []string{CompStorage}
+	for name := range n.devices {
+		order = append(order, name)
+	}
+	order = append(order, CompIP)
+	if n.Cfg.PF {
+		order = append(order, CompPF)
+	}
+	order = append(order, CompTCP, CompUDP)
+	if n.Cfg.SyscallServer {
+		order = append(order, CompSC)
+	}
+	for _, name := range order {
+		if err := n.procs[name].Start(); err != nil {
+			return fmt.Errorf("node %s: start %s: %w", n.Cfg.Name, name, err)
+		}
+	}
+	n.Monitor.Start()
+	return nil
+}
+
+// Stop shuts the node down.
+func (n *Node) Stop() {
+	n.Monitor.Stop()
+	for _, p := range n.procs {
+		p.Shutdown()
+	}
+}
+
+// Proc returns a component's process handle (fault injection, restarts).
+func (n *Node) Proc(name string) *proc.Proc { return n.procs[name] }
+
+// Components lists the crashable stack components on this node (the
+// fault-injection population of Table III).
+func (n *Node) Components() []string {
+	out := []string{CompTCP, CompUDP, CompIP}
+	if n.Cfg.PF {
+		out = append(out, CompPF)
+	}
+	for name := range n.devices {
+		out = append(out, name)
+	}
+	return out
+}
+
+// AddPFRule installs a packet-filter rule via the control plane.
+func (n *Node) AddPFRule(rule pfeng.Rule) error {
+	if !n.Cfg.PF || !n.Cfg.SyscallServer {
+		return fmt.Errorf("node %s: PF control needs PF and the SYSCALL server", n.Cfg.Name)
+	}
+	cli, err := NewPFClient(n.Hub, fmt.Sprintf("pfctl-%d", time.Now().UnixNano()))
+	if err != nil {
+		return err
+	}
+	defer cli.Close()
+	return cli.AddRule(rule)
+}
+
+// SrcSelector builds the multi-homed source-address chooser the transports
+// use: the interface address on the destination's subnet, falling back to
+// the first interface.
+func SrcSelector(ifaces []ipeng.IfaceConfig) func(netpkt.IPAddr) netpkt.IPAddr {
+	return func(dst netpkt.IPAddr) netpkt.IPAddr {
+		for _, ic := range ifaces {
+			if dst.InSubnet(ic.IP, ic.MaskBits) {
+				return ic.IP
+			}
+		}
+		if len(ifaces) > 0 {
+			return ifaces[0].IP
+		}
+		return netpkt.IPAddr{}
+	}
+}

@@ -1,0 +1,447 @@
+package core
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"newtos/internal/faults"
+	"newtos/internal/nic"
+	"newtos/internal/pfeng"
+	"newtos/internal/sock"
+)
+
+// testLAN boots a two-node LAN with the flagship configuration unless
+// modified. Uncapped wires keep tests fast.
+func testLAN(t *testing.T, mod func(*Config)) *LAN {
+	t.Helper()
+	cfg := SplitTSO()
+	cfg.DedicatedCores = false // plenty of goroutines in tests already
+	cfg.HeartbeatMiss = 150 * time.Millisecond
+	if mod != nil {
+		mod(&cfg)
+	}
+	lan, err := NewLAN(cfg, 1, nic.WireConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := lan.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(lan.Stop)
+	return lan
+}
+
+func pattern(n int) []byte {
+	out := make([]byte, n)
+	for i := range out {
+		out[i] = byte(i*13 + i/107)
+	}
+	return out
+}
+
+// echoServer accepts one connection on port and echoes nBytes back.
+func echoServer(t *testing.T, lan *LAN, port uint16, ready chan<- struct{}, done chan<- error) {
+	cli, err := sock.NewClient(lan.B.Hub, fmt.Sprintf("srv%d", port))
+	if err != nil {
+		done <- err
+		return
+	}
+	s, err := cli.Socket(sock.TCP)
+	if err != nil {
+		done <- err
+		return
+	}
+	if err := s.Bind(port); err != nil {
+		done <- err
+		return
+	}
+	if err := s.Listen(8); err != nil {
+		done <- err
+		return
+	}
+	close(ready)
+	conn, err := s.Accept()
+	if err != nil {
+		done <- err
+		return
+	}
+	buf := make([]byte, 16384)
+	for {
+		n, err := conn.Recv(buf)
+		if err != nil {
+			done <- err
+			return
+		}
+		if n == 0 {
+			done <- nil
+			return
+		}
+		if _, err := conn.Send(buf[:n]); err != nil {
+			done <- err
+			return
+		}
+	}
+}
+
+func TestTCPEchoOverFullStack(t *testing.T) {
+	lan := testLAN(t, nil)
+	ready := make(chan struct{})
+	done := make(chan error, 1)
+	go echoServer(t, lan, 7000, ready, done)
+	<-ready
+
+	cli, err := sock.NewClient(lan.A.Hub, "cli")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := cli.Socket(sock.TCP)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Connect(lan.IPOf("b", 0), 7000); err != nil {
+		t.Fatalf("connect: %v", err)
+	}
+	data := pattern(100000)
+	var echoed []byte
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		buf := make([]byte, 16384)
+		for len(echoed) < len(data) {
+			n, err := s.Recv(buf)
+			if err != nil || n == 0 {
+				t.Errorf("recv: n=%d err=%v", n, err)
+				return
+			}
+			echoed = append(echoed, buf[:n]...)
+		}
+	}()
+	if _, err := s.Send(data); err != nil {
+		t.Fatalf("send: %v", err)
+	}
+	wg.Wait()
+	if !bytes.Equal(echoed, data) {
+		t.Fatalf("echo corrupted (%d bytes)", len(echoed))
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := <-done; err != nil {
+		t.Fatalf("server: %v", err)
+	}
+}
+
+func TestUDPQueryOverFullStack(t *testing.T) {
+	lan := testLAN(t, nil)
+
+	// "DNS server" on B.
+	srvCli, err := sock.NewClient(lan.B.Hub, "dns")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := srvCli.Socket(sock.UDP)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.Bind(53); err != nil {
+		t.Fatal(err)
+	}
+	go func() {
+		buf := make([]byte, 2048)
+		for {
+			n, src, sport, err := srv.RecvFrom(buf)
+			if err != nil {
+				return
+			}
+			_, _ = srv.SendTo(append([]byte("answer:"), buf[:n]...), src, sport)
+		}
+	}()
+
+	cli, err := sock.NewClient(lan.A.Hub, "resolver")
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, err := cli.Socket(sock.UDP)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := q.Bind(3353); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		msgTxt := fmt.Sprintf("query-%d", i)
+		if _, err := q.SendTo([]byte(msgTxt), lan.IPOf("b", 0), 53); err != nil {
+			t.Fatalf("send %d: %v", i, err)
+		}
+		buf := make([]byte, 2048)
+		n, _, _, err := q.RecvFrom(buf)
+		if err != nil {
+			t.Fatalf("recv %d: %v", i, err)
+		}
+		if string(buf[:n]) != "answer:"+msgTxt {
+			t.Fatalf("reply %d = %q", i, buf[:n])
+		}
+	}
+}
+
+func TestPFBlocksAndStatefulPasses(t *testing.T) {
+	lan := testLAN(t, nil)
+
+	// Block all inbound TCP to port 7100 on B.
+	if err := lan.B.AddPFRule(pfeng.Rule{
+		Action: pfeng.Block, Dir: pfeng.In, Proto: 6, DstPort: 7100, Quick: true,
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	// Server listens anyway.
+	ready := make(chan struct{})
+	done := make(chan error, 1)
+	go echoServer(t, lan, 7100, ready, done)
+	<-ready
+
+	cli, err := sock.NewClient(lan.A.Hub, "blocked")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cli.CallTimeout = 3 * time.Second
+	s, err := cli.Socket(sock.TCP)
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = s.Connect(lan.IPOf("b", 0), 7100)
+	if err == nil {
+		t.Fatal("connect through a block rule succeeded")
+	}
+
+	// Outbound from B works (stateful return traffic passes the filter on
+	// B even though inbound is blocked only for 7100 — also exercise a
+	// full handshake on another port).
+	ready2 := make(chan struct{})
+	done2 := make(chan error, 1)
+	go echoServer(t, lan, 7101, ready2, done2)
+	<-ready2
+	s2, err := cli.Socket(sock.TCP)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s2.Connect(lan.IPOf("b", 0), 7101); err != nil {
+		t.Fatalf("allowed port: %v", err)
+	}
+	if _, err := s2.Send([]byte("ping")); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 64)
+	if n, err := s2.Recv(buf); err != nil || string(buf[:n]) != "ping" {
+		t.Fatalf("echo: %q %v", buf[:n], err)
+	}
+}
+
+// transferUnderCrash runs a TCP echo session and injects a fault into the
+// named component of node B mid-transfer, asserting the transfer still
+// completes (transparent recovery) unless expectBreak.
+func transferUnderCrash(t *testing.T, comp string, expectBreak bool) {
+	lan := testLAN(t, nil)
+	ready := make(chan struct{})
+	done := make(chan error, 1)
+	go echoServer(t, lan, 7200, ready, done)
+	<-ready
+
+	cli, err := sock.NewClient(lan.A.Hub, "crashcli")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cli.CallTimeout = 20 * time.Second
+	s, err := cli.Socket(sock.TCP)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Connect(lan.IPOf("b", 0), 7200); err != nil {
+		t.Fatal(err)
+	}
+
+	// Warm up the connection.
+	if _, err := s.Send([]byte("warmup")); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 8192)
+	if _, err := s.Recv(buf); err != nil {
+		t.Fatal(err)
+	}
+
+	// Inject the crash.
+	p := lan.B.Proc(comp)
+	if p == nil {
+		t.Fatalf("no component %s", comp)
+	}
+	f := p.Fault()
+	if f == nil {
+		t.Fatalf("%s has no live fault point", comp)
+	}
+	f.Arm(faults.Crash)
+
+	// Wait for the restart.
+	deadline := time.Now().Add(5 * time.Second)
+	for len(lan.B.Monitor.Events()) == 0 && time.Now().Before(deadline) {
+		time.Sleep(5 * time.Millisecond)
+	}
+	if len(lan.B.Monitor.Events()) == 0 {
+		t.Fatalf("%s never recovered", comp)
+	}
+	time.Sleep(100 * time.Millisecond) // let rewiring settle
+
+	// Continue the transfer.
+	data := pattern(20000)
+	_, sendErr := s.Send(data)
+	var got []byte
+	var recvErr error
+	if sendErr == nil {
+		for len(got) < len(data) {
+			n, err := s.Recv(buf)
+			if err != nil {
+				recvErr = err
+				break
+			}
+			if n == 0 {
+				recvErr = errors.New("EOF")
+				break
+			}
+			got = append(got, buf[:n]...)
+		}
+	}
+	broken := sendErr != nil || recvErr != nil
+	if expectBreak {
+		if !broken {
+			t.Fatalf("connection survived a %s crash; expected it to break", comp)
+		}
+		// The paper's key claim for TCP crashes: new connections can be
+		// opened immediately (listening sockets are recovered).
+		ready2 := make(chan struct{})
+		done2 := make(chan error, 1)
+		go echoServer(t, lan, 7201, ready2, done2)
+		<-ready2
+		s2, err := cli.Socket(sock.TCP)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := s2.Connect(lan.IPOf("b", 0), 7201); err != nil {
+			t.Fatalf("reconnect after %s crash: %v", comp, err)
+		}
+		return
+	}
+	if broken {
+		t.Fatalf("transfer broke across a %s crash: send=%v recv=%v", comp, sendErr, recvErr)
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatalf("data corrupted across a %s crash", comp)
+	}
+}
+
+func TestPFCrashTransparent(t *testing.T)     { transferUnderCrash(t, CompPF, false) }
+func TestDriverCrashTransparent(t *testing.T) { transferUnderCrash(t, "eth0", false) }
+func TestIPCrashTransparent(t *testing.T)     { transferUnderCrash(t, CompIP, false) }
+func TestTCPCrashBreaksConnections(t *testing.T) {
+	transferUnderCrash(t, CompTCP, true)
+}
+
+func TestUDPCrashTransparentToSocket(t *testing.T) {
+	lan := testLAN(t, nil)
+
+	srvCli, _ := sock.NewClient(lan.B.Hub, "udpsrv")
+	srv, err := srvCli.Socket(sock.UDP)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.Bind(5353); err != nil {
+		t.Fatal(err)
+	}
+	go func() {
+		buf := make([]byte, 2048)
+		for {
+			n, src, sport, err := srv.RecvFrom(buf)
+			if err != nil {
+				return
+			}
+			_, _ = srv.SendTo(buf[:n], src, sport)
+		}
+	}()
+
+	cli, _ := sock.NewClient(lan.A.Hub, "udpcli")
+	cli.CallTimeout = 20 * time.Second
+	q, err := cli.Socket(sock.UDP)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := q.Bind(5454); err != nil {
+		t.Fatal(err)
+	}
+	query := func(tag string) error {
+		if _, err := q.SendTo([]byte(tag), lan.IPOf("b", 0), 5353); err != nil {
+			return err
+		}
+		buf := make([]byte, 2048)
+		n, _, _, err := q.RecvFrom(buf)
+		if err != nil {
+			return err
+		}
+		if string(buf[:n]) != tag {
+			return fmt.Errorf("got %q", buf[:n])
+		}
+		return nil
+	}
+	if err := query("before"); err != nil {
+		t.Fatalf("before crash: %v", err)
+	}
+
+	// Crash the UDP server on B. The socket must keep working WITHOUT
+	// being reopened — the paper's headline UDP recovery property.
+	lan.B.Proc(CompUDP).Fault().Arm(faults.Crash)
+	deadline := time.Now().Add(5 * time.Second)
+	for len(lan.B.Monitor.Events()) == 0 && time.Now().Before(deadline) {
+		time.Sleep(5 * time.Millisecond)
+	}
+	time.Sleep(100 * time.Millisecond)
+
+	// Datagrams may be lost around the crash; retry a few times.
+	var qerr error
+	for i := 0; i < 10; i++ {
+		if qerr = query(fmt.Sprintf("after-%d", i)); qerr == nil {
+			break
+		}
+	}
+	if qerr != nil {
+		t.Fatalf("UDP socket dead after crash: %v", qerr)
+	}
+}
+
+func TestNoSyscallServerConfig(t *testing.T) {
+	lan := testLAN(t, func(c *Config) { c.SyscallServer = false })
+	ready := make(chan struct{})
+	done := make(chan error, 1)
+	go echoServer(t, lan, 7300, ready, done)
+	<-ready
+	cli, err := sock.NewClient(lan.A.Hub, "direct")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := cli.Socket(sock.TCP)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Connect(lan.IPOf("b", 0), 7300); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Send([]byte("direct mode")); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 64)
+	n, err := s.Recv(buf)
+	if err != nil || string(buf[:n]) != "direct mode" {
+		t.Fatalf("echo: %q %v", buf[:n], err)
+	}
+}

@@ -1,0 +1,141 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"newtos/internal/kipc"
+	"newtos/internal/msg"
+	"newtos/internal/proc"
+	"newtos/internal/wiring"
+)
+
+// directFront is the "no SYSCALL server" configuration (Table II row 2):
+// the transport itself registers the application-facing kernel endpoint
+// and combines synchronous kernel IPC with its asynchronous channels in
+// one event loop — paying the trapping toll that the SYSCALL server
+// otherwise absorbs. The measured gap between rows 2 and 3 is exactly this
+// interference.
+type directFront struct {
+	inner     proc.Service
+	innerPort *wiring.Ports
+	shimPorts *wiring.Ports
+	edge      string
+	fdName    string
+
+	ep      *kipc.Endpoint
+	port    *wiring.Port
+	box     wiring.Outbox
+	nextID  uint64
+	pending map[uint64]appCall
+}
+
+type appCall struct {
+	app   kipc.EndpointID
+	appID uint64
+}
+
+var _ proc.Service = (*directFront)(nil)
+
+// newDirectFront wraps a transport service. shim ports must persist across
+// incarnations; core keeps them in the factory closure.
+func newDirectFront(inner proc.Service, innerPorts *wiring.Ports, edge, fdName string) *directFront {
+	return &directFront{
+		inner:     inner,
+		innerPort: innerPorts,
+		shimPorts: wiring.NewPorts(innerPorts.Hub(), "shim-"+edge),
+		edge:      edge,
+		fdName:    fdName,
+	}
+}
+
+// newDirectFrontWithPorts is used by core to reuse persistent shim ports.
+func newDirectFrontWithPorts(inner proc.Service, shimPorts *wiring.Ports, edge, fdName string) *directFront {
+	return &directFront{
+		inner:     inner,
+		shimPorts: shimPorts,
+		edge:      edge,
+		fdName:    fdName,
+	}
+}
+
+func (d *directFront) Init(rt *proc.Runtime, restart bool) error {
+	if err := d.inner.Init(rt, restart); err != nil {
+		return err
+	}
+	d.pending = make(map[uint64]appCall)
+	d.shimPorts.Begin(rt.Bell)
+	// The edge's peer name is the transport component, which is the
+	// substring after "sc-".
+	d.port = d.shimPorts.Export(d.edge, d.edge[3:])
+	ep, err := d.shimPorts.Hub().Kern.Register(d.fdName, rt.Bell)
+	if err != nil {
+		return fmt.Errorf("directfront: %w", err)
+	}
+	d.ep = ep
+	return nil
+}
+
+func (d *directFront) Poll(now time.Time) bool {
+	worked := d.inner.Poll(now)
+
+	dup, changed := d.port.Take()
+	if changed {
+		d.box.Drop()
+	}
+	// Application calls over kernel IPC.
+	for i := 0; i < 64; i++ {
+		m, err := d.ep.TryReceive(kipc.Any)
+		if err != nil {
+			break
+		}
+		if m.Type == kipc.MsgNotify || m.Data == nil {
+			continue
+		}
+		req, err := msg.UnmarshalReq(m.Data)
+		if err != nil {
+			continue
+		}
+		d.nextID++
+		id := d.nextID
+		fire := req.Op == msg.OpSockRecvDone
+		if !fire {
+			d.pending[id] = appCall{app: m.From, appID: req.ID}
+		}
+		fwd := req
+		fwd.ID = id
+		d.box.Push(fwd)
+		worked = true
+	}
+	if dup.Valid() {
+		// Replies back to the applications.
+		for i := 0; i < 256; i++ {
+			r, ok := dup.In.Recv()
+			if !ok {
+				break
+			}
+			worked = true
+			call, ok := d.pending[r.ID]
+			if !ok {
+				continue
+			}
+			delete(d.pending, r.ID)
+			rep := r
+			rep.ID = call.appID
+			_ = d.ep.Send(call.app, kipc.Msg{Type: uint32(rep.Op), Data: rep.MarshalBinary()})
+		}
+		if d.box.Flush(dup.Out) {
+			worked = true
+		}
+	}
+	return worked
+}
+
+func (d *directFront) Deadline(now time.Time) time.Time { return d.inner.Deadline(now) }
+
+func (d *directFront) Stop() {
+	if d.ep != nil {
+		d.ep.Close()
+	}
+	d.inner.Stop()
+}

@@ -1,0 +1,180 @@
+// Package driver implements the NetDrv server: the near-stateless process
+// between IP and one simulated network device (paper §V, Table I "Drivers:
+// No state, simple restart").
+//
+// The driver's fast-path work is deliberately tiny — "filling descriptors
+// and updating tail pointers of the rings on the device, polling the
+// device" — and it owns nothing: receive buffers belong to IP, transmit
+// data belongs to the transports and IP. A crashed driver therefore
+// restarts by resetting the device and letting IP resupply buffers and
+// resubmit in-doubt packets.
+package driver
+
+import (
+	"fmt"
+	"time"
+
+	"newtos/internal/kipc"
+	"newtos/internal/msg"
+	"newtos/internal/nic"
+	"newtos/internal/proc"
+	"newtos/internal/shm"
+	"newtos/internal/wiring"
+)
+
+// Server is one driver incarnation.
+type Server struct {
+	name  string // component name, e.g. "drv.eth0"
+	ports *wiring.Ports
+	dev   *nic.Device
+
+	rt     *proc.Runtime
+	ep     *kipc.Endpoint
+	ipPort *wiring.Port
+	outIP  wiring.Outbox
+	wired  bool
+}
+
+var _ proc.Service = (*Server)(nil)
+
+// New creates a driver incarnation bound to dev. ports must be the
+// component's persistent edge manager (shared across incarnations).
+func New(name string, ports *wiring.Ports, dev *nic.Device) *Server {
+	return &Server{name: name, ports: ports, dev: dev}
+}
+
+// Init wires the driver: announce presence, attach IP's channel, register
+// the kernel endpoint interrupts arrive on, and reset the device when
+// coming back from a crash (descriptor state is unrecoverable).
+func (s *Server) Init(rt *proc.Runtime, restart bool) error {
+	s.rt = rt
+	s.ports.Begin(rt.Bell)
+	s.ipPort = s.ports.Attach("ip-" + s.name)
+	ep, err := s.ports.Hub().Kern.Register(s.name, rt.Bell)
+	if err != nil {
+		return fmt.Errorf("driver %s: %w", s.name, err)
+	}
+	s.ep = ep
+	kern := s.ports.Hub().Kern
+	id := ep.ID()
+	s.dev.SetIRQ(func() { _ = kern.Interrupt(id) })
+	if restart {
+		s.dev.Reset()
+	}
+	return nil
+}
+
+// Poll moves descriptors between the IP channel and the device.
+func (s *Server) Poll(now time.Time) bool {
+	worked := false
+	dup, changed := s.ipPort.Take()
+	if changed {
+		// Either we restarted or IP did. In both cases the shared pools
+		// we were DMAing into are gone: reset the device (the paper:
+		// "a crash of IP means de facto restart of the network drivers
+		// too") and tell IP who we are.
+		if s.wired {
+			s.dev.Reset()
+		}
+		s.wired = true
+		s.outIP.Drop()
+		info := msg.Req{Op: msg.OpDrvInfo}
+		mac := s.dev.MAC()
+		var m uint64
+		for i := 0; i < 6; i++ {
+			m = m<<8 | uint64(mac[i])
+		}
+		info.Arg[0] = m
+		s.outIP.Push(info)
+		worked = true
+	}
+	if !dup.Valid() {
+		return worked
+	}
+
+	// Drain interrupt notifications (edge-style; completions collected
+	// below regardless).
+	for {
+		if _, err := s.ep.TryReceive(kipc.Any); err != nil {
+			break
+		}
+		worked = true
+	}
+
+	// Requests from IP.
+	for i := 0; i < 256; i++ {
+		r, ok := dup.In.Recv()
+		if !ok {
+			break
+		}
+		worked = true
+		switch r.Op {
+		case msg.OpTxSubmit:
+			desc := nic.TxDesc{
+				Ptrs:    append([]shm.RichPtr(nil), r.Chain()...),
+				Cookie:  r.ID,
+				SegSize: uint16(r.Arg[1]),
+			}
+			if r.Arg[0]&msg.OffloadCsumIP != 0 {
+				desc.Flags |= nic.TxCsumIP
+			}
+			if r.Arg[0]&msg.OffloadCsumL4 != 0 {
+				desc.Flags |= nic.TxCsumL4
+			}
+			if r.Arg[0]&msg.OffloadTSO != 0 {
+				desc.Flags |= nic.TxTSO
+			}
+			if err := s.dev.PostTx(desc); err != nil {
+				// Ring full or device down: complete with an error so IP
+				// can free and (for TCP) let the RTO recover — dropping
+				// a packet in the network stack is acceptable.
+				s.outIP.Push(msg.Req{ID: r.ID, Op: msg.OpTxDone, Status: msg.StatusErrNoBufs})
+			}
+		case msg.OpRxSupply:
+			if err := s.dev.PostRx(r.Ptrs[0]); err != nil {
+				// RX ring full; IP's accounting will retry via recycling.
+				continue
+			}
+		case msg.OpDrvReset:
+			s.dev.Reset()
+		}
+	}
+
+	// Completions from the device.
+	for _, c := range s.dev.CollectTx() {
+		st := msg.StatusOK
+		if !c.OK {
+			st = msg.StatusErrNoBufs
+		}
+		s.outIP.Push(msg.Req{ID: c.Cookie, Op: msg.OpTxDone, Status: st})
+		worked = true
+	}
+	for _, c := range s.dev.CollectRx() {
+		if !c.CsumOK {
+			// Hardware-verified checksum failed: drop in the driver; the
+			// buffer goes back to IP as consumed.
+			continue
+		}
+		r := msg.Req{Op: msg.OpRxPacket}
+		r.SetChain([]shm.RichPtr{c.Ptr})
+		r.Arg[0] = uint64(c.Len)
+		r.Arg[1] = msg.FlagCsumOK
+		s.outIP.Push(r)
+		worked = true
+	}
+
+	if s.outIP.Flush(dup.Out) {
+		worked = true
+	}
+	return worked
+}
+
+// Deadline: the driver has no timers; device interrupts wake it.
+func (s *Server) Deadline(now time.Time) time.Time { return time.Time{} }
+
+// Stop releases the kernel endpoint.
+func (s *Server) Stop() {
+	if s.ep != nil {
+		s.ep.Close()
+	}
+}

@@ -1,0 +1,263 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"newtos/internal/core"
+	"newtos/internal/faults"
+	"newtos/internal/netpkt"
+	"newtos/internal/nic"
+	"newtos/internal/pfeng"
+	"newtos/internal/sock"
+	"newtos/internal/trace"
+)
+
+// TraceOpts tunes the Figure 4 / Figure 5 crash-trace experiments.
+type TraceOpts struct {
+	// Target is the component to crash ("ip" for Figure 4, "pf" for 5).
+	Target string
+	// Total is the trace length (Figure 4: 10s; Figure 5: 18s).
+	Total time.Duration
+	// CrashAt lists injection instants (Figure 4: {4s}; Figure 5: two).
+	CrashAt []time.Duration
+	// SampleEvery is the bitrate sampling interval (100ms, like the
+	// tcpdump-derived plots).
+	SampleEvery time.Duration
+	// PFRules loads the filter with this many rules (Figure 5: 1024).
+	PFRules int
+	// LinkUpDelay is the device retrain time after reset; the Figure 4
+	// gap ("it takes time for the link to come up again").
+	LinkUpDelay time.Duration
+}
+
+func (o *TraceOpts) fill() {
+	if o.Total == 0 {
+		o.Total = 10 * time.Second
+	}
+	if o.SampleEvery == 0 {
+		o.SampleEvery = 100 * time.Millisecond
+	}
+	if len(o.CrashAt) == 0 {
+		o.CrashAt = []time.Duration{4 * time.Second}
+	}
+	if o.LinkUpDelay == 0 && o.Target == core.CompIP {
+		o.LinkUpDelay = 800 * time.Millisecond
+	}
+}
+
+// RunCrashTrace runs a single bulk TCP connection over one gigabit link,
+// injects crashes into the target component of the RECEIVING node at the
+// configured instants, and returns the receiver-side bitrate time series.
+func RunCrashTrace(opts TraceOpts) ([]trace.Sample, error) {
+	opts.fill()
+	cfg := core.SplitTSO()
+	cfg.HeartbeatMiss = 120 * time.Millisecond
+	cfg.LinkUpDelay = opts.LinkUpDelay
+	lan, err := core.NewLAN(cfg, 1, nic.Gigabit())
+	if err != nil {
+		return nil, err
+	}
+	defer lan.Stop()
+	if err := lan.Start(); err != nil {
+		return nil, err
+	}
+
+	// Figure 5 recovers "a set of 1024 rules".
+	if opts.PFRules > 0 {
+		pfc, err := core.NewPFClient(lan.B.Hub, "figload")
+		if err != nil {
+			return nil, err
+		}
+		for i := 0; i < opts.PFRules; i++ {
+			rule := pfeng.Rule{
+				Action: pfeng.Block, Dir: pfeng.In, Proto: netpkt.ProtoTCP,
+				DstPort: uint16(20000 + i),
+			}
+			if err := pfc.AddRule(rule); err != nil {
+				return nil, fmt.Errorf("rule %d: %w", i, err)
+			}
+		}
+		pfc.Close()
+	}
+
+	var meter trace.Meter
+	ready := make(chan struct{})
+	go func() { // sink on B
+		cli, err := sock.NewClient(lan.B.Hub, "figsink")
+		if err != nil {
+			close(ready)
+			return
+		}
+		cli.CallTimeout = opts.Total + 10*time.Second
+		l, err := cli.Socket(sock.TCP)
+		if err != nil || l.Bind(5001) != nil || l.Listen(2) != nil {
+			close(ready)
+			return
+		}
+		close(ready)
+		conn, err := l.Accept()
+		if err != nil {
+			return
+		}
+		buf := make([]byte, 256*1024)
+		for {
+			n, err := conn.Recv(buf)
+			if err != nil || n == 0 {
+				return
+			}
+			meter.Add(n)
+		}
+	}()
+	<-ready
+
+	cli, err := sock.NewClient(lan.A.Hub, "figsrc")
+	if err != nil {
+		return nil, err
+	}
+	cli.CallTimeout = opts.Total + 10*time.Second
+	s, err := cli.Socket(sock.TCP)
+	if err != nil {
+		return nil, err
+	}
+	if err := s.Connect(lan.IPOf("b", 0), 5001); err != nil {
+		return nil, err
+	}
+	stop := make(chan struct{})
+	go func() { // iperf-like source
+		data := make([]byte, 64*1024)
+		for {
+			select {
+			case <-stop:
+				_ = s.Close()
+				return
+			default:
+			}
+			if _, err := s.Send(data); err != nil {
+				return
+			}
+		}
+	}()
+	defer close(stop)
+
+	sampler := trace.NewSampler(&meter, opts.SampleEvery)
+	start := time.Now()
+	next := 0
+	for time.Since(start) < opts.Total {
+		if next < len(opts.CrashAt) && time.Since(start) >= opts.CrashAt[next] {
+			if p := lan.B.Proc(opts.Target); p != nil {
+				if f := p.Fault(); f != nil {
+					f.Arm(faults.Crash)
+				}
+			}
+			next++
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	return sampler.Stop(), nil
+}
+
+// RecoveryReport is one Table I row measured on the live system: how much
+// state a component parks in the storage server and how long its restart
+// takes.
+type RecoveryReport struct {
+	Component   string
+	StateBytes  int
+	RecoveryDur time.Duration
+	Notes       string
+}
+
+// RunTable1 crashes each component once on an idle-ish system and measures
+// the recovery footprint.
+func RunTable1() ([]RecoveryReport, error) {
+	notes := map[string]string{
+		"eth0":       "no state, device reset + IP resupply",
+		core.CompIP:  "static interface/route config from storage; NIC reset required",
+		core.CompUDP: "socket 4-tuples from storage; sockets recreated",
+		core.CompPF:  "rules from storage; conntrack rebuilt from transport flow tables",
+		core.CompTCP: "listeners recovered; established connections reset by design",
+	}
+	cfg := core.SplitTSO()
+	cfg.HeartbeatMiss = 120 * time.Millisecond
+	lan, err := core.NewLAN(cfg, 1, nic.WireConfig{})
+	if err != nil {
+		return nil, err
+	}
+	defer lan.Stop()
+	if err := lan.Start(); err != nil {
+		return nil, err
+	}
+
+	// Put some state into every component: a listener, a UDP socket, a
+	// PF rule, an established connection.
+	if err := lan.B.AddPFRule(pfeng.Rule{Action: pfeng.Block, Dir: pfeng.In, DstPort: 9999}); err != nil {
+		return nil, err
+	}
+	cliB, err := sock.NewClient(lan.B.Hub, "t1srv")
+	if err != nil {
+		return nil, err
+	}
+	l, err := cliB.Socket(sock.TCP)
+	if err != nil || l.Bind(22) != nil || l.Listen(4) != nil {
+		return nil, fmt.Errorf("table1 listener setup")
+	}
+	go func() {
+		for {
+			if _, err := l.Accept(); err != nil {
+				return
+			}
+		}
+	}()
+	u, err := cliB.Socket(sock.UDP)
+	if err != nil || u.Bind(53) != nil {
+		return nil, fmt.Errorf("table1 udp setup")
+	}
+	cliA, err := sock.NewClient(lan.A.Hub, "t1cli")
+	if err != nil {
+		return nil, err
+	}
+	c, err := cliA.Socket(sock.TCP)
+	if err != nil {
+		return nil, err
+	}
+	if err := c.Connect(lan.IPOf("b", 0), 22); err != nil {
+		return nil, err
+	}
+
+	stateKeys := map[string][]string{
+		"eth0":       {},
+		core.CompIP:  {"ip/config"},
+		core.CompUDP: {"udp/sockets", "udp/flows"},
+		core.CompPF:  {"pf/rules"},
+		core.CompTCP: {"tcp/sockets", "tcp/flows"},
+	}
+	order := []string{"eth0", core.CompIP, core.CompUDP, core.CompPF, core.CompTCP}
+	var out []RecoveryReport
+	for _, comp := range order {
+		bytes := 0
+		for _, key := range stateKeys[comp] {
+			if blob, ok := lan.B.Hub.Store.Get(key); ok {
+				bytes += len(blob)
+			}
+		}
+		before := len(lan.B.Monitor.Events())
+		p := lan.B.Proc(comp)
+		if p == nil || p.Fault() == nil {
+			continue
+		}
+		p.Fault().Arm(faults.Crash)
+		deadline := time.Now().Add(4 * time.Second)
+		for len(lan.B.Monitor.Events()) <= before && time.Now().Before(deadline) {
+			time.Sleep(2 * time.Millisecond)
+		}
+		evs := lan.B.Monitor.Events()
+		rep := RecoveryReport{Component: comp, StateBytes: bytes, Notes: notes[comp]}
+		if len(evs) > before {
+			ev := evs[len(evs)-1]
+			rep.RecoveryDur = ev.RecoveredAt.Sub(ev.DetectedAt)
+		}
+		out = append(out, rep)
+		time.Sleep(200 * time.Millisecond) // settle before the next crash
+	}
+	return out, nil
+}

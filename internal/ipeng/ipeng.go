@@ -1,0 +1,873 @@
+// Package ipeng is the IP/ICMP/ARP engine: routing, ARP resolution, ICMP
+// echo, and the hand-off choreography that makes IP "the only component
+// that communicates with drivers" (paper §V, Figure 3). Every packet —
+// inbound and outbound — passes through the packet filter T junction
+// before it proceeds; IP must see a verdict for each query, which is what
+// makes PF crashes lossless.
+//
+// IP owns the receive pools the drivers DMA into and the header pool for
+// outgoing frames, so it is also the component whose crash forces device
+// resets (paper §V-D "IP").
+package ipeng
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+	"time"
+
+	"newtos/internal/channel"
+	"newtos/internal/msg"
+	"newtos/internal/netpkt"
+	"newtos/internal/shm"
+)
+
+// Tunables.
+const (
+	// RxBufsPerDriver is how many receive buffers IP keeps posted to each
+	// driver (the device ring is refilled from these).
+	RxBufsPerDriver = 192
+	// RxChunkSize fits one MTU frame.
+	RxChunkSize = 2048
+	// HdrChunkSize holds eth+ip+l4 headers, ARP frames, and ICMP replies.
+	HdrChunkSize = 2048
+	arpTimeout   = 500 * time.Millisecond
+	arpQueueCap  = 128
+)
+
+// IfaceConfig is one interface's static configuration — the state the
+// paper calls "very limited (static) ... basically the routing
+// information", saved to the storage server and restored after a crash.
+type IfaceConfig struct {
+	Name     string
+	IP       netpkt.IPAddr
+	MaskBits int
+	// GW is the next hop for off-subnet traffic leaving this interface;
+	// zero means this interface only reaches its own subnet.
+	GW netpkt.IPAddr
+}
+
+// Config wires the engine.
+type Config struct {
+	Space  *shm.Space
+	Ifaces []IfaceConfig
+	// PFEnabled routes every packet through the filter junction.
+	PFEnabled bool
+	// Offload requests device checksum offload (and enables TSO
+	// pass-through from the transports).
+	Offload bool
+	// SaveState persists interface configuration.
+	SaveState func(blob []byte)
+}
+
+// Stats counts engine activity.
+type Stats struct {
+	PktsOut, PktsIn         uint64
+	BytesOut, BytesIn       uint64
+	ARPRequests, ARPReplies uint64
+	ICMPEchoes              uint64
+	Blocked                 uint64
+	DropsNoRoute            uint64
+	DropsMalformed          uint64
+	DropsRingFull           uint64
+	TxResubmitted           uint64
+	PFResubmitted           uint64
+}
+
+type iface struct {
+	cfg   IfaceConfig
+	mac   netpkt.MAC
+	macOK bool
+	arp   map[netpkt.IPAddr]netpkt.MAC
+	// pending holds packets awaiting ARP resolution of a next hop.
+	pending map[netpkt.IPAddr][]*outPkt
+	arpSent map[netpkt.IPAddr]time.Time
+	// outstanding receive buffers supplied to the driver.
+	rxOutstanding int
+}
+
+// outPkt is one outbound packet in flight inside IP.
+type outPkt struct {
+	ifaceName string
+	hdr       shm.RichPtr // eth+ip+l4 combined header chunk (ours to free)
+	hdrView   []byte
+	payload   []shm.RichPtr
+	totalLen  int
+	offload   uint64
+	segSize   uint16
+	nextHop   netpkt.IPAddr
+	// Reply routing: which transport asked, and with what request ID.
+	srcProto uint8
+	origID   uint64
+	// verdictDone marks packets already past the PF junction.
+	verdictDone bool
+	// icmpPayload is an extra engine-owned chunk to free on completion
+	// (ICMP replies synthesize their payload in the header pool).
+	icmpPayload shm.RichPtr
+}
+
+// inPkt is one inbound packet parked for a PF verdict or a transport.
+type inPkt struct {
+	ifaceName string
+	buf       shm.RichPtr // full RX buffer slice (frame)
+	l3Off     uint32
+	l4Off     uint32
+	srcIP     netpkt.IPAddr
+	dstIP     netpkt.IPAddr
+	proto     uint8
+}
+
+// Engine is the IP server's logic. Single-threaded.
+type Engine struct {
+	cfg     Config
+	rxPool  *shm.Pool
+	hdrPool *shm.Pool
+	db      *channel.ReqDB
+	ifaces  map[string]*iface
+	order   []string // iface routing order
+	ipid    uint16
+
+	toDrv map[string][]msg.Req
+	toPF  []msg.Req
+	toTCP []msg.Req
+	toUDP []msg.Req
+	stats Stats
+	now   time.Time
+}
+
+// New creates an IP engine with fresh pools in space. Each incarnation
+// creates new pools; old pools stay resolvable so transports holding
+// references into a dead incarnation's pool can still read (the paper's
+// "inherited address space"), they just can never be recycled.
+func New(cfg Config) (*Engine, error) {
+	rx, err := cfg.Space.NewPool("ip.rx", RxChunkSize, RxBufsPerDriver*8)
+	if err != nil {
+		return nil, fmt.Errorf("ipeng: rx pool: %w", err)
+	}
+	hdr, err := cfg.Space.NewPool("ip.hdr", HdrChunkSize, 4096)
+	if err != nil {
+		return nil, fmt.Errorf("ipeng: hdr pool: %w", err)
+	}
+	e := &Engine{
+		cfg:     cfg,
+		rxPool:  rx,
+		hdrPool: hdr,
+		db:      channel.NewReqDB(),
+		ifaces:  make(map[string]*iface),
+		toDrv:   make(map[string][]msg.Req),
+	}
+	for _, ic := range cfg.Ifaces {
+		e.ifaces[ic.Name] = &iface{
+			cfg:     ic,
+			arp:     make(map[netpkt.IPAddr]netpkt.MAC),
+			pending: make(map[netpkt.IPAddr][]*outPkt),
+			arpSent: make(map[netpkt.IPAddr]time.Time),
+		}
+		e.order = append(e.order, ic.Name)
+	}
+	return e, nil
+}
+
+// Stats returns activity counters.
+func (e *Engine) Stats() Stats { return e.stats }
+
+// LocalIP returns the first interface address (hosts in the evaluation
+// have one address per interface, same-subnet wiring).
+func (e *Engine) LocalIP() netpkt.IPAddr {
+	if len(e.order) == 0 {
+		return netpkt.IPAddr{}
+	}
+	return e.ifaces[e.order[0]].cfg.IP
+}
+
+// Drains.
+
+// DrainToDriver returns pending requests for the named driver.
+func (e *Engine) DrainToDriver(name string) []msg.Req {
+	out := e.toDrv[name]
+	if len(out) > 0 {
+		e.toDrv[name] = nil
+	}
+	return out
+}
+
+// DrainToPF returns pending filter queries.
+func (e *Engine) DrainToPF() []msg.Req {
+	out := e.toPF
+	e.toPF = nil
+	return out
+}
+
+// DrainToTCP returns pending deliveries/completions for TCP.
+func (e *Engine) DrainToTCP() []msg.Req {
+	out := e.toTCP
+	e.toTCP = nil
+	return out
+}
+
+// DrainToUDP returns pending deliveries/completions for UDP.
+func (e *Engine) DrainToUDP() []msg.Req {
+	out := e.toUDP
+	e.toUDP = nil
+	return out
+}
+
+// SupplyDriver tops up the driver's receive buffers to the target level;
+// call after (re)wiring a driver edge.
+func (e *Engine) SupplyDriver(name string) {
+	ifc, ok := e.ifaces[name]
+	if !ok {
+		return
+	}
+	for ifc.rxOutstanding < RxBufsPerDriver {
+		ptr, _, err := e.rxPool.Alloc()
+		if err != nil {
+			return // pool pressure; recycling will resupply
+		}
+		req := msg.Req{ID: e.db.NewID(), Op: msg.OpRxSupply}
+		req.SetChain([]shm.RichPtr{ptr})
+		e.toDrv[name] = append(e.toDrv[name], req)
+		ifc.rxOutstanding++
+	}
+}
+
+// OnDriverRestart implements IP's recovery role for a crashed driver:
+// resubmit the packets the dead incarnation may not have transmitted
+// ("in case of doubt, we prefer to send a few duplicates") and resupply
+// fresh receive buffers.
+func (e *Engine) OnDriverRestart(name string, now time.Time) {
+	e.now = now
+	ifc, ok := e.ifaces[name]
+	if !ok {
+		return
+	}
+	ifc.rxOutstanding = 0
+	e.db.AbortDest("drv/" + name)
+	e.SupplyDriver(name)
+}
+
+// OnPFRestart resubmits every outstanding verdict query: "it can safely
+// resubmit all unfinished requests without packet loss".
+func (e *Engine) OnPFRestart(now time.Time) {
+	e.now = now
+	e.db.AbortDest("pf")
+}
+
+// OnTransportRestart drops deliveries parked with a dead transport and
+// recycles their buffers.
+func (e *Engine) OnTransportRestart(proto uint8, now time.Time) {
+	e.now = now
+	dest := "tcp"
+	if proto == netpkt.ProtoUDP {
+		dest = "udp"
+	}
+	e.db.AbortDest(dest)
+}
+
+// FromTransport handles a message from TCP or UDP.
+func (e *Engine) FromTransport(proto uint8, r msg.Req, now time.Time) {
+	e.now = now
+	switch r.Op {
+	case msg.OpIPSend:
+		e.sendOut(proto, r)
+	case msg.OpIPDeliverDone:
+		e.deliverDone(r)
+	}
+}
+
+// FromDriver handles a message from the named driver.
+func (e *Engine) FromDriver(name string, r msg.Req, now time.Time) {
+	e.now = now
+	switch r.Op {
+	case msg.OpRxPacket:
+		e.rxPacket(name, r)
+	case msg.OpTxDone:
+		e.txDone(r)
+	case msg.OpDrvInfo:
+		if ifc, ok := e.ifaces[name]; ok {
+			var mac netpkt.MAC
+			for i := 0; i < 6; i++ {
+				mac[i] = byte(r.Arg[0] >> (8 * uint(5-i)))
+			}
+			ifc.mac = mac
+			ifc.macOK = true
+		}
+	}
+}
+
+// FromPF handles a verdict.
+func (e *Engine) FromPF(r msg.Req, now time.Time) {
+	e.now = now
+	if r.Op != msg.OpPFVerdict {
+		return
+	}
+	data, ok := e.db.Complete(r.ID)
+	if !ok {
+		return // pre-crash verdict; the query was resubmitted
+	}
+	switch pkt := data.(type) {
+	case *outPkt:
+		if r.Status != 0 {
+			e.stats.Blocked++
+			e.failOut(pkt, msg.StatusErrBlocked)
+			return
+		}
+		pkt.verdictDone = true
+		e.resolveAndSend(pkt)
+	case *inPkt:
+		if r.Status != 0 {
+			e.stats.Blocked++
+			e.recycleRx(pkt)
+			return
+		}
+		e.demux(pkt)
+	}
+}
+
+// route picks the interface and next hop for dst.
+func (e *Engine) route(dst netpkt.IPAddr) (*iface, netpkt.IPAddr, bool) {
+	// Direct subnet first.
+	for _, name := range e.order {
+		ifc := e.ifaces[name]
+		if dst.InSubnet(ifc.cfg.IP, ifc.cfg.MaskBits) {
+			return ifc, dst, true
+		}
+	}
+	// Default gateway.
+	for _, name := range e.order {
+		ifc := e.ifaces[name]
+		if ifc.cfg.GW != (netpkt.IPAddr{}) {
+			return ifc, ifc.cfg.GW, true
+		}
+	}
+	return nil, netpkt.IPAddr{}, false
+}
+
+// sendOut builds the full frame header for a transport payload and routes
+// it through the PF junction towards a driver.
+func (e *Engine) sendOut(proto uint8, r msg.Req) {
+	segSize := uint16(r.Arg[0] >> 16)
+	dst := netpkt.IPFromU32(uint32(r.Arg[2]))
+	src := netpkt.IPFromU32(uint32(r.Arg[1]))
+	offloadReq := r.Arg[3]
+
+	ifc, nextHop, ok := e.route(dst)
+	if !ok {
+		e.stats.DropsNoRoute++
+		e.replyTransport(proto, r.ID, msg.StatusErrInval)
+		return
+	}
+	if src == (netpkt.IPAddr{}) {
+		src = ifc.cfg.IP
+	}
+
+	// Resolve the transport's header chunk and payload chain.
+	chain := r.Chain()
+	if len(chain) == 0 {
+		e.replyTransport(proto, r.ID, msg.StatusErrInval)
+		return
+	}
+	l4hdr, err := e.cfg.Space.View(chain[0])
+	if err != nil {
+		e.replyTransport(proto, r.ID, msg.StatusErrInval)
+		return
+	}
+	payload := chain[1:]
+	payloadLen := 0
+	for _, p := range payload {
+		payloadLen += int(p.Len)
+	}
+	totalIP := netpkt.IPv4HeaderLen + len(l4hdr) + payloadLen
+
+	// Combine Ethernet + IP + the (tiny) L4 header in one chunk of our
+	// own pool — pools are immutable to consumers, so IP copies the
+	// header it must complete (paper §V-C: "As the headers are tiny, we
+	// combine them with IP headers in one chunk").
+	hdrPtr, hdrBuf, err := e.hdrPool.Alloc()
+	if err != nil {
+		e.replyTransport(proto, r.ID, msg.StatusErrNoBufs)
+		return
+	}
+	e.ipid++
+	ih := netpkt.IPv4Header{
+		TotalLen: uint16(totalIP), ID: e.ipid, Flags: netpkt.IPFlagDF,
+		TTL: netpkt.DefaultTTL, Proto: proto, Src: src, Dst: dst,
+	}
+	ih.Marshal(hdrBuf[netpkt.EthHeaderLen:], !e.cfg.Offload)
+	copy(hdrBuf[netpkt.EthHeaderLen+netpkt.IPv4HeaderLen:], l4hdr)
+	hdrLen := netpkt.EthHeaderLen + netpkt.IPv4HeaderLen + len(l4hdr)
+
+	offload := uint64(0)
+	if e.cfg.Offload {
+		offload = msg.OffloadCsumIP
+		if offloadReq&msg.OffloadCsumL4 != 0 {
+			offload |= msg.OffloadCsumL4
+		}
+		if offloadReq&msg.OffloadTSO != 0 && segSize > 0 {
+			offload |= msg.OffloadTSO
+		}
+	} else {
+		segSize = 0 // no TSO without offload
+	}
+
+	pkt := &outPkt{
+		ifaceName: ifc.cfg.Name,
+		hdr:       hdrPtr.Slice(0, uint32(hdrLen)),
+		hdrView:   hdrBuf[:hdrLen],
+		payload:   append([]shm.RichPtr(nil), payload...),
+		totalLen:  netpkt.EthHeaderLen + totalIP,
+		offload:   offload,
+		segSize:   segSize,
+		nextHop:   nextHop,
+		srcProto:  proto,
+		origID:    r.ID,
+	}
+	e.junctionOut(pkt)
+}
+
+// junctionOut runs the post-routing PF query, or proceeds directly when
+// the filter is disabled.
+func (e *Engine) junctionOut(pkt *outPkt) {
+	if !e.cfg.PFEnabled {
+		pkt.verdictDone = true
+		e.resolveAndSend(pkt)
+		return
+	}
+	id := e.db.NewID()
+	e.db.Track(id, "pf", pkt, func(_ uint64, data any) {
+		// PF crashed before answering: resubmit, no loss.
+		e.stats.PFResubmitted++
+		e.junctionOut(data.(*outPkt))
+	})
+	q := msg.Req{ID: id, Op: msg.OpPFQuery}
+	q.Arg[0] = 1 // direction: out
+	// PF sees the packet from the IP header on.
+	chain := append([]shm.RichPtr{pkt.hdr.Slice(netpkt.EthHeaderLen, pkt.hdr.Len)}, pkt.payload...)
+	q.SetChain(chain)
+	e.toPF = append(e.toPF, q)
+}
+
+// resolveAndSend ARP-resolves the next hop and hands the frame to the
+// driver.
+func (e *Engine) resolveAndSend(pkt *outPkt) {
+	ifc := e.ifaces[pkt.ifaceName]
+	mac, ok := ifc.arp[pkt.nextHop]
+	if !ok {
+		if len(ifc.pending[pkt.nextHop]) >= arpQueueCap {
+			e.failOut(pkt, msg.StatusErrNoBufs)
+			return
+		}
+		ifc.pending[pkt.nextHop] = append(ifc.pending[pkt.nextHop], pkt)
+		e.maybeARP(ifc, pkt.nextHop)
+		return
+	}
+	e.frameOut(ifc, pkt, mac)
+}
+
+func (e *Engine) frameOut(ifc *iface, pkt *outPkt, dstMAC netpkt.MAC) {
+	eh := netpkt.EthHeader{Dst: dstMAC, Src: ifc.mac, Type: netpkt.EtherTypeIPv4}
+	eh.Marshal(pkt.hdrView)
+
+	id := e.db.NewID()
+	e.db.Track(id, "drv/"+ifc.cfg.Name, pkt, func(_ uint64, data any) {
+		// Driver crashed with the packet possibly untransmitted: the
+		// paper prefers duplicates over silence — resubmit.
+		p := data.(*outPkt)
+		e.stats.TxResubmitted++
+		e.frameOut(e.ifaces[p.ifaceName], p, dstMAC)
+	})
+	req := msg.Req{ID: id, Op: msg.OpTxSubmit}
+	req.SetChain(append([]shm.RichPtr{pkt.hdr}, pkt.payload...))
+	req.Arg[0] = pkt.offload
+	req.Arg[1] = uint64(pkt.segSize)
+	e.toDrv[ifc.cfg.Name] = append(e.toDrv[ifc.cfg.Name], req)
+}
+
+// txDone finishes an outbound packet: free our header chunk and complete
+// the transport's request.
+func (e *Engine) txDone(r msg.Req) {
+	data, ok := e.db.Complete(r.ID)
+	if !ok {
+		return
+	}
+	pkt, ok := data.(*outPkt)
+	if !ok {
+		return
+	}
+	_ = e.hdrPool.Free(pkt.hdr)
+	if !pkt.icmpPayload.IsZero() {
+		_ = e.hdrPool.Free(pkt.icmpPayload)
+	}
+	e.stats.PktsOut++
+	e.stats.BytesOut += uint64(pkt.totalLen)
+	if pkt.origID != 0 {
+		st := msg.StatusOK
+		if r.Status != 0 {
+			st = r.Status
+		}
+		e.replyTransport(pkt.srcProto, pkt.origID, st)
+	}
+}
+
+func (e *Engine) failOut(pkt *outPkt, status int32) {
+	_ = e.hdrPool.Free(pkt.hdr)
+	if !pkt.icmpPayload.IsZero() {
+		_ = e.hdrPool.Free(pkt.icmpPayload)
+	}
+	if pkt.origID != 0 {
+		e.replyTransport(pkt.srcProto, pkt.origID, status)
+	}
+}
+
+func (e *Engine) replyTransport(proto uint8, id uint64, status int32) {
+	rep := msg.Req{ID: id, Op: msg.OpIPSendDone, Status: status}
+	if proto == netpkt.ProtoTCP {
+		e.toTCP = append(e.toTCP, rep)
+	} else if proto == netpkt.ProtoUDP {
+		e.toUDP = append(e.toUDP, rep)
+	}
+	// ICMP (proto 1) replies are internal: the header chunk is all there
+	// was; nothing to notify.
+}
+
+// maybeARP sends an ARP request if none is recent.
+func (e *Engine) maybeARP(ifc *iface, target netpkt.IPAddr) {
+	if t, ok := ifc.arpSent[target]; ok && e.now.Sub(t) < arpTimeout {
+		return
+	}
+	ifc.arpSent[target] = e.now
+	hdrPtr, buf, err := e.hdrPool.Alloc()
+	if err != nil {
+		return
+	}
+	eh := netpkt.EthHeader{Dst: netpkt.Broadcast, Src: ifc.mac, Type: netpkt.EtherTypeARP}
+	eh.Marshal(buf)
+	ap := netpkt.ARPPacket{
+		Op: netpkt.ARPRequest, SenderMAC: ifc.mac, SenderIP: ifc.cfg.IP,
+		TargetIP: target,
+	}
+	ap.Marshal(buf[netpkt.EthHeaderLen:])
+	flen := netpkt.EthHeaderLen + netpkt.ARPLen
+
+	id := e.db.NewID()
+	e.db.Track(id, "drv/"+ifc.cfg.Name, hdrPtr, func(_ uint64, data any) {
+		_ = e.hdrPool.Free(data.(shm.RichPtr))
+	})
+	req := msg.Req{ID: id, Op: msg.OpTxSubmit}
+	req.SetChain([]shm.RichPtr{hdrPtr.Slice(0, uint32(flen))})
+	e.toDrv[ifc.cfg.Name] = append(e.toDrv[ifc.cfg.Name], req)
+	e.stats.ARPRequests++
+}
+
+// rxPacket handles one received frame from a driver.
+func (e *Engine) rxPacket(name string, r msg.Req) {
+	ifc, ok := e.ifaces[name]
+	if !ok {
+		return
+	}
+	ifc.rxOutstanding--
+	buf := r.Ptrs[0]
+	view, err := e.cfg.Space.View(buf)
+	if err != nil {
+		e.resupply(name)
+		return
+	}
+	e.stats.PktsIn++
+	e.stats.BytesIn += uint64(len(view))
+	eh, err := netpkt.ParseEth(view)
+	if err != nil {
+		e.dropRx(name, buf)
+		return
+	}
+	switch eh.Type {
+	case netpkt.EtherTypeARP:
+		e.handleARP(ifc, view[netpkt.EthHeaderLen:])
+		e.dropRx(name, buf)
+	case netpkt.EtherTypeIPv4:
+		e.handleIPv4(ifc, name, buf, view, r.Arg[1]&msg.FlagCsumOK != 0)
+	default:
+		e.dropRx(name, buf)
+	}
+}
+
+func (e *Engine) handleARP(ifc *iface, b []byte) {
+	ap, err := netpkt.ParseARP(b)
+	if err != nil {
+		return
+	}
+	// Learn the sender either way.
+	ifc.arp[ap.SenderIP] = ap.SenderMAC
+	e.flushPending(ifc, ap.SenderIP)
+	if ap.Op == netpkt.ARPRequest && ap.TargetIP == ifc.cfg.IP {
+		// Reply.
+		hdrPtr, buf, err := e.hdrPool.Alloc()
+		if err != nil {
+			return
+		}
+		eh := netpkt.EthHeader{Dst: ap.SenderMAC, Src: ifc.mac, Type: netpkt.EtherTypeARP}
+		eh.Marshal(buf)
+		rep := netpkt.ARPPacket{
+			Op: netpkt.ARPReply, SenderMAC: ifc.mac, SenderIP: ifc.cfg.IP,
+			TargetMAC: ap.SenderMAC, TargetIP: ap.SenderIP,
+		}
+		rep.Marshal(buf[netpkt.EthHeaderLen:])
+		id := e.db.NewID()
+		e.db.Track(id, "drv/"+ifc.cfg.Name, hdrPtr, func(_ uint64, data any) {
+			_ = e.hdrPool.Free(data.(shm.RichPtr))
+		})
+		req := msg.Req{ID: id, Op: msg.OpTxSubmit}
+		req.SetChain([]shm.RichPtr{hdrPtr.Slice(0, uint32(netpkt.EthHeaderLen+netpkt.ARPLen))})
+		e.toDrv[ifc.cfg.Name] = append(e.toDrv[ifc.cfg.Name], req)
+		e.stats.ARPReplies++
+	}
+}
+
+func (e *Engine) flushPending(ifc *iface, ip netpkt.IPAddr) {
+	pend := ifc.pending[ip]
+	if len(pend) == 0 {
+		return
+	}
+	delete(ifc.pending, ip)
+	delete(ifc.arpSent, ip)
+	mac := ifc.arp[ip]
+	for _, pkt := range pend {
+		e.frameOut(ifc, pkt, mac)
+	}
+}
+
+func (e *Engine) handleIPv4(ifc *iface, name string, buf shm.RichPtr, view []byte, csumOK bool) {
+	l3 := view[netpkt.EthHeaderLen:]
+	ih, err := netpkt.ParseIPv4(l3, !csumOK)
+	if err != nil {
+		e.stats.DropsMalformed++
+		e.dropRx(name, buf)
+		return
+	}
+	if ih.Dst != ifc.cfg.IP {
+		e.dropRx(name, buf) // not for us; hosts do not forward
+		return
+	}
+	if int(ih.TotalLen) > len(l3) || ih.HeaderLen+0 > int(ih.TotalLen) {
+		e.stats.DropsMalformed++
+		e.dropRx(name, buf)
+		return
+	}
+	pkt := &inPkt{
+		ifaceName: name,
+		buf:       buf,
+		l3Off:     netpkt.EthHeaderLen,
+		l4Off:     netpkt.EthHeaderLen + uint32(ih.HeaderLen),
+		srcIP:     ih.Src,
+		dstIP:     ih.Dst,
+		proto:     ih.Proto,
+	}
+	if !e.cfg.PFEnabled {
+		e.demux(pkt)
+		return
+	}
+	id := e.db.NewID()
+	e.db.Track(id, "pf", pkt, func(_ uint64, data any) {
+		e.stats.PFResubmitted++
+		p := data.(*inPkt)
+		nid := e.db.NewID()
+		e.db.Track(nid, "pf", p, nil)
+		q := msg.Req{ID: nid, Op: msg.OpPFQuery}
+		q.SetChain([]shm.RichPtr{p.buf.Slice(p.l3Off, p.buf.Len)})
+		e.toPF = append(e.toPF, q)
+	})
+	q := msg.Req{ID: id, Op: msg.OpPFQuery}
+	q.Arg[0] = 0 // direction: in
+	q.SetChain([]shm.RichPtr{buf.Slice(pkt.l3Off, buf.Len)})
+	e.toPF = append(e.toPF, q)
+}
+
+// demux hands a passed inbound packet to its protocol.
+func (e *Engine) demux(pkt *inPkt) {
+	switch pkt.proto {
+	case netpkt.ProtoICMP:
+		e.handleICMP(pkt)
+		e.recycleRx(pkt)
+	case netpkt.ProtoTCP, netpkt.ProtoUDP:
+		id := e.db.NewID()
+		dest := "tcp"
+		if pkt.proto == netpkt.ProtoUDP {
+			dest = "udp"
+		}
+		e.db.Track(id, dest, pkt, func(_ uint64, data any) {
+			// Transport crashed before acknowledging the delivery; the
+			// buffer comes home.
+			e.recycleRx(data.(*inPkt))
+		})
+		req := msg.Req{ID: id, Op: msg.OpIPDeliver}
+		req.SetChain([]shm.RichPtr{pkt.buf.Slice(pkt.l4Off, pkt.buf.Len)})
+		req.Arg[0] = uint64(pkt.l4Off)
+		req.Arg[1] = uint64(pkt.srcIP.U32())
+		req.Arg[2] = uint64(pkt.dstIP.U32())
+		if dest == "tcp" {
+			e.toTCP = append(e.toTCP, req)
+		} else {
+			e.toUDP = append(e.toUDP, req)
+		}
+	default:
+		e.recycleRx(pkt)
+	}
+}
+
+// deliverDone: the transport is finished with an RX buffer.
+func (e *Engine) deliverDone(r msg.Req) {
+	data, ok := e.db.Complete(r.ID)
+	if !ok {
+		return
+	}
+	if pkt, ok := data.(*inPkt); ok {
+		e.recycleRx(pkt)
+	}
+}
+
+// handleICMP answers echo requests (the ping path, including the
+// ping-of-death resilience demo: malformed ICMP is simply dropped).
+func (e *Engine) handleICMP(pkt *inPkt) {
+	view, err := e.cfg.Space.View(pkt.buf)
+	if err != nil {
+		return
+	}
+	icmp := view[pkt.l4Off:]
+	echo, err := netpkt.ParseICMPEcho(icmp)
+	if err != nil || echo.Type != netpkt.ICMPEchoRequest {
+		e.stats.DropsMalformed++
+		return
+	}
+	e.stats.ICMPEchoes++
+	// Build the reply: new header chunk holds the whole ICMP message.
+	hdrPtr, hdrBuf, err := e.hdrPool.Alloc()
+	if err != nil {
+		return
+	}
+	if len(icmp) > len(hdrBuf) {
+		_ = e.hdrPool.Free(hdrPtr)
+		return
+	}
+	copy(hdrBuf, icmp)
+	rep := netpkt.ICMPEcho{Type: netpkt.ICMPEchoReply, ID: echo.ID, Seq: echo.Seq}
+	rep.Marshal(hdrBuf, len(icmp)-netpkt.ICMPHeaderLen)
+
+	// Route it back through our own send path (post-routing filter
+	// included), as a transportless packet.
+	ifc, nextHop, ok := e.route(pkt.srcIP)
+	if !ok {
+		_ = e.hdrPool.Free(hdrPtr)
+		return
+	}
+	// ICMP reply: header chunk IS the payload; build a second chunk with
+	// eth+ip.
+	framePtr, frameBuf, err := e.hdrPool.Alloc()
+	if err != nil {
+		_ = e.hdrPool.Free(hdrPtr)
+		return
+	}
+	e.ipid++
+	ih := netpkt.IPv4Header{
+		TotalLen: uint16(netpkt.IPv4HeaderLen + len(icmp)), ID: e.ipid,
+		TTL: netpkt.DefaultTTL, Proto: netpkt.ProtoICMP,
+		Src: ifc.cfg.IP, Dst: pkt.srcIP,
+	}
+	ih.Marshal(frameBuf[netpkt.EthHeaderLen:], true)
+	out := &outPkt{
+		ifaceName: ifc.cfg.Name,
+		hdr:       framePtr.Slice(0, netpkt.EthHeaderLen+netpkt.IPv4HeaderLen),
+		hdrView:   frameBuf[:netpkt.EthHeaderLen+netpkt.IPv4HeaderLen],
+		payload:   []shm.RichPtr{hdrPtr.Slice(0, uint32(len(icmp)))},
+		totalLen:  netpkt.EthHeaderLen + netpkt.IPv4HeaderLen + len(icmp),
+		nextHop:   nextHop,
+		srcProto:  netpkt.ProtoICMP,
+		origID:    0,
+	}
+	out.icmpPayload = hdrPtr
+	e.junctionOut(out)
+}
+
+// recycleRx frees a receive buffer and resupplies the driver.
+func (e *Engine) recycleRx(pkt *inPkt) {
+	full := shm.RichPtr{Pool: pkt.buf.Pool, Gen: pkt.buf.Gen,
+		Off: pkt.buf.Off - pkt.buf.Off%RxChunkSize, Len: RxChunkSize}
+	_ = e.rxPool.Free(full)
+	e.resupply(pkt.ifaceName)
+}
+
+// dropRx recycles a buffer that needed no further processing.
+func (e *Engine) dropRx(name string, buf shm.RichPtr) {
+	full := shm.RichPtr{Pool: buf.Pool, Gen: buf.Gen,
+		Off: buf.Off - buf.Off%RxChunkSize, Len: RxChunkSize}
+	_ = e.rxPool.Free(full)
+	e.resupply(name)
+}
+
+func (e *Engine) resupply(name string) {
+	ifc, ok := e.ifaces[name]
+	if !ok {
+		return
+	}
+	ptr, _, err := e.rxPool.Alloc()
+	if err != nil {
+		return
+	}
+	req := msg.Req{ID: e.db.NewID(), Op: msg.OpRxSupply}
+	req.SetChain([]shm.RichPtr{ptr})
+	e.toDrv[name] = append(e.toDrv[name], req)
+	ifc.rxOutstanding++
+}
+
+// SaveState serializes interface configuration.
+func (e *Engine) SaveState() ([]byte, error) {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(e.cfg.Ifaces); err != nil {
+		return nil, fmt.Errorf("ipeng: encode: %w", err)
+	}
+	return buf.Bytes(), nil
+}
+
+// RestoreState replaces the interface configuration from a SaveState blob.
+func (e *Engine) RestoreState(blob []byte) error {
+	var ifaces []IfaceConfig
+	if err := gob.NewDecoder(bytes.NewReader(blob)).Decode(&ifaces); err != nil {
+		return fmt.Errorf("ipeng: decode: %w", err)
+	}
+	// Rebuild iface table preserving learned MACs where names match.
+	old := e.ifaces
+	e.ifaces = make(map[string]*iface, len(ifaces))
+	e.order = e.order[:0]
+	e.cfg.Ifaces = ifaces
+	for _, ic := range ifaces {
+		ni := &iface{
+			cfg:     ic,
+			arp:     make(map[netpkt.IPAddr]netpkt.MAC),
+			pending: make(map[netpkt.IPAddr][]*outPkt),
+			arpSent: make(map[netpkt.IPAddr]time.Time),
+		}
+		if o, ok := old[ic.Name]; ok {
+			ni.mac, ni.macOK = o.mac, o.macOK
+		}
+		e.ifaces[ic.Name] = ni
+		e.order = append(e.order, ic.Name)
+	}
+	return nil
+}
+
+// Persist saves the configuration through the hook.
+func (e *Engine) Persist() {
+	if e.cfg.SaveState == nil {
+		return
+	}
+	if blob, err := e.SaveState(); err == nil {
+		e.cfg.SaveState(blob)
+	}
+}
+
+// SetMAC force-sets an interface MAC (used when driver info is delivered
+// out of band in tests).
+func (e *Engine) SetMAC(name string, mac netpkt.MAC) {
+	if ifc, ok := e.ifaces[name]; ok {
+		ifc.mac = mac
+		ifc.macOK = true
+	}
+}

@@ -1,0 +1,322 @@
+package ipeng
+
+import (
+	"testing"
+	"time"
+
+	"newtos/internal/msg"
+	"newtos/internal/netpkt"
+	"newtos/internal/shm"
+)
+
+var (
+	selfIP = netpkt.MustIP("10.0.0.1")
+	peerIP = netpkt.MustIP("10.0.0.2")
+	selfM  = netpkt.MAC{0xaa, 0, 0, 0, 0, 1}
+	peerM  = netpkt.MAC{0xbb, 0, 0, 0, 0, 1}
+)
+
+func newEngine(t *testing.T, pf bool) (*Engine, *shm.Space) {
+	t.Helper()
+	space := shm.NewSpace()
+	e, err := New(Config{
+		Space:     space,
+		Ifaces:    []IfaceConfig{{Name: "eth0", IP: selfIP, MaskBits: 24}},
+		PFEnabled: pf,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.SetMAC("eth0", selfM)
+	return e, space
+}
+
+// sendFromTransport asks the engine to transmit a UDP payload.
+func sendFromTransport(t *testing.T, e *Engine, space *shm.Space, id uint64) {
+	t.Helper()
+	pool, err := space.NewPool("t.hdr", 64, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ptr, buf, _ := pool.Alloc()
+	uh := netpkt.UDPHeader{SrcPort: 1000, DstPort: 2000, Length: 8}
+	uh.Marshal(buf)
+	r := msg.Req{ID: id, Op: msg.OpIPSend}
+	r.SetChain([]shm.RichPtr{ptr.Slice(0, 8)})
+	r.Arg[0] = uint64(netpkt.ProtoUDP)
+	r.Arg[1] = uint64(selfIP.U32())
+	r.Arg[2] = uint64(peerIP.U32())
+	e.FromTransport(netpkt.ProtoUDP, r, time.Now())
+}
+
+// arpReplyFor builds the peer's ARP reply in an RX-style buffer.
+func deliverARPReply(t *testing.T, e *Engine, space *shm.Space) {
+	t.Helper()
+	pool, err := space.NewPool("rx.sim", 2048, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ptr, buf, _ := pool.Alloc()
+	eh := netpkt.EthHeader{Dst: selfM, Src: peerM, Type: netpkt.EtherTypeARP}
+	eh.Marshal(buf)
+	ap := netpkt.ARPPacket{
+		Op: netpkt.ARPReply, SenderMAC: peerM, SenderIP: peerIP,
+		TargetMAC: selfM, TargetIP: selfIP,
+	}
+	ap.Marshal(buf[netpkt.EthHeaderLen:])
+	r := msg.Req{Op: msg.OpRxPacket}
+	r.SetChain([]shm.RichPtr{ptr.Slice(0, netpkt.EthHeaderLen+netpkt.ARPLen)})
+	e.FromDriver("eth0", r, time.Now())
+}
+
+func TestSendTriggersARPThenTransmits(t *testing.T) {
+	e, space := newEngine(t, false)
+	sendFromTransport(t, e, space, 77)
+
+	// First output: an ARP request (packet parked awaiting resolution).
+	out := e.DrainToDriver("eth0")
+	if len(out) != 1 || out[0].Op != msg.OpTxSubmit {
+		t.Fatalf("out = %+v", out)
+	}
+	frame, err := netpkt.Resolve(space, out[0].Chain())
+	if err != nil {
+		t.Fatal(err)
+	}
+	eh, _ := netpkt.ParseEth(frame.Bytes())
+	if eh.Type != netpkt.EtherTypeARP || eh.Dst != netpkt.Broadcast {
+		t.Fatalf("expected broadcast ARP, got %+v", eh)
+	}
+	if e.Stats().ARPRequests != 1 {
+		t.Fatal("ARP request not counted")
+	}
+
+	// Peer replies: the parked packet goes out with the learned MAC.
+	deliverARPReply(t, e, space)
+	out = e.DrainToDriver("eth0")
+	var data *msg.Req
+	for i := range out {
+		if out[i].Op == msg.OpTxSubmit {
+			data = &out[i]
+		}
+	}
+	if data == nil {
+		t.Fatalf("no data frame after ARP resolution: %+v", out)
+	}
+	frame, _ = netpkt.Resolve(space, data.Chain())
+	flat := frame.Bytes()
+	eh, _ = netpkt.ParseEth(flat)
+	if eh.Dst != peerM || eh.Type != netpkt.EtherTypeIPv4 {
+		t.Fatalf("frame eth = %+v", eh)
+	}
+	ih, err := netpkt.ParseIPv4(flat[netpkt.EthHeaderLen:], true)
+	if err != nil || ih.Dst != peerIP || ih.Proto != netpkt.ProtoUDP {
+		t.Fatalf("frame ip = %+v, %v", ih, err)
+	}
+
+	// Driver completion flows back to the transport.
+	e.FromDriver("eth0", msg.Req{ID: data.ID, Op: msg.OpTxDone, Status: msg.StatusOK}, time.Now())
+	reps := e.DrainToUDP()
+	if len(reps) != 1 || reps[0].ID != 77 || reps[0].Op != msg.OpIPSendDone {
+		t.Fatalf("transport reply = %+v", reps)
+	}
+}
+
+func TestNoRouteFailsSend(t *testing.T) {
+	e, space := newEngine(t, false)
+	pool, _ := space.NewPool("t.hdr", 64, 8)
+	ptr, _, _ := pool.Alloc()
+	r := msg.Req{ID: 5, Op: msg.OpIPSend}
+	r.SetChain([]shm.RichPtr{ptr.Slice(0, 8)})
+	r.Arg[0] = uint64(netpkt.ProtoUDP)
+	r.Arg[2] = uint64(netpkt.MustIP("99.99.99.99").U32()) // no route, no GW
+	e.FromTransport(netpkt.ProtoUDP, r, time.Now())
+	reps := e.DrainToUDP()
+	if len(reps) != 1 || reps[0].Status == msg.StatusOK {
+		t.Fatalf("reps = %+v", reps)
+	}
+	if e.Stats().DropsNoRoute != 1 {
+		t.Fatal("no-route drop not counted")
+	}
+}
+
+func TestPFJunctionBlockFailsSend(t *testing.T) {
+	e, space := newEngine(t, true)
+	sendFromTransport(t, e, space, 9)
+	queries := e.DrainToPF()
+	if len(queries) != 1 || queries[0].Op != msg.OpPFQuery || queries[0].Arg[0] != 1 {
+		t.Fatalf("queries = %+v", queries)
+	}
+	// Verdict: block.
+	e.FromPF(msg.Req{ID: queries[0].ID, Op: msg.OpPFVerdict, Status: 1}, time.Now())
+	reps := e.DrainToUDP()
+	if len(reps) != 1 || reps[0].Status != msg.StatusErrBlocked {
+		t.Fatalf("reps = %+v", reps)
+	}
+	if e.Stats().Blocked != 1 {
+		t.Fatal("block not counted")
+	}
+	// Nothing reached the driver.
+	if out := e.DrainToDriver("eth0"); len(out) != 0 {
+		t.Fatalf("driver got %+v despite block", out)
+	}
+}
+
+func TestPFCrashResubmitsQueries(t *testing.T) {
+	e, space := newEngine(t, true)
+	sendFromTransport(t, e, space, 11)
+	q1 := e.DrainToPF()
+	if len(q1) != 1 {
+		t.Fatal("no query")
+	}
+	// PF crashes before answering: the query must be resubmitted with a
+	// fresh ID ("without packet loss").
+	e.OnPFRestart(time.Now())
+	q2 := e.DrainToPF()
+	if len(q2) != 1 {
+		t.Fatalf("resubmission = %+v", q2)
+	}
+	if q2[0].ID == q1[0].ID {
+		t.Fatal("resubmitted query reused the old ID")
+	}
+	if e.Stats().PFResubmitted != 1 {
+		t.Fatal("resubmission not counted")
+	}
+	// A late verdict for the dead incarnation's ID is ignored.
+	e.FromPF(msg.Req{ID: q1[0].ID, Op: msg.OpPFVerdict, Status: 0}, time.Now())
+	if out := e.DrainToDriver("eth0"); len(out) != 0 {
+		t.Fatalf("stale verdict produced output: %+v", out)
+	}
+}
+
+func TestICMPEchoAnswered(t *testing.T) {
+	e, space := newEngine(t, false)
+	// Learn the peer's MAC first so the reply goes straight out.
+	deliverARPReply(t, e, space)
+	e.DrainToDriver("eth0")
+
+	// Deliver an echo request.
+	pool, _ := space.NewPool("rx2", 2048, 4)
+	ptr, buf, _ := pool.Alloc()
+	eh := netpkt.EthHeader{Dst: selfM, Src: peerM, Type: netpkt.EtherTypeIPv4}
+	eh.Marshal(buf)
+	payload := []byte("ping!")
+	icmpLen := netpkt.ICMPHeaderLen + len(payload)
+	ih := netpkt.IPv4Header{
+		TotalLen: uint16(netpkt.IPv4HeaderLen + icmpLen), TTL: 64,
+		Proto: netpkt.ProtoICMP, Src: peerIP, Dst: selfIP,
+	}
+	ih.Marshal(buf[netpkt.EthHeaderLen:], true)
+	icmp := buf[netpkt.EthHeaderLen+netpkt.IPv4HeaderLen:]
+	copy(icmp[netpkt.ICMPHeaderLen:], payload)
+	echo := netpkt.ICMPEcho{Type: netpkt.ICMPEchoRequest, ID: 7, Seq: 3}
+	echo.Marshal(icmp, len(payload))
+	r := msg.Req{Op: msg.OpRxPacket}
+	r.SetChain([]shm.RichPtr{ptr.Slice(0, uint32(netpkt.EthHeaderLen+netpkt.IPv4HeaderLen+icmpLen))})
+	e.FromDriver("eth0", r, time.Now())
+
+	var reply *msg.Req
+	for _, out := range e.DrainToDriver("eth0") {
+		if out.Op == msg.OpTxSubmit {
+			out := out
+			reply = &out
+		}
+	}
+	if reply == nil {
+		t.Fatal("no echo reply emitted")
+	}
+	frame, _ := netpkt.Resolve(space, reply.Chain())
+	flat := frame.Bytes()
+	ih2, err := netpkt.ParseIPv4(flat[netpkt.EthHeaderLen:], true)
+	if err != nil || ih2.Proto != netpkt.ProtoICMP || ih2.Dst != peerIP {
+		t.Fatalf("reply ip = %+v, %v", ih2, err)
+	}
+	ic, err := netpkt.ParseICMPEcho(flat[netpkt.EthHeaderLen+ih2.HeaderLen:])
+	if err != nil || ic.Type != netpkt.ICMPEchoReply || ic.ID != 7 || ic.Seq != 3 {
+		t.Fatalf("reply icmp = %+v, %v", ic, err)
+	}
+	if e.Stats().ICMPEchoes != 1 {
+		t.Fatal("echo not counted")
+	}
+}
+
+func TestMalformedPacketsDropped(t *testing.T) {
+	e, space := newEngine(t, false)
+	pool, _ := space.NewPool("rx3", 2048, 8)
+
+	// Truncated IP header.
+	ptr, buf, _ := pool.Alloc()
+	eh := netpkt.EthHeader{Dst: selfM, Src: peerM, Type: netpkt.EtherTypeIPv4}
+	eh.Marshal(buf)
+	r := msg.Req{Op: msg.OpRxPacket}
+	r.SetChain([]shm.RichPtr{ptr.Slice(0, netpkt.EthHeaderLen+6)})
+	e.FromDriver("eth0", r, time.Now())
+
+	// Bad checksum (not offload-verified).
+	ptr2, buf2, _ := pool.Alloc()
+	eh.Marshal(buf2)
+	ih := netpkt.IPv4Header{TotalLen: 20, TTL: 64, Proto: netpkt.ProtoTCP, Src: peerIP, Dst: selfIP}
+	ih.Marshal(buf2[netpkt.EthHeaderLen:], true)
+	buf2[netpkt.EthHeaderLen+8] ^= 0xff
+	r2 := msg.Req{Op: msg.OpRxPacket}
+	r2.SetChain([]shm.RichPtr{ptr2.Slice(0, netpkt.EthHeaderLen+netpkt.IPv4HeaderLen)})
+	e.FromDriver("eth0", r2, time.Now())
+
+	if e.Stats().DropsMalformed != 2 {
+		t.Fatalf("malformed drops = %d, want 2", e.Stats().DropsMalformed)
+	}
+	// Buffers were recycled: resupply messages went to the driver.
+	resupplies := 0
+	for _, out := range e.DrainToDriver("eth0") {
+		if out.Op == msg.OpRxSupply {
+			resupplies++
+		}
+	}
+	if resupplies < 2 {
+		t.Fatalf("resupplies = %d", resupplies)
+	}
+}
+
+func TestSupplyDriverTopsUp(t *testing.T) {
+	e, _ := newEngine(t, false)
+	e.SupplyDriver("eth0")
+	out := e.DrainToDriver("eth0")
+	supplies := 0
+	for _, r := range out {
+		if r.Op == msg.OpRxSupply {
+			supplies++
+		}
+	}
+	if supplies != RxBufsPerDriver {
+		t.Fatalf("supplies = %d, want %d", supplies, RxBufsPerDriver)
+	}
+	// After a driver restart the full complement is resupplied.
+	e.OnDriverRestart("eth0", time.Now())
+	out = e.DrainToDriver("eth0")
+	supplies = 0
+	for _, r := range out {
+		if r.Op == msg.OpRxSupply {
+			supplies++
+		}
+	}
+	if supplies != RxBufsPerDriver {
+		t.Fatalf("post-restart supplies = %d", supplies)
+	}
+}
+
+func TestSaveRestoreConfig(t *testing.T) {
+	e, _ := newEngine(t, false)
+	blob, err := e.SaveState()
+	if err != nil {
+		t.Fatal(err)
+	}
+	e2, _ := newEngine(t, false)
+	if err := e2.RestoreState(blob); err != nil {
+		t.Fatal(err)
+	}
+	if e2.LocalIP() != selfIP {
+		t.Fatalf("restored IP = %v", e2.LocalIP())
+	}
+	if err := e2.RestoreState([]byte{0xff}); err == nil {
+		t.Fatal("garbage blob accepted")
+	}
+}

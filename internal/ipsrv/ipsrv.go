@@ -1,0 +1,217 @@
+// Package ipsrv is the IP server: the channel shell around the ipeng
+// engine. IP is the hub of the stack (paper Figure 3): it is the creator of
+// the channels towards the drivers, the packet filter, TCP and UDP, and it
+// hands every packet to PF three times per traversal of the T junction
+// without being the bottleneck.
+package ipsrv
+
+import (
+	"fmt"
+	"time"
+
+	"newtos/internal/ipeng"
+	"newtos/internal/msg"
+	"newtos/internal/netpkt"
+	"newtos/internal/proc"
+	"newtos/internal/wiring"
+)
+
+// StorageKey is where IP parks its configuration.
+const StorageKey = "ip/config"
+
+// Config assembles an IP server.
+type Config struct {
+	Ifaces    []ipeng.IfaceConfig
+	PFEnabled bool
+	Offload   bool
+	// Drivers lists the driver component names (edge "ip-<name>").
+	Drivers []string
+}
+
+// Server is one IP server incarnation.
+type Server struct {
+	cfg   Config
+	ports *wiring.Ports
+
+	eng     *ipeng.Engine
+	drvPort map[string]*wiring.Port
+	drvBox  map[string]*wiring.Outbox
+	pfPort  *wiring.Port
+	tcpPort *wiring.Port
+	udpPort *wiring.Port
+	pfBox   wiring.Outbox
+	tcpBox  wiring.Outbox
+	udpBox  wiring.Outbox
+}
+
+var _ proc.Service = (*Server)(nil)
+
+// New creates an IP server incarnation.
+func New(cfg Config, ports *wiring.Ports) *Server {
+	return &Server{cfg: cfg, ports: ports}
+}
+
+// Engine exposes the engine for white-box assertions in tests.
+func (s *Server) Engine() *ipeng.Engine { return s.eng }
+
+// Init builds the engine (fresh pools), restores configuration from the
+// storage server when restarting, and exports all of IP's channels.
+func (s *Server) Init(rt *proc.Runtime, restart bool) error {
+	hub := s.ports.Hub()
+	ecfg := ipeng.Config{
+		Space:     hub.Space,
+		Ifaces:    s.cfg.Ifaces,
+		PFEnabled: s.cfg.PFEnabled,
+		Offload:   s.cfg.Offload,
+		SaveState: func(blob []byte) { hub.Store.Put(StorageKey, blob) },
+	}
+	eng, err := ipeng.New(ecfg)
+	if err != nil {
+		return fmt.Errorf("ipsrv: %w", err)
+	}
+	s.eng = eng
+	if restart {
+		if blob, ok := hub.Store.Get(StorageKey); ok {
+			if err := s.eng.RestoreState(blob); err != nil {
+				return fmt.Errorf("ipsrv: restore: %w", err)
+			}
+		}
+	}
+	s.eng.Persist()
+
+	s.ports.Begin(rt.Bell)
+	s.drvPort = make(map[string]*wiring.Port, len(s.cfg.Drivers))
+	s.drvBox = make(map[string]*wiring.Outbox, len(s.cfg.Drivers))
+	for _, d := range s.cfg.Drivers {
+		s.drvPort[d] = s.ports.Export("ip-"+d, d)
+		s.drvBox[d] = &wiring.Outbox{}
+	}
+	if s.cfg.PFEnabled {
+		s.pfPort = s.ports.Export("ip-pf", "pf")
+	}
+	s.tcpPort = s.ports.Export("ip-tcp", "tcp")
+	s.udpPort = s.ports.Export("ip-udp", "udp")
+
+	// Inject faults that corrupt routing state (fault-injection hook).
+	rt.Fault.SetCorruptHook(func() {
+		_ = s.eng.RestoreState([]byte{0xff}) // guaranteed decode error: engine keeps old config
+	})
+	return nil
+}
+
+// Poll moves one batch of messages through the engine.
+func (s *Server) Poll(now time.Time) bool {
+	worked := false
+
+	// Driver edges.
+	for name, port := range s.drvPort {
+		dup, changed := port.Take()
+		if changed && dup.Valid() {
+			s.drvBox[name].Drop()
+			s.eng.OnDriverRestart(name, now)
+			worked = true
+		}
+		if !dup.Valid() {
+			continue
+		}
+		for i := 0; i < 256; i++ {
+			r, ok := dup.In.Recv()
+			if !ok {
+				break
+			}
+			s.eng.FromDriver(name, r, now)
+			worked = true
+		}
+	}
+
+	// PF edge.
+	if s.pfPort != nil {
+		dup, changed := s.pfPort.Take()
+		if changed && dup.Valid() {
+			s.pfBox.Drop()
+			s.eng.OnPFRestart(now)
+			worked = true
+		}
+		if dup.Valid() {
+			for i := 0; i < 256; i++ {
+				r, ok := dup.In.Recv()
+				if !ok {
+					break
+				}
+				s.eng.FromPF(r, now)
+				worked = true
+			}
+		}
+	}
+
+	// Transport edges.
+	if s.pollTransport(s.tcpPort, &s.tcpBox, netpkt.ProtoTCP, now) {
+		worked = true
+	}
+	if s.pollTransport(s.udpPort, &s.udpBox, netpkt.ProtoUDP, now) {
+		worked = true
+	}
+
+	// Flush engine output.
+	for name, port := range s.drvPort {
+		dup := port.Cur()
+		if !dup.Valid() {
+			continue
+		}
+		s.drvBox[name].Push(s.eng.DrainToDriver(name)...)
+		if s.drvBox[name].Flush(dup.Out) {
+			worked = true
+		}
+	}
+	if s.pfPort != nil {
+		if dup := s.pfPort.Cur(); dup.Valid() {
+			s.pfBox.Push(s.eng.DrainToPF()...)
+			if s.pfBox.Flush(dup.Out) {
+				worked = true
+			}
+		}
+	}
+	if dup := s.tcpPort.Cur(); dup.Valid() {
+		s.tcpBox.Push(s.eng.DrainToTCP()...)
+		if s.tcpBox.Flush(dup.Out) {
+			worked = true
+		}
+	}
+	if dup := s.udpPort.Cur(); dup.Valid() {
+		s.udpBox.Push(s.eng.DrainToUDP()...)
+		if s.udpBox.Flush(dup.Out) {
+			worked = true
+		}
+	}
+	return worked
+}
+
+func (s *Server) pollTransport(port *wiring.Port, box *wiring.Outbox, proto uint8, now time.Time) bool {
+	worked := false
+	dup, changed := port.Take()
+	if changed && dup.Valid() {
+		box.Drop()
+		s.eng.OnTransportRestart(proto, now)
+		worked = true
+	}
+	if !dup.Valid() {
+		return worked
+	}
+	for i := 0; i < 256; i++ {
+		r, ok := dup.In.Recv()
+		if !ok {
+			break
+		}
+		s.eng.FromTransport(proto, r, now)
+		worked = true
+	}
+	return worked
+}
+
+// Deadline: IP's only timers are ARP retries, absorbed by MaxSleep.
+func (s *Server) Deadline(now time.Time) time.Time { return time.Time{} }
+
+// Stop is a no-op; pools die with the incarnation.
+func (s *Server) Stop() {}
+
+var _ = msg.Req{} // keep msg import for documentation references

@@ -1,0 +1,158 @@
+package monolith
+
+import (
+	"bytes"
+	"testing"
+	"time"
+
+	"newtos/internal/ipeng"
+	"newtos/internal/kipc"
+	"newtos/internal/netpkt"
+	"newtos/internal/nic"
+	"newtos/internal/pfeng"
+	"newtos/internal/shm"
+)
+
+// pairUp builds two monolithic stacks over one wire.
+func pairUp(t *testing.T, cost CostModel, pf bool) (*Stack, *Stack, func()) {
+	t.Helper()
+	spaceA, spaceB := shm.NewSpace(), shm.NewSpace()
+	a := nic.NewDevice(nic.DeviceConfig{Name: "eth0", MAC: netpkt.MAC{1}, CsumOffload: true, TSOOffload: true}, spaceA)
+	b := nic.NewDevice(nic.DeviceConfig{Name: "eth0", MAC: netpkt.MAC{2}, CsumOffload: true, TSOOffload: true}, spaceB)
+	w := nic.NewWire(nic.WireConfig{})
+	w.AttachA(a)
+	w.AttachB(b)
+	mk := func(space *shm.Space, devs map[string]*nic.Device, ip string) *Stack {
+		s, err := New(Config{
+			Ifaces:  []ipeng.IfaceConfig{{Name: "eth0", IP: netpkt.MustIP(ip), MaskBits: 24}},
+			Offload: true, TSO: true, PF: pf, Cost: cost, Kernel: kipc.DefaultConfig(),
+		}, space, devs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return s
+	}
+	sa := mk(spaceA, map[string]*nic.Device{"eth0": a}, "10.0.0.1")
+	sb := mk(spaceB, map[string]*nic.Device{"eth0": b}, "10.0.0.2")
+	return sa, sb, func() {
+		sa.Close()
+		sb.Close()
+		w.Close()
+		a.Close()
+		b.Close()
+	}
+}
+
+func TestMonolithTCPEcho(t *testing.T) {
+	sa, sb, done := pairUp(t, CostModelNone, true)
+	defer done()
+
+	ready := make(chan *Conn, 1)
+	go func() {
+		l, err := sb.Socket(netpkt.ProtoTCP)
+		if err != nil {
+			ready <- nil
+			return
+		}
+		if l.Bind(80) != nil || l.Listen(2) != nil {
+			ready <- nil
+			return
+		}
+		ready <- l
+	}()
+	l := <-ready
+	if l == nil {
+		t.Fatal("listener setup failed")
+	}
+	acc := make(chan *Conn, 1)
+	go func() {
+		c, _ := l.Accept()
+		acc <- c
+	}()
+
+	c, err := sa.Socket(netpkt.ProtoTCP)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Connect(netpkt.MustIP("10.0.0.2"), 80); err != nil {
+		t.Fatal(err)
+	}
+	srv := <-acc
+	if srv == nil {
+		t.Fatal("accept failed")
+	}
+	payload := bytes.Repeat([]byte("monolith"), 4000) // 32 KB
+	go func() {
+		if _, err := c.Send(payload); err != nil {
+			t.Errorf("send: %v", err)
+		}
+	}()
+	var got []byte
+	buf := make([]byte, 16384)
+	deadline := time.Now().Add(10 * time.Second)
+	for len(got) < len(payload) && time.Now().Before(deadline) {
+		n, err := srv.Recv(buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got = append(got, buf[:n]...)
+	}
+	if !bytes.Equal(got, payload) {
+		t.Fatalf("payload corrupted (%d bytes)", len(got))
+	}
+}
+
+func TestMonolithUDP(t *testing.T) {
+	sa, sb, done := pairUp(t, CostModelSyscall, false)
+	defer done()
+	srv, err := sb.Socket(netpkt.ProtoUDP)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.Bind(53); err != nil {
+		t.Fatal(err)
+	}
+	go func() {
+		buf := make([]byte, 2048)
+		n, err := srv.Recv(buf)
+		if err != nil || n == 0 {
+			return
+		}
+		// Echo back to the known client address/port.
+		_, _ = srv.SendTo(buf[:n], netpkt.MustIP("10.0.0.1"), 5353)
+	}()
+	cli, err := sa.Socket(netpkt.ProtoUDP)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cli.Bind(5353); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cli.SendTo([]byte("query"), netpkt.MustIP("10.0.0.2"), 53); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 2048)
+	n, err := cli.Recv(buf)
+	if err != nil || string(buf[:n]) != "query" {
+		t.Fatalf("reply = %q, %v", buf[:n], err)
+	}
+}
+
+func TestMonolithPFBlocks(t *testing.T) {
+	sa, sb, done := pairUp(t, CostModelNone, true)
+	defer done()
+	sb.AddRule(pfeng.Rule{Action: pfeng.Block, Dir: pfeng.In, Proto: netpkt.ProtoTCP, DstPort: 81, Quick: true})
+	l, err := sb.Socket(netpkt.ProtoTCP)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = l.Bind(81)
+	_ = l.Listen(2)
+	c, err := sa.Socket(netpkt.ProtoTCP)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Connect(netpkt.MustIP("10.0.0.2"), 81); err == nil {
+		t.Fatal("connect through a block rule succeeded")
+	}
+}

@@ -1,0 +1,75 @@
+package msg
+
+import (
+	"encoding/binary"
+	"errors"
+
+	"newtos/internal/shm"
+)
+
+// Wire size of one marshalled request: fixed header + MaxPtrs rich
+// pointers. Used when a request crosses the kernel (application <->
+// SYSCALL server); note the payload itself never crosses — only the
+// 16-byte rich pointers do.
+const marshalledSize = 8 + 2 + 1 + 1 + 4 + 4 + 4*8 + MaxPtrs*16
+
+// ErrShortBuffer reports a truncated marshalled request.
+var ErrShortBuffer = errors.New("msg: short buffer")
+
+// MarshalBinary encodes the request into a fresh byte slice.
+func (r *Req) MarshalBinary() []byte {
+	b := make([]byte, marshalledSize)
+	le := binary.LittleEndian
+	le.PutUint64(b[0:], r.ID)
+	le.PutUint16(b[8:], uint16(r.Op))
+	b[10] = r.NPtr
+	// b[11] reserved
+	le.PutUint32(b[12:], uint32(r.Status))
+	le.PutUint32(b[16:], r.Flow)
+	off := 20
+	for i := 0; i < 4; i++ {
+		le.PutUint64(b[off:], r.Arg[i])
+		off += 8
+	}
+	for i := 0; i < MaxPtrs; i++ {
+		p := r.Ptrs[i]
+		le.PutUint32(b[off:], uint32(p.Pool))
+		le.PutUint32(b[off+4:], p.Gen)
+		le.PutUint32(b[off+8:], p.Off)
+		le.PutUint32(b[off+12:], p.Len)
+		off += 16
+	}
+	return b
+}
+
+// UnmarshalReq decodes a request from MarshalBinary output.
+func UnmarshalReq(b []byte) (Req, error) {
+	if len(b) < marshalledSize {
+		return Req{}, ErrShortBuffer
+	}
+	le := binary.LittleEndian
+	var r Req
+	r.ID = le.Uint64(b[0:])
+	r.Op = Op(le.Uint16(b[8:]))
+	r.NPtr = b[10]
+	if r.NPtr > MaxPtrs {
+		return Req{}, errors.New("msg: pointer count out of range")
+	}
+	r.Status = int32(le.Uint32(b[12:]))
+	r.Flow = le.Uint32(b[16:])
+	off := 20
+	for i := 0; i < 4; i++ {
+		r.Arg[i] = le.Uint64(b[off:])
+		off += 8
+	}
+	for i := 0; i < MaxPtrs; i++ {
+		r.Ptrs[i] = shm.RichPtr{
+			Pool: shm.PoolID(le.Uint32(b[off:])),
+			Gen:  le.Uint32(b[off+4:]),
+			Off:  le.Uint32(b[off+8:]),
+			Len:  le.Uint32(b[off+12:]),
+		}
+		off += 16
+	}
+	return r, nil
+}

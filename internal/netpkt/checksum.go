@@ -1,0 +1,55 @@
+package netpkt
+
+import "encoding/binary"
+
+// Sum16 adds the 16-bit one's-complement sum of b to an accumulated partial
+// sum. Carries are deferred; fold with Fold16 when done. Odd-length input is
+// padded with a zero byte, per RFC 1071.
+func Sum16(b []byte, acc uint32) uint32 {
+	n := len(b)
+	for i := 0; i+1 < n; i += 2 {
+		acc += uint32(binary.BigEndian.Uint16(b[i:]))
+	}
+	if n%2 == 1 {
+		acc += uint32(b[n-1]) << 8
+	}
+	return acc
+}
+
+// Fold16 reduces an accumulated sum to the final one's-complement checksum.
+func Fold16(acc uint32) uint16 {
+	for acc>>16 != 0 {
+		acc = (acc & 0xffff) + acc>>16
+	}
+	return ^uint16(acc)
+}
+
+// Checksum computes the Internet checksum of b.
+func Checksum(b []byte) uint16 {
+	return Fold16(Sum16(b, 0))
+}
+
+// PseudoSum accumulates the IPv4 pseudo-header (src, dst, zero+proto,
+// length) used by TCP and UDP checksums. The partial (un-folded) form is
+// what checksum offloading hands to the NIC: software leaves the pseudo-sum
+// in the checksum field and the device finishes over the payload.
+func PseudoSum(src, dst IPAddr, proto uint8, length uint16) uint32 {
+	var ph [12]byte
+	copy(ph[0:4], src[:])
+	copy(ph[4:8], dst[:])
+	ph[9] = proto
+	binary.BigEndian.PutUint16(ph[10:], length)
+	return Sum16(ph[:], 0)
+}
+
+// TransportChecksum computes the full TCP/UDP checksum over the pseudo
+// header and the given segment bytes.
+func TransportChecksum(src, dst IPAddr, proto uint8, segment []byte) uint16 {
+	return Fold16(Sum16(segment, PseudoSum(src, dst, proto, uint16(len(segment)))))
+}
+
+// VerifyTransportChecksum reports whether a received TCP/UDP segment's
+// embedded checksum is valid.
+func VerifyTransportChecksum(src, dst IPAddr, proto uint8, segment []byte) bool {
+	return Fold16(Sum16(segment, PseudoSum(src, dst, proto, uint16(len(segment))))) == 0
+}

@@ -1,0 +1,94 @@
+package netpkt
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// EtherType values carried in the Ethernet header.
+const (
+	EtherTypeIPv4 uint16 = 0x0800
+	EtherTypeARP  uint16 = 0x0806
+)
+
+// EthHeaderLen is the length of an Ethernet II header.
+const EthHeaderLen = 14
+
+// ErrTruncated means a buffer is too short for the header being parsed.
+var ErrTruncated = errors.New("netpkt: truncated packet")
+
+// EthHeader is an Ethernet II header.
+type EthHeader struct {
+	Dst  MAC
+	Src  MAC
+	Type uint16
+}
+
+// Marshal writes the header into b, which must be >= EthHeaderLen.
+func (h *EthHeader) Marshal(b []byte) {
+	copy(b[0:6], h.Dst[:])
+	copy(b[6:12], h.Src[:])
+	binary.BigEndian.PutUint16(b[12:14], h.Type)
+}
+
+// ParseEth reads an Ethernet II header from b.
+func ParseEth(b []byte) (EthHeader, error) {
+	if len(b) < EthHeaderLen {
+		return EthHeader{}, fmt.Errorf("%w: eth header needs %d bytes, have %d", ErrTruncated, EthHeaderLen, len(b))
+	}
+	var h EthHeader
+	copy(h.Dst[:], b[0:6])
+	copy(h.Src[:], b[6:12])
+	h.Type = binary.BigEndian.Uint16(b[12:14])
+	return h, nil
+}
+
+// ARP operation codes.
+const (
+	ARPRequest uint16 = 1
+	ARPReply   uint16 = 2
+)
+
+// ARPLen is the length of an IPv4-over-Ethernet ARP packet.
+const ARPLen = 28
+
+// ARPPacket is an IPv4-over-Ethernet ARP payload.
+type ARPPacket struct {
+	Op        uint16
+	SenderMAC MAC
+	SenderIP  IPAddr
+	TargetMAC MAC
+	TargetIP  IPAddr
+}
+
+// Marshal writes the ARP packet into b, which must be >= ARPLen.
+func (a *ARPPacket) Marshal(b []byte) {
+	binary.BigEndian.PutUint16(b[0:2], 1)      // hardware: Ethernet
+	binary.BigEndian.PutUint16(b[2:4], 0x0800) // protocol: IPv4
+	b[4] = 6                                   // hw addr len
+	b[5] = 4                                   // proto addr len
+	binary.BigEndian.PutUint16(b[6:8], a.Op)
+	copy(b[8:14], a.SenderMAC[:])
+	copy(b[14:18], a.SenderIP[:])
+	copy(b[18:24], a.TargetMAC[:])
+	copy(b[24:28], a.TargetIP[:])
+}
+
+// ParseARP reads an ARP packet from b.
+func ParseARP(b []byte) (ARPPacket, error) {
+	if len(b) < ARPLen {
+		return ARPPacket{}, fmt.Errorf("%w: arp needs %d bytes, have %d", ErrTruncated, ARPLen, len(b))
+	}
+	if binary.BigEndian.Uint16(b[0:2]) != 1 || binary.BigEndian.Uint16(b[2:4]) != 0x0800 ||
+		b[4] != 6 || b[5] != 4 {
+		return ARPPacket{}, errors.New("netpkt: unsupported arp hardware/protocol")
+	}
+	var a ARPPacket
+	a.Op = binary.BigEndian.Uint16(b[6:8])
+	copy(a.SenderMAC[:], b[8:14])
+	copy(a.SenderIP[:], b[14:18])
+	copy(a.TargetMAC[:], b[18:24])
+	copy(a.TargetIP[:], b[24:28])
+	return a, nil
+}

@@ -1,0 +1,146 @@
+package netpkt
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// IPv4HeaderLen is the length of an option-less IPv4 header, the only form
+// the stack emits (lwIP likewise does not generate options).
+const IPv4HeaderLen = 20
+
+// DefaultTTL is the initial time-to-live for generated packets.
+const DefaultTTL = 64
+
+// Exported parse errors, matchable with errors.Is.
+var (
+	ErrBadVersion  = errors.New("netpkt: not IPv4")
+	ErrBadChecksum = errors.New("netpkt: bad checksum")
+	ErrBadLength   = errors.New("netpkt: inconsistent length fields")
+)
+
+// IPv4Header is an IPv4 header. Options are accepted on parse (skipped via
+// IHL) but never generated.
+type IPv4Header struct {
+	TOS      uint8
+	TotalLen uint16
+	ID       uint16
+	Flags    uint8 // upper 3 bits of the fragment word
+	FragOff  uint16
+	TTL      uint8
+	Proto    uint8
+	Checksum uint16
+	Src      IPAddr
+	Dst      IPAddr
+	// HeaderLen is the parsed header length in bytes (>= 20 with options).
+	HeaderLen int
+}
+
+// IPv4 flag bits.
+const (
+	IPFlagDF = 0x2 // don't fragment
+	IPFlagMF = 0x1 // more fragments
+)
+
+// Marshal writes an option-less header into b (>= IPv4HeaderLen). If
+// fillChecksum is false the checksum field is left zero for the device to
+// fill (checksum offload).
+func (h *IPv4Header) Marshal(b []byte, fillChecksum bool) {
+	b[0] = 0x45 // version 4, IHL 5
+	b[1] = h.TOS
+	binary.BigEndian.PutUint16(b[2:4], h.TotalLen)
+	binary.BigEndian.PutUint16(b[4:6], h.ID)
+	binary.BigEndian.PutUint16(b[6:8], uint16(h.Flags)<<13|h.FragOff&0x1fff)
+	b[8] = h.TTL
+	b[9] = h.Proto
+	b[10], b[11] = 0, 0
+	copy(b[12:16], h.Src[:])
+	copy(b[16:20], h.Dst[:])
+	if fillChecksum {
+		binary.BigEndian.PutUint16(b[10:12], Checksum(b[:IPv4HeaderLen]))
+	}
+}
+
+// ParseIPv4 reads and validates an IPv4 header from b. When verifyChecksum
+// is false (the device already verified it — RX checksum offload), the
+// checksum field is not recomputed.
+func ParseIPv4(b []byte, verifyChecksum bool) (IPv4Header, error) {
+	if len(b) < IPv4HeaderLen {
+		return IPv4Header{}, fmt.Errorf("%w: ipv4 header needs %d bytes, have %d", ErrTruncated, IPv4HeaderLen, len(b))
+	}
+	if b[0]>>4 != 4 {
+		return IPv4Header{}, fmt.Errorf("%w: version %d", ErrBadVersion, b[0]>>4)
+	}
+	ihl := int(b[0]&0x0f) * 4
+	if ihl < IPv4HeaderLen || ihl > len(b) {
+		return IPv4Header{}, fmt.Errorf("%w: ihl %d", ErrBadLength, ihl)
+	}
+	var h IPv4Header
+	h.HeaderLen = ihl
+	h.TOS = b[1]
+	h.TotalLen = binary.BigEndian.Uint16(b[2:4])
+	if int(h.TotalLen) < ihl {
+		return IPv4Header{}, fmt.Errorf("%w: total %d < ihl %d", ErrBadLength, h.TotalLen, ihl)
+	}
+	h.ID = binary.BigEndian.Uint16(b[4:6])
+	frag := binary.BigEndian.Uint16(b[6:8])
+	h.Flags = uint8(frag >> 13)
+	h.FragOff = frag & 0x1fff
+	h.TTL = b[8]
+	h.Proto = b[9]
+	h.Checksum = binary.BigEndian.Uint16(b[10:12])
+	copy(h.Src[:], b[12:16])
+	copy(h.Dst[:], b[16:20])
+	if verifyChecksum && Checksum(b[:ihl]) != 0 {
+		return IPv4Header{}, ErrBadChecksum
+	}
+	return h, nil
+}
+
+// ICMP types used by the stack.
+const (
+	ICMPEchoReply   uint8 = 0
+	ICMPEchoRequest uint8 = 8
+	ICMPDstUnreach  uint8 = 3
+)
+
+// ICMPHeaderLen is the echo header length (type, code, csum, id, seq).
+const ICMPHeaderLen = 8
+
+// ICMPEcho is an ICMP echo request/reply header.
+type ICMPEcho struct {
+	Type uint8
+	Code uint8
+	ID   uint16
+	Seq  uint16
+}
+
+// Marshal writes the echo header plus payload checksum into b, which must
+// hold ICMPHeaderLen + len(payload) bytes (payload must already be at
+// b[8:]).
+func (ic *ICMPEcho) Marshal(b []byte, payloadLen int) {
+	b[0] = ic.Type
+	b[1] = ic.Code
+	b[2], b[3] = 0, 0
+	binary.BigEndian.PutUint16(b[4:6], ic.ID)
+	binary.BigEndian.PutUint16(b[6:8], ic.Seq)
+	binary.BigEndian.PutUint16(b[2:4], Checksum(b[:ICMPHeaderLen+payloadLen]))
+}
+
+// ParseICMPEcho reads an ICMP echo header from b and verifies the checksum
+// over the whole ICMP message.
+func ParseICMPEcho(b []byte) (ICMPEcho, error) {
+	if len(b) < ICMPHeaderLen {
+		return ICMPEcho{}, fmt.Errorf("%w: icmp needs %d bytes, have %d", ErrTruncated, ICMPHeaderLen, len(b))
+	}
+	if Checksum(b) != 0 {
+		return ICMPEcho{}, ErrBadChecksum
+	}
+	return ICMPEcho{
+		Type: b[0],
+		Code: b[1],
+		ID:   binary.BigEndian.Uint16(b[4:6]),
+		Seq:  binary.BigEndian.Uint16(b[6:8]),
+	}, nil
+}

@@ -1,0 +1,147 @@
+package netpkt
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// UDPHeaderLen is the UDP header length.
+const UDPHeaderLen = 8
+
+// UDPHeader is a UDP header.
+type UDPHeader struct {
+	SrcPort  uint16
+	DstPort  uint16
+	Length   uint16 // header + payload
+	Checksum uint16
+}
+
+// Marshal writes the header into b (>= UDPHeaderLen), leaving the checksum
+// field as given (zero when offloaded or unused).
+func (h *UDPHeader) Marshal(b []byte) {
+	binary.BigEndian.PutUint16(b[0:2], h.SrcPort)
+	binary.BigEndian.PutUint16(b[2:4], h.DstPort)
+	binary.BigEndian.PutUint16(b[4:6], h.Length)
+	binary.BigEndian.PutUint16(b[6:8], h.Checksum)
+}
+
+// ParseUDP reads a UDP header from b.
+func ParseUDP(b []byte) (UDPHeader, error) {
+	if len(b) < UDPHeaderLen {
+		return UDPHeader{}, fmt.Errorf("%w: udp needs %d bytes, have %d", ErrTruncated, UDPHeaderLen, len(b))
+	}
+	return UDPHeader{
+		SrcPort:  binary.BigEndian.Uint16(b[0:2]),
+		DstPort:  binary.BigEndian.Uint16(b[2:4]),
+		Length:   binary.BigEndian.Uint16(b[4:6]),
+		Checksum: binary.BigEndian.Uint16(b[6:8]),
+	}, nil
+}
+
+// TCP flag bits.
+const (
+	TCPFin uint8 = 1 << 0
+	TCPSyn uint8 = 1 << 1
+	TCPRst uint8 = 1 << 2
+	TCPPsh uint8 = 1 << 3
+	TCPAck uint8 = 1 << 4
+)
+
+// TCPHeaderLen is the option-less TCP header length.
+const TCPHeaderLen = 20
+
+// TCPHeader is a TCP header. MSS is the only option generated (lwIP-like);
+// unknown options are skipped on parse.
+type TCPHeader struct {
+	SrcPort  uint16
+	DstPort  uint16
+	Seq      uint32
+	Ack      uint32
+	Flags    uint8
+	Window   uint16
+	Checksum uint16
+	// MSS is the maximum-segment-size option; zero means absent.
+	MSS uint16
+	// DataOff is the parsed header length in bytes.
+	DataOff int
+}
+
+// MarshalLen returns the marshalled header length for this header.
+func (h *TCPHeader) MarshalLen() int {
+	if h.MSS != 0 {
+		return TCPHeaderLen + 4
+	}
+	return TCPHeaderLen
+}
+
+// Marshal writes the header into b (>= MarshalLen()), leaving Checksum as
+// given (the pseudo-sum when offloaded).
+func (h *TCPHeader) Marshal(b []byte) {
+	n := h.MarshalLen()
+	binary.BigEndian.PutUint16(b[0:2], h.SrcPort)
+	binary.BigEndian.PutUint16(b[2:4], h.DstPort)
+	binary.BigEndian.PutUint32(b[4:8], h.Seq)
+	binary.BigEndian.PutUint32(b[8:12], h.Ack)
+	b[12] = uint8(n/4) << 4
+	b[13] = h.Flags
+	binary.BigEndian.PutUint16(b[14:16], h.Window)
+	binary.BigEndian.PutUint16(b[16:18], h.Checksum)
+	b[18], b[19] = 0, 0 // urgent pointer unused
+	if h.MSS != 0 {
+		b[20] = 2 // kind: MSS
+		b[21] = 4 // length
+		binary.BigEndian.PutUint16(b[22:24], h.MSS)
+	}
+}
+
+// ParseTCP reads a TCP header (and its MSS option if present) from b.
+func ParseTCP(b []byte) (TCPHeader, error) {
+	if len(b) < TCPHeaderLen {
+		return TCPHeader{}, fmt.Errorf("%w: tcp needs %d bytes, have %d", ErrTruncated, TCPHeaderLen, len(b))
+	}
+	off := int(b[12]>>4) * 4
+	if off < TCPHeaderLen || off > len(b) {
+		return TCPHeader{}, fmt.Errorf("%w: tcp data offset %d", ErrBadLength, off)
+	}
+	h := TCPHeader{
+		SrcPort:  binary.BigEndian.Uint16(b[0:2]),
+		DstPort:  binary.BigEndian.Uint16(b[2:4]),
+		Seq:      binary.BigEndian.Uint32(b[4:8]),
+		Ack:      binary.BigEndian.Uint32(b[8:12]),
+		Flags:    b[13] & 0x1f,
+		Window:   binary.BigEndian.Uint16(b[14:16]),
+		Checksum: binary.BigEndian.Uint16(b[16:18]),
+		DataOff:  off,
+	}
+	// Walk options for MSS.
+	opts := b[TCPHeaderLen:off]
+	for len(opts) > 0 {
+		switch opts[0] {
+		case 0: // end of options
+			opts = nil
+		case 1: // NOP
+			opts = opts[1:]
+		default:
+			if len(opts) < 2 || int(opts[1]) < 2 || int(opts[1]) > len(opts) {
+				return TCPHeader{}, fmt.Errorf("%w: malformed tcp option", ErrBadLength)
+			}
+			if opts[0] == 2 && opts[1] == 4 {
+				h.MSS = binary.BigEndian.Uint16(opts[2:4])
+			}
+			opts = opts[opts[1]:]
+		}
+	}
+	return h, nil
+}
+
+// SeqLT reports whether sequence number a is before b, in modular
+// 32-bit sequence space (RFC 793 comparison).
+func SeqLT(a, b uint32) bool { return int32(a-b) < 0 }
+
+// SeqLEQ reports a <= b in sequence space.
+func SeqLEQ(a, b uint32) bool { return int32(a-b) <= 0 }
+
+// SeqBetween reports low <= x < high in sequence space.
+func SeqBetween(x, low, high uint32) bool {
+	return SeqLEQ(low, x) && SeqLT(x, high)
+}

@@ -1,0 +1,375 @@
+package nic
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"newtos/internal/netpkt"
+	"newtos/internal/shm"
+)
+
+// Ring geometry, e1000-like.
+const (
+	TxRingSize = 256
+	RxRingSize = 256
+)
+
+// Exported errors.
+var (
+	ErrRingFull = errors.New("nic: descriptor ring full")
+	ErrLinkDown = errors.New("nic: link down")
+)
+
+// Offload flags in TX descriptors.
+const (
+	TxCsumIP = 1 << 0 // fill IPv4 header checksum
+	TxCsumL4 = 1 << 1 // fill TCP/UDP checksum
+	TxTSO    = 1 << 2 // split oversized TCP segment at SegSize
+)
+
+// TxDesc is one transmit descriptor: a gather list of rich pointers plus
+// offload instructions. Cookie is returned in the completion so the driver
+// can tell IP which request finished.
+type TxDesc struct {
+	Ptrs    []shm.RichPtr
+	Flags   uint32
+	SegSize uint16 // TSO MSS; required when TxTSO is set
+	Cookie  uint64
+}
+
+// TxCompletion reports a transmitted (or dropped) descriptor.
+type TxCompletion struct {
+	Cookie uint64
+	OK     bool
+}
+
+// RxCompletion reports a filled receive buffer.
+type RxCompletion struct {
+	Ptr    shm.RichPtr
+	Len    int
+	CsumOK bool
+}
+
+// DeviceConfig describes one simulated adapter.
+type DeviceConfig struct {
+	Name string
+	MAC  netpkt.MAC
+	// LinkUpDelay is how long the link trains after Reset — the paper's
+	// Figure 4 gap ("it takes time for the link to come up again").
+	LinkUpDelay time.Duration
+	// Offloads the hardware supports; the driver negotiates a subset.
+	CsumOffload bool
+	TSOOffload  bool
+}
+
+// Stats are cumulative device counters.
+type Stats struct {
+	TxFrames, TxBytes    uint64
+	RxFrames, RxBytes    uint64
+	RxDropsNoBuf         uint64
+	RxDropsLinkDown      uint64
+	TxDropsLinkDown      uint64
+	Resets               uint64
+	TSOFramesSynthesized uint64
+}
+
+// Device simulates one network adapter. The driver side (PostTx, PostRx,
+// CollectTx, CollectRx, Reset) is what the NetDrv server calls; the wire
+// side is internal. IRQ delivery happens through the callback installed
+// with SetIRQ — in the full system that is kernel.Interrupt(driver).
+type Device struct {
+	cfg   DeviceConfig
+	space *shm.Space
+
+	mu       sync.Mutex
+	tx       *wireDir // attached by Wire
+	txQ      []TxDesc
+	txDone   []TxCompletion
+	rxFree   []shm.RichPtr
+	rxDone   []RxCompletion
+	linkUpAt time.Time
+	gen      uint32 // bumped on Reset; stale completions are discarded
+
+	txKick chan struct{}
+	stop   chan struct{}
+	wg     sync.WaitGroup
+
+	irq   atomic.Pointer[func()]
+	stats struct {
+		txFrames, txBytes, rxFrames, rxBytes         atomic.Uint64
+		rxNoBuf, rxLinkDown, txLinkDown, resets, tso atomic.Uint64
+	}
+}
+
+// NewDevice creates a device that resolves DMA pointers in space.
+func NewDevice(cfg DeviceConfig, space *shm.Space) *Device {
+	d := &Device{
+		cfg:    cfg,
+		space:  space,
+		txKick: make(chan struct{}, 1),
+		stop:   make(chan struct{}),
+	}
+	d.wg.Add(1)
+	go d.txEngine()
+	return d
+}
+
+// Name returns the configured device name.
+func (d *Device) Name() string { return d.cfg.Name }
+
+// MAC returns the hardware address.
+func (d *Device) MAC() netpkt.MAC { return d.cfg.MAC }
+
+// Caps reports hardware offload capabilities.
+func (d *Device) Caps() (csum, tso bool) { return d.cfg.CsumOffload, d.cfg.TSOOffload }
+
+// SetIRQ installs the interrupt callback (must be non-blocking).
+func (d *Device) SetIRQ(fn func()) { d.irq.Store(&fn) }
+
+func (d *Device) raiseIRQ() {
+	if fn := d.irq.Load(); fn != nil {
+		(*fn)()
+	}
+}
+
+func (d *Device) attachTx(dir *wireDir) {
+	d.mu.Lock()
+	d.tx = dir
+	d.mu.Unlock()
+}
+
+// LinkUp reports whether the link has trained.
+func (d *Device) LinkUp() bool {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return time.Now().After(d.linkUpAt)
+}
+
+// PostTx places a descriptor on the TX ring ("filling descriptors and
+// updating tail pointers", the paper's description of driver work).
+func (d *Device) PostTx(desc TxDesc) error {
+	d.mu.Lock()
+	if len(d.txQ) >= TxRingSize {
+		d.mu.Unlock()
+		return ErrRingFull
+	}
+	d.txQ = append(d.txQ, desc)
+	d.mu.Unlock()
+	select {
+	case d.txKick <- struct{}{}:
+	default:
+	}
+	return nil
+}
+
+// TxSpace returns free TX descriptors.
+func (d *Device) TxSpace() int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return TxRingSize - len(d.txQ)
+}
+
+// CollectTx drains completed TX descriptors.
+func (d *Device) CollectTx() []TxCompletion {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	out := d.txDone
+	d.txDone = nil
+	return out
+}
+
+// PostRx supplies an empty buffer the device may DMA a frame into.
+func (d *Device) PostRx(buf shm.RichPtr) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if len(d.rxFree) >= RxRingSize {
+		return ErrRingFull
+	}
+	d.rxFree = append(d.rxFree, buf)
+	return nil
+}
+
+// CollectRx drains received frames.
+func (d *Device) CollectRx() []RxCompletion {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	out := d.rxDone
+	d.rxDone = nil
+	return out
+}
+
+// Reset models a full device reset: every posted descriptor — including the
+// device's shadow copies — is dropped, and the link retrains for
+// LinkUpDelay. The paper: "we must reset the network cards since the Intel
+// gigabit adapters do not have a knob to invalidate its shadow copies of
+// the RX and TX descriptors."
+func (d *Device) Reset() {
+	d.mu.Lock()
+	d.gen++
+	d.txQ = nil
+	d.txDone = nil
+	d.rxFree = nil
+	d.rxDone = nil
+	d.linkUpAt = time.Now().Add(d.cfg.LinkUpDelay)
+	d.mu.Unlock()
+	d.stats.resets.Add(1)
+}
+
+// Close stops the device's engines.
+func (d *Device) Close() {
+	d.mu.Lock()
+	select {
+	case <-d.stop:
+	default:
+		close(d.stop)
+	}
+	d.mu.Unlock()
+	d.wg.Wait()
+}
+
+// Stats returns a snapshot of the counters.
+func (d *Device) Stats() Stats {
+	return Stats{
+		TxFrames: d.stats.txFrames.Load(), TxBytes: d.stats.txBytes.Load(),
+		RxFrames: d.stats.rxFrames.Load(), RxBytes: d.stats.rxBytes.Load(),
+		RxDropsNoBuf: d.stats.rxNoBuf.Load(), RxDropsLinkDown: d.stats.rxLinkDown.Load(),
+		TxDropsLinkDown: d.stats.txLinkDown.Load(), Resets: d.stats.resets.Load(),
+		TSOFramesSynthesized: d.stats.tso.Load(),
+	}
+}
+
+// txEngine is the device's DMA/transmit engine: it pops descriptors,
+// gathers the frame out of pool memory, applies offloads, and puts the
+// frame(s) on the wire. Wire backpressure propagates naturally: a saturated
+// link blocks here, the TX ring fills, and the driver reports ring-full to
+// IP.
+func (d *Device) txEngine() {
+	defer d.wg.Done()
+	for {
+		d.mu.Lock()
+		var (
+			desc TxDesc
+			have bool
+			gen  uint32
+			tx   *wireDir
+			up   = time.Now().After(d.linkUpAt)
+		)
+		if len(d.txQ) > 0 {
+			desc, have = d.txQ[0], true
+			d.txQ = d.txQ[1:]
+			gen = d.gen
+			tx = d.tx
+		}
+		d.mu.Unlock()
+
+		if !have {
+			select {
+			case <-d.stop:
+				return
+			case <-d.txKick:
+				continue
+			case <-time.After(time.Millisecond):
+				continue
+			}
+		}
+
+		ok := false
+		if up && tx != nil {
+			ok = d.transmitDesc(tx, desc)
+		} else {
+			d.stats.txLinkDown.Add(1)
+		}
+		d.complete(gen, TxCompletion{Cookie: desc.Cookie, OK: ok})
+	}
+}
+
+// transmitDesc serializes one descriptor onto the wire, splitting TSO
+// descriptors into MTU-sized frames.
+func (d *Device) transmitDesc(tx *wireDir, desc TxDesc) bool {
+	pkt, err := netpkt.Resolve(d.space, desc.Ptrs)
+	if err != nil {
+		// Stale pointers after an owner crash: drop, as real DMA into an
+		// unmapped region would be squashed by the IOMMU.
+		return false
+	}
+	frame := pkt.Bytes() // gather DMA
+	if desc.Flags&TxTSO != 0 && desc.SegSize > 0 {
+		frames, err := tsoSplit(frame, int(desc.SegSize))
+		if err != nil {
+			return false
+		}
+		d.stats.tso.Add(uint64(len(frames) - 1))
+		for _, f := range frames {
+			if !d.putOnWire(tx, f, desc.Flags) {
+				return false
+			}
+		}
+		return true
+	}
+	if tx.validFrame(len(frame)) != nil {
+		return false
+	}
+	return d.putOnWire(tx, frame, desc.Flags)
+}
+
+func (d *Device) putOnWire(tx *wireDir, frame []byte, flags uint32) bool {
+	if flags&(TxCsumIP|TxCsumL4) != 0 {
+		fillChecksums(frame, flags)
+	}
+	if !tx.transmit(frame) {
+		return false
+	}
+	d.stats.txFrames.Add(1)
+	d.stats.txBytes.Add(uint64(len(frame)))
+	return true
+}
+
+func (d *Device) complete(gen uint32, c TxCompletion) {
+	d.mu.Lock()
+	if gen == d.gen {
+		d.txDone = append(d.txDone, c)
+	}
+	d.mu.Unlock()
+	d.raiseIRQ()
+}
+
+// receiveFrame is called by the wire when a frame arrives: the device DMAs
+// it into the next posted RX buffer, verifies checksums (RX offload), and
+// raises an interrupt.
+func (d *Device) receiveFrame(frame []byte) {
+	d.mu.Lock()
+	if !time.Now().After(d.linkUpAt) {
+		d.mu.Unlock()
+		d.stats.rxLinkDown.Add(1)
+		return
+	}
+	if len(d.rxFree) == 0 {
+		d.mu.Unlock()
+		d.stats.rxNoBuf.Add(1)
+		return
+	}
+	buf := d.rxFree[0]
+	d.rxFree = d.rxFree[1:]
+	d.mu.Unlock()
+
+	view, err := d.space.View(buf)
+	if err != nil || len(view) < len(frame) {
+		// Stale buffer (pool owner crashed) or too small: drop.
+		d.stats.rxNoBuf.Add(1)
+		return
+	}
+	// We "own" this buffer by protocol: the pool owner supplied it for DMA.
+	copy(view, frame)
+	csumOK := true
+	if d.cfg.CsumOffload {
+		csumOK = verifyChecksums(frame)
+	}
+	d.mu.Lock()
+	d.rxDone = append(d.rxDone, RxCompletion{Ptr: buf.Slice(0, uint32(len(frame))), Len: len(frame), CsumOK: csumOK})
+	d.mu.Unlock()
+	d.stats.rxFrames.Add(1)
+	d.stats.rxBytes.Add(uint64(len(frame)))
+	d.raiseIRQ()
+}

@@ -1,0 +1,170 @@
+package nic
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"newtos/internal/netpkt"
+)
+
+// fillChecksums performs TX checksum offload on a linearized Ethernet
+// frame: the IPv4 header checksum and/or the TCP/UDP checksum (over the
+// pseudo header) are computed in hardware, so software never touches the
+// payload bytes.
+func fillChecksums(frame []byte, flags uint32) {
+	if len(frame) < netpkt.EthHeaderLen+netpkt.IPv4HeaderLen {
+		return
+	}
+	eth, err := netpkt.ParseEth(frame)
+	if err != nil || eth.Type != netpkt.EtherTypeIPv4 {
+		return
+	}
+	ip := frame[netpkt.EthHeaderLen:]
+	hdr, err := netpkt.ParseIPv4(ip, false)
+	if err != nil {
+		return
+	}
+	if flags&TxCsumIP != 0 {
+		binary.BigEndian.PutUint16(ip[10:12], 0)
+		binary.BigEndian.PutUint16(ip[10:12], netpkt.Checksum(ip[:hdr.HeaderLen]))
+	}
+	if flags&TxCsumL4 == 0 {
+		return
+	}
+	seg := ip[hdr.HeaderLen:]
+	if int(hdr.TotalLen) >= hdr.HeaderLen && int(hdr.TotalLen)-hdr.HeaderLen <= len(seg) {
+		seg = seg[:int(hdr.TotalLen)-hdr.HeaderLen]
+	}
+	switch hdr.Proto {
+	case netpkt.ProtoTCP:
+		if len(seg) < netpkt.TCPHeaderLen {
+			return
+		}
+		binary.BigEndian.PutUint16(seg[16:18], 0)
+		binary.BigEndian.PutUint16(seg[16:18],
+			netpkt.TransportChecksum(hdr.Src, hdr.Dst, netpkt.ProtoTCP, seg))
+	case netpkt.ProtoUDP:
+		if len(seg) < netpkt.UDPHeaderLen {
+			return
+		}
+		binary.BigEndian.PutUint16(seg[6:8], 0)
+		binary.BigEndian.PutUint16(seg[6:8],
+			netpkt.TransportChecksum(hdr.Src, hdr.Dst, netpkt.ProtoUDP, seg))
+	}
+}
+
+// verifyChecksums performs RX checksum offload: validates the IPv4 header
+// checksum and, for TCP/UDP, the transport checksum.
+func verifyChecksums(frame []byte) bool {
+	eth, err := netpkt.ParseEth(frame)
+	if err != nil {
+		return false
+	}
+	if eth.Type != netpkt.EtherTypeIPv4 {
+		return true // nothing to verify (e.g. ARP)
+	}
+	ip := frame[netpkt.EthHeaderLen:]
+	hdr, err := netpkt.ParseIPv4(ip, true)
+	if err != nil {
+		return false
+	}
+	seg := ip[hdr.HeaderLen:]
+	if int(hdr.TotalLen)-hdr.HeaderLen <= len(seg) {
+		seg = seg[:int(hdr.TotalLen)-hdr.HeaderLen]
+	}
+	switch hdr.Proto {
+	case netpkt.ProtoTCP:
+		return netpkt.VerifyTransportChecksum(hdr.Src, hdr.Dst, netpkt.ProtoTCP, seg)
+	case netpkt.ProtoUDP:
+		uh, err := netpkt.ParseUDP(seg)
+		if err != nil {
+			return false
+		}
+		if uh.Checksum == 0 {
+			return true // UDP checksum optional
+		}
+		return netpkt.VerifyTransportChecksum(hdr.Src, hdr.Dst, netpkt.ProtoUDP, seg)
+	}
+	return true
+}
+
+// tsoSplit implements TCP segmentation offload: one oversized frame
+// (Ethernet + IPv4 + TCP + payload) becomes many MTU-sized frames with
+// advancing sequence numbers, incrementing IP IDs, FIN/PSH moved to the
+// last segment, and all checksums recomputed in hardware. This is the
+// offload that lets the stack "remove a great amount of the communication"
+// (Table II rows 5-6): one channel request now carries seg*mss bytes.
+func tsoSplit(frame []byte, mss int) ([][]byte, error) {
+	if mss <= 0 {
+		return nil, errors.New("nic: tso with zero mss")
+	}
+	eth, err := netpkt.ParseEth(frame)
+	if err != nil {
+		return nil, err
+	}
+	if eth.Type != netpkt.EtherTypeIPv4 {
+		return nil, errors.New("nic: tso on non-IPv4 frame")
+	}
+	ipb := frame[netpkt.EthHeaderLen:]
+	ip, err := netpkt.ParseIPv4(ipb, false)
+	if err != nil {
+		return nil, err
+	}
+	if ip.Proto != netpkt.ProtoTCP {
+		return nil, errors.New("nic: tso on non-TCP packet")
+	}
+	tcpb := ipb[ip.HeaderLen:]
+	tcp, err := netpkt.ParseTCP(tcpb)
+	if err != nil {
+		return nil, err
+	}
+	payload := tcpb[tcp.DataOff:]
+	if int(ip.TotalLen) >= ip.HeaderLen+tcp.DataOff &&
+		int(ip.TotalLen)-ip.HeaderLen-tcp.DataOff <= len(payload) {
+		payload = payload[:int(ip.TotalLen)-ip.HeaderLen-tcp.DataOff]
+	}
+	if len(payload) <= mss {
+		return [][]byte{frame}, nil
+	}
+
+	hdrLen := netpkt.EthHeaderLen + ip.HeaderLen + tcp.DataOff
+	var out [][]byte
+	for off := 0; off < len(payload); off += mss {
+		end := off + mss
+		last := false
+		if end >= len(payload) {
+			end = len(payload)
+			last = true
+		}
+		chunk := payload[off:end]
+		seg := make([]byte, hdrLen+len(chunk))
+		copy(seg, frame[:hdrLen])
+		copy(seg[hdrLen:], chunk)
+
+		sipb := seg[netpkt.EthHeaderLen:]
+		stcp := sipb[ip.HeaderLen:]
+		// IP: new total length, incremented ID, fresh checksum.
+		binary.BigEndian.PutUint16(sipb[2:4], uint16(ip.HeaderLen+tcp.DataOff+len(chunk)))
+		binary.BigEndian.PutUint16(sipb[4:6], ip.ID+uint16(off/mss))
+		binary.BigEndian.PutUint16(sipb[10:12], 0)
+		binary.BigEndian.PutUint16(sipb[10:12], netpkt.Checksum(sipb[:ip.HeaderLen]))
+		// TCP: advanced sequence; FIN/PSH only on the last segment.
+		binary.BigEndian.PutUint32(stcp[4:8], tcp.Seq+uint32(off))
+		flags := tcp.Flags
+		if !last {
+			flags &^= netpkt.TCPFin | netpkt.TCPPsh
+		}
+		stcp[13] = flags
+		// TCP checksum over the segment.
+		binary.BigEndian.PutUint16(stcp[16:18], 0)
+		l4 := stcp[:tcp.DataOff+len(chunk)]
+		binary.BigEndian.PutUint16(stcp[16:18],
+			netpkt.TransportChecksum(ip.Src, ip.Dst, netpkt.ProtoTCP, l4))
+		out = append(out, seg)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("nic: tso produced no segments (payload %d, mss %d)", len(payload), mss)
+	}
+	return out, nil
+}

@@ -1,0 +1,203 @@
+// Package pf is the packet filter server: the channel shell around pfeng.
+// It sits in the T junction (paper Figure 3) — IP consults it for every
+// inbound (pre-routing) and outbound (post-routing) packet, and because IP
+// waits for each verdict, a PF crash loses no packets (Figure 5).
+//
+// Recovery: the rule configuration is restored from the storage server;
+// connection tracking is rebuilt from the flow tables TCP and UDP persist
+// (the paper's "querying the TCP and UDP servers", routed through storage).
+package pf
+
+import (
+	"bytes"
+	"encoding/gob"
+	"time"
+
+	"newtos/internal/msg"
+	"newtos/internal/netpkt"
+	"newtos/internal/pfeng"
+	"newtos/internal/proc"
+	"newtos/internal/wiring"
+)
+
+// Storage keys.
+const (
+	RulesKey    = "pf/rules"
+	TCPFlowsKey = "tcp/flows"
+	UDPFlowsKey = "udp/flows"
+)
+
+// Server is one PF incarnation.
+type Server struct {
+	ports *wiring.Ports
+	eng   *pfeng.Engine
+
+	ipPort *wiring.Port
+	scPort *wiring.Port
+	ipBox  wiring.Outbox
+	scBox  wiring.Outbox
+}
+
+var _ proc.Service = (*Server)(nil)
+
+// New creates a PF incarnation.
+func New(ports *wiring.Ports) *Server {
+	return &Server{ports: ports}
+}
+
+// Engine exposes the engine for tests and the config API.
+func (s *Server) Engine() *pfeng.Engine { return s.eng }
+
+// Init restores configuration and conntrack, then attaches channels.
+func (s *Server) Init(rt *proc.Runtime, restart bool) error {
+	hub := s.ports.Hub()
+	s.eng = pfeng.New(0)
+	if restart {
+		if blob, ok := hub.Store.Get(RulesKey); ok {
+			_ = s.eng.LoadRules(blob)
+		}
+		// Rebuild dynamic state from the transports' persisted flows:
+		// established outgoing connections must keep working after a PF
+		// restart.
+		now := time.Now()
+		for _, key := range []string{TCPFlowsKey, UDPFlowsKey} {
+			if blob, ok := hub.Store.Get(key); ok {
+				var flows []pfeng.Flow
+				if gob.NewDecoder(bytes.NewReader(blob)).Decode(&flows) == nil {
+					s.eng.RestoreStates(flows, now)
+				}
+			}
+		}
+	}
+	s.ports.Begin(rt.Bell)
+	s.ipPort = s.ports.Attach("ip-pf")
+	s.scPort = s.ports.Attach("sc-pf")
+	return nil
+}
+
+// Poll answers verdict queries and configuration requests.
+func (s *Server) Poll(now time.Time) bool {
+	worked := false
+	dup, changed := s.ipPort.Take()
+	if changed {
+		s.ipBox.Drop()
+	}
+	if dup.Valid() {
+		for i := 0; i < 512; i++ {
+			r, ok := dup.In.Recv()
+			if !ok {
+				break
+			}
+			worked = true
+			if r.Op != msg.OpPFQuery {
+				continue
+			}
+			verdict := s.verdict(r, now)
+			rep := msg.Req{ID: r.ID, Op: msg.OpPFVerdict, Status: verdict}
+			s.ipBox.Push(rep)
+		}
+		if s.ipBox.Flush(dup.Out) {
+			worked = true
+		}
+	}
+
+	// Configuration channel (from the SYSCALL server / control plane).
+	cdup, cchanged := s.scPort.Take()
+	if cchanged {
+		s.scBox.Drop()
+	}
+	if cdup.Valid() {
+		for i := 0; i < 64; i++ {
+			r, ok := cdup.In.Recv()
+			if !ok {
+				break
+			}
+			worked = true
+			s.config(r)
+		}
+		if s.scBox.Flush(cdup.Out) {
+			worked = true
+		}
+	}
+	return worked
+}
+
+func (s *Server) verdict(r msg.Req, now time.Time) int32 {
+	view, err := s.ports.Hub().Space.View(r.Ptrs[0])
+	if err != nil {
+		return 1 // stale packet (owner restarted): block; IP will resubmit
+	}
+	dir := pfeng.In
+	if r.Arg[0] == 1 {
+		dir = pfeng.Out
+	}
+	if s.eng.VerdictPacket(dir, view, now) == pfeng.Pass {
+		return 0
+	}
+	return 1
+}
+
+// config handles rule management ops. Rules are packed into the request
+// args (see UnpackRule).
+func (s *Server) config(r msg.Req) {
+	switch r.Op {
+	case msg.OpPFRuleAdd:
+		s.eng.AddRule(UnpackRule(r))
+		s.persistRules()
+		s.scBox.Push(r.Reply(msg.OpSockReply, msg.StatusOK))
+	case msg.OpPFRuleFlush:
+		s.eng.Flush()
+		s.persistRules()
+		s.scBox.Push(r.Reply(msg.OpSockReply, msg.StatusOK))
+	case msg.OpPFStats:
+		rep := r.Reply(msg.OpSockReply, msg.StatusOK)
+		st := s.eng.Stats()
+		rep.Arg[0] = st.Passed
+		rep.Arg[1] = st.Blocked
+		rep.Arg[2] = st.StateHits
+		rep.Arg[3] = uint64(s.eng.NumRules())
+		s.scBox.Push(rep)
+	}
+}
+
+func (s *Server) persistRules() {
+	if blob, err := s.eng.SaveRules(); err == nil {
+		s.ports.Hub().Store.Put(RulesKey, blob)
+	}
+}
+
+// Deadline: PF has no timers.
+func (s *Server) Deadline(now time.Time) time.Time { return time.Time{} }
+
+// Stop is a no-op.
+func (s *Server) Stop() {}
+
+// PackRule encodes a rule into a request (channel slots carry no blobs).
+func PackRule(rule pfeng.Rule) msg.Req {
+	r := msg.Req{Op: msg.OpPFRuleAdd}
+	quick := uint64(0)
+	if rule.Quick {
+		quick = 1
+	}
+	r.Arg[0] = uint64(rule.Action) | uint64(rule.Dir)<<4 | uint64(rule.Proto)<<8 | quick<<16
+	r.Arg[1] = uint64(rule.Src.U32())<<8 | uint64(rule.SrcBits)
+	r.Arg[2] = uint64(rule.Dst.U32())<<8 | uint64(rule.DstBits)
+	r.Arg[3] = uint64(rule.SrcPort)<<16 | uint64(rule.DstPort)
+	return r
+}
+
+// UnpackRule is the inverse of PackRule.
+func UnpackRule(r msg.Req) pfeng.Rule {
+	return pfeng.Rule{
+		Action:  pfeng.Action(r.Arg[0] & 0xf),
+		Dir:     pfeng.Dir(r.Arg[0] >> 4 & 0xf),
+		Proto:   uint8(r.Arg[0] >> 8 & 0xff),
+		Quick:   r.Arg[0]>>16&1 == 1,
+		Src:     netpkt.IPFromU32(uint32(r.Arg[1] >> 8)),
+		SrcBits: int(r.Arg[1] & 0xff),
+		Dst:     netpkt.IPFromU32(uint32(r.Arg[2] >> 8)),
+		DstBits: int(r.Arg[2] & 0xff),
+		SrcPort: uint16(r.Arg[3] >> 16),
+		DstPort: uint16(r.Arg[3]),
+	}
+}

@@ -1,0 +1,45 @@
+package pf
+
+import (
+	"testing"
+	"testing/quick"
+
+	"newtos/internal/netpkt"
+	"newtos/internal/pfeng"
+)
+
+func TestPackUnpackRule(t *testing.T) {
+	rules := []pfeng.Rule{
+		{Action: pfeng.Block, Dir: pfeng.In, Proto: netpkt.ProtoTCP, DstPort: 22, Quick: true},
+		{Action: pfeng.Pass, Dir: pfeng.Out, Proto: netpkt.ProtoUDP, SrcPort: 53},
+		{Action: pfeng.Block, Dir: pfeng.AnyDir,
+			Src: netpkt.MustIP("192.168.0.0"), SrcBits: 16,
+			Dst: netpkt.MustIP("10.1.2.3"), DstBits: 32},
+	}
+	for i, r := range rules {
+		got := UnpackRule(PackRule(r))
+		if got != r {
+			t.Fatalf("rule %d: got %+v want %+v", i, got, r)
+		}
+	}
+}
+
+// Property: pack/unpack is the identity over the rule space.
+func TestQuickPackUnpack(t *testing.T) {
+	prop := func(action, dir uint8, proto uint8, src, dst uint32, sb, db uint8, sp, dp uint16, quick bool) bool {
+		r := pfeng.Rule{
+			Action:  pfeng.Action(action%2 + 1),
+			Dir:     pfeng.Dir(dir%3 + 1),
+			Proto:   proto,
+			Src:     netpkt.IPFromU32(src),
+			SrcBits: int(sb % 33),
+			Dst:     netpkt.IPFromU32(dst),
+			DstBits: int(db % 33),
+			SrcPort: sp, DstPort: dp, Quick: quick,
+		}
+		return UnpackRule(PackRule(r)) == r
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,293 @@
+// Package pfeng is the packet-filter engine: NetBSD-PF-style rule
+// evaluation with stateful connection tracking. The PF server (package pf)
+// wraps it in a channel shell; the single-server and monolithic stack
+// variants call it directly.
+//
+// Rule semantics follow PF: rules are evaluated in order and the LAST
+// matching rule wins, unless a matching rule is marked Quick, which ends
+// evaluation immediately. An empty rule set passes everything. Stateful
+// tracking: a passed outbound flow creates state, and packets matching
+// known state pass without consulting the rules — which is exactly the
+// dynamic state the paper's PF must rebuild after a crash (§V-D).
+package pfeng
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+	"time"
+
+	"newtos/internal/netpkt"
+)
+
+// Action is a rule's (or verdict's) effect.
+type Action int
+
+// Actions.
+const (
+	Pass Action = iota + 1
+	Block
+)
+
+func (a Action) String() string {
+	if a == Pass {
+		return "pass"
+	}
+	return "block"
+}
+
+// Dir is the traffic direction a rule applies to.
+type Dir int
+
+// Directions.
+const (
+	In Dir = iota + 1
+	Out
+	AnyDir
+)
+
+// Rule is one filter rule. Zero fields are wildcards.
+type Rule struct {
+	Action  Action
+	Dir     Dir
+	Proto   uint8 // 0 = any; netpkt.ProtoTCP / ProtoUDP / ProtoICMP
+	Src     netpkt.IPAddr
+	SrcBits int // prefix length; 0 with zero Src = any
+	Dst     netpkt.IPAddr
+	DstBits int
+	SrcPort uint16 // 0 = any
+	DstPort uint16
+	Quick   bool
+}
+
+// Flow is a connection-tracking key (forward direction).
+type Flow struct {
+	Proto   uint8
+	Src     netpkt.IPAddr
+	Dst     netpkt.IPAddr
+	SrcPort uint16
+	DstPort uint16
+}
+
+// reverse returns the return-direction flow.
+func (f Flow) reverse() Flow {
+	return Flow{Proto: f.Proto, Src: f.Dst, Dst: f.Src, SrcPort: f.DstPort, DstPort: f.SrcPort}
+}
+
+// Stats counts engine decisions.
+type Stats struct {
+	Passed, Blocked, StateHits, StatesCreated uint64
+}
+
+// Engine is one packet filter instance. Not safe for concurrent use; it
+// lives inside a single-threaded server.
+type Engine struct {
+	rules      []Rule
+	state      map[Flow]time.Time
+	stateTTL   time.Duration
+	defaultAct Action
+	stats      Stats
+}
+
+// New returns an engine with an empty (pass-all) rule set and stateful
+// tracking with the given TTL (0 means a 120 s default).
+func New(stateTTL time.Duration) *Engine {
+	if stateTTL == 0 {
+		stateTTL = 120 * time.Second
+	}
+	return &Engine{
+		state:      make(map[Flow]time.Time),
+		stateTTL:   stateTTL,
+		defaultAct: Pass,
+	}
+}
+
+// AddRule appends a rule.
+func (e *Engine) AddRule(r Rule) { e.rules = append(e.rules, r) }
+
+// Flush removes all rules (state is kept).
+func (e *Engine) Flush() { e.rules = nil }
+
+// Rules returns a copy of the rule set.
+func (e *Engine) Rules() []Rule {
+	out := make([]Rule, len(e.rules))
+	copy(out, e.rules)
+	return out
+}
+
+// NumRules returns the rule count.
+func (e *Engine) NumRules() int { return len(e.rules) }
+
+// Stats returns decision counters.
+func (e *Engine) Stats() Stats { return e.stats }
+
+// States returns the current conntrack table keys (for state save).
+func (e *Engine) States() []Flow {
+	out := make([]Flow, 0, len(e.state))
+	for f := range e.state {
+		out = append(out, f)
+	}
+	return out
+}
+
+// RestoreStates injects conntrack entries (recovery after a crash; the
+// paper rebuilds them "by querying the TCP and UDP servers").
+func (e *Engine) RestoreStates(flows []Flow, now time.Time) {
+	for _, f := range flows {
+		e.state[f] = now
+	}
+}
+
+// VerdictPacket evaluates a raw IPv4 packet (starting at the IP header).
+// Malformed packets are blocked.
+func (e *Engine) VerdictPacket(dir Dir, ipPacket []byte, now time.Time) Action {
+	ip, err := netpkt.ParseIPv4(ipPacket, false)
+	if err != nil {
+		e.stats.Blocked++
+		return Block
+	}
+	flow := Flow{Proto: ip.Proto, Src: ip.Src, Dst: ip.Dst}
+	var tcpFlags uint8
+	l4 := ipPacket[ip.HeaderLen:]
+	switch ip.Proto {
+	case netpkt.ProtoTCP:
+		th, err := netpkt.ParseTCP(l4)
+		if err != nil {
+			e.stats.Blocked++
+			return Block
+		}
+		flow.SrcPort, flow.DstPort = th.SrcPort, th.DstPort
+		tcpFlags = th.Flags
+	case netpkt.ProtoUDP:
+		uh, err := netpkt.ParseUDP(l4)
+		if err != nil {
+			e.stats.Blocked++
+			return Block
+		}
+		flow.SrcPort, flow.DstPort = uh.SrcPort, uh.DstPort
+	}
+	return e.Verdict(dir, flow, tcpFlags, now)
+}
+
+// Verdict evaluates a parsed flow. tcpFlags is zero for non-TCP.
+func (e *Engine) Verdict(dir Dir, flow Flow, tcpFlags uint8, now time.Time) Action {
+	// Known state passes without consulting rules.
+	if e.hasState(flow, now) {
+		e.stats.StateHits++
+		e.stats.Passed++
+		return Pass
+	}
+
+	act := e.defaultAct
+	for i := range e.rules {
+		r := &e.rules[i]
+		if !r.matches(dir, flow) {
+			continue
+		}
+		act = r.Action
+		if r.Quick {
+			break
+		}
+	}
+	if act == Block {
+		e.stats.Blocked++
+		return Block
+	}
+	e.stats.Passed++
+	// Create state for passed outbound connection-initiating traffic:
+	// TCP SYN (without ACK) or any UDP datagram.
+	if dir == Out {
+		create := false
+		switch flow.Proto {
+		case netpkt.ProtoTCP:
+			create = tcpFlags&netpkt.TCPSyn != 0 && tcpFlags&netpkt.TCPAck == 0
+		case netpkt.ProtoUDP:
+			create = true
+		}
+		if create {
+			e.state[flow] = now
+			e.stats.StatesCreated++
+		}
+	}
+	return Pass
+}
+
+func (e *Engine) hasState(flow Flow, now time.Time) bool {
+	if t, ok := e.state[flow]; ok {
+		if now.Sub(t) < e.stateTTL {
+			e.state[flow] = now
+			return true
+		}
+		delete(e.state, flow)
+	}
+	rev := flow.reverse()
+	if t, ok := e.state[rev]; ok {
+		if now.Sub(t) < e.stateTTL {
+			e.state[rev] = now
+			return true
+		}
+		delete(e.state, rev)
+	}
+	return false
+}
+
+func (r *Rule) matches(dir Dir, f Flow) bool {
+	if r.Dir != AnyDir && r.Dir != 0 && r.Dir != dir {
+		return false
+	}
+	if r.Proto != 0 && r.Proto != f.Proto {
+		return false
+	}
+	if r.SrcBits > 0 && !f.Src.InSubnet(r.Src, r.SrcBits) {
+		return false
+	}
+	if r.DstBits > 0 && !f.Dst.InSubnet(r.Dst, r.DstBits) {
+		return false
+	}
+	if r.SrcPort != 0 && r.SrcPort != f.SrcPort {
+		return false
+	}
+	if r.DstPort != 0 && r.DstPort != f.DstPort {
+		return false
+	}
+	return true
+}
+
+// SaveRules serializes the rule set (the static configuration the paper
+// parks in the storage server).
+func (e *Engine) SaveRules() ([]byte, error) {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(e.rules); err != nil {
+		return nil, fmt.Errorf("pfeng: encode rules: %w", err)
+	}
+	return buf.Bytes(), nil
+}
+
+// LoadRules replaces the rule set from SaveRules output.
+func (e *Engine) LoadRules(b []byte) error {
+	var rules []Rule
+	if err := gob.NewDecoder(bytes.NewReader(b)).Decode(&rules); err != nil {
+		return fmt.Errorf("pfeng: decode rules: %w", err)
+	}
+	e.rules = rules
+	return nil
+}
+
+// SaveStates serializes the conntrack table.
+func (e *Engine) SaveStates() ([]byte, error) {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(e.States()); err != nil {
+		return nil, fmt.Errorf("pfeng: encode states: %w", err)
+	}
+	return buf.Bytes(), nil
+}
+
+// LoadStates merges serialized conntrack entries.
+func (e *Engine) LoadStates(b []byte, now time.Time) error {
+	var flows []Flow
+	if err := gob.NewDecoder(bytes.NewReader(b)).Decode(&flows); err != nil {
+		return fmt.Errorf("pfeng: decode states: %w", err)
+	}
+	e.RestoreStates(flows, now)
+	return nil
+}

@@ -1,0 +1,233 @@
+package pfeng
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+
+	"newtos/internal/netpkt"
+)
+
+var (
+	hostA = netpkt.MustIP("10.0.0.1")
+	hostB = netpkt.MustIP("10.0.0.2")
+	evil  = netpkt.MustIP("192.168.66.6")
+)
+
+func tcpFlow(src, dst netpkt.IPAddr, sp, dp uint16) Flow {
+	return Flow{Proto: netpkt.ProtoTCP, Src: src, Dst: dst, SrcPort: sp, DstPort: dp}
+}
+
+func TestEmptyRuleSetPasses(t *testing.T) {
+	e := New(0)
+	if v := e.Verdict(In, tcpFlow(hostB, hostA, 1, 2), 0, time.Now()); v != Pass {
+		t.Fatalf("verdict = %v", v)
+	}
+}
+
+func TestLastMatchWins(t *testing.T) {
+	e := New(0)
+	e.AddRule(Rule{Action: Block, Dir: In})                                     // block all in
+	e.AddRule(Rule{Action: Pass, Dir: In, Proto: netpkt.ProtoTCP, DstPort: 22}) // then allow ssh
+	now := time.Now()
+	if v := e.Verdict(In, tcpFlow(evil, hostA, 999, 22), 0, now); v != Pass {
+		t.Fatal("ssh not allowed by later rule")
+	}
+	if v := e.Verdict(In, tcpFlow(evil, hostA, 999, 80), 0, now); v != Block {
+		t.Fatal("http not blocked")
+	}
+}
+
+func TestQuickStopsEvaluation(t *testing.T) {
+	e := New(0)
+	e.AddRule(Rule{Action: Block, Dir: In, Quick: true, Proto: netpkt.ProtoTCP, DstPort: 23})
+	e.AddRule(Rule{Action: Pass, Dir: In})
+	if v := e.Verdict(In, tcpFlow(evil, hostA, 5, 23), 0, time.Now()); v != Block {
+		t.Fatal("quick block overridden by later rule")
+	}
+}
+
+func TestSubnetAndPortMatch(t *testing.T) {
+	e := New(0)
+	e.AddRule(Rule{Action: Block, Dir: AnyDir, Src: netpkt.MustIP("192.168.0.0"), SrcBits: 16})
+	now := time.Now()
+	if v := e.Verdict(In, tcpFlow(evil, hostA, 1, 2), 0, now); v != Block {
+		t.Fatal("subnet source not blocked")
+	}
+	if v := e.Verdict(In, tcpFlow(hostB, hostA, 1, 2), 0, now); v != Pass {
+		t.Fatal("other source blocked")
+	}
+}
+
+func TestStatefulReturnTraffic(t *testing.T) {
+	// The paper's firewall scenario: incoming traffic is blocked, but data
+	// on established outgoing TCP connections must keep flowing.
+	e := New(0)
+	e.AddRule(Rule{Action: Block, Dir: In})
+	now := time.Now()
+	out := tcpFlow(hostA, hostB, 40000, 80)
+	// Outbound SYN passes and creates state.
+	if v := e.Verdict(Out, out, netpkt.TCPSyn, now); v != Pass {
+		t.Fatal("outbound SYN blocked")
+	}
+	if e.Stats().StatesCreated != 1 {
+		t.Fatal("no state created")
+	}
+	// Return SYN|ACK passes despite the block-all-in rule.
+	if v := e.Verdict(In, out.reverse(), netpkt.TCPSyn|netpkt.TCPAck, now); v != Pass {
+		t.Fatal("return traffic blocked")
+	}
+	// Unrelated inbound is still blocked.
+	if v := e.Verdict(In, tcpFlow(hostB, hostA, 81, 40001), 0, now); v != Block {
+		t.Fatal("unrelated inbound passed")
+	}
+}
+
+func TestNonSynDoesNotCreateState(t *testing.T) {
+	e := New(0)
+	now := time.Now()
+	e.Verdict(Out, tcpFlow(hostA, hostB, 1, 2), netpkt.TCPAck, now)
+	if e.Stats().StatesCreated != 0 {
+		t.Fatal("pure ACK created state")
+	}
+	e.Verdict(Out, Flow{Proto: netpkt.ProtoUDP, Src: hostA, Dst: hostB, SrcPort: 53, DstPort: 53}, 0, now)
+	if e.Stats().StatesCreated != 1 {
+		t.Fatal("UDP did not create state")
+	}
+}
+
+func TestStateExpiry(t *testing.T) {
+	e := New(50 * time.Millisecond)
+	e.AddRule(Rule{Action: Block, Dir: In})
+	t0 := time.Now()
+	e.Verdict(Out, tcpFlow(hostA, hostB, 1, 2), netpkt.TCPSyn, t0)
+	if v := e.Verdict(In, tcpFlow(hostB, hostA, 2, 1), 0, t0.Add(10*time.Millisecond)); v != Pass {
+		t.Fatal("fresh state missed")
+	}
+	// Long quiet period: state expires. (The hit above refreshed it.)
+	if v := e.Verdict(In, tcpFlow(hostB, hostA, 2, 1), 0, t0.Add(10*time.Second)); v != Block {
+		t.Fatal("expired state still passing")
+	}
+}
+
+func TestVerdictPacketParsesHeaders(t *testing.T) {
+	e := New(0)
+	e.AddRule(Rule{Action: Block, Dir: In, Proto: netpkt.ProtoTCP, DstPort: 8080})
+	// Build an IP+TCP packet to port 8080.
+	tcp := netpkt.TCPHeader{SrcPort: 1234, DstPort: 8080, Flags: netpkt.TCPSyn}
+	buf := make([]byte, netpkt.IPv4HeaderLen+tcp.MarshalLen())
+	ip := netpkt.IPv4Header{
+		TotalLen: uint16(len(buf)), TTL: 64, Proto: netpkt.ProtoTCP,
+		Src: hostB, Dst: hostA,
+	}
+	ip.Marshal(buf, true)
+	tcp.Marshal(buf[netpkt.IPv4HeaderLen:])
+	if v := e.VerdictPacket(In, buf, time.Now()); v != Block {
+		t.Fatal("packet to 8080 not blocked")
+	}
+	// Malformed packet is blocked.
+	if v := e.VerdictPacket(In, buf[:10], time.Now()); v != Block {
+		t.Fatal("truncated packet passed")
+	}
+}
+
+func TestRulesSaveLoadRoundTrip(t *testing.T) {
+	e := New(0)
+	for i := 0; i < 10; i++ {
+		e.AddRule(Rule{Action: Block, Dir: In, Proto: netpkt.ProtoTCP, DstPort: uint16(1000 + i), Quick: i%2 == 0})
+	}
+	blob, err := e.SaveRules()
+	if err != nil {
+		t.Fatal(err)
+	}
+	e2 := New(0)
+	if err := e2.LoadRules(blob); err != nil {
+		t.Fatal(err)
+	}
+	if e2.NumRules() != 10 {
+		t.Fatalf("rules = %d", e2.NumRules())
+	}
+	now := time.Now()
+	if v := e2.Verdict(In, tcpFlow(evil, hostA, 1, 1003), 0, now); v != Block {
+		t.Fatal("restored rules not effective")
+	}
+}
+
+func TestStatesSaveLoadRoundTrip(t *testing.T) {
+	e := New(0)
+	e.AddRule(Rule{Action: Block, Dir: In})
+	now := time.Now()
+	e.Verdict(Out, tcpFlow(hostA, hostB, 5000, 80), netpkt.TCPSyn, now)
+	blob, err := e.SaveStates()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// New incarnation restores connection tracking: established return
+	// traffic keeps flowing after a PF crash (paper §V "does not become
+	// disconnected when the packet filter crashes").
+	e2 := New(0)
+	e2.AddRule(Rule{Action: Block, Dir: In})
+	if err := e2.LoadStates(blob, now); err != nil {
+		t.Fatal(err)
+	}
+	if v := e2.Verdict(In, tcpFlow(hostB, hostA, 80, 5000), netpkt.TCPAck, now); v != Pass {
+		t.Fatal("restored state not effective")
+	}
+}
+
+// Property: verdict is deterministic — same rules, same flow, same result;
+// and Block/Pass partition is stable under rule-preserving re-evaluation.
+func TestQuickVerdictDeterministic(t *testing.T) {
+	prop := func(dstPort uint16, blockEven bool) bool {
+		e := New(0)
+		if blockEven {
+			e.AddRule(Rule{Action: Block, Dir: In})
+			e.AddRule(Rule{Action: Pass, Dir: In, DstPort: 443})
+		}
+		f := tcpFlow(evil, hostA, 1, dstPort)
+		now := time.Now()
+		v1 := e.Verdict(In, f, 0, now)
+		v2 := e.Verdict(In, f, 0, now)
+		if v1 != v2 {
+			return false
+		}
+		if !blockEven {
+			return v1 == Pass
+		}
+		if dstPort == 443 {
+			return v1 == Pass
+		}
+		return v1 == Block
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkVerdict1024Rules(b *testing.B) {
+	// The Figure 5 configuration: PF recovering/evaluating 1024 rules.
+	e := New(0)
+	for i := 0; i < 1024; i++ {
+		e.AddRule(Rule{
+			Action: Block, Dir: In, Proto: netpkt.ProtoTCP,
+			DstPort: uint16(10000 + i), Quick: false,
+		})
+	}
+	f := tcpFlow(hostB, hostA, 1234, 80)
+	now := time.Now()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.Verdict(In, f, netpkt.TCPAck, now)
+	}
+}
+
+func BenchmarkStateHit(b *testing.B) {
+	e := New(0)
+	now := time.Now()
+	f := tcpFlow(hostA, hostB, 1, 2)
+	e.Verdict(Out, f, netpkt.TCPSyn, now)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.Verdict(In, f.reverse(), 0, now)
+	}
+}

@@ -1,0 +1,353 @@
+// Package proc implements the server process model of the multiserver
+// system: each OS component is a single-threaded, asynchronous, event-driven
+// process on its own (dedicated) core.
+//
+// The event loop realizes the paper's design rules: it polls the server's
+// channels aggressively while work keeps arriving, then arms the doorbell
+// (the MONITOR/MWAIT analogue) and sleeps; panics are contained to the
+// incarnation and reported as crash signals to the reincarnation server;
+// restarted incarnations are told they are restarting so they can recover
+// state from the storage server.
+package proc
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"newtos/internal/channel"
+	"newtos/internal/faults"
+)
+
+// Status of a process incarnation.
+type Status int32
+
+// Status values.
+const (
+	StatusIdle Status = iota + 1
+	StatusRunning
+	StatusCrashed
+	StatusStopped
+)
+
+func (s Status) String() string {
+	switch s {
+	case StatusIdle:
+		return "idle"
+	case StatusRunning:
+		return "running"
+	case StatusCrashed:
+		return "crashed"
+	case StatusStopped:
+		return "stopped"
+	}
+	return fmt.Sprintf("status(%d)", int32(s))
+}
+
+// CrashEvent is the signal the reincarnation server receives when a child
+// dies (the paper: servers are children of the reincarnation server, which
+// "receives a signal when a server crashes").
+type CrashEvent struct {
+	Name        string
+	Incarnation int
+	Reason      string
+	Injected    bool
+	When        time.Time
+}
+
+// Runtime is what an incarnation gets from its process wrapper.
+type Runtime struct {
+	// Bell is this incarnation's doorbell; give it to every inbound
+	// channel and to the kernel endpoint so any arrival wakes the loop.
+	Bell *channel.Doorbell
+	// Fault is the incarnation's fault-injection point.
+	Fault *faults.Point
+	// Incarnation counts from 1 and increments per restart.
+	Incarnation int
+}
+
+// Service is one server's logic, constructed fresh for every incarnation.
+type Service interface {
+	// Init wires channels (publishing/attaching via the registry) and, when
+	// restart is true, recovers state from the storage server.
+	Init(rt *Runtime, restart bool) error
+	// Poll processes pending work and reports whether it did any.
+	Poll(now time.Time) bool
+	// Deadline returns when Poll next needs to run for timer work
+	// (zero time means no pending timers).
+	Deadline(now time.Time) time.Time
+	// Stop releases resources on graceful shutdown.
+	Stop()
+}
+
+// Options tune a process.
+type Options struct {
+	// SpinBudget is how many empty polls the loop performs before arming
+	// the doorbell and sleeping — the paper's "more aggressive polling to
+	// avoid halting the core if the gap between requests is short".
+	SpinBudget int
+	// MaxSleep caps one doorbell sleep so heartbeats stay fresh.
+	MaxSleep time.Duration
+	// DedicatedCore pins the loop to an OS thread, approximating a core
+	// dedicated to the component.
+	DedicatedCore bool
+}
+
+func (o *Options) fill() {
+	if o.SpinBudget == 0 {
+		o.SpinBudget = 256
+	}
+	if o.MaxSleep == 0 {
+		o.MaxSleep = 500 * time.Microsecond
+	}
+}
+
+// Proc supervises one component across incarnations.
+type Proc struct {
+	name    string
+	factory func() Service
+	opts    Options
+	onCrash func(CrashEvent)
+
+	mu      sync.Mutex
+	cur     *incarnation
+	incNum  int
+	status  atomic.Int32
+	hb      atomic.Int64 // unix nanos of last loop heartbeat
+	crashes atomic.Int32
+}
+
+type incarnation struct {
+	num   int
+	svc   Service
+	rt    *Runtime
+	stop  chan struct{}
+	done  chan struct{}
+	valid atomic.Bool // false once abandoned/superseded
+}
+
+// New creates a process. factory builds a fresh Service per incarnation;
+// onCrash (may be nil) is invoked from the dying goroutine.
+func New(name string, factory func() Service, opts Options, onCrash func(CrashEvent)) *Proc {
+	opts.fill()
+	p := &Proc{name: name, factory: factory, opts: opts, onCrash: onCrash}
+	p.status.Store(int32(StatusIdle))
+	return p
+}
+
+// Name returns the component name.
+func (p *Proc) Name() string { return p.name }
+
+// Status returns the current lifecycle status.
+func (p *Proc) Status() Status { return Status(p.status.Load()) }
+
+// Crashes returns how many incarnations have died.
+func (p *Proc) Crashes() int { return int(p.crashes.Load()) }
+
+// Incarnation returns the current incarnation number.
+func (p *Proc) Incarnation() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.incNum
+}
+
+// Heartbeat returns the time of the last loop iteration.
+func (p *Proc) Heartbeat() time.Time { return time.Unix(0, p.hb.Load()) }
+
+// Fault returns the live incarnation's fault point (nil when not running).
+func (p *Proc) Fault() *faults.Point {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.cur == nil {
+		return nil
+	}
+	return p.rtOf(p.cur).Fault
+}
+
+func (p *Proc) rtOf(inc *incarnation) *Runtime { return inc.rt }
+
+// Start launches the first incarnation (fresh start mode). It returns once
+// the incarnation's Init has completed or failed.
+func (p *Proc) Start() error { return p.launch(false) }
+
+// Restart abandons any current incarnation and launches a new one in
+// restart mode, so it recovers state from storage.
+func (p *Proc) Restart() error {
+	p.abandon()
+	return p.launch(true)
+}
+
+// Shutdown gracefully stops the current incarnation and waits for it.
+func (p *Proc) Shutdown() {
+	p.mu.Lock()
+	inc := p.cur
+	p.cur = nil
+	p.mu.Unlock()
+	if inc == nil {
+		return
+	}
+	inc.valid.Store(false)
+	close(inc.stop)
+	inc.rt.Bell.Ring()
+	inc.rt.Fault.Release()
+	<-inc.done
+	p.status.Store(int32(StatusStopped))
+}
+
+// abandon gives up on the current incarnation without waiting for its
+// goroutine (it may be hung); Release unwinds a parked Hang fault.
+func (p *Proc) abandon() {
+	p.mu.Lock()
+	inc := p.cur
+	p.cur = nil
+	p.mu.Unlock()
+	if inc == nil {
+		return
+	}
+	inc.valid.Store(false)
+	select {
+	case <-inc.stop:
+	default:
+		close(inc.stop)
+	}
+	inc.rt.Bell.Ring()
+	inc.rt.Fault.Release()
+}
+
+func (p *Proc) launch(restart bool) error {
+	p.mu.Lock()
+	if p.cur != nil {
+		p.mu.Unlock()
+		return fmt.Errorf("proc %s: already running", p.name)
+	}
+	p.incNum++
+	inc := &incarnation{
+		num:  p.incNum,
+		svc:  p.factory(),
+		stop: make(chan struct{}),
+		done: make(chan struct{}),
+		rt: &Runtime{
+			Bell:        channel.NewDoorbell(),
+			Fault:       faults.NewPoint(p.name),
+			Incarnation: p.incNum,
+		},
+	}
+	inc.valid.Store(true)
+	p.cur = inc
+	p.mu.Unlock()
+
+	initDone := make(chan error, 1)
+	go p.run(inc, restart, initDone)
+	if err := <-initDone; err != nil {
+		p.mu.Lock()
+		if p.cur == inc {
+			p.cur = nil
+		}
+		p.mu.Unlock()
+		return fmt.Errorf("proc %s: init: %w", p.name, err)
+	}
+	return nil
+}
+
+// run is one incarnation's goroutine: init, then the event loop, with
+// panic containment and crash reporting.
+func (p *Proc) run(inc *incarnation, restart bool, initDone chan<- error) {
+	defer close(inc.done)
+	if p.opts.DedicatedCore {
+		runtime.LockOSThread()
+		defer runtime.UnlockOSThread()
+	}
+	defer func() {
+		if r := recover(); r != nil {
+			// If Init itself panicked, unblock the launcher too.
+			select {
+			case initDone <- fmt.Errorf("panic during init: %v", r):
+			default:
+			}
+			p.reportCrash(inc, r)
+		}
+	}()
+
+	if err := inc.svc.Init(inc.rt, restart); err != nil {
+		initDone <- err
+		return
+	}
+	initDone <- nil
+	p.status.Store(int32(StatusRunning))
+	p.hb.Store(time.Now().UnixNano())
+
+	idle := 0
+	for {
+		select {
+		case <-inc.stop:
+			inc.svc.Stop()
+			if inc.valid.Load() {
+				p.status.Store(int32(StatusStopped))
+			}
+			return
+		default:
+		}
+		now := time.Now()
+		p.hb.Store(now.UnixNano())
+		inc.rt.Fault.Check()
+		if inc.svc.Poll(now) {
+			idle = 0
+			continue
+		}
+		idle++
+		if idle < p.opts.SpinBudget {
+			runtime.Gosched()
+			continue
+		}
+		// Fall off the polling fast path: arm the doorbell, re-check, sleep.
+		inc.rt.Bell.Arm()
+		if inc.svc.Poll(time.Now()) {
+			inc.rt.Bell.Disarm()
+			idle = 0
+			continue
+		}
+		timeout := p.opts.MaxSleep
+		if dl := inc.svc.Deadline(time.Now()); !dl.IsZero() {
+			if until := time.Until(dl); until < timeout {
+				timeout = until
+			}
+		}
+		if timeout > 0 {
+			inc.rt.Bell.Wait(timeout)
+		} else {
+			inc.rt.Bell.Disarm()
+		}
+		idle = 0
+	}
+}
+
+func (p *Proc) reportCrash(inc *incarnation, r any) {
+	injected := false
+	if _, ok := r.(faults.Injected); ok {
+		injected = true
+	}
+	if !inc.valid.Load() {
+		// A superseded incarnation unwinding (e.g. released hang): the
+		// crash was already handled when it was abandoned.
+		return
+	}
+	p.mu.Lock()
+	if p.cur == inc {
+		p.cur = nil
+	}
+	p.mu.Unlock()
+	p.crashes.Add(1)
+	p.status.Store(int32(StatusCrashed))
+	ev := CrashEvent{
+		Name:        p.name,
+		Incarnation: inc.num,
+		Reason:      fmt.Sprint(r),
+		Injected:    injected,
+		When:        time.Now(),
+	}
+	if p.onCrash != nil {
+		p.onCrash(ev)
+	}
+}

@@ -1,0 +1,203 @@
+// Package reinc implements the reincarnation server: the parent of all
+// system servers that "receives a signal when a server crashes, or resets
+// it when it stops responding to periodic heartbeats" (paper §V-D).
+package reinc
+
+import (
+	"sync"
+	"time"
+
+	"newtos/internal/proc"
+)
+
+// Event records one recovery action for the evaluation harness.
+type Event struct {
+	Name        string
+	Incarnation int
+	Reason      string
+	Injected    bool
+	Hang        bool // detected via heartbeat, not crash signal
+	DetectedAt  time.Time
+	RecoveredAt time.Time
+}
+
+// Config tunes the monitor.
+type Config struct {
+	// HeartbeatInterval is how often children are checked.
+	HeartbeatInterval time.Duration
+	// HeartbeatMiss is how stale a child's heartbeat may get before it is
+	// declared hung and reset.
+	HeartbeatMiss time.Duration
+	// MaxRestarts caps restarts per component (0 = unlimited); beyond it
+	// the component is left down (the "reboot necessary" outcome).
+	MaxRestarts int
+}
+
+func (c *Config) fill() {
+	if c.HeartbeatInterval == 0 {
+		c.HeartbeatInterval = 20 * time.Millisecond
+	}
+	if c.HeartbeatMiss == 0 {
+		c.HeartbeatMiss = 250 * time.Millisecond
+	}
+}
+
+// Monitor is the reincarnation server.
+type Monitor struct {
+	cfg Config
+
+	mu       sync.Mutex
+	children map[string]*proc.Proc
+	events   []Event
+	disabled map[string]bool
+
+	crashCh chan proc.CrashEvent
+	stop    chan struct{}
+	done    chan struct{}
+	started bool
+}
+
+// NewMonitor creates a reincarnation server.
+func NewMonitor(cfg Config) *Monitor {
+	cfg.fill()
+	return &Monitor{
+		cfg:      cfg,
+		children: make(map[string]*proc.Proc),
+		disabled: make(map[string]bool),
+		crashCh:  make(chan proc.CrashEvent, 64),
+		stop:     make(chan struct{}),
+		done:     make(chan struct{}),
+	}
+}
+
+// OnCrash returns the callback to install as a child's crash handler.
+func (m *Monitor) OnCrash() func(proc.CrashEvent) {
+	return func(ev proc.CrashEvent) {
+		select {
+		case m.crashCh <- ev:
+		case <-m.stop:
+		}
+	}
+}
+
+// Adopt registers a child for heartbeat monitoring and restart.
+func (m *Monitor) Adopt(p *proc.Proc) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.children[p.Name()] = p
+}
+
+// Start launches the monitoring loop.
+func (m *Monitor) Start() {
+	m.mu.Lock()
+	if m.started {
+		m.mu.Unlock()
+		return
+	}
+	m.started = true
+	m.mu.Unlock()
+	go m.loop()
+}
+
+// Stop terminates monitoring (children are left running).
+func (m *Monitor) Stop() {
+	m.mu.Lock()
+	if !m.started {
+		m.mu.Unlock()
+		return
+	}
+	m.started = false
+	close(m.stop)
+	m.mu.Unlock()
+	<-m.done
+}
+
+// Events returns a copy of all recovery events so far.
+func (m *Monitor) Events() []Event {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]Event, len(m.events))
+	copy(out, m.events)
+	return out
+}
+
+// Down reports components that exceeded MaxRestarts and were left down.
+func (m *Monitor) Down() []string {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]string, 0, len(m.disabled))
+	for name := range m.disabled {
+		out = append(out, name)
+	}
+	return out
+}
+
+func (m *Monitor) loop() {
+	defer close(m.done)
+	tick := time.NewTicker(m.cfg.HeartbeatInterval)
+	defer tick.Stop()
+	for {
+		select {
+		case <-m.stop:
+			return
+		case ev := <-m.crashCh:
+			m.recover(ev.Name, ev.Reason, ev.Injected, false)
+		case <-tick.C:
+			m.sweep()
+		}
+	}
+}
+
+// sweep detects hung children: running status but stale heartbeat.
+func (m *Monitor) sweep() {
+	m.mu.Lock()
+	var hung []*proc.Proc
+	for _, p := range m.children {
+		if m.disabled[p.Name()] {
+			continue
+		}
+		if p.Status() == proc.StatusRunning &&
+			time.Since(p.Heartbeat()) > m.cfg.HeartbeatMiss {
+			hung = append(hung, p)
+		}
+	}
+	m.mu.Unlock()
+	for _, p := range hung {
+		m.recover(p.Name(), "heartbeat missed", true, true)
+	}
+}
+
+// recover restarts a child in restart mode and records the event.
+func (m *Monitor) recover(name, reason string, injected, hang bool) {
+	m.mu.Lock()
+	p, ok := m.children[name]
+	if !ok || m.disabled[name] {
+		m.mu.Unlock()
+		return
+	}
+	if m.cfg.MaxRestarts > 0 && p.Crashes() > m.cfg.MaxRestarts {
+		m.disabled[name] = true
+		m.mu.Unlock()
+		return
+	}
+	m.mu.Unlock()
+
+	ev := Event{
+		Name:        name,
+		Incarnation: p.Incarnation(),
+		Reason:      reason,
+		Injected:    injected,
+		Hang:        hang,
+		DetectedAt:  time.Now(),
+	}
+	if err := p.Restart(); err != nil {
+		m.mu.Lock()
+		m.disabled[name] = true
+		m.mu.Unlock()
+		return
+	}
+	ev.RecoveredAt = time.Now()
+	m.mu.Lock()
+	m.events = append(m.events, ev)
+	m.mu.Unlock()
+}

@@ -1,0 +1,151 @@
+package reinc
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"newtos/internal/faults"
+	"newtos/internal/proc"
+)
+
+type dummy struct {
+	restarts *atomic.Int32
+}
+
+func (d *dummy) Init(rt *proc.Runtime, restart bool) error {
+	if restart {
+		d.restarts.Add(1)
+	}
+	return nil
+}
+func (d *dummy) Poll(now time.Time) bool          { return false }
+func (d *dummy) Deadline(now time.Time) time.Time { return time.Time{} }
+func (d *dummy) Stop()                            {}
+
+func startChild(t *testing.T, m *Monitor, name string) (*proc.Proc, *atomic.Int32) {
+	t.Helper()
+	var restarts atomic.Int32
+	p := proc.New(name, func() proc.Service { return &dummy{restarts: &restarts} },
+		proc.Options{SpinBudget: 2, MaxSleep: time.Millisecond}, m.OnCrash())
+	if err := p.Start(); err != nil {
+		t.Fatal(err)
+	}
+	m.Adopt(p)
+	return p, &restarts
+}
+
+func TestCrashTriggersRestart(t *testing.T) {
+	m := NewMonitor(Config{HeartbeatInterval: 5 * time.Millisecond, HeartbeatMiss: 100 * time.Millisecond})
+	m.Start()
+	defer m.Stop()
+	p, restarts := startChild(t, m, "victim")
+	defer p.Shutdown()
+
+	p.Fault().Arm(faults.Crash)
+	deadline := time.Now().Add(2 * time.Second)
+	for restarts.Load() == 0 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	if restarts.Load() != 1 {
+		t.Fatalf("restarts = %d", restarts.Load())
+	}
+	if p.Status() != proc.StatusRunning {
+		t.Fatalf("status = %v", p.Status())
+	}
+	evs := m.Events()
+	if len(evs) != 1 || evs[0].Name != "victim" || evs[0].Hang || !evs[0].Injected {
+		t.Fatalf("events = %+v", evs)
+	}
+	if evs[0].RecoveredAt.Before(evs[0].DetectedAt) {
+		t.Fatal("recovery before detection")
+	}
+}
+
+func TestHangDetectedByHeartbeat(t *testing.T) {
+	m := NewMonitor(Config{HeartbeatInterval: 5 * time.Millisecond, HeartbeatMiss: 50 * time.Millisecond})
+	m.Start()
+	defer m.Stop()
+	p, restarts := startChild(t, m, "hung")
+	defer p.Shutdown()
+
+	p.Fault().Arm(faults.Hang)
+	deadline := time.Now().Add(3 * time.Second)
+	for restarts.Load() == 0 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	if restarts.Load() == 0 {
+		t.Fatal("hung child never reset")
+	}
+	evs := m.Events()
+	if len(evs) == 0 || !evs[0].Hang {
+		t.Fatalf("events = %+v", evs)
+	}
+}
+
+func TestRepeatedCrashesKeepRecovering(t *testing.T) {
+	m := NewMonitor(Config{HeartbeatInterval: 5 * time.Millisecond})
+	m.Start()
+	defer m.Stop()
+	p, restarts := startChild(t, m, "flappy")
+	defer p.Shutdown()
+	for i := 0; i < 3; i++ {
+		want := int32(i + 1)
+		// Wait for a live fault point of the current incarnation.
+		deadline := time.Now().Add(2 * time.Second)
+		for p.Status() != proc.StatusRunning && time.Now().Before(deadline) {
+			time.Sleep(time.Millisecond)
+		}
+		f := p.Fault()
+		if f == nil {
+			t.Fatal("no fault point")
+		}
+		f.Arm(faults.Crash)
+		for restarts.Load() < want && time.Now().Before(deadline) {
+			time.Sleep(time.Millisecond)
+		}
+		if restarts.Load() < want {
+			t.Fatalf("round %d: restarts = %d", i, restarts.Load())
+		}
+	}
+}
+
+func TestMaxRestartsDisables(t *testing.T) {
+	m := NewMonitor(Config{HeartbeatInterval: 5 * time.Millisecond, MaxRestarts: 1})
+	m.Start()
+	defer m.Stop()
+	p, _ := startChild(t, m, "terminal")
+	// Crash twice; the second should leave it down.
+	for i := 0; i < 2; i++ {
+		deadline := time.Now().Add(2 * time.Second)
+		for p.Status() != proc.StatusRunning && time.Now().Before(deadline) {
+			time.Sleep(time.Millisecond)
+		}
+		if p.Status() != proc.StatusRunning {
+			break
+		}
+		p.Fault().Arm(faults.Crash)
+		for p.Status() == proc.StatusRunning && time.Now().Before(deadline) {
+			time.Sleep(time.Millisecond)
+		}
+	}
+	deadline := time.Now().Add(time.Second)
+	for len(m.Down()) == 0 && time.Now().Before(deadline) {
+		time.Sleep(5 * time.Millisecond)
+	}
+	down := m.Down()
+	if len(down) != 1 || down[0] != "terminal" {
+		t.Fatalf("down = %v", down)
+	}
+}
+
+func TestMonitorStopIdempotent(t *testing.T) {
+	m := NewMonitor(Config{})
+	m.Start()
+	m.Start()
+	m.Stop()
+	m.Stop()
+}
+
+var _ = sync.Mutex{}

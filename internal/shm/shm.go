@@ -1,0 +1,263 @@
+// Package shm simulates the shared-memory pools of NewtOS fast-path
+// channels (paper §IV).
+//
+// Pools carry the large data (packet payloads) that is too big for queue
+// slots; queue messages reference pool data through rich pointers
+// ({pool, generation, offset, length}). Pools follow the paper's FBufs-style
+// discipline:
+//
+//   - pools are exported read-only: only the owning server may allocate and
+//     free chunks; consumers get read-only views and must copy-on-write,
+//   - many processes can attach the same pool, so chains of rich pointers
+//     travel zero-copy down the stack,
+//   - when the owner crashes, the pool generation is bumped: stale rich
+//     pointers held by survivors resolve to ErrStale instead of garbage.
+//
+// A Space plays the role of the paper's virtual memory manager: the trusted
+// third party through which pools are exported and attached.
+package shm
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+)
+
+// Exported errors, matchable with errors.Is.
+var (
+	// ErrStale means a rich pointer refers to an old incarnation of a pool
+	// (its owner crashed and the pool was reset since the pointer was made).
+	ErrStale = errors.New("shm: stale rich pointer (pool generation changed)")
+	// ErrNoSuchPool means the pool ID is not known to the space.
+	ErrNoSuchPool = errors.New("shm: no such pool")
+	// ErrOutOfRange means a rich pointer points outside the pool.
+	ErrOutOfRange = errors.New("shm: rich pointer out of range")
+	// ErrPoolFull means the pool has no free chunks.
+	ErrPoolFull = errors.New("shm: pool full")
+	// ErrNotChunkStart means a free was attempted on a pointer that does not
+	// reference the start of an allocated chunk.
+	ErrNotChunkStart = errors.New("shm: pointer is not an allocated chunk")
+	// ErrReadOnly means a mutating operation was attempted by a non-owner.
+	ErrReadOnly = errors.New("shm: pool is exported read-only")
+)
+
+// PoolID identifies a pool within a Space.
+type PoolID uint32
+
+// RichPtr describes data living in a shared pool: which pool, which
+// incarnation of that pool, and where inside it. Rich pointers are what
+// channel messages carry instead of the data itself (paper §IV "Pools").
+type RichPtr struct {
+	Pool PoolID
+	Gen  uint32
+	Off  uint32
+	Len  uint32
+}
+
+// IsZero reports whether p is the zero pointer (no data).
+func (p RichPtr) IsZero() bool { return p == RichPtr{} }
+
+// Slice returns a pointer to a sub-range [from, to) of p's data.
+func (p RichPtr) Slice(from, to uint32) RichPtr {
+	if from > to || to > p.Len {
+		panic(fmt.Sprintf("shm: bad slice [%d:%d) of ptr len %d", from, to, p.Len))
+	}
+	return RichPtr{Pool: p.Pool, Gen: p.Gen, Off: p.Off + from, Len: to - from}
+}
+
+func (p RichPtr) String() string {
+	return fmt.Sprintf("ptr{pool=%d gen=%d off=%d len=%d}", p.Pool, p.Gen, p.Off, p.Len)
+}
+
+// Space is the set of pools visible on one simulated machine. It stands in
+// for the virtual memory manager: the trusted component that sets up shared
+// mappings so that "once a shared memory region between two processes is set
+// up, the source is known".
+type Space struct {
+	mu    sync.RWMutex
+	pools map[PoolID]*Pool
+	next  uint32
+}
+
+// NewSpace returns an empty space.
+func NewSpace() *Space {
+	return &Space{pools: make(map[PoolID]*Pool)}
+}
+
+// NewPool creates a pool of nChunks chunks of chunkSize bytes each, owned by
+// owner (an opaque name used for diagnostics and write protection).
+func (s *Space) NewPool(owner string, chunkSize, nChunks int) (*Pool, error) {
+	if chunkSize <= 0 || nChunks <= 0 {
+		return nil, fmt.Errorf("shm: invalid pool geometry %dx%d", nChunks, chunkSize)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.next++
+	p := &Pool{
+		id:        PoolID(s.next),
+		owner:     owner,
+		chunkSize: chunkSize,
+		nChunks:   nChunks,
+		data:      make([]byte, chunkSize*nChunks),
+		state:     make([]uint32, nChunks),
+		free:      make([]uint32, 0, nChunks),
+	}
+	p.gen.Store(1)
+	for i := nChunks - 1; i >= 0; i-- {
+		p.free = append(p.free, uint32(i))
+	}
+	s.pools[p.id] = p
+	return p, nil
+}
+
+// Pool returns the pool with the given ID.
+func (s *Space) Pool(id PoolID) (*Pool, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	p, ok := s.pools[id]
+	if !ok {
+		return nil, fmt.Errorf("%w: %d", ErrNoSuchPool, id)
+	}
+	return p, nil
+}
+
+// View resolves a rich pointer to a read-only byte view. The returned slice
+// aliases pool memory; callers must treat it as immutable (the paper's pools
+// are mapped read-only into consumers).
+func (s *Space) View(ptr RichPtr) ([]byte, error) {
+	p, err := s.Pool(ptr.Pool)
+	if err != nil {
+		return nil, err
+	}
+	return p.View(ptr)
+}
+
+// Drop removes a pool from the space entirely (used at teardown).
+func (s *Space) Drop(id PoolID) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	delete(s.pools, id)
+}
+
+// Pool is a fixed-geometry chunk allocator backed by one contiguous byte
+// region. Alloc and Free must be called only by the owning server's
+// goroutine (single-threaded owner, per the paper); View may be called by
+// anyone who attached the pool.
+type Pool struct {
+	id        PoolID
+	owner     string
+	chunkSize int
+	nChunks   int
+	gen       atomic.Uint32
+	data      []byte
+
+	// state[i] is 0 when chunk i is free, 1 when allocated. It is written
+	// only by the owner; kept as a slice of uint32 for cheap auditing.
+	state []uint32
+	free  []uint32
+
+	allocs atomic.Uint64
+	frees  atomic.Uint64
+}
+
+// ID returns the pool's identifier.
+func (p *Pool) ID() PoolID { return p.id }
+
+// Owner returns the name of the owning server.
+func (p *Pool) Owner() string { return p.owner }
+
+// Gen returns the current generation.
+func (p *Pool) Gen() uint32 { return p.gen.Load() }
+
+// ChunkSize returns the size of each chunk in bytes.
+func (p *Pool) ChunkSize() int { return p.chunkSize }
+
+// Chunks returns the total number of chunks.
+func (p *Pool) Chunks() int { return p.nChunks }
+
+// FreeChunks returns the number of currently free chunks.
+func (p *Pool) FreeChunks() int { return len(p.free) }
+
+// Stats returns cumulative allocation and free counts.
+func (p *Pool) Stats() (allocs, frees uint64) {
+	return p.allocs.Load(), p.frees.Load()
+}
+
+// Alloc reserves one chunk and returns a rich pointer covering all of it
+// plus a writable view for the owner to fill. Only the owner may call it.
+func (p *Pool) Alloc() (RichPtr, []byte, error) {
+	if len(p.free) == 0 {
+		return RichPtr{}, nil, ErrPoolFull
+	}
+	idx := p.free[len(p.free)-1]
+	p.free = p.free[:len(p.free)-1]
+	p.state[idx] = 1
+	p.allocs.Add(1)
+	ptr := RichPtr{
+		Pool: p.id,
+		Gen:  p.gen.Load(),
+		Off:  idx * uint32(p.chunkSize),
+		Len:  uint32(p.chunkSize),
+	}
+	return ptr, p.data[ptr.Off : ptr.Off+ptr.Len : ptr.Off+ptr.Len], nil
+}
+
+// Free releases the chunk that ptr points into. Only the owner may call it.
+// ptr may be any sub-slice of the chunk; the whole chunk is released.
+func (p *Pool) Free(ptr RichPtr) error {
+	if ptr.Pool != p.id {
+		return fmt.Errorf("%w: ptr pool %d, this pool %d", ErrNoSuchPool, ptr.Pool, p.id)
+	}
+	if ptr.Gen != p.gen.Load() {
+		return ErrStale
+	}
+	idx := int(ptr.Off) / p.chunkSize
+	if idx < 0 || idx >= p.nChunks {
+		return ErrOutOfRange
+	}
+	if p.state[idx] == 0 {
+		return fmt.Errorf("%w: chunk %d already free", ErrNotChunkStart, idx)
+	}
+	p.state[idx] = 0
+	p.free = append(p.free, uint32(idx))
+	p.frees.Add(1)
+	return nil
+}
+
+// View resolves ptr into this pool, validating generation and bounds.
+// The returned slice must be treated as read-only by non-owners.
+func (p *Pool) View(ptr RichPtr) ([]byte, error) {
+	if ptr.Pool != p.id {
+		return nil, fmt.Errorf("%w: ptr pool %d, this pool %d", ErrNoSuchPool, ptr.Pool, p.id)
+	}
+	if ptr.Gen != p.gen.Load() {
+		return nil, ErrStale
+	}
+	end := uint64(ptr.Off) + uint64(ptr.Len)
+	if end > uint64(len(p.data)) {
+		return nil, ErrOutOfRange
+	}
+	return p.data[ptr.Off:end:end], nil
+}
+
+// OwnerView is like View but documents intent: the owner may write through
+// the returned slice (e.g., the driver filling an RX buffer it was supplied).
+func (p *Pool) OwnerView(ptr RichPtr) ([]byte, error) {
+	return p.View(ptr)
+}
+
+// Reset simulates the owner crashing and the pool being re-created in the
+// new incarnation's (inherited) address space: all chunks become free and
+// the generation is bumped so outstanding rich pointers turn stale.
+func (p *Pool) Reset() {
+	p.gen.Add(1)
+	p.free = p.free[:0]
+	for i := p.nChunks - 1; i >= 0; i-- {
+		p.state[i] = 0
+		p.free = append(p.free, uint32(i))
+	}
+}
+
+// InUse returns the number of allocated chunks (owner-side accounting).
+func (p *Pool) InUse() int { return p.nChunks - len(p.free) }

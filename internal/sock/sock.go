@@ -1,0 +1,440 @@
+// Package sock is the application-side socket library — the "C library"
+// of NewtOS (paper §V-B): it "implements the synchronous calls as messages
+// to the SYSCALL server, which blocks the user process on receive until it
+// gets a reply". Payload bytes never cross the kernel: they are written
+// into (and read out of) per-socket shared buffers, and only 16-byte rich
+// pointers travel in the control messages.
+//
+// The same library also works without a SYSCALL server (paper Table II
+// row 2): the frontdoor endpoint names are then registered by the
+// transports themselves, and calls go to them directly.
+package sock
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"newtos/internal/kipc"
+	"newtos/internal/msg"
+	"newtos/internal/netpkt"
+	"newtos/internal/shm"
+	"newtos/internal/sockbuf"
+	"newtos/internal/wiring"
+)
+
+// Exported errors, mapped from reply statuses.
+var (
+	ErrTimeout      = errors.New("sock: operation timed out")
+	ErrRefused      = errors.New("sock: connection refused")
+	ErrReset        = errors.New("sock: connection reset by peer")
+	ErrAborted      = errors.New("sock: operation aborted (server restarted)")
+	ErrClosed       = errors.New("sock: socket closed")
+	ErrAddrInUse    = errors.New("sock: address in use")
+	ErrNotConnected = errors.New("sock: not connected")
+	ErrWouldBlock   = errors.New("sock: would block")
+	ErrStack        = errors.New("sock: stack error")
+)
+
+func statusErr(st int32) error {
+	switch st {
+	case msg.StatusOK:
+		return nil
+	case msg.StatusErrTimedOut:
+		return ErrTimeout
+	case msg.StatusErrRefused:
+		return ErrRefused
+	case msg.StatusErrConnRst:
+		return ErrReset
+	case msg.StatusErrAborted:
+		return ErrAborted
+	case msg.StatusErrInUse:
+		return ErrAddrInUse
+	case msg.StatusErrNotConn:
+		return ErrNotConnected
+	case msg.StatusErrAgain:
+		return ErrWouldBlock
+	default:
+		return fmt.Errorf("%w: status %d", ErrStack, st)
+	}
+}
+
+// Proto selects the transport.
+type Proto int
+
+// Protocols.
+const (
+	TCP Proto = iota + 1
+	UDP
+)
+
+// Client is one application process's handle to the stack. It is safe for
+// concurrent use by multiple goroutines (one may block in Recv while
+// another Sends): a pump goroutine owns the kernel endpoint's receive side
+// and dispatches replies to waiting callers by request ID.
+type Client struct {
+	hub    *wiring.Hub
+	ep     *kipc.Endpoint
+	nextID atomic.Uint64
+	// CallTimeout bounds one blocking call (0 = forever).
+	CallTimeout time.Duration
+
+	mu      sync.Mutex
+	waiters map[uint64]chan msg.Req
+	stop    chan struct{}
+	done    chan struct{}
+}
+
+// NewClient registers an application endpoint named name.
+func NewClient(hub *wiring.Hub, name string) (*Client, error) {
+	ep, err := hub.Kern.Register("app/"+name, nil)
+	if err != nil {
+		return nil, fmt.Errorf("sock: %w", err)
+	}
+	c := &Client{
+		hub: hub, ep: ep, CallTimeout: 10 * time.Second,
+		waiters: make(map[uint64]chan msg.Req),
+		stop:    make(chan struct{}),
+		done:    make(chan struct{}),
+	}
+	go c.pump()
+	return c, nil
+}
+
+// pump receives every reply and routes it to its caller.
+func (c *Client) pump() {
+	defer close(c.done)
+	for {
+		select {
+		case <-c.stop:
+			return
+		default:
+		}
+		m, err := c.ep.Receive(kipc.Any, 100*time.Millisecond)
+		if err != nil {
+			if errors.Is(err, kipc.ErrClosed) {
+				return
+			}
+			continue
+		}
+		if m.Type == kipc.MsgNotify || m.Data == nil {
+			continue
+		}
+		rep, err := msg.UnmarshalReq(m.Data)
+		if err != nil {
+			continue
+		}
+		c.mu.Lock()
+		ch, ok := c.waiters[rep.ID]
+		if ok {
+			delete(c.waiters, rep.ID)
+		}
+		c.mu.Unlock()
+		if ok {
+			ch <- rep
+		}
+	}
+}
+
+// Close releases the client's kernel endpoint and stops the pump.
+func (c *Client) Close() {
+	close(c.stop)
+	c.ep.Close()
+	<-c.done
+}
+
+// frontdoor resolves the kernel endpoint a call must go to.
+func (c *Client) frontdoor(p Proto) (kipc.EndpointID, error) {
+	name := "frontdoor-tcp"
+	if p == UDP {
+		name = "frontdoor-udp"
+	}
+	id, ok := c.hub.Kern.Lookup(name)
+	if !ok {
+		return 0, fmt.Errorf("sock: no %s endpoint (stack down?)", name)
+	}
+	return id, nil
+}
+
+// call performs one synchronous stack call.
+func (c *Client) call(p Proto, req msg.Req) (msg.Req, error) {
+	req.ID = c.nextID.Add(1)
+	dst, err := c.frontdoor(p)
+	if err != nil {
+		return msg.Req{}, err
+	}
+	ch := make(chan msg.Req, 1)
+	c.mu.Lock()
+	c.waiters[req.ID] = ch
+	c.mu.Unlock()
+	cleanup := func() {
+		c.mu.Lock()
+		delete(c.waiters, req.ID)
+		c.mu.Unlock()
+	}
+	if err := c.ep.Send(dst, kipc.Msg{Type: uint32(req.Op), Data: req.MarshalBinary()}); err != nil {
+		cleanup()
+		return msg.Req{}, fmt.Errorf("sock: call: %w", err)
+	}
+	timeout := c.CallTimeout
+	if timeout <= 0 {
+		timeout = time.Hour
+	}
+	t := time.NewTimer(timeout)
+	defer t.Stop()
+	select {
+	case rep := <-ch:
+		return rep, nil
+	case <-t.C:
+		cleanup()
+		return msg.Req{}, fmt.Errorf("sock: reply: %w", ErrTimeout)
+	case <-c.stop:
+		cleanup()
+		return msg.Req{}, ErrClosed
+	}
+}
+
+// send posts a fire-and-forget message (no reply expected).
+func (c *Client) post(p Proto, req msg.Req) error {
+	req.ID = c.nextID.Add(1)
+	dst, err := c.frontdoor(p)
+	if err != nil {
+		return err
+	}
+	return c.ep.Send(dst, kipc.Msg{Type: uint32(req.Op), Data: req.MarshalBinary()})
+}
+
+// Socket is one open socket.
+type Socket struct {
+	c     *Client
+	proto Proto
+	id    uint32
+	buf   *sockbuf.Buf
+	// leftover is received data handed to us that the caller has not
+	// consumed yet: views plus the consumed-byte count to acknowledge.
+	leftover []byte
+	eof      bool
+}
+
+// Socket opens a socket on the given transport.
+func (c *Client) Socket(p Proto) (*Socket, error) {
+	rep, err := c.call(p, msg.Req{Op: msg.OpSockCreate})
+	if err != nil {
+		return nil, err
+	}
+	if err := statusErr(rep.Status); err != nil {
+		return nil, err
+	}
+	return &Socket{c: c, proto: p, id: rep.Flow}, nil
+}
+
+// ID returns the stack-side socket identifier.
+func (s *Socket) ID() uint32 { return s.id }
+
+// Bind binds the socket to a local port.
+func (s *Socket) Bind(port uint16) error {
+	r := msg.Req{Op: msg.OpSockBind, Flow: s.id}
+	r.Arg[0] = uint64(port)
+	rep, err := s.c.call(s.proto, r)
+	if err != nil {
+		return err
+	}
+	return statusErr(rep.Status)
+}
+
+// Listen makes a bound TCP socket accept connections.
+func (s *Socket) Listen(backlog int) error {
+	r := msg.Req{Op: msg.OpSockListen, Flow: s.id}
+	r.Arg[0] = uint64(backlog)
+	rep, err := s.c.call(s.proto, r)
+	if err != nil {
+		return err
+	}
+	return statusErr(rep.Status)
+}
+
+// Accept blocks until a connection arrives and returns its socket.
+func (s *Socket) Accept() (*Socket, error) {
+	rep, err := s.c.call(s.proto, msg.Req{Op: msg.OpSockAccept, Flow: s.id})
+	if err != nil {
+		return nil, err
+	}
+	if err := statusErr(rep.Status); err != nil {
+		return nil, err
+	}
+	return &Socket{c: s.c, proto: s.proto, id: uint32(rep.Arg[0])}, nil
+}
+
+// Connect establishes a connection (TCP) or sets the default remote (UDP).
+func (s *Socket) Connect(ip netpkt.IPAddr, port uint16) error {
+	r := msg.Req{Op: msg.OpSockConnect, Flow: s.id}
+	r.Arg[0] = uint64(ip.U32())
+	r.Arg[1] = uint64(port)
+	rep, err := s.c.call(s.proto, r)
+	if err != nil {
+		return err
+	}
+	return statusErr(rep.Status)
+}
+
+// fetchBuf attaches the socket's shared TX buffer (exported by the
+// transport at socket/connection setup).
+func (s *Socket) fetchBuf() error {
+	if s.buf != nil {
+		return nil
+	}
+	pfx := "sockbuf/tcp/"
+	if s.proto == UDP {
+		pfx = "sockbuf/udp/"
+	}
+	a, ok := s.c.hub.Reg.Get(pfx + fmt.Sprint(s.id))
+	if !ok {
+		return fmt.Errorf("sock: no shared buffer for socket %d", s.id)
+	}
+	buf, ok := a.Value.(*sockbuf.Buf)
+	if !ok {
+		return fmt.Errorf("sock: bad buffer announcement for socket %d", s.id)
+	}
+	s.buf = buf
+	return nil
+}
+
+// Send writes data to the socket, blocking for buffer space and stack
+// acceptance; it returns the number of bytes accepted.
+func (s *Socket) Send(data []byte) (int, error) {
+	return s.SendTo(data, netpkt.IPAddr{}, 0)
+}
+
+// SendTo is Send with an explicit destination (UDP).
+func (s *Socket) SendTo(data []byte, dst netpkt.IPAddr, port uint16) (int, error) {
+	if err := s.fetchBuf(); err != nil {
+		return 0, err
+	}
+	total := 0
+	for total < len(data) {
+		r := msg.Req{Op: msg.OpSockSend, Flow: s.id}
+		r.Arg[0] = uint64(dst.U32())
+		r.Arg[1] = uint64(port)
+		n, filled, err := s.fillChain(&r, data[total:])
+		if err != nil {
+			return total, err
+		}
+		if filled == 0 {
+			// No free chunks: the stack is still draining earlier data.
+			time.Sleep(50 * time.Microsecond)
+			continue
+		}
+		rep, err := s.c.call(s.proto, r)
+		if err != nil {
+			return total, err
+		}
+		if err := statusErr(rep.Status); err != nil {
+			return total, err
+		}
+		total += n
+	}
+	return total, nil
+}
+
+// fillChain moves as much of data as fits into free shared-buffer chunks,
+// recording the rich pointers in r. Returns bytes staged and chunks used.
+func (s *Socket) fillChain(r *msg.Req, data []byte) (int, int, error) {
+	staged := 0
+	var chain []shm.RichPtr
+	for len(chain) < msg.MaxPtrs-1 && staged < len(data) {
+		chunk, ok := s.buf.Get()
+		if !ok {
+			break
+		}
+		n := len(data) - staged
+		if n > s.buf.ChunkSize() {
+			n = s.buf.ChunkSize()
+		}
+		ptr, err := s.buf.Write(chunk, data[staged:staged+n])
+		if err != nil {
+			return staged, len(chain), err
+		}
+		chain = append(chain, ptr)
+		staged += n
+	}
+	r.SetChain(chain)
+	return staged, len(chain), nil
+}
+
+// Recv reads up to len(p) bytes, blocking until data (or EOF) arrives.
+// A return of (0, nil) means EOF.
+func (s *Socket) Recv(p []byte) (int, error) {
+	n, _, _, err := s.recvMeta(p)
+	return n, err
+}
+
+// RecvFrom is Recv returning the datagram source (UDP).
+func (s *Socket) RecvFrom(p []byte) (int, netpkt.IPAddr, uint16, error) {
+	return s.recvMeta(p)
+}
+
+func (s *Socket) recvMeta(p []byte) (int, netpkt.IPAddr, uint16, error) {
+	// Serve leftover bytes first.
+	if len(s.leftover) > 0 {
+		n := copy(p, s.leftover)
+		s.leftover = s.leftover[n:]
+		return n, netpkt.IPAddr{}, 0, nil
+	}
+	if s.eof {
+		return 0, netpkt.IPAddr{}, 0, nil
+	}
+	rep, err := s.c.call(s.proto, msg.Req{Op: msg.OpSockRecv, Flow: s.id})
+	if err != nil {
+		return 0, netpkt.IPAddr{}, 0, err
+	}
+	if rep.Op == msg.OpSockReply {
+		return 0, netpkt.IPAddr{}, 0, statusErr(rep.Status)
+	}
+	if err := statusErr(rep.Status); err != nil {
+		return 0, netpkt.IPAddr{}, 0, err
+	}
+	total := int(rep.Arg[0])
+	if total == 0 {
+		s.eof = true
+		return 0, netpkt.IPAddr{}, 0, nil
+	}
+	// Copy out of the shared views, then acknowledge so the stack can
+	// release the buffers and reopen the window.
+	var all []byte
+	for _, ptr := range rep.Chain() {
+		v, err := s.c.hub.Space.View(ptr)
+		if err != nil {
+			// The pool owner restarted under us; the bytes are gone.
+			break
+		}
+		all = append(all, v...)
+	}
+	done := msg.Req{Op: msg.OpSockRecvDone, Flow: s.id}
+	done.Arg[0] = uint64(len(all))
+	if s.proto == UDP {
+		done.Arg[0] = rep.Arg[2] // deliver cookie for datagram release
+	}
+	_ = s.c.post(s.proto, done)
+
+	n := copy(p, all)
+	if n < len(all) {
+		s.leftover = append(s.leftover[:0], all[n:]...)
+	}
+	srcIP := netpkt.IPFromU32(uint32(rep.Arg[0]))
+	srcPort := uint16(rep.Arg[1])
+	if s.proto == TCP {
+		srcIP, srcPort = netpkt.IPAddr{}, 0
+	}
+	return n, srcIP, srcPort, nil
+}
+
+// Close closes the socket.
+func (s *Socket) Close() error {
+	rep, err := s.c.call(s.proto, msg.Req{Op: msg.OpSockClose, Flow: s.id})
+	if err != nil {
+		return err
+	}
+	return statusErr(rep.Status)
+}

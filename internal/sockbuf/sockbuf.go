@@ -1,0 +1,104 @@
+// Package sockbuf implements the per-socket shared data buffers of the
+// stack's user-space interface (paper §V-B): "opening a socket also exports
+// shared memory buffer to the applications where the servers expect the
+// data. ... The actual data bypass the SYSCALL [server]".
+//
+// A Buf is a transport-owned chunk pool whose free chunks are handed to the
+// application through a single-producer single-consumer supply ring:
+//
+//	transport (producer) --free chunks--> supply ring --> app (consumer)
+//	app writes payload into a chunk, cites it in a send request
+//	transport frees the chunk after the data left the machine (UDP) or was
+//	acknowledged (TCP) and recycles it into the ring
+//
+// An exhausted ring is back-pressure: the application blocks in send until
+// the stack has drained earlier data.
+package sockbuf
+
+import (
+	"fmt"
+
+	"newtos/internal/shm"
+	"newtos/internal/spsc"
+)
+
+// DefaultChunks and DefaultChunkSize give each socket 64 KB of TX buffer —
+// one full TSO burst (16 × 4 KB).
+const (
+	DefaultChunks    = 16
+	DefaultChunkSize = 4096
+)
+
+// Buf is one socket's transmit buffer.
+type Buf struct {
+	pool   *shm.Pool
+	supply *spsc.Ring[shm.RichPtr]
+}
+
+// New allocates a socket buffer in space, owned by owner. All chunks start
+// out in the supply ring.
+func New(space *shm.Space, owner string, chunkSize, nChunks int) (*Buf, error) {
+	pool, err := space.NewPool(owner, chunkSize, nChunks)
+	if err != nil {
+		return nil, fmt.Errorf("sockbuf: %w", err)
+	}
+	// Ring capacity must be a power of two >= nChunks.
+	cap := 2
+	for cap < nChunks {
+		cap *= 2
+	}
+	ring, err := spsc.New[shm.RichPtr](cap)
+	if err != nil {
+		return nil, fmt.Errorf("sockbuf: %w", err)
+	}
+	b := &Buf{pool: pool, supply: ring}
+	for i := 0; i < nChunks; i++ {
+		ptr, _, err := pool.Alloc()
+		if err != nil {
+			return nil, fmt.Errorf("sockbuf: prefill: %w", err)
+		}
+		ring.TryEnqueue(ptr)
+	}
+	return b, nil
+}
+
+// Pool returns the backing pool (the transport frees/recycles through it).
+func (b *Buf) Pool() *shm.Pool { return b.pool }
+
+// ChunkSize returns the chunk size in bytes.
+func (b *Buf) ChunkSize() int { return b.pool.ChunkSize() }
+
+// Get pops a free chunk; app side only. ok=false means the buffer is
+// exhausted and the caller should back off (flow control).
+func (b *Buf) Get() (shm.RichPtr, bool) {
+	return b.supply.TryDequeue()
+}
+
+// Write fills a previously Got chunk with data and returns a rich pointer
+// to exactly the written range. App side only.
+func (b *Buf) Write(ptr shm.RichPtr, data []byte) (shm.RichPtr, error) {
+	view, err := b.pool.OwnerView(ptr)
+	if err != nil {
+		return shm.RichPtr{}, fmt.Errorf("sockbuf: %w", err)
+	}
+	if len(data) > len(view) {
+		return shm.RichPtr{}, fmt.Errorf("sockbuf: %d bytes exceed chunk size %d", len(data), len(view))
+	}
+	copy(view, data)
+	return ptr.Slice(0, uint32(len(data))), nil
+}
+
+// Recycle returns a chunk to the supply ring; transport side only. The
+// pointer may be a sub-slice of the chunk; the whole chunk is recycled.
+func (b *Buf) Recycle(ptr shm.RichPtr) {
+	full := shm.RichPtr{
+		Pool: ptr.Pool,
+		Gen:  ptr.Gen,
+		Off:  ptr.Off - ptr.Off%uint32(b.pool.ChunkSize()),
+		Len:  uint32(b.pool.ChunkSize()),
+	}
+	b.supply.TryEnqueue(full)
+}
+
+// Free returns how many chunks are currently available to the app.
+func (b *Buf) Free() int { return b.supply.Len() }

@@ -1,0 +1,75 @@
+package sockbuf
+
+import (
+	"bytes"
+	"testing"
+
+	"newtos/internal/shm"
+)
+
+func newBuf(t *testing.T) (*shm.Space, *Buf) {
+	t.Helper()
+	space := shm.NewSpace()
+	b, err := New(space, "test", 512, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return space, b
+}
+
+func TestGetWriteRecycleCycle(t *testing.T) {
+	space, b := newBuf(t)
+	if b.Free() != 4 {
+		t.Fatalf("Free = %d", b.Free())
+	}
+	ptr, ok := b.Get()
+	if !ok {
+		t.Fatal("no chunk")
+	}
+	w, err := b.Write(ptr, []byte("payload bytes"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.Len != 13 {
+		t.Fatalf("written ptr len = %d", w.Len)
+	}
+	v, err := space.View(w)
+	if err != nil || !bytes.Equal(v, []byte("payload bytes")) {
+		t.Fatalf("view = %q, %v", v, err)
+	}
+	if b.Free() != 3 {
+		t.Fatalf("Free after get = %d", b.Free())
+	}
+	// Recycling a sub-slice returns the whole chunk.
+	b.Recycle(w.Slice(3, 10))
+	if b.Free() != 4 {
+		t.Fatalf("Free after recycle = %d", b.Free())
+	}
+}
+
+func TestExhaustionIsBackpressure(t *testing.T) {
+	_, b := newBuf(t)
+	for i := 0; i < 4; i++ {
+		if _, ok := b.Get(); !ok {
+			t.Fatalf("chunk %d missing", i)
+		}
+	}
+	if _, ok := b.Get(); ok {
+		t.Fatal("got a 5th chunk from a 4-chunk buffer")
+	}
+}
+
+func TestWriteOversizeRejected(t *testing.T) {
+	_, b := newBuf(t)
+	ptr, _ := b.Get()
+	if _, err := b.Write(ptr, make([]byte, 513)); err == nil {
+		t.Fatal("oversized write accepted")
+	}
+}
+
+func TestChunkSize(t *testing.T) {
+	_, b := newBuf(t)
+	if b.ChunkSize() != 512 {
+		t.Fatalf("ChunkSize = %d", b.ChunkSize())
+	}
+}

@@ -1,0 +1,242 @@
+package spsc
+
+import (
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewRejectsBadCapacity(t *testing.T) {
+	for _, c := range []int{0, 1, 3, 5, 6, 7, 9, 100, -4} {
+		if _, err := New[int](c); err == nil {
+			t.Errorf("New(%d): expected error", c)
+		}
+	}
+	for _, c := range []int{2, 4, 8, 1024} {
+		r, err := New[int](c)
+		if err != nil {
+			t.Fatalf("New(%d): %v", c, err)
+		}
+		if r.Cap() != c {
+			t.Errorf("Cap() = %d, want %d", r.Cap(), c)
+		}
+	}
+}
+
+func TestMustNewPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustNew(3) did not panic")
+		}
+	}()
+	MustNew[int](3)
+}
+
+func TestEnqueueDequeueFIFO(t *testing.T) {
+	r := MustNew[int](8)
+	for i := 0; i < 8; i++ {
+		if !r.TryEnqueue(i) {
+			t.Fatalf("enqueue %d failed", i)
+		}
+	}
+	if r.TryEnqueue(99) {
+		t.Fatal("enqueue into full ring succeeded")
+	}
+	if got := r.Len(); got != 8 {
+		t.Fatalf("Len = %d, want 8", got)
+	}
+	for i := 0; i < 8; i++ {
+		v, ok := r.TryDequeue()
+		if !ok || v != i {
+			t.Fatalf("dequeue = (%d,%v), want (%d,true)", v, ok, i)
+		}
+	}
+	if _, ok := r.TryDequeue(); ok {
+		t.Fatal("dequeue from empty ring succeeded")
+	}
+	if !r.Empty() {
+		t.Fatal("ring should be empty")
+	}
+}
+
+func TestPeekDoesNotConsume(t *testing.T) {
+	r := MustNew[string](4)
+	if _, ok := r.Peek(); ok {
+		t.Fatal("peek on empty ring succeeded")
+	}
+	r.TryEnqueue("a")
+	for i := 0; i < 3; i++ {
+		v, ok := r.Peek()
+		if !ok || v != "a" {
+			t.Fatalf("peek = (%q,%v)", v, ok)
+		}
+	}
+	v, ok := r.TryDequeue()
+	if !ok || v != "a" {
+		t.Fatalf("dequeue after peek = (%q,%v)", v, ok)
+	}
+}
+
+func TestWrapAround(t *testing.T) {
+	r := MustNew[int](4)
+	next := 0
+	for round := 0; round < 100; round++ {
+		for i := 0; i < 3; i++ {
+			if !r.TryEnqueue(next) {
+				t.Fatal("enqueue failed")
+			}
+			next++
+		}
+		for i := 0; i < 3; i++ {
+			v, ok := r.TryDequeue()
+			if !ok || v != next-3+i {
+				t.Fatalf("round %d: dequeue = (%d,%v), want %d", round, v, ok, next-3+i)
+			}
+		}
+	}
+}
+
+func TestDequeueBatch(t *testing.T) {
+	r := MustNew[int](16)
+	for i := 0; i < 10; i++ {
+		r.TryEnqueue(i)
+	}
+	dst := make([]int, 4)
+	if n := r.DequeueBatch(dst); n != 4 {
+		t.Fatalf("batch = %d, want 4", n)
+	}
+	for i, v := range dst {
+		if v != i {
+			t.Fatalf("dst[%d] = %d", i, v)
+		}
+	}
+	big := make([]int, 32)
+	if n := r.DequeueBatch(big); n != 6 {
+		t.Fatalf("batch = %d, want 6", n)
+	}
+	if big[0] != 4 || big[5] != 9 {
+		t.Fatalf("batch contents wrong: %v", big[:6])
+	}
+	if n := r.DequeueBatch(big); n != 0 {
+		t.Fatalf("batch on empty = %d", n)
+	}
+}
+
+// TestConcurrentOrdering drives a producer and consumer on separate
+// goroutines and checks that every element arrives exactly once, in order.
+func TestConcurrentOrdering(t *testing.T) {
+	const n = 200000
+	r := MustNew[int](256)
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < n; {
+			if r.TryEnqueue(i) {
+				i++
+			}
+		}
+	}()
+	for i := 0; i < n; {
+		if v, ok := r.TryDequeue(); ok {
+			if v != i {
+				t.Errorf("got %d, want %d", v, i)
+				break
+			}
+			i++
+		}
+	}
+	wg.Wait()
+}
+
+// TestQuickFIFO is a property test: for any sequence of enqueues that fits,
+// dequeuing returns the same sequence.
+func TestQuickFIFO(t *testing.T) {
+	prop := func(vals []uint32) bool {
+		if len(vals) > 64 {
+			vals = vals[:64]
+		}
+		r := MustNew[uint32](64)
+		for _, v := range vals {
+			if !r.TryEnqueue(v) {
+				return false
+			}
+		}
+		for _, want := range vals {
+			got, ok := r.TryDequeue()
+			if !ok || got != want {
+				return false
+			}
+		}
+		_, ok := r.TryDequeue()
+		return !ok
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickInterleaved property: any interleaving of enqueue/dequeue
+// operations preserves FIFO order and conservation of elements.
+func TestQuickInterleaved(t *testing.T) {
+	prop := func(ops []bool) bool {
+		r := MustNew[int](8)
+		nextIn, nextOut := 0, 0
+		for _, isEnq := range ops {
+			if isEnq {
+				if r.TryEnqueue(nextIn) {
+					nextIn++
+				}
+			} else {
+				if v, ok := r.TryDequeue(); ok {
+					if v != nextOut {
+						return false
+					}
+					nextOut++
+				}
+			}
+		}
+		return nextOut <= nextIn && nextIn-nextOut == r.Len()
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkEnqueueDequeueSameGoroutine(b *testing.B) {
+	r := MustNew[uint64](1024)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		r.TryEnqueue(uint64(i))
+		r.TryDequeue()
+	}
+}
+
+// BenchmarkCrossCoreEnqueue measures the paper's headline micro-number: the
+// cost of asynchronously enqueuing a message while a consumer on another
+// core keeps draining (§IV reports ~30 cycles).
+func BenchmarkCrossCoreEnqueue(b *testing.B) {
+	r := MustNew[uint64](4096)
+	done := make(chan struct{})
+	stop := make(chan struct{})
+	go func() {
+		defer close(done)
+		for {
+			if _, ok := r.TryDequeue(); !ok {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+			}
+		}
+	}()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for !r.TryEnqueue(uint64(i)) {
+		}
+	}
+	b.StopTimer()
+	close(stop)
+	<-done
+}

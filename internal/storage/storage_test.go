@@ -1,0 +1,84 @@
+package storage
+
+import (
+	"bytes"
+	"testing"
+	"time"
+
+	"newtos/internal/proc"
+)
+
+func TestPutGetDeleteIsolation(t *testing.T) {
+	s := NewStore()
+	val := []byte("routing table")
+	s.Put("ip/config", val)
+	val[0] = 'X' // caller mutates after Put
+	got, ok := s.Get("ip/config")
+	if !ok || !bytes.Equal(got, []byte("routing table")) {
+		t.Fatalf("get = %q, %v (must be isolated from caller mutation)", got, ok)
+	}
+	got[0] = 'Y' // caller mutates the returned copy
+	got2, _ := s.Get("ip/config")
+	if !bytes.Equal(got2, []byte("routing table")) {
+		t.Fatal("returned slice aliases the store")
+	}
+	s.Delete("ip/config")
+	if _, ok := s.Get("ip/config"); ok {
+		t.Fatal("deleted key present")
+	}
+}
+
+func TestKeysPrefix(t *testing.T) {
+	s := NewStore()
+	s.Put("tcp/sockets", nil)
+	s.Put("tcp/flows", nil)
+	s.Put("udp/sockets", nil)
+	if got := len(s.Keys("tcp/")); got != 2 {
+		t.Fatalf("Keys(tcp/) = %d", got)
+	}
+	if got := len(s.Keys("")); got != 3 {
+		t.Fatalf("Keys() = %d", got)
+	}
+}
+
+func TestCrashWipesAndBumpsGeneration(t *testing.T) {
+	st := NewStore()
+	st.Put("pf/rules", []byte("rules"))
+	gen0 := st.Gen()
+
+	p := proc.New("storage", func() proc.Service { return NewService(st) },
+		proc.Options{}, nil)
+	if err := p.Start(); err != nil {
+		t.Fatal(err)
+	}
+	// A restart (as after a crash) wipes everything: "every other server
+	// has to store its state again".
+	if err := p.Restart(); err != nil {
+		t.Fatal(err)
+	}
+	defer p.Shutdown()
+	if _, ok := st.Get("pf/rules"); ok {
+		t.Fatal("data survived the storage crash")
+	}
+	if st.Gen() == gen0 {
+		t.Fatal("generation did not change")
+	}
+	// Fresh start (first boot) does not wipe.
+	st.Put("again", []byte("x"))
+	puts, gets := st.Stats()
+	if puts == 0 || gets != 0 {
+		t.Fatalf("stats = %d, %d", puts, gets)
+	}
+}
+
+func TestServiceIsQuiescent(t *testing.T) {
+	st := NewStore()
+	svc := NewService(st)
+	if svc.Poll(time.Now()) {
+		t.Fatal("storage service claims work")
+	}
+	if !svc.Deadline(time.Now()).IsZero() {
+		t.Fatal("storage service has timers")
+	}
+	svc.Stop()
+}

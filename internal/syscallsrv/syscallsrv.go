@@ -1,0 +1,263 @@
+// Package syscallsrv implements the SYSCALL server (paper §V-B): the one
+// server that "pays the trapping toll for the rest of the system". It
+// receives synchronous POSIX-style socket calls from applications over
+// kernel IPC, peeks into them, and forwards them to the transports over
+// asynchronous channels; replies travel the same way back.
+//
+// It is stateless apart from remembering the last unfinished operation per
+// socket, which lets it reissue recv-class operations when a transport
+// server restarts and return errors for the rest — exactly the paper's
+// recovery contract.
+package syscallsrv
+
+import (
+	"fmt"
+	"time"
+
+	"newtos/internal/kipc"
+	"newtos/internal/msg"
+	"newtos/internal/proc"
+	"newtos/internal/wiring"
+)
+
+// Endpoint names applications look up. In configurations without a SYSCALL
+// server, the transports register these names themselves.
+const (
+	TCPFrontdoor = "frontdoor-tcp"
+	UDPFrontdoor = "frontdoor-udp"
+	PFFrontdoor  = "frontdoor-pf"
+)
+
+// pendingCall routes a transport reply back to the blocked application.
+type pendingCall struct {
+	app   kipc.EndpointID
+	appID uint64
+	sock  uint32
+	op    msg.Op
+	orig  msg.Req
+	epIdx int // which frontdoor the call arrived on (reply goes back there)
+}
+
+// Server is one SYSCALL server incarnation.
+type Server struct {
+	ports *wiring.Ports
+
+	eps     []*kipc.Endpoint
+	tcpPort *wiring.Port
+	udpPort *wiring.Port
+	pfPort  *wiring.Port
+	tcpBox  wiring.Outbox
+	udpBox  wiring.Outbox
+	pfBox   wiring.Outbox
+
+	nextID  uint64
+	pending map[uint64]pendingCall
+	// lastOp remembers the unfinished operation per socket so it can be
+	// reissued after a transport crash (recv/select-class only).
+	lastOp map[uint32]pendingCall
+}
+
+var _ proc.Service = (*Server)(nil)
+
+// New creates a SYSCALL server incarnation.
+func New(ports *wiring.Ports) *Server {
+	return &Server{ports: ports}
+}
+
+// Init registers the frontdoor endpoints and exports the control channels
+// to the transports and the packet filter.
+func (s *Server) Init(rt *proc.Runtime, restart bool) error {
+	s.pending = make(map[uint64]pendingCall)
+	s.lastOp = make(map[uint32]pendingCall)
+	s.ports.Begin(rt.Bell)
+	s.tcpPort = s.ports.Export("sc-tcp", "tcp")
+	s.udpPort = s.ports.Export("sc-udp", "udp")
+	s.pfPort = s.ports.Export("sc-pf", "pf")
+	kern := s.ports.Hub().Kern
+	for _, name := range []string{TCPFrontdoor, UDPFrontdoor, PFFrontdoor} {
+		ep, err := kern.Register(name, rt.Bell)
+		if err != nil {
+			return fmt.Errorf("syscallsrv: %w", err)
+		}
+		s.eps = append(s.eps, ep)
+	}
+	return nil
+}
+
+// Poll dispatches app calls inward and transport replies outward.
+func (s *Server) Poll(now time.Time) bool {
+	worked := false
+
+	// Transport restarts: reissue or abort what was in flight.
+	if _, changed := s.tcpPort.Take(); changed {
+		s.tcpBox.Drop()
+		s.recoverTransport(true)
+		worked = true
+	}
+	if _, changed := s.udpPort.Take(); changed {
+		s.udpBox.Drop()
+		s.recoverTransport(false)
+		worked = true
+	}
+	if _, changed := s.pfPort.Take(); changed {
+		s.pfBox.Drop()
+		worked = true
+	}
+
+	// Application calls arriving over kernel IPC.
+	for i, ep := range s.eps {
+		for j := 0; j < 64; j++ {
+			m, err := ep.TryReceive(kipc.Any)
+			if err != nil {
+				break
+			}
+			if m.Type == kipc.MsgNotify || m.Data == nil {
+				continue
+			}
+			req, err := msg.UnmarshalReq(m.Data)
+			if err != nil {
+				continue
+			}
+			s.dispatch(i, m.From, req)
+			worked = true
+		}
+	}
+
+	// Replies from the transports.
+	if s.drainReplies(s.tcpPort) {
+		worked = true
+	}
+	if s.drainReplies(s.udpPort) {
+		worked = true
+	}
+	if s.drainReplies(s.pfPort) {
+		worked = true
+	}
+
+	// Flush queued forwards.
+	if d := s.tcpPort.Cur(); d.Valid() && s.tcpBox.Flush(d.Out) {
+		worked = true
+	}
+	if d := s.udpPort.Cur(); d.Valid() && s.udpBox.Flush(d.Out) {
+		worked = true
+	}
+	if d := s.pfPort.Cur(); d.Valid() && s.pfBox.Flush(d.Out) {
+		worked = true
+	}
+	return worked
+}
+
+// dispatch forwards one application call to its transport with a fresh
+// internal ID. epIdx identifies which frontdoor it arrived on (0 = TCP,
+// 1 = UDP, 2 = PF).
+func (s *Server) dispatch(epIdx int, from kipc.EndpointID, req msg.Req) {
+	s.nextID++
+	id := s.nextID
+	call := pendingCall{app: from, appID: req.ID, sock: req.Flow, op: req.Op, orig: req, epIdx: epIdx}
+	s.pending[id] = call
+	fwd := req
+	fwd.ID = id
+
+	// Fire-and-forget operations produce no reply.
+	if req.Op == msg.OpSockRecvDone {
+		delete(s.pending, id)
+	} else {
+		s.lastOp[req.Flow] = call
+	}
+
+	switch epIdx {
+	case 0:
+		s.tcpBox.Push(fwd)
+	case 1:
+		s.udpBox.Push(fwd)
+	case 2:
+		s.pfBox.Push(fwd)
+	}
+}
+
+// drainReplies relays transport replies back to blocked applications.
+func (s *Server) drainReplies(port *wiring.Port) bool {
+	dup := port.Cur()
+	if !dup.Valid() {
+		return false
+	}
+	worked := false
+	for i := 0; i < 256; i++ {
+		r, ok := dup.In.Recv()
+		if !ok {
+			break
+		}
+		worked = true
+		call, known := s.pending[r.ID]
+		if !known {
+			continue // reply from a previous transport incarnation
+		}
+		delete(s.pending, r.ID)
+		if last, ok := s.lastOp[call.sock]; ok && last.appID == call.appID {
+			delete(s.lastOp, call.sock)
+		}
+		rep := r
+		rep.ID = call.appID
+		// The app is blocked in Receive on its SendRec; this rendezvous
+		// completes immediately.
+		_ = s.sendToApp(call.epIdx, call.app, rep)
+	}
+	return worked
+}
+
+func (s *Server) sendToApp(epIdx int, app kipc.EndpointID, rep msg.Req) error {
+	if epIdx < 0 || epIdx >= len(s.eps) {
+		return nil
+	}
+	return s.eps[epIdx].Send(app, kipc.Msg{Type: uint32(rep.Op), Data: rep.MarshalBinary()})
+}
+
+// recoverTransport handles a transport server restart: recv-class
+// operations are reissued against the new incarnation (they trigger no
+// network traffic); everything else gets an error, and the application
+// retries or observes the aborted connection.
+func (s *Server) recoverTransport(isTCP bool) {
+	box := &s.udpBox
+	if isTCP {
+		box = &s.tcpBox
+	}
+	for id, call := range s.pending {
+		reissue := call.op == msg.OpSockRecv || call.op == msg.OpSockAccept
+		if !s.callBelongsTo(isTCP, call) {
+			continue
+		}
+		delete(s.pending, id)
+		if reissue {
+			s.nextID++
+			nid := s.nextID
+			s.pending[nid] = call
+			fwd := call.orig
+			fwd.ID = nid
+			box.Push(fwd)
+			continue
+		}
+		rep := msg.Req{ID: call.appID, Op: msg.OpSockReply, Flow: call.sock, Status: msg.StatusErrAborted}
+		_ = s.sendToApp(call.epIdx, call.app, rep)
+	}
+}
+
+// callBelongsTo decides which transport a pending call was sent to. The
+// SYSCALL server keeps no per-socket table beyond this (it is stateless);
+// the frontdoor split makes the mapping unambiguous for creates, and
+// subsequent ops inherit it through lastOp bookkeeping.
+func (s *Server) callBelongsTo(isTCP bool, call pendingCall) bool {
+	if isTCP {
+		return call.epIdx == 0
+	}
+	return call.epIdx == 1
+}
+
+// Deadline: no timers.
+func (s *Server) Deadline(now time.Time) time.Time { return time.Time{} }
+
+// Stop closes the frontdoor endpoints.
+func (s *Server) Stop() {
+	for _, ep := range s.eps {
+		ep.Close()
+	}
+}

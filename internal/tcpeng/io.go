@@ -1,0 +1,409 @@
+package tcpeng
+
+import (
+	"time"
+
+	"newtos/internal/msg"
+	"newtos/internal/netpkt"
+	"newtos/internal/shm"
+)
+
+// segmentIn processes one inbound TCP segment delivered by IP.
+// r.Ptrs[0] points at the L4 segment inside IP's receive pool; r.ID is the
+// deliver cookie we must eventually hand back so IP can recycle the buffer.
+func (e *Engine) segmentIn(r msg.Req) {
+	seg := r.Ptrs[0]
+	view, err := e.cfg.Space.View(seg)
+	if err != nil {
+		e.releaseDeliver(r.ID)
+		return
+	}
+	th, err := netpkt.ParseTCP(view)
+	if err != nil {
+		e.releaseDeliver(r.ID)
+		return
+	}
+	e.stats.SegsIn++
+	srcIP := netpkt.IPFromU32(uint32(r.Arg[1]))
+	key := fourTuple{localPort: th.DstPort, remoteIP: srcIP, remotePort: th.SrcPort}
+
+	dstIP := netpkt.IPFromU32(uint32(r.Arg[2]))
+	if id, ok := e.conns[key]; ok {
+		e.segmentForConn(e.sockets[id], th, seg, view, r.ID)
+		return
+	}
+	// No connection: a listener may take a SYN.
+	if th.Flags&netpkt.TCPSyn != 0 && th.Flags&netpkt.TCPAck == 0 {
+		if lid, ok := e.listeners[th.DstPort]; ok {
+			e.handleListenSyn(e.sockets[lid], th, key, dstIP)
+			e.releaseDeliver(r.ID)
+			return
+		}
+	}
+	// Unknown segment (e.g. for a connection that died with a previous
+	// incarnation): RST, unless it is itself an RST.
+	if th.Flags&netpkt.TCPRst == 0 {
+		e.sendRstFor(th, srcIP, dstIP)
+	}
+	e.releaseDeliver(r.ID)
+}
+
+// handleListenSyn creates an embryonic connection for a SYN on a listener.
+func (e *Engine) handleListenSyn(l *pcb, th netpkt.TCPHeader, key fourTuple, dstIP netpkt.IPAddr) {
+	if len(l.acceptQ)+1 > l.backlog {
+		return // silently drop; peer retries
+	}
+	e.next++
+	c := &pcb{id: e.next, state: StateSynRcvd, mss: MSS, listenerID: l.id}
+	c.fourTuple = key
+	c.localIP = dstIP
+	c.bound = true
+	if th.MSS != 0 && th.MSS < c.mss {
+		c.mss = th.MSS
+	}
+	e.initSendState(c)
+	c.irs = th.Seq
+	c.rcvNxt = th.Seq + 1
+	c.sndWnd = uint32(th.Window)
+	e.sockets[c.id] = c
+	e.conns[key] = c.id
+	e.ensureBuf(c)
+	e.emitSegment(c, netpkt.TCPSyn|netpkt.TCPAck, c.iss, nil, 0, true)
+	c.sndNxt = c.iss + 1
+	c.rto = synRTO
+	c.rtoAt = e.now.Add(c.rto)
+}
+
+// segmentForConn is the per-connection receive state machine.
+func (e *Engine) segmentForConn(p *pcb, th netpkt.TCPHeader, seg shm.RichPtr, view []byte, deliverID uint64) {
+	defer func() {
+		// Everything below either queued the payload range (keeping the
+		// deliver cookie) or is done with the buffer.
+	}()
+
+	if th.Flags&netpkt.TCPRst != 0 {
+		e.stats.RSTsIn++
+		e.connReset(p)
+		e.releaseDeliver(deliverID)
+		return
+	}
+
+	switch p.state {
+	case StateSynSent:
+		e.synSentIn(p, th)
+		e.releaseDeliver(deliverID)
+		return
+	case StateSynRcvd:
+		if th.Flags&netpkt.TCPAck != 0 && th.Ack == p.sndNxt {
+			e.established(p)
+			// Fall through to normal processing for any piggybacked data.
+		} else if th.Flags&netpkt.TCPSyn != 0 {
+			// Duplicate SYN: re-ack.
+			e.emitSegment(p, netpkt.TCPSyn|netpkt.TCPAck, p.iss, nil, 0, true)
+			e.releaseDeliver(deliverID)
+			return
+		}
+	case StateTimeWait:
+		e.sendAck(p)
+		e.releaseDeliver(deliverID)
+		return
+	case StateClosed:
+		e.releaseDeliver(deliverID)
+		return
+	}
+
+	// ACK processing.
+	plen := uint32(len(view) - th.DataOff)
+	if th.Flags&netpkt.TCPAck != 0 {
+		e.processAck(p, th, plen > 0)
+	}
+	windowOpened := p.sndWnd == 0 && th.Window > 0
+	p.sndWnd = uint32(th.Window)
+	if windowOpened {
+		p.rtoAt = zeroTime
+		p.retxCount = 0
+	}
+	used := false
+	if plen > 0 {
+		used = e.processData(p, th, seg, plen, deliverID)
+	}
+
+	// FIN processing (only when all data up to the FIN has arrived).
+	if th.Flags&netpkt.TCPFin != 0 && p.rcvNxt == th.Seq+plen {
+		e.processFin(p)
+	}
+
+	if !used {
+		e.releaseDeliver(deliverID)
+	}
+	e.output(p)
+}
+
+func (e *Engine) synSentIn(p *pcb, th netpkt.TCPHeader) {
+	if th.Flags&(netpkt.TCPSyn|netpkt.TCPAck) != netpkt.TCPSyn|netpkt.TCPAck || th.Ack != p.iss+1 {
+		return
+	}
+	p.irs = th.Seq
+	p.rcvNxt = th.Seq + 1
+	p.sndUna = th.Ack
+	p.sndWnd = uint32(th.Window)
+	if th.MSS != 0 && th.MSS < p.mss {
+		p.mss = th.MSS
+	}
+	e.established(p)
+	e.sendAck(p)
+	e.output(p)
+}
+
+// established completes the handshake for both active and passive opens.
+func (e *Engine) established(p *pcb) {
+	if p.state == StateEstablished {
+		return
+	}
+	p.state = StateEstablished
+	p.rto = minRTO * 4
+	p.rtoAt = zeroTime
+	p.retxCount = 0
+	if p.pendingConnect != 0 {
+		e.reply(p.pendingConnect, p.id, msg.StatusOK)
+		p.pendingConnect = 0
+	}
+	if p.listenerID != 0 {
+		if l, ok := e.sockets[p.listenerID]; ok && l.state == StateListen {
+			if len(l.pendingAccept) > 0 {
+				id := l.pendingAccept[0]
+				l.pendingAccept = l.pendingAccept[1:]
+				e.replyAccept(id, l.id, p.id)
+			} else {
+				l.acceptQ = append(l.acceptQ, p.id)
+			}
+		}
+		e.stats.ConnsAccepted++
+	}
+	e.persist()
+}
+
+// processAck advances the send window, frees acknowledged stream chunks,
+// samples RTT, and drives congestion control (Reno).
+func (e *Engine) processAck(p *pcb, th netpkt.TCPHeader, hasPayload bool) {
+	ack := th.Ack
+	if netpkt.SeqLT(p.sndNxt, ack) {
+		// Acks something we never sent: ignore.
+		return
+	}
+	if netpkt.SeqLEQ(ack, p.sndUna) {
+		// A duplicate ACK in the RFC 5681 sense: no payload, no window
+		// change, data outstanding. Window updates and data segments that
+		// repeat the ack number are NOT loss signals.
+		if ack == p.sndUna && p.sndNxt != p.sndUna && !hasPayload &&
+			uint32(th.Window) == p.sndWnd {
+			p.dupAcks++
+			e.stats.DupAcksIn++
+			if p.dupAcks == 3 {
+				e.fastRetransmit(p)
+			}
+		}
+		return
+	}
+	// New data acknowledged.
+	acked := ack - p.sndUna
+	p.sndUna = ack
+	p.dupAcks = 0
+
+	// RTT sample (Karn's rule: only for never-retransmitted segments).
+	if p.rttSeq != 0 && netpkt.SeqLT(p.rttSeq, ack) {
+		e.rttSample(p, e.now.Sub(p.rttStart))
+		p.rttSeq = 0
+	}
+	// Congestion control.
+	if p.cwnd < p.ssthresh {
+		p.cwnd += min32(acked, uint32(p.mss)) // slow start
+	} else {
+		p.cwnd += max32(uint32(p.mss)*uint32(p.mss)/p.cwnd, 1) // AIMD
+	}
+
+	// Free stream chunks that are fully acknowledged.
+	for len(p.stream) > 0 {
+		c := p.stream[0]
+		if !netpkt.SeqLEQ(c.seq+c.ptr.Len, ack) {
+			break
+		}
+		if p.buf != nil {
+			p.buf.Recycle(c.ptr)
+		}
+		p.stream = p.stream[1:]
+	}
+
+	// Retransmission timer.
+	if p.sndUna == p.sndNxt {
+		p.rtoAt = zeroTime
+		p.retxCount = 0
+	} else {
+		p.rtoAt = e.now.Add(p.rto)
+	}
+
+	// Half-close progress.
+	if p.finSent && netpkt.SeqLT(p.finSeq, ack) {
+		switch p.state {
+		case StateFinWait1:
+			p.state = StateFinWait2
+		case StateClosing:
+			e.enterTimeWait(p)
+		case StateLastAck:
+			e.destroy(p)
+			e.persist()
+		}
+	}
+}
+
+func (e *Engine) rttSample(p *pcb, rtt time.Duration) {
+	if p.srtt == 0 {
+		p.srtt = rtt
+		p.rttvar = rtt / 2
+	} else {
+		d := p.srtt - rtt
+		if d < 0 {
+			d = -d
+		}
+		p.rttvar = (3*p.rttvar + d) / 4
+		p.srtt = (7*p.srtt + rtt) / 8
+	}
+	p.rto = p.srtt + 4*p.rttvar
+	if p.rto < minRTO {
+		p.rto = minRTO
+	}
+	if p.rto > maxRTO {
+		p.rto = maxRTO
+	}
+}
+
+// processData queues in-order payload; out-of-order segments are dropped
+// with an immediate duplicate ACK (the retransmission recovers them — a
+// deliberate lwIP-class simplification documented in DESIGN.md).
+// Returns true when the deliver buffer was retained in the receive queue.
+func (e *Engine) processData(p *pcb, th netpkt.TCPHeader, seg shm.RichPtr, plen uint32, deliverID uint64) bool {
+	switch p.state {
+	case StateEstablished, StateFinWait1, StateFinWait2:
+	default:
+		return false
+	}
+	seq := th.Seq
+	start := uint32(0)
+	if netpkt.SeqLT(seq, p.rcvNxt) {
+		// Partial or full duplicate: trim the head.
+		dup := p.rcvNxt - seq
+		if dup >= plen {
+			e.stats.DropsDup++
+			e.sendAck(p)
+			return false
+		}
+		start = dup
+		seq = p.rcvNxt
+	} else if seq != p.rcvNxt {
+		// Out of order: dup-ack, drop.
+		e.stats.DropsOOO++
+		e.sendAck(p)
+		return false
+	}
+	if e.rcvWnd(p) == 0 {
+		e.stats.DropsWindow++
+		e.sendAck(p)
+		return false
+	}
+	take := plen - start
+	if take > e.rcvWnd(p) {
+		e.stats.DropsWindow++
+		take = e.rcvWnd(p)
+	}
+	off := uint32(th.DataOff) + start
+	item := rxItem{
+		payload:   seg.Slice(off, off+take),
+		deliverID: deliverID,
+	}
+	p.rcvQ = append(p.rcvQ, item)
+	p.rcvQueued += take
+	p.rcvNxt = seq + take
+	e.stats.BytesIn += uint64(take)
+
+	// ACK policy: every second segment — or a PSH boundary (the end of a
+	// sender burst) — immediately; otherwise delayed. Acking on PSH keeps
+	// TSO bursts from stalling on the delayed-ACK timer.
+	p.ackPending++
+	if p.ackPending >= 2 || th.Flags&netpkt.TCPPsh != 0 {
+		e.sendAck(p)
+	} else if p.delAckAt.IsZero() {
+		p.delAckAt = e.now.Add(delAckDelay)
+	}
+
+	// Wake a parked recv.
+	if p.pendingRecv != 0 {
+		id := p.pendingRecv
+		p.pendingRecv = 0
+		e.replyRecv(id, p)
+	}
+	return true
+}
+
+func (e *Engine) processFin(p *pcb) {
+	if p.finRcvd {
+		return
+	}
+	p.finRcvd = true
+	p.rcvNxt++
+	e.sendAck(p)
+	switch p.state {
+	case StateEstablished:
+		p.state = StateCloseWait
+	case StateFinWait1:
+		// Our FIN not yet acked: simultaneous close.
+		p.state = StateClosing
+	case StateFinWait2:
+		e.enterTimeWait(p)
+	}
+	// EOF to a parked recv.
+	if p.pendingRecv != 0 && p.rcvQueued == 0 {
+		id := p.pendingRecv
+		p.pendingRecv = 0
+		rep := msg.Req{ID: id, Op: msg.OpSockRecvData, Flow: p.id, Status: msg.StatusOK}
+		e.toFront = append(e.toFront, rep)
+	}
+	e.persist()
+}
+
+func (e *Engine) enterTimeWait(p *pcb) {
+	p.state = StateTimeWait
+	p.timeWaitAt = e.now.Add(timeWait)
+	p.rtoAt = zeroTime
+	e.persist()
+}
+
+// connReset tears a connection down on RST: pending app operations fail
+// with ECONNRESET.
+func (e *Engine) connReset(p *pcb) {
+	p.reset = true
+	if p.pendingConnect != 0 {
+		e.reply(p.pendingConnect, p.id, msg.StatusErrRefused)
+		p.pendingConnect = 0
+	}
+	if p.pendingRecv != 0 {
+		e.reply(p.pendingRecv, p.id, msg.StatusErrConnRst)
+		p.pendingRecv = 0
+	}
+	e.destroy(p)
+	// Keep the pcb visible as reset for subsequent app calls.
+	p.state = StateClosed
+	e.sockets[p.id] = p
+	e.persist()
+}
+
+// sendDone handles IP's completion of one of our segment transmissions:
+// the header chunk is freed (payload chunks live until acknowledged).
+func (e *Engine) sendDone(r msg.Req) {
+	data, ok := e.db.Complete(r.ID)
+	if !ok {
+		return // pre-crash reply; fresh-ID rule says ignore
+	}
+	if hdr, ok := data.(shm.RichPtr); ok {
+		_ = e.hdrPool.Free(hdr)
+	}
+}

@@ -1,0 +1,386 @@
+package tcpeng
+
+import (
+	"encoding/binary"
+	"time"
+
+	"newtos/internal/msg"
+	"newtos/internal/netpkt"
+	"newtos/internal/shm"
+)
+
+var zeroTime time.Time
+
+func min32(a, b uint32) uint32 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func max32(a, b uint32) uint32 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// output transmits whatever the window currently allows: queued stream
+// data (as TSO bursts or MSS-sized segments) and a queued FIN.
+func (e *Engine) output(p *pcb) {
+	switch p.state {
+	case StateEstablished, StateCloseWait, StateFinWait1, StateClosing, StateLastAck:
+	default:
+		return
+	}
+	dataEnd := p.streamEnd
+	if p.finQueued {
+		dataEnd = p.finSeq
+	}
+	for netpkt.SeqLT(p.sndNxt, dataEnd) {
+		inflight := p.sndNxt - p.sndUna
+		wnd := min32(p.cwnd, p.sndWnd)
+		if inflight >= wnd {
+			// Window closed. With data waiting and nothing in flight, arm
+			// the timer so rtoFire sends a zero-window probe (there is no
+			// separate persist timer; the RTO doubles as it).
+			if p.sndWnd == 0 && inflight == 0 && p.rtoAt.IsZero() {
+				p.rtoAt = e.now.Add(p.rto)
+			}
+			break
+		}
+		budget := wnd - inflight
+		avail := dataEnd - p.sndNxt
+		burst := min32(avail, budget)
+		maxSeg := uint32(p.mss)
+		if e.cfg.TSO {
+			maxSeg = TSOMaxBurst
+		}
+		burst = min32(burst, maxSeg)
+		if burst == 0 {
+			break
+		}
+		ptrs, got := e.gather(p, p.sndNxt, burst)
+		if got == 0 {
+			break
+		}
+		// PSH on every burst boundary: the receiver acks PSH segments
+		// immediately, so window tails never stall on the delayed-ACK
+		// timer (classic throughput bug for window-limited transfers).
+		flags := netpkt.TCPAck | netpkt.TCPPsh
+		seg := uint16(0)
+		if e.cfg.TSO && got > uint32(p.mss) {
+			seg = p.mss
+		}
+		e.emitData(p, flags, p.sndNxt, ptrs, got, seg)
+		if p.rttSeq == 0 && p.retxCount == 0 {
+			p.rttSeq = p.sndNxt
+			p.rttStart = e.now
+		}
+		p.sndNxt += got
+		e.stats.BytesOut += uint64(got)
+	}
+	// FIN.
+	if p.finQueued && !p.finSent && p.sndNxt == p.finSeq {
+		e.emitSegment(p, netpkt.TCPFin|netpkt.TCPAck, p.finSeq, nil, 0, false)
+		p.sndNxt = p.finSeq + 1
+		p.finSent = true
+	}
+	if p.sndNxt != p.sndUna && p.rtoAt.IsZero() {
+		p.rtoAt = e.now.Add(p.rto)
+	}
+}
+
+// gather collects rich pointers covering the stream range
+// [from, from+maxBytes), bounded by MaxPtrs-1 (one slot is the header).
+func (e *Engine) gather(p *pcb, from, maxBytes uint32) ([]shm.RichPtr, uint32) {
+	var out []shm.RichPtr
+	got := uint32(0)
+	for _, c := range p.stream {
+		if got >= maxBytes || len(out) >= msg.MaxPtrs-1 {
+			break
+		}
+		end := c.seq + c.ptr.Len
+		if netpkt.SeqLEQ(end, from) {
+			continue
+		}
+		start := uint32(0)
+		if netpkt.SeqLT(c.seq, from) {
+			start = from - c.seq
+		}
+		take := min32(c.ptr.Len-start, maxBytes-got)
+		out = append(out, c.ptr.Slice(start, start+take))
+		got += take
+		from += take
+	}
+	return out, got
+}
+
+// emitData sends a data segment (or TSO burst).
+func (e *Engine) emitData(p *pcb, flags uint8, seq uint32, payload []shm.RichPtr, plen uint32, segSize uint16) {
+	e.emit(p, flags, seq, payload, plen, segSize, false)
+}
+
+// emitSegment sends a control segment (SYN, SYN|ACK, FIN, pure ACK).
+// withMSS adds the MSS option (SYN family).
+func (e *Engine) emitSegment(p *pcb, flags uint8, seq uint32, payload []shm.RichPtr, plen uint32, withMSS bool) {
+	e.emit(p, flags, seq, payload, plen, 0, withMSS)
+}
+
+func (e *Engine) emit(p *pcb, flags uint8, seq uint32, payload []shm.RichPtr, plen uint32, segSize uint16, withMSS bool) {
+	hdrPtr, hdrBuf, err := e.hdrPool.Alloc()
+	if err != nil {
+		return // out of header chunks: the RTO will retry
+	}
+	th := netpkt.TCPHeader{
+		SrcPort: p.localPort, DstPort: p.remotePort,
+		Seq: seq, Flags: flags,
+		Window: uint16(min32(e.rcvWnd(p), 65535)),
+	}
+	if flags&netpkt.TCPAck != 0 {
+		th.Ack = p.rcvNxt
+	}
+	if withMSS {
+		th.MSS = MSS
+	}
+	hlen := th.MarshalLen()
+	th.Marshal(hdrBuf)
+	hdr := hdrPtr.Slice(0, uint32(hlen))
+
+	src := p.localIP
+	if src == (netpkt.IPAddr{}) {
+		src = e.srcFor(p.remoteIP)
+	}
+	offload := uint64(0)
+	if e.cfg.Offload {
+		offload = msg.OffloadCsumL4
+		if segSize > 0 {
+			offload |= msg.OffloadTSO
+		}
+	} else {
+		e.softwareChecksum(p, src, hdrBuf[:hlen], payload, plen)
+	}
+
+	id := e.db.NewID()
+	e.db.Track(id, "ip", hdr, func(_ uint64, data any) {
+		// Abort action on IP crash: release the header chunk; the data
+		// itself is resubmitted by OnIPRestart through go-back-N.
+		if ptr, ok := data.(shm.RichPtr); ok {
+			_ = e.hdrPool.Free(ptr)
+		}
+	})
+	req := msg.Req{ID: id, Op: msg.OpIPSend, Flow: p.id}
+	req.SetChain(append([]shm.RichPtr{hdr}, payload...))
+	req.Arg[0] = uint64(netpkt.ProtoTCP) | uint64(segSize)<<16
+	req.Arg[1] = uint64(src.U32())
+	req.Arg[2] = uint64(p.remoteIP.U32())
+	req.Arg[3] = offload
+	e.toIP = append(e.toIP, req)
+	e.stats.SegsOut++
+
+	// Any segment carrying ACK satisfies pending ack obligations.
+	if flags&netpkt.TCPAck != 0 {
+		p.ackPending = 0
+		p.delAckAt = zeroTime
+	}
+}
+
+// softwareChecksum computes the full TCP checksum when offload is off.
+func (e *Engine) softwareChecksum(p *pcb, src netpkt.IPAddr, hdr []byte, payload []shm.RichPtr, plen uint32) {
+	acc := netpkt.PseudoSum(src, p.remoteIP, netpkt.ProtoTCP, uint16(uint32(len(hdr))+plen))
+	var flat []byte
+	flat = append(flat, hdr...)
+	for _, ptr := range payload {
+		if v, err := e.cfg.Space.View(ptr); err == nil {
+			flat = append(flat, v...)
+		}
+	}
+	binary.BigEndian.PutUint16(hdr[16:18], netpkt.Fold16(netpkt.Sum16(flat, acc)))
+}
+
+// sendAck emits an immediate pure ACK.
+func (e *Engine) sendAck(p *pcb) {
+	e.emitSegment(p, netpkt.TCPAck, p.sndNxt, nil, 0, false)
+}
+
+// sendRstFor answers a segment for a nonexistent connection with RST —
+// how peers of connections lost in a TCP server crash learn their fate.
+func (e *Engine) sendRstFor(th netpkt.TCPHeader, srcIP, localIP netpkt.IPAddr) {
+	hdrPtr, hdrBuf, err := e.hdrPool.Alloc()
+	if err != nil {
+		return
+	}
+	rst := netpkt.TCPHeader{
+		SrcPort: th.DstPort, DstPort: th.SrcPort,
+		Flags: netpkt.TCPRst | netpkt.TCPAck,
+		Ack:   th.Seq + 1,
+	}
+	if th.Flags&netpkt.TCPAck != 0 {
+		rst.Seq = th.Ack
+		rst.Flags = netpkt.TCPRst
+		rst.Ack = 0
+	}
+	hlen := rst.MarshalLen()
+	rst.Marshal(hdrBuf)
+	hdr := hdrPtr.Slice(0, uint32(hlen))
+	offload := uint64(0)
+	if e.cfg.Offload {
+		offload = msg.OffloadCsumL4
+	} else {
+		acc := netpkt.PseudoSum(localIP, srcIP, netpkt.ProtoTCP, uint16(hlen))
+		binary.BigEndian.PutUint16(hdrBuf[16:18], netpkt.Fold16(netpkt.Sum16(hdrBuf[:hlen], acc)))
+	}
+	id := e.db.NewID()
+	e.db.Track(id, "ip", hdr, func(_ uint64, data any) {
+		if ptr, ok := data.(shm.RichPtr); ok {
+			_ = e.hdrPool.Free(ptr)
+		}
+	})
+	req := msg.Req{ID: id, Op: msg.OpIPSend}
+	req.SetChain([]shm.RichPtr{hdr})
+	req.Arg[0] = uint64(netpkt.ProtoTCP)
+	req.Arg[1] = uint64(localIP.U32())
+	req.Arg[2] = uint64(srcIP.U32())
+	req.Arg[3] = offload
+	e.toIP = append(e.toIP, req)
+	e.stats.RSTsSent++
+	e.stats.SegsOut++
+}
+
+// fastRetransmit reacts to the third duplicate ACK (Reno).
+func (e *Engine) fastRetransmit(p *pcb) {
+	inflight := p.sndNxt - p.sndUna
+	p.ssthresh = max32(inflight/2, 2*uint32(p.mss))
+	p.cwnd = p.ssthresh + 3*uint32(p.mss)
+	p.recover = p.sndNxt
+	e.stats.FastRetx++
+	e.stats.Retransmits++
+	// Resend one segment at sndUna.
+	ptrs, got := e.gather(p, p.sndUna, uint32(p.mss))
+	if got > 0 {
+		flags := netpkt.TCPAck
+		e.emitData(p, flags, p.sndUna, ptrs, got, 0)
+	}
+	p.rttSeq = 0 // Karn
+}
+
+// Tick drives every per-connection timer: retransmission, delayed ACK,
+// TIME-WAIT reaping, and handshake retries.
+func (e *Engine) Tick(now time.Time) {
+	e.now = now
+	var dead []*pcb
+	for _, p := range e.sockets {
+		// Delayed ACK.
+		if !p.delAckAt.IsZero() && !now.Before(p.delAckAt) {
+			e.sendAck(p)
+		}
+		// TIME-WAIT expiry.
+		if p.state == StateTimeWait && !now.Before(p.timeWaitAt) {
+			dead = append(dead, p)
+			continue
+		}
+		// Retransmission timeout.
+		if !p.rtoAt.IsZero() && !now.Before(p.rtoAt) {
+			e.rtoFire(p)
+		}
+	}
+	for _, p := range dead {
+		e.destroy(p)
+	}
+	if len(dead) > 0 {
+		e.persist()
+	}
+}
+
+func (e *Engine) rtoFire(p *pcb) {
+	p.retxCount++
+	e.stats.Retransmits++
+	switch p.state {
+	case StateSynSent, StateSynRcvd:
+		if p.retxCount > 6 {
+			if p.pendingConnect != 0 {
+				e.reply(p.pendingConnect, p.id, msg.StatusErrTimedOut)
+				p.pendingConnect = 0
+			}
+			e.destroy(p)
+			return
+		}
+		flags := uint8(netpkt.TCPSyn)
+		if p.state == StateSynRcvd {
+			flags |= netpkt.TCPAck
+		}
+		e.emitSegment(p, flags, p.iss, nil, 0, true)
+	default:
+		if p.retxCount > 10 {
+			e.connReset(p)
+			return
+		}
+		if p.sndWnd == 0 {
+			// Zero-window probe: one byte past the window keeps the
+			// connection alive until the peer's window update arrives.
+			ptrs, got := e.gather(p, p.sndUna, 1)
+			if got > 0 {
+				e.emitData(p, netpkt.TCPAck, p.sndUna, ptrs, got, 0)
+			} else {
+				e.sendAck(p)
+			}
+			break
+		}
+		// Go-back-N from the last acknowledged byte; Reno loss response.
+		inflight := p.sndNxt - p.sndUna
+		p.ssthresh = max32(inflight/2, 2*uint32(p.mss))
+		p.cwnd = 2 * uint32(p.mss)
+		p.sndNxt = p.sndUna
+		if p.finSent && netpkt.SeqLEQ(p.finSeq, p.sndUna) {
+			// FIN was the unacked byte; re-arm for it.
+			p.finSent = false
+		}
+		if p.finSent {
+			p.finSent = false
+		}
+		p.rttSeq = 0 // Karn
+		e.output(p)
+	}
+	p.rto *= 2
+	if p.rto > maxRTO {
+		p.rto = maxRTO
+	}
+	p.rtoAt = e.now.Add(p.rto)
+}
+
+// ResubmitInflight implements the post-IP-crash policy: rewind sndNxt to
+// sndUna on every connection with unacknowledged data and retransmit
+// immediately with fresh request IDs.
+func (e *Engine) ResubmitInflight() {
+	for _, p := range e.sockets {
+		if p.sndNxt == p.sndUna {
+			continue
+		}
+		p.sndNxt = p.sndUna
+		p.finSent = false
+		p.rttSeq = 0
+		e.stats.SendsResubmitted++
+		e.output(p)
+	}
+}
+
+// Deadline returns the earliest pending timer across all connections.
+func (e *Engine) Deadline(now time.Time) time.Time {
+	var min time.Time
+	upd := func(t time.Time) {
+		if t.IsZero() {
+			return
+		}
+		if min.IsZero() || t.Before(min) {
+			min = t
+		}
+	}
+	for _, p := range e.sockets {
+		upd(p.rtoAt)
+		upd(p.delAckAt)
+		if p.state == StateTimeWait {
+			upd(p.timeWaitAt)
+		}
+	}
+	return min
+}

@@ -1,0 +1,725 @@
+// Package tcpeng is the TCP protocol engine: a from-scratch, lwIP-class
+// TCP with the features the paper's evaluation depends on — three-way
+// handshake, sliding-window transfer with flow control, RFC 6298
+// retransmission timing with exponential backoff, fast retransmit, Reno
+// congestion control, the MSS option, zero-copy transmit out of per-socket
+// shared buffers, and TCP segmentation offload (TSO) so one channel request
+// can carry 64 KB (the decisive optimization of Table II rows 5-6).
+//
+// Recovery semantics follow paper Table I: the engine persists only the
+// cheap, rarely-changing part of its state (listening sockets and the
+// 4-tuple + state class of connections, which PF needs for conntrack
+// rebuild). Established connections die with the server; listening sockets
+// are recovered, so new connections can be opened immediately after a TCP
+// crash.
+package tcpeng
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+	"time"
+
+	"newtos/internal/channel"
+	"newtos/internal/msg"
+	"newtos/internal/netpkt"
+	"newtos/internal/shm"
+	"newtos/internal/sockbuf"
+)
+
+// Protocol constants.
+const (
+	// MSS is the maximum segment size announced and used (1500 MTU - 40).
+	MSS = 1460
+	// RcvBufLimit is the receive buffer and therefore the maximum
+	// advertised window (no window scaling, as in the paper's lwIP).
+	RcvBufLimit = 65535
+	// SndBufLimit caps unacknowledged + unsent stream data.
+	SndBufLimit = 64 * 1024
+	// TSOMaxBurst is the largest oversized segment handed to the device.
+	TSOMaxBurst = 64 * 1024
+	// InitCwnd is the initial congestion window.
+	InitCwnd = 10 * MSS
+
+	minRTO      = 20 * time.Millisecond
+	maxRTO      = 2 * time.Second
+	delAckDelay = 500 * time.Microsecond
+	timeWait    = 200 * time.Millisecond
+	synRTO      = 100 * time.Millisecond
+)
+
+// State is a TCP connection state.
+type State int
+
+// TCP states.
+const (
+	StateClosed State = iota + 1
+	StateListen
+	StateSynSent
+	StateSynRcvd
+	StateEstablished
+	StateFinWait1
+	StateFinWait2
+	StateClosing
+	StateCloseWait
+	StateLastAck
+	StateTimeWait
+)
+
+var stateNames = map[State]string{
+	StateClosed: "closed", StateListen: "listen", StateSynSent: "syn-sent",
+	StateSynRcvd: "syn-rcvd", StateEstablished: "established",
+	StateFinWait1: "fin-wait-1", StateFinWait2: "fin-wait-2",
+	StateClosing: "closing", StateCloseWait: "close-wait",
+	StateLastAck: "last-ack", StateTimeWait: "time-wait",
+}
+
+func (s State) String() string {
+	if n, ok := stateNames[s]; ok {
+		return n
+	}
+	return fmt.Sprintf("state(%d)", int(s))
+}
+
+// Config wires an engine to its environment.
+type Config struct {
+	Space   *shm.Space
+	LocalIP netpkt.IPAddr
+	// SrcFor selects the local source address for a destination
+	// (multi-homed hosts; nil means always LocalIP).
+	SrcFor func(dst netpkt.IPAddr) netpkt.IPAddr
+	// Offload requests checksum offload; TSO additionally enables
+	// oversized segments.
+	Offload bool
+	TSO     bool
+	// PublishBuf exports a socket's TX buffer to the application.
+	PublishBuf func(sock uint32, buf *sockbuf.Buf)
+	// SaveState persists the recoverable state (called on transitions).
+	SaveState func(blob []byte)
+}
+
+// Stats counts engine activity.
+type Stats struct {
+	SegsOut, SegsIn                 uint64
+	BytesOut, BytesIn               uint64
+	Retransmits, FastRetx           uint64
+	RSTsSent, RSTsIn                uint64
+	DupAcksIn                       uint64
+	ConnsOpened, ConnsAccepted      uint64
+	SendsResubmitted                uint64
+	DropsOOO, DropsDup, DropsWindow uint64
+}
+
+type fourTuple struct {
+	localPort  uint16
+	remoteIP   netpkt.IPAddr
+	remotePort uint16
+}
+
+// streamChunk is one app-written chunk in the send stream.
+type streamChunk struct {
+	seq uint32 // sequence number of first byte
+	ptr shm.RichPtr
+}
+
+// rxItem is one received payload range, still living in IP's receive pool.
+type rxItem struct {
+	payload   shm.RichPtr
+	deliverID uint64
+	consumed  uint32
+}
+
+type pcb struct {
+	id    uint32
+	state State
+	fourTuple
+	localIP netpkt.IPAddr
+	bound   bool
+
+	// Send state.
+	iss, sndUna, sndNxt uint32
+	sndWnd              uint32 // peer's advertised window
+	cwnd, ssthresh      uint32
+	mss                 uint16
+	stream              []streamChunk // retained until acked
+	streamEnd           uint32        // seq after last byte in stream
+	finQueued           bool
+	finSeq              uint32
+	finSent             bool
+
+	// RTT estimation (Karn: only segments never retransmitted).
+	srtt, rttvar time.Duration
+	rto          time.Duration
+	rtoAt        time.Time
+	rttSeq       uint32 // sequence being timed; 0 = none
+	rttStart     time.Time
+	retxCount    int
+	dupAcks      int
+	recover      uint32 // fast-recovery high-water mark
+
+	// Receive state.
+	irs, rcvNxt uint32
+	rcvQ        []rxItem
+	rcvQueued   uint32 // bytes queued in rcvQ (unconsumed)
+	finRcvd     bool
+	delAckAt    time.Time
+	ackPending  int // segments since last ack
+
+	// App interface.
+	buf            *sockbuf.Buf
+	pendingRecv    uint64
+	pendingConnect uint64
+	pendingAccept  []uint64 // parked accepts (listeners)
+	acceptQ        []uint32 // established children (listeners)
+	backlog        int
+	listenerID     uint32 // for children: the listener that spawned us
+	timeWaitAt     time.Time
+	reset          bool // connection was reset
+}
+
+// Engine is one TCP instance. Single-threaded.
+type Engine struct {
+	cfg     Config
+	hdrPool *shm.Pool
+	db      *channel.ReqDB
+
+	sockets   map[uint32]*pcb
+	conns     map[fourTuple]uint32
+	listeners map[uint16]uint32
+	usedPorts map[uint16]bool
+	next      uint32
+	issClock  uint32
+
+	toIP    []msg.Req
+	toFront []msg.Req
+
+	stats Stats
+	now   time.Time // updated at every entry point
+}
+
+// New creates a TCP engine; hdrPool holds in-flight segment headers.
+func New(cfg Config, hdrPool *shm.Pool) *Engine {
+	return &Engine{
+		cfg:       cfg,
+		hdrPool:   hdrPool,
+		db:        channel.NewReqDB(),
+		sockets:   make(map[uint32]*pcb),
+		conns:     make(map[fourTuple]uint32),
+		listeners: make(map[uint16]uint32),
+		usedPorts: make(map[uint16]bool),
+		next:      2000,
+		issClock:  1,
+	}
+}
+
+// Stats returns activity counters.
+func (e *Engine) Stats() Stats { return e.stats }
+
+// srcFor picks the local address used towards dst.
+func (e *Engine) srcFor(dst netpkt.IPAddr) netpkt.IPAddr {
+	if e.cfg.SrcFor != nil {
+		return e.cfg.SrcFor(dst)
+	}
+	return e.cfg.LocalIP
+}
+
+// NumSockets returns the live socket count.
+func (e *Engine) NumSockets() int { return len(e.sockets) }
+
+// SocketState returns a socket's connection state.
+func (e *Engine) SocketState(id uint32) (State, bool) {
+	p, ok := e.sockets[id]
+	if !ok {
+		return StateClosed, false
+	}
+	return p.state, true
+}
+
+// DrainToIP returns and clears pending requests towards IP.
+func (e *Engine) DrainToIP() []msg.Req {
+	out := e.toIP
+	e.toIP = nil
+	return out
+}
+
+// DrainToFront returns and clears pending replies towards the frontdoor.
+func (e *Engine) DrainToFront() []msg.Req {
+	out := e.toFront
+	e.toFront = nil
+	return out
+}
+
+// FromFront handles one application request.
+func (e *Engine) FromFront(r msg.Req, now time.Time) {
+	e.now = now
+	switch r.Op {
+	case msg.OpSockCreate:
+		e.create(r)
+	case msg.OpSockBind:
+		e.bind(r)
+	case msg.OpSockListen:
+		e.listen(r)
+	case msg.OpSockAccept:
+		e.accept(r)
+	case msg.OpSockConnect:
+		e.connect(r)
+	case msg.OpSockSend:
+		e.send(r)
+	case msg.OpSockRecv:
+		e.recv(r)
+	case msg.OpSockRecvDone:
+		e.recvDone(r)
+	case msg.OpSockClose:
+		e.closeSock(r)
+	default:
+		e.toFront = append(e.toFront, r.Reply(msg.OpSockReply, msg.StatusErrInval))
+	}
+}
+
+// FromIP handles one message from the IP server.
+func (e *Engine) FromIP(r msg.Req, now time.Time) {
+	e.now = now
+	switch r.Op {
+	case msg.OpIPDeliver:
+		e.segmentIn(r)
+	case msg.OpIPSendDone:
+		e.sendDone(r)
+	}
+}
+
+func (e *Engine) reply(id uint64, flow uint32, status int32) {
+	e.toFront = append(e.toFront, msg.Req{ID: id, Op: msg.OpSockReply, Flow: flow, Status: status})
+}
+
+func (e *Engine) create(r msg.Req) {
+	e.next++
+	p := &pcb{id: e.next, state: StateClosed, mss: MSS}
+	e.sockets[p.id] = p
+	rep := r.Reply(msg.OpSockReply, msg.StatusOK)
+	rep.Flow = p.id
+	e.toFront = append(e.toFront, rep)
+}
+
+func (e *Engine) bind(r msg.Req) {
+	p, ok := e.sockets[r.Flow]
+	if !ok {
+		e.reply(r.ID, r.Flow, msg.StatusErrNoSock)
+		return
+	}
+	port := uint16(r.Arg[0])
+	if e.usedPorts[port] {
+		e.reply(r.ID, r.Flow, msg.StatusErrInUse)
+		return
+	}
+	p.localPort = port
+	p.bound = true
+	e.usedPorts[port] = true
+	e.reply(r.ID, r.Flow, msg.StatusOK)
+}
+
+func (e *Engine) listen(r msg.Req) {
+	p, ok := e.sockets[r.Flow]
+	if !ok || !p.bound {
+		e.reply(r.ID, r.Flow, msg.StatusErrInval)
+		return
+	}
+	p.state = StateListen
+	p.backlog = int(r.Arg[0])
+	if p.backlog <= 0 {
+		p.backlog = 8
+	}
+	e.listeners[p.localPort] = p.id
+	e.reply(r.ID, r.Flow, msg.StatusOK)
+	e.persist()
+}
+
+func (e *Engine) accept(r msg.Req) {
+	p, ok := e.sockets[r.Flow]
+	if !ok || p.state != StateListen {
+		e.reply(r.ID, r.Flow, msg.StatusErrInval)
+		return
+	}
+	if len(p.acceptQ) > 0 {
+		child := p.acceptQ[0]
+		p.acceptQ = p.acceptQ[1:]
+		e.replyAccept(r.ID, p.id, child)
+		return
+	}
+	p.pendingAccept = append(p.pendingAccept, r.ID)
+}
+
+func (e *Engine) replyAccept(frontID uint64, listener, child uint32) {
+	c := e.sockets[child]
+	rep := msg.Req{ID: frontID, Op: msg.OpSockReply, Flow: listener, Status: msg.StatusOK}
+	rep.Arg[0] = uint64(child)
+	rep.Arg[1] = uint64(c.remoteIP.U32())
+	rep.Arg[2] = uint64(c.remotePort)
+	e.toFront = append(e.toFront, rep)
+}
+
+func (e *Engine) autobind(p *pcb) {
+	for port := uint16(45000); port < 65500; port++ {
+		if !e.usedPorts[port] {
+			p.localPort, p.bound = port, true
+			e.usedPorts[port] = true
+			return
+		}
+	}
+}
+
+func (e *Engine) connect(r msg.Req) {
+	p, ok := e.sockets[r.Flow]
+	if !ok {
+		e.reply(r.ID, r.Flow, msg.StatusErrNoSock)
+		return
+	}
+	if p.state != StateClosed {
+		e.reply(r.ID, r.Flow, msg.StatusErrInval)
+		return
+	}
+	if !p.bound {
+		e.autobind(p)
+	}
+	p.remoteIP = netpkt.IPFromU32(uint32(r.Arg[0]))
+	p.remotePort = uint16(r.Arg[1])
+	p.localIP = e.srcFor(p.remoteIP)
+	key := fourTuple{localPort: p.localPort, remoteIP: p.remoteIP, remotePort: p.remotePort}
+	if _, dup := e.conns[key]; dup {
+		e.reply(r.ID, r.Flow, msg.StatusErrInUse)
+		return
+	}
+	p.fourTuple = key
+	e.conns[key] = p.id
+	e.initSendState(p)
+	p.state = StateSynSent
+	p.pendingConnect = r.ID
+	e.ensureBuf(p)
+	e.emitSegment(p, netpkt.TCPSyn, p.iss, nil, 0, true)
+	p.sndNxt = p.iss + 1
+	p.rto = synRTO
+	p.rtoAt = e.now.Add(p.rto)
+	e.stats.ConnsOpened++
+	e.persist()
+}
+
+func (e *Engine) initSendState(p *pcb) {
+	e.issClock += 64013
+	p.iss = e.issClock
+	p.sndUna, p.sndNxt, p.streamEnd = p.iss, p.iss, p.iss+1 // +1 for SYN
+	p.cwnd, p.ssthresh = InitCwnd, RcvBufLimit
+	p.rto = synRTO
+	p.sndWnd = MSS
+}
+
+// ensureBuf creates and publishes the socket's TX buffer.
+func (e *Engine) ensureBuf(p *pcb) {
+	if p.buf != nil {
+		return
+	}
+	buf, err := sockbuf.New(e.cfg.Space, fmt.Sprintf("tcp.sock.%d", p.id),
+		sockbuf.DefaultChunkSize, sockbuf.DefaultChunks)
+	if err != nil {
+		return
+	}
+	p.buf = buf
+	if e.cfg.PublishBuf != nil {
+		e.cfg.PublishBuf(p.id, buf)
+	}
+}
+
+func (e *Engine) send(r msg.Req) {
+	p, ok := e.sockets[r.Flow]
+	if !ok {
+		e.reply(r.ID, r.Flow, msg.StatusErrNoSock)
+		return
+	}
+	switch p.state {
+	case StateEstablished, StateCloseWait:
+	default:
+		if p.reset {
+			e.reply(r.ID, r.Flow, msg.StatusErrConnRst)
+		} else {
+			e.reply(r.ID, r.Flow, msg.StatusErrNotConn)
+		}
+		return
+	}
+	if p.finQueued {
+		e.reply(r.ID, r.Flow, msg.StatusErrInval)
+		return
+	}
+	total := 0
+	for _, ptr := range r.Chain() {
+		p.stream = append(p.stream, streamChunk{seq: p.streamEnd, ptr: ptr})
+		p.streamEnd += ptr.Len
+		total += int(ptr.Len)
+	}
+	rep := msg.Req{ID: r.ID, Op: msg.OpSockReply, Flow: p.id, Status: msg.StatusOK}
+	rep.Arg[0] = uint64(total)
+	e.toFront = append(e.toFront, rep)
+	e.output(p)
+}
+
+func (e *Engine) recv(r msg.Req) {
+	p, ok := e.sockets[r.Flow]
+	if !ok {
+		e.reply(r.ID, r.Flow, msg.StatusErrNoSock)
+		return
+	}
+	if p.reset {
+		e.reply(r.ID, r.Flow, msg.StatusErrConnRst)
+		return
+	}
+	if p.rcvQueued > 0 {
+		e.replyRecv(r.ID, p)
+		return
+	}
+	if p.finRcvd || p.state == StateClosed {
+		// EOF.
+		rep := msg.Req{ID: r.ID, Op: msg.OpSockRecvData, Flow: p.id, Status: msg.StatusOK}
+		e.toFront = append(e.toFront, rep)
+		return
+	}
+	if p.pendingRecv != 0 {
+		e.reply(r.ID, r.Flow, msg.StatusErrAgain)
+		return
+	}
+	p.pendingRecv = r.ID
+}
+
+// replyRecv hands up to MaxPtrs unconsumed ranges to the app.
+func (e *Engine) replyRecv(frontID uint64, p *pcb) {
+	rep := msg.Req{ID: frontID, Op: msg.OpSockRecvData, Flow: p.id, Status: msg.StatusOK}
+	var ptrs []shm.RichPtr
+	total := uint32(0)
+	for i := range p.rcvQ {
+		if len(ptrs) == msg.MaxPtrs {
+			break
+		}
+		item := &p.rcvQ[i]
+		if item.consumed >= item.payload.Len {
+			continue
+		}
+		ptrs = append(ptrs, item.payload.Slice(item.consumed, item.payload.Len))
+		total += item.payload.Len - item.consumed
+	}
+	rep.SetChain(ptrs)
+	rep.Arg[0] = uint64(total)
+	e.toFront = append(e.toFront, rep)
+}
+
+// recvDone: the app consumed Arg0 bytes of previously returned data; IP
+// buffers that are fully consumed are released and the window reopens.
+func (e *Engine) recvDone(r msg.Req) {
+	p, ok := e.sockets[r.Flow]
+	if !ok {
+		return
+	}
+	n := uint32(r.Arg[0])
+	oldWnd := e.rcvWnd(p)
+	for n > 0 && len(p.rcvQ) > 0 {
+		item := &p.rcvQ[0]
+		avail := item.payload.Len - item.consumed
+		take := n
+		if take > avail {
+			take = avail
+		}
+		item.consumed += take
+		p.rcvQueued -= take
+		n -= take
+		if item.consumed >= item.payload.Len {
+			e.releaseDeliver(item.deliverID)
+			p.rcvQ = p.rcvQ[1:]
+		}
+	}
+	// Window update: if we were closed/nearly closed and opened up, tell
+	// the peer.
+	if oldWnd < MSS && e.rcvWnd(p) >= MSS {
+		e.sendAck(p)
+	}
+}
+
+func (e *Engine) rcvWnd(p *pcb) uint32 {
+	if p.rcvQueued >= RcvBufLimit {
+		return 0
+	}
+	return RcvBufLimit - p.rcvQueued
+}
+
+func (e *Engine) closeSock(r msg.Req) {
+	p, ok := e.sockets[r.Flow]
+	if !ok {
+		e.reply(r.ID, r.Flow, msg.StatusErrNoSock)
+		return
+	}
+	switch p.state {
+	case StateListen:
+		delete(e.listeners, p.localPort)
+		for _, id := range p.pendingAccept {
+			e.reply(id, p.id, msg.StatusErrAborted)
+		}
+		e.destroy(p)
+		e.persist()
+	case StateClosed:
+		e.destroy(p)
+	case StateSynSent:
+		if p.pendingConnect != 0 {
+			e.reply(p.pendingConnect, p.id, msg.StatusErrAborted)
+		}
+		e.destroy(p)
+	case StateEstablished:
+		e.queueFin(p)
+		p.state = StateFinWait1
+	case StateCloseWait:
+		e.queueFin(p)
+		p.state = StateLastAck
+	default:
+		// Already closing.
+	}
+	e.reply(r.ID, r.Flow, msg.StatusOK)
+}
+
+func (e *Engine) queueFin(p *pcb) {
+	p.finQueued = true
+	p.finSeq = p.streamEnd
+	p.streamEnd++
+	e.output(p)
+	e.persist()
+}
+
+// destroy removes a pcb, releasing receive-pool references and freeing the
+// socket buffer supply.
+func (e *Engine) destroy(p *pcb) {
+	for _, item := range p.rcvQ {
+		e.releaseDeliver(item.deliverID)
+	}
+	p.rcvQ = nil
+	if p.bound && p.state != StateListen {
+		// Keep listener ports reserved until the listener closes.
+		if _, isListener := e.listeners[p.localPort]; !isListener {
+			delete(e.usedPorts, p.localPort)
+		}
+	}
+	if p.fourTuple != (fourTuple{}) {
+		delete(e.conns, p.fourTuple)
+	}
+	p.state = StateClosed
+	delete(e.sockets, p.id)
+}
+
+func (e *Engine) releaseDeliver(id uint64) {
+	if id != 0 {
+		e.toIP = append(e.toIP, msg.Req{ID: id, Op: msg.OpIPDeliverDone})
+	}
+}
+
+// persist saves the recoverable state snapshot.
+func (e *Engine) persist() {
+	if e.cfg.SaveState == nil {
+		return
+	}
+	if blob, err := e.SaveState(); err == nil {
+		e.cfg.SaveState(blob)
+	}
+}
+
+// savedState is what survives a TCP server crash: listeners (fully
+// recoverable) and connection 4-tuples with their state class (for PF
+// conntrack rebuild; the connections themselves are NOT recoverable).
+type savedState struct {
+	Listeners []savedListener
+	Conns     []savedConn
+	NextSock  uint32
+}
+
+type savedListener struct {
+	ID      uint32
+	Port    uint16
+	Backlog int
+}
+
+type savedConn struct {
+	LocalPort  uint16
+	RemoteIP   [4]byte
+	RemotePort uint16
+	State      int
+}
+
+// SaveState serializes the recoverable state.
+func (e *Engine) SaveState() ([]byte, error) {
+	var st savedState
+	st.NextSock = e.next
+	for port, id := range e.listeners {
+		p := e.sockets[id]
+		st.Listeners = append(st.Listeners, savedListener{ID: id, Port: port, Backlog: p.backlog})
+	}
+	for key, id := range e.conns {
+		p := e.sockets[id]
+		st.Conns = append(st.Conns, savedConn{
+			LocalPort: key.localPort, RemoteIP: key.remoteIP,
+			RemotePort: key.remotePort, State: int(p.state),
+		})
+	}
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(st); err != nil {
+		return nil, fmt.Errorf("tcpeng: encode: %w", err)
+	}
+	return buf.Bytes(), nil
+}
+
+// RestoreState recovers listening sockets from a SaveState blob. Previously
+// established connections are not restored — peers learn via RST when their
+// next segment arrives (paper: "TCP can only restore listening sockets").
+func (e *Engine) RestoreState(blob []byte) error {
+	var st savedState
+	if err := gob.NewDecoder(bytes.NewReader(blob)).Decode(&st); err != nil {
+		return fmt.Errorf("tcpeng: decode: %w", err)
+	}
+	if st.NextSock > e.next {
+		e.next = st.NextSock
+	}
+	for _, l := range st.Listeners {
+		p := &pcb{id: l.ID, state: StateListen, backlog: l.Backlog, bound: true, mss: MSS}
+		p.localPort = l.Port
+		e.sockets[p.id] = p
+		e.listeners[l.Port] = p.id
+		e.usedPorts[l.Port] = true
+	}
+	return nil
+}
+
+// Flows returns active connection 4-tuples (for PF conntrack rebuild).
+func (e *Engine) Flows() []msg.Req {
+	out := make([]msg.Req, 0, len(e.conns))
+	for key, id := range e.conns {
+		p := e.sockets[id]
+		if p.state != StateEstablished {
+			continue
+		}
+		r := msg.Req{Op: msg.OpPFStats, Flow: id}
+		r.Arg[0] = uint64(netpkt.ProtoTCP)
+		r.Arg[1] = uint64(key.localPort)
+		r.Arg[2] = uint64(key.remoteIP.U32())
+		r.Arg[3] = uint64(key.remotePort)
+		out = append(out, r)
+	}
+	return out
+}
+
+// OnIPRestart aborts in-flight sends to the dead IP incarnation,
+// resubmitting data segments with fresh IDs ("it is much more important
+// that we quickly retransmit (possibly) lost packets to avoid the error
+// detection and congestion avoidance"), and drops stale receive-pool
+// references.
+func (e *Engine) OnIPRestart() {
+	for _, p := range e.sockets {
+		// Drop unconsumed receive data that lives in the dead pool. The
+		// bytes were ACKed but never given to the app — this is exactly
+		// the "connection damage" an IP crash can cause; we keep rcvNxt
+		// so the stream stays consistent for in-flight delivery, and the
+		// peer's retransmissions cover the rest.
+		for i := range p.rcvQ {
+			p.rcvQ[i].deliverID = 0 // old IP is gone; nothing to release to
+		}
+	}
+	e.db.AbortDest("ip")
+}

@@ -1,0 +1,178 @@
+// Package tcpsrv is the TCP server: the channel shell around tcpeng.
+// TCP is deliberately quarantined as the one component whose state is too
+// large and too fast-changing to recover (paper Table I); isolating it
+// keeps its crashes from taking IP, UDP, PF or the drivers down with it.
+package tcpsrv
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+	"time"
+
+	"newtos/internal/msg"
+	"newtos/internal/netpkt"
+	"newtos/internal/pfeng"
+	"newtos/internal/proc"
+	"newtos/internal/sockbuf"
+	"newtos/internal/tcpeng"
+	"newtos/internal/wiring"
+)
+
+// Storage keys.
+const (
+	StorageKey = "tcp/sockets"
+	FlowsKey   = "tcp/flows"
+	BufKeyPfx  = "sockbuf/tcp/"
+)
+
+// Config assembles a TCP server.
+type Config struct {
+	LocalIP netpkt.IPAddr
+	// SrcFor selects the source address per destination (multi-homed).
+	SrcFor  func(netpkt.IPAddr) netpkt.IPAddr
+	Offload bool
+	TSO     bool
+}
+
+// Server is one TCP server incarnation.
+type Server struct {
+	cfg   Config
+	ports *wiring.Ports
+
+	eng    *tcpeng.Engine
+	ipPort *wiring.Port
+	scPort *wiring.Port
+	ipBox  wiring.Outbox
+	scBox  wiring.Outbox
+}
+
+var _ proc.Service = (*Server)(nil)
+
+// New creates a TCP server incarnation.
+func New(cfg Config, ports *wiring.Ports) *Server {
+	return &Server{cfg: cfg, ports: ports}
+}
+
+// Engine exposes the engine for tests.
+func (s *Server) Engine() *tcpeng.Engine { return s.eng }
+
+// Init constructs the engine and, on restart, recovers listening sockets
+// from the storage server (established connections are lost by design).
+func (s *Server) Init(rt *proc.Runtime, restart bool) error {
+	hub := s.ports.Hub()
+	hdrPool, err := hub.Space.NewPool(fmt.Sprintf("tcp.hdr.%d", rt.Incarnation), 128, 8192)
+	if err != nil {
+		return fmt.Errorf("tcpsrv: %w", err)
+	}
+	s.eng = tcpeng.New(tcpeng.Config{
+		Space:   hub.Space,
+		LocalIP: s.cfg.LocalIP,
+		SrcFor:  s.cfg.SrcFor,
+		Offload: s.cfg.Offload,
+		TSO:     s.cfg.TSO,
+		PublishBuf: func(sock uint32, buf *sockbuf.Buf) {
+			hub.Reg.Publish(BufKeyPfx+fmt.Sprint(sock), buf)
+		},
+		SaveState: func(blob []byte) {
+			hub.Store.Put(StorageKey, blob)
+			s.persistFlows()
+		},
+	}, hdrPool)
+	if restart {
+		if blob, ok := hub.Store.Get(StorageKey); ok {
+			if err := s.eng.RestoreState(blob); err != nil {
+				return fmt.Errorf("tcpsrv: restore: %w", err)
+			}
+		}
+	}
+	s.ports.Begin(rt.Bell)
+	s.ipPort = s.ports.Attach("ip-tcp")
+	s.scPort = s.ports.Attach("sc-tcp")
+	return nil
+}
+
+// persistFlows saves active connection 4-tuples so PF can rebuild its
+// connection tracking after a crash.
+func (s *Server) persistFlows() {
+	flows := flowsFromReqs(s.eng.Flows(), s.cfg.LocalIP, netpkt.ProtoTCP)
+	var buf bytes.Buffer
+	if gob.NewEncoder(&buf).Encode(flows) == nil {
+		s.ports.Hub().Store.Put(FlowsKey, buf.Bytes())
+	}
+}
+
+// flowsFromReqs converts an engine flow dump into PF conntrack entries.
+func flowsFromReqs(reqs []msg.Req, local netpkt.IPAddr, proto uint8) []pfeng.Flow {
+	out := make([]pfeng.Flow, 0, len(reqs))
+	for _, r := range reqs {
+		out = append(out, pfeng.Flow{
+			Proto:   proto,
+			Src:     local,
+			SrcPort: uint16(r.Arg[1]),
+			Dst:     netpkt.IPFromU32(uint32(r.Arg[2])),
+			DstPort: uint16(r.Arg[3]),
+		})
+	}
+	return out
+}
+
+// Poll moves messages between channels and the engine and runs timers.
+func (s *Server) Poll(now time.Time) bool {
+	worked := false
+
+	ipDup, changed := s.ipPort.Take()
+	if changed && ipDup.Valid() {
+		s.ipBox.Drop()
+		s.eng.OnIPRestart()
+		s.eng.ResubmitInflight()
+		worked = true
+	}
+	if ipDup.Valid() {
+		for i := 0; i < 512; i++ {
+			r, ok := ipDup.In.Recv()
+			if !ok {
+				break
+			}
+			s.eng.FromIP(r, now)
+			worked = true
+		}
+	}
+
+	scDup, scChanged := s.scPort.Take()
+	if scChanged {
+		s.scBox.Drop()
+	}
+	if scDup.Valid() {
+		for i := 0; i < 256; i++ {
+			r, ok := scDup.In.Recv()
+			if !ok {
+				break
+			}
+			s.eng.FromFront(r, now)
+			worked = true
+		}
+	}
+
+	s.eng.Tick(now)
+
+	if ipDup.Valid() {
+		s.ipBox.Push(s.eng.DrainToIP()...)
+		if s.ipBox.Flush(ipDup.Out) {
+			worked = true
+		}
+	}
+	if scDup.Valid() {
+		s.scBox.Push(s.eng.DrainToFront()...)
+		if s.scBox.Flush(scDup.Out) {
+			worked = true
+		}
+	}
+	return worked
+}
+
+// Deadline surfaces the engine's earliest timer.
+func (s *Server) Deadline(now time.Time) time.Time { return s.eng.Deadline(now) }
+
+// Stop is a no-op.
+func (s *Server) Stop() {}

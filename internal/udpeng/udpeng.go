@@ -1,0 +1,571 @@
+// Package udpeng is the UDP protocol engine: sockets, datagram
+// transmit/receive, and the small, rarely-changing per-socket state whose
+// recoverability makes UDP one of the easy components to restart
+// (paper Table I: "Small state per socket, low frequency of change, easy to
+// store safely").
+//
+// The engine speaks the stack's channel vocabulary (msg.Req) directly; the
+// UDP server (package udpsrv) moves requests between channels and the
+// engine, and the single-server/monolithic variants call it in-process.
+package udpeng
+
+import (
+	"bytes"
+	"encoding/binary"
+	"encoding/gob"
+	"fmt"
+
+	"newtos/internal/channel"
+	"newtos/internal/msg"
+	"newtos/internal/netpkt"
+	"newtos/internal/shm"
+	"newtos/internal/sockbuf"
+)
+
+// Config wires an engine to its environment.
+type Config struct {
+	// Space resolves rich pointers.
+	Space *shm.Space
+	// LocalIP is the host address used as the source of outgoing
+	// datagrams.
+	LocalIP netpkt.IPAddr
+	// SrcFor selects the source for a destination on multi-homed hosts
+	// (nil means always LocalIP).
+	SrcFor func(dst netpkt.IPAddr) netpkt.IPAddr
+	// Offload requests L4 checksum offload from the device instead of
+	// computing checksums in software.
+	Offload bool
+	// PublishBuf exports a socket's TX buffer to the application (via the
+	// registry in the real assembly). May be nil in tests.
+	PublishBuf func(sock uint32, buf *sockbuf.Buf)
+	// SaveState persists the socket table for crash recovery. May be nil.
+	SaveState func(blob []byte)
+	// RecvQueueCap bounds per-socket queued datagrams (default 64);
+	// overflow is dropped, as datagram semantics allow.
+	RecvQueueCap int
+}
+
+// Engine is one UDP instance. Single-threaded.
+type Engine struct {
+	cfg     Config
+	hdrPool *shm.Pool
+	db      *channel.ReqDB
+
+	sockets map[uint32]*socket
+	byPort  map[uint16]uint32
+	next    uint32
+
+	toIP    []msg.Req
+	toFront []msg.Req
+
+	stats Stats
+}
+
+// Stats counts engine activity.
+type Stats struct {
+	DatagramsOut, DatagramsIn uint64
+	DroppedNoSocket           uint64
+	DroppedQueueFull          uint64
+	SendsAborted              uint64
+	Resubmitted               uint64
+}
+
+type socket struct {
+	id        uint32
+	port      uint16
+	bound     bool
+	remoteIP  netpkt.IPAddr
+	remotePt  uint16
+	connected bool
+
+	buf         *sockbuf.Buf
+	recvQ       []rxItem
+	pendingRecv uint64 // parked front request ID, 0 = none
+}
+
+type rxItem struct {
+	srcIP     netpkt.IPAddr
+	srcPort   uint16
+	payload   shm.RichPtr
+	deliverID uint64
+}
+
+type pendingSend struct {
+	frontID uint64
+	sock    uint32
+	hdr     shm.RichPtr
+	payload []shm.RichPtr
+	dstIP   netpkt.IPAddr
+	dstPort uint16
+}
+
+// New creates a UDP engine. hdrPool must be owned by the caller's server
+// (headers are built in it and freed on send completion).
+func New(cfg Config, hdrPool *shm.Pool) *Engine {
+	if cfg.RecvQueueCap == 0 {
+		cfg.RecvQueueCap = 64
+	}
+	return &Engine{
+		cfg:     cfg,
+		hdrPool: hdrPool,
+		db:      channel.NewReqDB(),
+		sockets: make(map[uint32]*socket),
+		byPort:  make(map[uint16]uint32),
+		next:    1000,
+	}
+}
+
+// Stats returns activity counters.
+func (e *Engine) Stats() Stats { return e.stats }
+
+func (e *Engine) srcFor(dst netpkt.IPAddr) netpkt.IPAddr {
+	if e.cfg.SrcFor != nil {
+		return e.cfg.SrcFor(dst)
+	}
+	return e.cfg.LocalIP
+}
+
+// NumSockets returns the live socket count.
+func (e *Engine) NumSockets() int { return len(e.sockets) }
+
+// DrainToIP returns and clears the pending requests towards IP.
+func (e *Engine) DrainToIP() []msg.Req {
+	out := e.toIP
+	e.toIP = nil
+	return out
+}
+
+// DrainToFront returns and clears pending replies towards the frontdoor.
+func (e *Engine) DrainToFront() []msg.Req {
+	out := e.toFront
+	e.toFront = nil
+	return out
+}
+
+// FromFront handles one application request (via SYSCALL server or direct).
+func (e *Engine) FromFront(r msg.Req) {
+	switch r.Op {
+	case msg.OpSockCreate:
+		e.create(r)
+	case msg.OpSockBind:
+		e.bind(r)
+	case msg.OpSockConnect:
+		e.connect(r)
+	case msg.OpSockSend:
+		e.send(r)
+	case msg.OpSockRecv:
+		e.recv(r)
+	case msg.OpSockRecvDone:
+		e.recvDone(r)
+	case msg.OpSockClose:
+		e.close(r)
+	default:
+		e.toFront = append(e.toFront, r.Reply(msg.OpSockReply, msg.StatusErrInval))
+	}
+}
+
+// FromIP handles one message from the IP server.
+func (e *Engine) FromIP(r msg.Req) {
+	switch r.Op {
+	case msg.OpIPDeliver:
+		e.deliver(r)
+	case msg.OpIPSendDone:
+		e.sendDone(r)
+	}
+}
+
+func (e *Engine) create(r msg.Req) {
+	e.next++
+	id := e.next
+	s := &socket{id: id}
+	buf, err := sockbuf.New(e.cfg.Space, fmt.Sprintf("udp.sock.%d", id),
+		sockbuf.DefaultChunkSize, sockbuf.DefaultChunks)
+	if err != nil {
+		e.toFront = append(e.toFront, r.Reply(msg.OpSockReply, msg.StatusErrNoBufs))
+		return
+	}
+	s.buf = buf
+	e.sockets[id] = s
+	if e.cfg.PublishBuf != nil {
+		e.cfg.PublishBuf(id, buf)
+	}
+	rep := r.Reply(msg.OpSockReply, msg.StatusOK)
+	rep.Flow = id
+	e.toFront = append(e.toFront, rep)
+	e.persist()
+}
+
+func (e *Engine) bind(r msg.Req) {
+	s, ok := e.sockets[r.Flow]
+	port := uint16(r.Arg[0])
+	if !ok {
+		e.toFront = append(e.toFront, r.Reply(msg.OpSockReply, msg.StatusErrNoSock))
+		return
+	}
+	if _, dup := e.byPort[port]; dup {
+		e.toFront = append(e.toFront, r.Reply(msg.OpSockReply, msg.StatusErrInUse))
+		return
+	}
+	if s.bound {
+		delete(e.byPort, s.port)
+	}
+	s.port = port
+	s.bound = true
+	e.byPort[port] = s.id
+	e.toFront = append(e.toFront, r.Reply(msg.OpSockReply, msg.StatusOK))
+	e.persist()
+}
+
+func (e *Engine) connect(r msg.Req) {
+	s, ok := e.sockets[r.Flow]
+	if !ok {
+		e.toFront = append(e.toFront, r.Reply(msg.OpSockReply, msg.StatusErrNoSock))
+		return
+	}
+	s.remoteIP = netpkt.IPFromU32(uint32(r.Arg[0]))
+	s.remotePt = uint16(r.Arg[1])
+	s.connected = true
+	if !s.bound {
+		e.autobind(s)
+	}
+	e.toFront = append(e.toFront, r.Reply(msg.OpSockReply, msg.StatusOK))
+	e.persist()
+}
+
+func (e *Engine) autobind(s *socket) {
+	for p := uint16(40000); p < 65000; p++ {
+		if _, used := e.byPort[p]; !used {
+			s.port, s.bound = p, true
+			e.byPort[p] = s.id
+			return
+		}
+	}
+}
+
+func (e *Engine) send(r msg.Req) {
+	s, ok := e.sockets[r.Flow]
+	if !ok {
+		e.toFront = append(e.toFront, r.Reply(msg.OpSockReply, msg.StatusErrNoSock))
+		return
+	}
+	dstIP := netpkt.IPFromU32(uint32(r.Arg[0]))
+	dstPort := uint16(r.Arg[1])
+	if dstPort == 0 {
+		if !s.connected {
+			e.toFront = append(e.toFront, r.Reply(msg.OpSockReply, msg.StatusErrNotConn))
+			return
+		}
+		dstIP, dstPort = s.remoteIP, s.remotePt
+	}
+	if !s.bound {
+		e.autobind(s)
+	}
+	payload := append([]shm.RichPtr(nil), r.Chain()...)
+	plen := 0
+	for _, p := range payload {
+		plen += int(p.Len)
+	}
+
+	// Build the UDP header in our own pool (pools are immutable to
+	// consumers; each layer prepends its header in its own chunk).
+	hdrPtr, hdrBuf, err := e.hdrPool.Alloc()
+	if err != nil {
+		e.toFront = append(e.toFront, r.Reply(msg.OpSockReply, msg.StatusErrNoBufs))
+		return
+	}
+	uh := netpkt.UDPHeader{
+		SrcPort: s.port, DstPort: dstPort,
+		Length: uint16(netpkt.UDPHeaderLen + plen),
+	}
+	uh.Marshal(hdrBuf)
+	src := e.srcFor(dstIP)
+	flags := uint64(0)
+	if e.cfg.Offload {
+		flags = msg.OffloadCsumL4
+	} else {
+		e.fillChecksum(hdrBuf, src, dstIP, payload, plen)
+	}
+
+	id := e.db.NewID()
+	ps := pendingSend{
+		frontID: r.ID, sock: s.id, hdr: hdrPtr.Slice(0, netpkt.UDPHeaderLen),
+		payload: payload, dstIP: dstIP, dstPort: dstPort,
+	}
+	e.db.Track(id, "ip", ps, func(_ uint64, data any) {
+		// Abort action on IP crash: the paper's UDP prefers sending
+		// (possibly duplicate) data, so resubmit with a fresh ID.
+		e.resubmitSend(data.(pendingSend))
+	})
+
+	req := msg.Req{ID: id, Op: msg.OpIPSend, Flow: s.id}
+	chain := append([]shm.RichPtr{ps.hdr}, payload...)
+	req.SetChain(chain)
+	req.Arg[0] = uint64(netpkt.ProtoUDP)
+	req.Arg[1] = uint64(src.U32())
+	req.Arg[2] = uint64(dstIP.U32())
+	req.Arg[3] = flags
+	e.toIP = append(e.toIP, req)
+	e.stats.DatagramsOut++
+}
+
+// fillChecksum computes the full software UDP checksum (no offload).
+func (e *Engine) fillChecksum(hdrBuf []byte, src, dstIP netpkt.IPAddr, payload []shm.RichPtr, plen int) {
+	acc := netpkt.PseudoSum(src, dstIP, netpkt.ProtoUDP, uint16(netpkt.UDPHeaderLen+plen))
+	acc = netpkt.Sum16(hdrBuf[:netpkt.UDPHeaderLen], acc)
+	// Checksum must treat the payload as one contiguous stream; chunks can
+	// have odd lengths, so linearize conservatively (software path only).
+	var flat []byte
+	for _, p := range payload {
+		if v, err := e.cfg.Space.View(p); err == nil {
+			flat = append(flat, v...)
+		}
+	}
+	acc = netpkt.Sum16(flat, acc)
+	csum := netpkt.Fold16(acc)
+	if csum == 0 {
+		csum = 0xffff
+	}
+	binary.BigEndian.PutUint16(hdrBuf[6:8], csum)
+}
+
+func (e *Engine) resubmitSend(ps pendingSend) {
+	id := e.db.NewID()
+	e.db.Track(id, "ip", ps, func(_ uint64, data any) {
+		e.resubmitSend(data.(pendingSend))
+	})
+	req := msg.Req{ID: id, Op: msg.OpIPSend, Flow: ps.sock}
+	req.SetChain(append([]shm.RichPtr{ps.hdr}, ps.payload...))
+	req.Arg[0] = uint64(netpkt.ProtoUDP)
+	req.Arg[1] = uint64(e.srcFor(ps.dstIP).U32())
+	req.Arg[2] = uint64(ps.dstIP.U32())
+	if e.cfg.Offload {
+		req.Arg[3] = msg.OffloadCsumL4
+	}
+	e.toIP = append(e.toIP, req)
+	e.stats.Resubmitted++
+}
+
+func (e *Engine) sendDone(r msg.Req) {
+	data, ok := e.db.Complete(r.ID)
+	if !ok {
+		return // reply to a pre-crash request: ignore (fresh IDs rule)
+	}
+	ps, ok := data.(pendingSend)
+	if !ok {
+		return
+	}
+	_ = e.hdrPool.Free(ps.hdr)
+	if s, ok := e.sockets[ps.sock]; ok && s.buf != nil {
+		for _, p := range ps.payload {
+			s.buf.Recycle(p)
+		}
+	}
+	rep := msg.Req{ID: ps.frontID, Op: msg.OpSockReply, Flow: ps.sock, Status: r.Status}
+	e.toFront = append(e.toFront, rep)
+}
+
+func (e *Engine) deliver(r msg.Req) {
+	seg := r.Ptrs[0]
+	view, err := e.cfg.Space.View(seg)
+	if err != nil {
+		e.release(r.ID)
+		return
+	}
+	uh, err := netpkt.ParseUDP(view)
+	if err != nil {
+		e.release(r.ID)
+		return
+	}
+	sockID, ok := e.byPort[uh.DstPort]
+	if !ok {
+		e.stats.DroppedNoSocket++
+		e.release(r.ID)
+		return
+	}
+	s := e.sockets[sockID]
+	if len(s.recvQ) >= e.cfg.RecvQueueCap {
+		e.stats.DroppedQueueFull++
+		e.release(r.ID)
+		return
+	}
+	plen := int(uh.Length) - netpkt.UDPHeaderLen
+	if plen < 0 || netpkt.UDPHeaderLen+plen > int(seg.Len) {
+		e.release(r.ID)
+		return
+	}
+	item := rxItem{
+		srcIP:     netpkt.IPFromU32(uint32(r.Arg[1])),
+		srcPort:   uh.SrcPort,
+		payload:   seg.Slice(netpkt.UDPHeaderLen, uint32(netpkt.UDPHeaderLen+plen)),
+		deliverID: r.ID,
+	}
+	s.recvQ = append(s.recvQ, item)
+	e.stats.DatagramsIn++
+	if s.pendingRecv != 0 {
+		id := s.pendingRecv
+		s.pendingRecv = 0
+		e.replyRecv(id, s)
+	}
+}
+
+// release tells IP the buffer is no longer referenced.
+func (e *Engine) release(deliverID uint64) {
+	e.toIP = append(e.toIP, msg.Req{ID: deliverID, Op: msg.OpIPDeliverDone})
+}
+
+func (e *Engine) recv(r msg.Req) {
+	s, ok := e.sockets[r.Flow]
+	if !ok {
+		e.toFront = append(e.toFront, r.Reply(msg.OpSockReply, msg.StatusErrNoSock))
+		return
+	}
+	if len(s.recvQ) == 0 {
+		if s.pendingRecv != 0 {
+			// One outstanding recv per socket.
+			e.toFront = append(e.toFront, r.Reply(msg.OpSockReply, msg.StatusErrAgain))
+			return
+		}
+		s.pendingRecv = r.ID
+		return
+	}
+	e.replyRecv(r.ID, s)
+}
+
+// replyRecv sends the head datagram to the app. The app acknowledges with
+// OpSockRecvDone carrying the deliver cookie, at which point the IP buffer
+// is released (zero-copy receive: the data stays in IP's pool until the
+// app has copied it out).
+func (e *Engine) replyRecv(frontID uint64, s *socket) {
+	item := s.recvQ[0]
+	s.recvQ = s.recvQ[1:]
+	rep := msg.Req{ID: frontID, Op: msg.OpSockRecvData, Flow: s.id, Status: msg.StatusOK}
+	rep.SetChain([]shm.RichPtr{item.payload})
+	rep.Arg[0] = uint64(item.srcIP.U32())
+	rep.Arg[1] = uint64(item.srcPort)
+	rep.Arg[2] = item.deliverID
+	e.toFront = append(e.toFront, rep)
+}
+
+func (e *Engine) recvDone(r msg.Req) {
+	// Arg0 carries the deliver cookie from OpSockRecvData.
+	if r.Arg[0] != 0 {
+		e.release(r.Arg[0])
+	}
+}
+
+func (e *Engine) close(r msg.Req) {
+	s, ok := e.sockets[r.Flow]
+	if !ok {
+		e.toFront = append(e.toFront, r.Reply(msg.OpSockReply, msg.StatusErrNoSock))
+		return
+	}
+	for _, item := range s.recvQ {
+		e.release(item.deliverID)
+	}
+	if s.bound {
+		delete(e.byPort, s.port)
+	}
+	delete(e.sockets, s.id)
+	e.toFront = append(e.toFront, r.Reply(msg.OpSockReply, msg.StatusOK))
+	e.persist()
+}
+
+// OnIPRestart runs the request-database abort actions for the IP server
+// and drops references into its stale receive pool.
+func (e *Engine) OnIPRestart() {
+	// Queued-but-unconsumed datagrams reference the dead incarnation's
+	// pool; drop them (datagram loss is acceptable; paper §V-D).
+	for _, s := range e.sockets {
+		s.recvQ = nil
+	}
+	aborted := e.db.AbortDest("ip")
+	e.stats.SendsAborted += uint64(aborted)
+}
+
+// savedSocket is the persisted per-socket state: the 4-tuple, exactly as
+// the paper describes ("which sockets are currently open, to what local
+// address and port they are bound, and to which remote pair they are
+// connected").
+type savedSocket struct {
+	ID        uint32
+	Port      uint16
+	Bound     bool
+	RemoteIP  [4]byte
+	RemotePt  uint16
+	Connected bool
+}
+
+func (e *Engine) persist() {
+	if e.cfg.SaveState == nil {
+		return
+	}
+	blob, err := e.SaveState()
+	if err == nil {
+		e.cfg.SaveState(blob)
+	}
+}
+
+// SaveState serializes the socket table.
+func (e *Engine) SaveState() ([]byte, error) {
+	out := make([]savedSocket, 0, len(e.sockets))
+	for _, s := range e.sockets {
+		out = append(out, savedSocket{
+			ID: s.id, Port: s.port, Bound: s.bound,
+			RemoteIP: s.remoteIP, RemotePt: s.remotePt, Connected: s.connected,
+		})
+	}
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(out); err != nil {
+		return nil, fmt.Errorf("udpeng: encode: %w", err)
+	}
+	return buf.Bytes(), nil
+}
+
+// RestoreState recreates sockets from a SaveState blob: "It is easy to
+// recreate the sockets after the crash." Buffers are re-exported.
+func (e *Engine) RestoreState(blob []byte) error {
+	var saved []savedSocket
+	if err := gob.NewDecoder(bytes.NewReader(blob)).Decode(&saved); err != nil {
+		return fmt.Errorf("udpeng: decode: %w", err)
+	}
+	for _, sv := range saved {
+		s := &socket{
+			id: sv.ID, port: sv.Port, bound: sv.Bound,
+			remoteIP: sv.RemoteIP, remotePt: sv.RemotePt, connected: sv.Connected,
+		}
+		buf, err := sockbuf.New(e.cfg.Space, fmt.Sprintf("udp.sock.%d.r", s.id),
+			sockbuf.DefaultChunkSize, sockbuf.DefaultChunks)
+		if err != nil {
+			return fmt.Errorf("udpeng: restore buf: %w", err)
+		}
+		s.buf = buf
+		e.sockets[s.id] = s
+		if s.bound {
+			e.byPort[s.port] = s.id
+		}
+		if s.id > e.next {
+			e.next = s.id
+		}
+		if e.cfg.PublishBuf != nil {
+			e.cfg.PublishBuf(s.id, buf)
+		}
+	}
+	return nil
+}
+
+// Flows returns the active socket 4-tuples (for PF conntrack rebuild).
+func (e *Engine) Flows() []msg.Req {
+	out := make([]msg.Req, 0, len(e.sockets))
+	for _, s := range e.sockets {
+		if !s.connected {
+			continue
+		}
+		r := msg.Req{Op: msg.OpPFStats, Flow: s.id}
+		r.Arg[0] = uint64(netpkt.ProtoUDP)
+		r.Arg[1] = uint64(s.port)
+		r.Arg[2] = uint64(s.remoteIP.U32())
+		r.Arg[3] = uint64(s.remotePt)
+		out = append(out, r)
+	}
+	return out
+}

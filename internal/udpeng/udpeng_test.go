@@ -1,0 +1,353 @@
+package udpeng
+
+import (
+	"bytes"
+	"testing"
+
+	"newtos/internal/msg"
+	"newtos/internal/netpkt"
+	"newtos/internal/shm"
+	"newtos/internal/sockbuf"
+)
+
+type harness struct {
+	t     *testing.T
+	space *shm.Space
+	e     *Engine
+	bufs  map[uint32]*sockbuf.Buf
+	saved [][]byte
+	rx    *shm.Pool
+	next  uint64
+}
+
+func newHarness(t *testing.T) *harness {
+	t.Helper()
+	space := shm.NewSpace()
+	hdr, err := space.NewPool("udp.hdr", 128, 256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rx, err := space.NewPool("rx", 2048, 256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := &harness{t: t, space: space, rx: rx, bufs: make(map[uint32]*sockbuf.Buf)}
+	h.e = New(Config{
+		Space:      space,
+		LocalIP:    netpkt.MustIP("10.0.0.1"),
+		PublishBuf: func(s uint32, b *sockbuf.Buf) { h.bufs[s] = b },
+		SaveState:  func(b []byte) { h.saved = append(h.saved, b) },
+	}, hdr)
+	return h
+}
+
+func (h *harness) call(r msg.Req) msg.Req {
+	h.t.Helper()
+	h.next++
+	r.ID = h.next
+	h.e.FromFront(r)
+	for _, rep := range h.e.DrainToFront() {
+		if rep.ID == r.ID {
+			return rep
+		}
+	}
+	h.t.Fatalf("no synchronous reply to %v", r.Op)
+	return msg.Req{}
+}
+
+func (h *harness) socket() uint32 {
+	h.t.Helper()
+	rep := h.call(msg.Req{Op: msg.OpSockCreate})
+	if rep.Status != msg.StatusOK {
+		h.t.Fatalf("create: %d", rep.Status)
+	}
+	return rep.Flow
+}
+
+func (h *harness) bind(sock uint32, port uint16) int32 {
+	r := msg.Req{Op: msg.OpSockBind, Flow: sock}
+	r.Arg[0] = uint64(port)
+	return h.call(r).Status
+}
+
+// deliver injects a UDP datagram as IP would.
+func (h *harness) deliver(srcIP netpkt.IPAddr, srcPort, dstPort uint16, payload []byte) uint64 {
+	h.t.Helper()
+	ptr, buf, err := h.rx.Alloc()
+	if err != nil {
+		h.t.Fatal(err)
+	}
+	uh := netpkt.UDPHeader{SrcPort: srcPort, DstPort: dstPort, Length: uint16(8 + len(payload))}
+	uh.Marshal(buf)
+	copy(buf[8:], payload)
+	h.next++
+	id := h.next
+	req := msg.Req{ID: id, Op: msg.OpIPDeliver}
+	req.SetChain([]shm.RichPtr{ptr.Slice(0, uint32(8+len(payload)))})
+	req.Arg[1] = uint64(srcIP.U32())
+	h.e.FromIP(req)
+	return id
+}
+
+func TestCreateBindSendFlow(t *testing.T) {
+	h := newHarness(t)
+	sock := h.socket()
+	if st := h.bind(sock, 5000); st != msg.StatusOK {
+		t.Fatalf("bind: %d", st)
+	}
+	// Duplicate bind fails.
+	other := h.socket()
+	if st := h.bind(other, 5000); st != msg.StatusErrInUse {
+		t.Fatalf("dup bind: %d", st)
+	}
+
+	// Send a datagram.
+	buf := h.bufs[sock]
+	chunk, ok := buf.Get()
+	if !ok {
+		t.Fatal("no free chunk")
+	}
+	ptr, err := buf.Write(chunk, []byte("query"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := msg.Req{Op: msg.OpSockSend, Flow: sock}
+	r.SetChain([]shm.RichPtr{ptr})
+	r.Arg[0] = uint64(netpkt.MustIP("10.0.0.2").U32())
+	r.Arg[1] = 53
+	h.next++
+	r.ID = h.next
+	sendID := r.ID
+	h.e.FromFront(r)
+
+	toIP := h.e.DrainToIP()
+	if len(toIP) != 1 || toIP[0].Op != msg.OpIPSend {
+		t.Fatalf("toIP = %+v", toIP)
+	}
+	ipReq := toIP[0]
+	if ipReq.Arg[0] != uint64(netpkt.ProtoUDP) {
+		t.Fatal("wrong proto")
+	}
+	// Check the wire bytes: header + payload.
+	pkt, err := netpkt.Resolve(h.space, ipReq.Chain())
+	if err != nil {
+		t.Fatal(err)
+	}
+	flat := pkt.Bytes()
+	uh, err := netpkt.ParseUDP(flat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if uh.DstPort != 53 || uh.SrcPort != 5000 || string(flat[8:]) != "query" {
+		t.Fatalf("wire = %+v %q", uh, flat[8:])
+	}
+	// Software checksum must verify.
+	if !netpkt.VerifyTransportChecksum(netpkt.MustIP("10.0.0.1"), netpkt.MustIP("10.0.0.2"), netpkt.ProtoUDP, flat) {
+		t.Fatal("bad software checksum")
+	}
+
+	// Completion frees header, recycles payload, replies to app.
+	freeBefore := buf.Free()
+	h.e.FromIP(msg.Req{ID: ipReq.ID, Op: msg.OpIPSendDone, Status: msg.StatusOK})
+	reps := h.e.DrainToFront()
+	if len(reps) != 1 || reps[0].ID != sendID || reps[0].Status != msg.StatusOK {
+		t.Fatalf("send reply = %+v", reps)
+	}
+	if buf.Free() != freeBefore+1 {
+		t.Fatal("payload chunk not recycled")
+	}
+}
+
+func TestReceiveDeliversQueuedAndParked(t *testing.T) {
+	h := newHarness(t)
+	sock := h.socket()
+	h.bind(sock, 6000)
+	src := netpkt.MustIP("10.0.0.9")
+
+	// Data first, recv second.
+	h.deliver(src, 1234, 6000, []byte("hello"))
+	h.next++
+	recv := msg.Req{ID: h.next, Op: msg.OpSockRecv, Flow: sock}
+	h.e.FromFront(recv)
+	reps := h.e.DrainToFront()
+	if len(reps) != 1 || reps[0].Op != msg.OpSockRecvData {
+		t.Fatalf("reps = %+v", reps)
+	}
+	v, err := h.space.View(reps[0].Ptrs[0])
+	if err != nil || !bytes.Equal(v, []byte("hello")) {
+		t.Fatalf("payload = %q, %v", v, err)
+	}
+	if netpkt.IPFromU32(uint32(reps[0].Arg[0])) != src || reps[0].Arg[1] != 1234 {
+		t.Fatal("source meta wrong")
+	}
+	// Recv-done releases the IP buffer.
+	done := msg.Req{Op: msg.OpSockRecvDone, Flow: sock}
+	done.Arg[0] = reps[0].Arg[2]
+	h.e.FromFront(done)
+	toIP := h.e.DrainToIP()
+	if len(toIP) != 1 || toIP[0].Op != msg.OpIPDeliverDone {
+		t.Fatalf("release = %+v", toIP)
+	}
+
+	// Recv first (parks), data second.
+	h.next++
+	recv2 := msg.Req{ID: h.next, Op: msg.OpSockRecv, Flow: sock}
+	h.e.FromFront(recv2)
+	if reps := h.e.DrainToFront(); len(reps) != 0 {
+		t.Fatalf("parked recv replied early: %+v", reps)
+	}
+	h.deliver(src, 1234, 6000, []byte("later"))
+	reps = h.e.DrainToFront()
+	if len(reps) != 1 || reps[0].ID != recv2.ID {
+		t.Fatalf("parked recv reply = %+v", reps)
+	}
+}
+
+func TestDeliverToUnknownPortDropsAndReleases(t *testing.T) {
+	h := newHarness(t)
+	id := h.deliver(netpkt.MustIP("1.2.3.4"), 1, 4242, []byte("noone"))
+	toIP := h.e.DrainToIP()
+	if len(toIP) != 1 || toIP[0].Op != msg.OpIPDeliverDone || toIP[0].ID != id {
+		t.Fatalf("release = %+v", toIP)
+	}
+	if h.e.Stats().DroppedNoSocket != 1 {
+		t.Fatal("drop not counted")
+	}
+}
+
+func TestRecvQueueBoundDrops(t *testing.T) {
+	h := newHarness(t)
+	h.e.cfg.RecvQueueCap = 2
+	sock := h.socket()
+	h.bind(sock, 7000)
+	src := netpkt.MustIP("1.1.1.1")
+	h.deliver(src, 1, 7000, []byte("a"))
+	h.deliver(src, 1, 7000, []byte("b"))
+	h.deliver(src, 1, 7000, []byte("c")) // over cap
+	if h.e.Stats().DroppedQueueFull != 1 {
+		t.Fatalf("drops = %d", h.e.Stats().DroppedQueueFull)
+	}
+}
+
+func TestConnectedSendUsesDefaultRemote(t *testing.T) {
+	h := newHarness(t)
+	sock := h.socket()
+	c := msg.Req{Op: msg.OpSockConnect, Flow: sock}
+	c.Arg[0] = uint64(netpkt.MustIP("10.0.0.5").U32())
+	c.Arg[1] = 500
+	if rep := h.call(c); rep.Status != msg.StatusOK {
+		t.Fatalf("connect: %d", rep.Status)
+	}
+	buf := h.bufs[sock]
+	chunk, _ := buf.Get()
+	ptr, _ := buf.Write(chunk, []byte("x"))
+	r := msg.Req{Op: msg.OpSockSend, Flow: sock}
+	r.SetChain([]shm.RichPtr{ptr})
+	h.next++
+	r.ID = h.next
+	h.e.FromFront(r)
+	toIP := h.e.DrainToIP()
+	if len(toIP) != 1 || netpkt.IPFromU32(uint32(toIP[0].Arg[2])) != netpkt.MustIP("10.0.0.5") {
+		t.Fatalf("toIP = %+v", toIP)
+	}
+}
+
+func TestSaveRestoreRoundTrip(t *testing.T) {
+	h := newHarness(t)
+	s1 := h.socket()
+	h.bind(s1, 8000)
+	c := msg.Req{Op: msg.OpSockConnect, Flow: s1}
+	c.Arg[0] = uint64(netpkt.MustIP("10.9.9.9").U32())
+	c.Arg[1] = 53
+	h.call(c)
+
+	if len(h.saved) == 0 {
+		t.Fatal("nothing persisted")
+	}
+	blob := h.saved[len(h.saved)-1]
+
+	// New incarnation restores: socket exists, bound, connected.
+	h2 := newHarness(t)
+	if err := h2.e.RestoreState(blob); err != nil {
+		t.Fatal(err)
+	}
+	if h2.e.NumSockets() != 1 {
+		t.Fatalf("restored %d sockets", h2.e.NumSockets())
+	}
+	// The restored socket still receives on its port.
+	h2.deliver(netpkt.MustIP("10.9.9.9"), 53, 8000, []byte("answer"))
+	if h2.e.Stats().DatagramsIn != 1 {
+		t.Fatal("restored socket not receiving")
+	}
+	// Flows for PF conntrack rebuild include the connected 4-tuple.
+	flows := h2.e.Flows()
+	if len(flows) != 1 || uint16(flows[0].Arg[1]) != 8000 || uint16(flows[0].Arg[3]) != 53 {
+		t.Fatalf("flows = %+v", flows)
+	}
+}
+
+func TestOnIPRestartResubmitsSends(t *testing.T) {
+	h := newHarness(t)
+	sock := h.socket()
+	h.bind(sock, 9000)
+	buf := h.bufs[sock]
+	chunk, _ := buf.Get()
+	ptr, _ := buf.Write(chunk, []byte("dup me"))
+	r := msg.Req{Op: msg.OpSockSend, Flow: sock}
+	r.SetChain([]shm.RichPtr{ptr})
+	r.Arg[0] = uint64(netpkt.MustIP("10.0.0.2").U32())
+	r.Arg[1] = 1
+	h.next++
+	r.ID = h.next
+	h.e.FromFront(r)
+	first := h.e.DrainToIP()
+	if len(first) != 1 {
+		t.Fatal("no initial send")
+	}
+	// IP crashes before completing; engine aborts and resubmits with a
+	// fresh ID ("we tend to prefer sending extra data").
+	h.e.OnIPRestart()
+	second := h.e.DrainToIP()
+	if len(second) != 1 || second[0].Op != msg.OpIPSend {
+		t.Fatalf("resubmission = %+v", second)
+	}
+	if second[0].ID == first[0].ID {
+		t.Fatal("resubmission reused the old request ID")
+	}
+	if h.e.Stats().Resubmitted != 1 {
+		t.Fatal("resubmission not counted")
+	}
+	// The old completion (if it ever arrives) is ignored.
+	h.e.FromIP(msg.Req{ID: first[0].ID, Op: msg.OpIPSendDone})
+	if reps := h.e.DrainToFront(); len(reps) != 0 {
+		t.Fatalf("stale reply produced output: %+v", reps)
+	}
+}
+
+func TestCloseReleasesResources(t *testing.T) {
+	h := newHarness(t)
+	sock := h.socket()
+	h.bind(sock, 10000)
+	h.deliver(netpkt.MustIP("1.1.1.1"), 1, 10000, []byte("pending"))
+	if rep := h.call(msg.Req{Op: msg.OpSockClose, Flow: sock}); rep.Status != msg.StatusOK {
+		t.Fatalf("close: %d", rep.Status)
+	}
+	// Queued datagram released back to IP.
+	found := false
+	for _, r := range h.e.DrainToIP() {
+		if r.Op == msg.OpIPDeliverDone {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("queued datagram not released on close")
+	}
+	if h.e.NumSockets() != 0 {
+		t.Fatal("socket not removed")
+	}
+	// Port is reusable.
+	s2 := h.socket()
+	if st := h.bind(s2, 10000); st != msg.StatusOK {
+		t.Fatalf("rebind after close: %d", st)
+	}
+}

@@ -1,0 +1,169 @@
+// Package udpsrv is the UDP server: the channel shell around udpeng.
+// UDP's per-socket state is tiny and slow-changing, making it fully
+// recoverable (paper Table I) — the component the paper highlights when
+// discussing the MS11-083 Windows UDP vulnerability: in NewtOS the buggy
+// UDP server is simply replaced while TCP traffic keeps flowing.
+package udpsrv
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+	"time"
+
+	"newtos/internal/msg"
+	"newtos/internal/netpkt"
+	"newtos/internal/pfeng"
+	"newtos/internal/proc"
+	"newtos/internal/sockbuf"
+	"newtos/internal/udpeng"
+	"newtos/internal/wiring"
+)
+
+// Storage keys.
+const (
+	StorageKey = "udp/sockets"
+	FlowsKey   = "udp/flows"
+	BufKeyPfx  = "sockbuf/udp/"
+)
+
+// Config assembles a UDP server.
+type Config struct {
+	LocalIP netpkt.IPAddr
+	// SrcFor selects the source address per destination (multi-homed).
+	SrcFor  func(netpkt.IPAddr) netpkt.IPAddr
+	Offload bool
+}
+
+// Server is one UDP server incarnation.
+type Server struct {
+	cfg   Config
+	ports *wiring.Ports
+
+	eng    *udpeng.Engine
+	ipPort *wiring.Port
+	scPort *wiring.Port
+	ipBox  wiring.Outbox
+	scBox  wiring.Outbox
+}
+
+var _ proc.Service = (*Server)(nil)
+
+// New creates a UDP server incarnation.
+func New(cfg Config, ports *wiring.Ports) *Server {
+	return &Server{cfg: cfg, ports: ports}
+}
+
+// Engine exposes the engine for tests.
+func (s *Server) Engine() *udpeng.Engine { return s.eng }
+
+// Init constructs the engine; on restart the socket table is recovered
+// from the storage server and the sockets recreated.
+func (s *Server) Init(rt *proc.Runtime, restart bool) error {
+	hub := s.ports.Hub()
+	hdrPool, err := hub.Space.NewPool(fmt.Sprintf("udp.hdr.%d", rt.Incarnation), 128, 4096)
+	if err != nil {
+		return fmt.Errorf("udpsrv: %w", err)
+	}
+	s.eng = udpeng.New(udpeng.Config{
+		Space:   hub.Space,
+		LocalIP: s.cfg.LocalIP,
+		SrcFor:  s.cfg.SrcFor,
+		Offload: s.cfg.Offload,
+		PublishBuf: func(sock uint32, buf *sockbuf.Buf) {
+			hub.Reg.Publish(BufKeyPfx+fmt.Sprint(sock), buf)
+		},
+		SaveState: func(blob []byte) {
+			hub.Store.Put(StorageKey, blob)
+			s.persistFlows()
+		},
+	}, hdrPool)
+	if restart {
+		if blob, ok := hub.Store.Get(StorageKey); ok {
+			if err := s.eng.RestoreState(blob); err != nil {
+				return fmt.Errorf("udpsrv: restore: %w", err)
+			}
+		}
+	}
+	s.ports.Begin(rt.Bell)
+	s.ipPort = s.ports.Attach("ip-udp")
+	s.scPort = s.ports.Attach("sc-udp")
+	return nil
+}
+
+func (s *Server) persistFlows() {
+	reqs := s.eng.Flows()
+	flows := make([]pfeng.Flow, 0, len(reqs))
+	for _, r := range reqs {
+		flows = append(flows, pfeng.Flow{
+			Proto:   netpkt.ProtoUDP,
+			Src:     s.cfg.LocalIP,
+			SrcPort: uint16(r.Arg[1]),
+			Dst:     netpkt.IPFromU32(uint32(r.Arg[2])),
+			DstPort: uint16(r.Arg[3]),
+		})
+	}
+	var buf bytes.Buffer
+	if gob.NewEncoder(&buf).Encode(flows) == nil {
+		s.ports.Hub().Store.Put(FlowsKey, buf.Bytes())
+	}
+}
+
+// Poll moves messages between channels and the engine.
+func (s *Server) Poll(now time.Time) bool {
+	worked := false
+
+	ipDup, changed := s.ipPort.Take()
+	if changed && ipDup.Valid() {
+		s.ipBox.Drop()
+		s.eng.OnIPRestart()
+		worked = true
+	}
+	if ipDup.Valid() {
+		for i := 0; i < 512; i++ {
+			r, ok := ipDup.In.Recv()
+			if !ok {
+				break
+			}
+			s.eng.FromIP(r)
+			worked = true
+		}
+	}
+
+	scDup, scChanged := s.scPort.Take()
+	if scChanged {
+		s.scBox.Drop()
+	}
+	if scDup.Valid() {
+		for i := 0; i < 256; i++ {
+			r, ok := scDup.In.Recv()
+			if !ok {
+				break
+			}
+			s.eng.FromFront(r)
+			worked = true
+		}
+	}
+
+	if ipDup.Valid() {
+		s.ipBox.Push(s.eng.DrainToIP()...)
+		if s.ipBox.Flush(ipDup.Out) {
+			worked = true
+		}
+	}
+	if scDup.Valid() {
+		s.scBox.Push(s.eng.DrainToFront()...)
+		if s.scBox.Flush(scDup.Out) {
+			worked = true
+		}
+	}
+	return worked
+}
+
+// Deadline: UDP has no timers.
+func (s *Server) Deadline(now time.Time) time.Time { return time.Time{} }
+
+// Stop is a no-op.
+func (s *Server) Stop() {}
+
+var _ = msg.Req{}

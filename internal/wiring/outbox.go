@@ -1,0 +1,41 @@
+package wiring
+
+import (
+	"newtos/internal/channel"
+	"newtos/internal/msg"
+)
+
+// Outbox buffers requests for a channel whose queue may momentarily fill.
+// Servers must never block on a full queue (paper §IV-A); they buffer and
+// retry on the next poll. Callers that prefer dropping (e.g. packets) can
+// check Len and shed instead of pushing.
+type Outbox struct {
+	q []msg.Req
+}
+
+// Push appends requests to the outbox.
+func (o *Outbox) Push(reqs ...msg.Req) {
+	o.q = append(o.q, reqs...)
+}
+
+// Flush sends as much as the queue accepts; reports whether anything moved.
+func (o *Outbox) Flush(out channel.Out) bool {
+	moved := false
+	for len(o.q) > 0 {
+		if !out.Send(o.q[0]) {
+			break
+		}
+		o.q = o.q[1:]
+		moved = true
+	}
+	if len(o.q) == 0 {
+		o.q = nil
+	}
+	return moved
+}
+
+// Len returns the number of buffered requests.
+func (o *Outbox) Len() int { return len(o.q) }
+
+// Drop discards the buffered requests (peer restarted; its queue is gone).
+func (o *Outbox) Drop() { o.q = nil }

@@ -1,0 +1,202 @@
+// Package wiring implements channel management between servers
+// (paper §IV-C): servers announce their presence through a
+// publish/subscribe mechanism; a channel's creator exports it to the peer;
+// peers attach, and when a server restarts, its channels are re-created and
+// re-exported while survivors detach from the stale ones.
+//
+// Conventions encoded here:
+//
+//   - every server publishes "bell/<name>" (its doorbell) once per
+//     incarnation — this is the presence announcement;
+//   - for every edge, exactly one side is the creator; it subscribes to the
+//     peer's bell and (re-)creates the duplex whenever either side
+//     reincarnates, publishing the peer's end under "chan/<edge>";
+//   - the non-creator subscribes to "chan/<edge>" and picks up each new
+//     incarnation of the channel.
+//
+// A Port is one server's end of one edge. Port generations let the owning
+// event loop notice "the peer (or the channel) changed" exactly once and
+// run its crash-recovery actions (abort requests, resubmit, resupply).
+package wiring
+
+import (
+	"sync"
+
+	"newtos/internal/channel"
+	"newtos/internal/kipc"
+	"newtos/internal/shm"
+	"newtos/internal/storage"
+)
+
+// Hub bundles the per-node shared infrastructure every server receives.
+type Hub struct {
+	// Reg is the channel registry (publish/subscribe name board).
+	Reg *channel.Registry
+	// Space is the shared-memory space (the VM-manager role).
+	Space *shm.Space
+	// Kern is the microkernel (slow-path IPC, interrupts).
+	Kern *kipc.Kernel
+	// Store is the state storage server facade.
+	Store *storage.Store
+}
+
+// NewHub creates the shared infrastructure for one node.
+func NewHub(kern *kipc.Kernel) *Hub {
+	return &Hub{
+		Reg:   channel.NewRegistry(),
+		Space: shm.NewSpace(),
+		Kern:  kern,
+		Store: storage.NewStore(),
+	}
+}
+
+// Port is one server's end of one edge. Safe for a single owning loop plus
+// concurrent rebinds from registry callbacks.
+type Port struct {
+	mu   sync.Mutex
+	dup  channel.Duplex
+	gen  int
+	seen int
+	cur  channel.Duplex // owner's cached copy
+}
+
+// set installs a new incarnation of the channel.
+func (p *Port) set(d channel.Duplex) {
+	p.mu.Lock()
+	p.dup = d
+	p.gen++
+	p.mu.Unlock()
+}
+
+// Take returns the owner's current duplex and whether it changed since the
+// last Take. A change means the peer (or this end) reincarnated: the owner
+// must run its abort/resubmit recovery actions.
+func (p *Port) Take() (channel.Duplex, bool) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.gen == p.seen {
+		return p.cur, false
+	}
+	p.seen = p.gen
+	p.cur = p.dup
+	return p.cur, true
+}
+
+// Cur returns the owner's cached duplex without checking for changes.
+func (p *Port) Cur() channel.Duplex {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.cur
+}
+
+// Ports manages one component's edges across incarnations. It is held by
+// the component's factory closure (it outlives incarnations); each
+// incarnation calls Begin and then re-declares its edges.
+type Ports struct {
+	hub  *Hub
+	name string
+
+	mu      sync.Mutex
+	bell    *channel.Doorbell
+	cancels []func()
+	ports   map[string]*Port
+	depth   int
+}
+
+// NewPorts creates the edge manager for the named component.
+func NewPorts(hub *Hub, name string) *Ports {
+	return &Ports{
+		hub:   hub,
+		name:  name,
+		ports: make(map[string]*Port),
+		depth: channel.DefaultDepth,
+	}
+}
+
+// SetDepth overrides the queue depth for subsequently created channels.
+func (ps *Ports) SetDepth(depth int) { ps.depth = depth }
+
+// Name returns the component name.
+func (ps *Ports) Name() string { return ps.name }
+
+// Hub returns the node infrastructure.
+func (ps *Ports) Hub() *Hub { return ps.hub }
+
+// Begin starts a new incarnation: previous subscriptions are cancelled
+// (the old incarnation's exports die with it) and the component's presence
+// is announced with its new doorbell.
+func (ps *Ports) Begin(bell *channel.Doorbell) {
+	ps.mu.Lock()
+	cancels := ps.cancels
+	ps.cancels = nil
+	ps.bell = bell
+	ps.mu.Unlock()
+	for _, c := range cancels {
+		c()
+	}
+	ps.hub.Reg.Publish("bell/"+ps.name, bell)
+}
+
+// port returns (creating if needed) the stable Port for an edge. Ports are
+// stable across incarnations so the loop's "changed" detection spans
+// restarts.
+func (ps *Ports) port(edge string) *Port {
+	if p, ok := ps.ports[edge]; ok {
+		return p
+	}
+	p := &Port{}
+	ps.ports[edge] = p
+	return p
+}
+
+// Export declares this component the creator of edge towards peerName.
+// Whenever the peer announces a (new) bell, a fresh duplex is created: this
+// side keeps one end, the other end is published under "chan/<edge>" for
+// the peer to attach. Returns this side's Port.
+func (ps *Ports) Export(edge, peerName string) *Port {
+	ps.mu.Lock()
+	p := ps.port(edge)
+	myBell := ps.bell
+	depth := ps.depth
+	ps.mu.Unlock()
+
+	cancel := ps.hub.Reg.Subscribe("bell/"+peerName, func(a channel.Announcement) {
+		peerBell, ok := a.Value.(*channel.Doorbell)
+		if !ok || peerBell == nil {
+			return
+		}
+		mine, theirs, err := channel.NewDuplex(depth, myBell, peerBell)
+		if err != nil {
+			return
+		}
+		p.set(mine)
+		ps.hub.Reg.Publish("chan/"+edge, theirs)
+		myBell.Ring()
+	})
+	ps.mu.Lock()
+	ps.cancels = append(ps.cancels, cancel)
+	ps.mu.Unlock()
+	return p
+}
+
+// Attach declares this component the non-creating side of edge: it picks up
+// each incarnation of the channel the creator publishes.
+func (ps *Ports) Attach(edge string) *Port {
+	ps.mu.Lock()
+	p := ps.port(edge)
+	myBell := ps.bell
+	ps.mu.Unlock()
+
+	cancel := ps.hub.Reg.Subscribe("chan/"+edge, func(a channel.Announcement) {
+		dup, ok := a.Value.(channel.Duplex)
+		if !ok {
+			return
+		}
+		p.set(dup)
+		myBell.Ring()
+	})
+	ps.mu.Lock()
+	ps.cancels = append(ps.cancels, cancel)
+	ps.mu.Unlock()
+	return p
+}
