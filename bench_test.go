@@ -7,6 +7,8 @@
 package newtos_bench
 
 import (
+	"fmt"
+	"runtime"
 	"testing"
 	"time"
 
@@ -138,6 +140,9 @@ func BenchmarkSec4_ChannelEnqueue(b *testing.B) {
 				case <-stop:
 					return
 				default:
+					// Empty queue: yield so a single-core box schedules
+					// the producer instead of burning the timeslice.
+					runtime.Gosched()
 				}
 			}
 		}
@@ -146,11 +151,60 @@ func BenchmarkSec4_ChannelEnqueue(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		for !out.Send(r) {
+			runtime.Gosched()
 		}
 	}
 	b.StopTimer()
 	close(stop)
 	<-done
+}
+
+// BenchmarkSec4_ChannelBatch measures per-request cost of the batched fast
+// path at batch sizes 1/8/64: one SendBatch (and one doorbell ring) moves
+// the whole batch while a consumer drains with RecvBatch. Size 1 is the
+// single-slot baseline; the gap to size 64 is the amortized per-request
+// enqueue+doorbell overhead the server loops no longer pay.
+func BenchmarkSec4_ChannelBatch(b *testing.B) {
+	for _, size := range []int{1, 8, 64} {
+		b.Run(fmt.Sprint(size), func(b *testing.B) {
+			b.ReportAllocs()
+			bell := channel.NewDoorbell()
+			out, in, _ := channel.NewQueue(4096, bell)
+			stop := make(chan struct{})
+			done := make(chan struct{})
+			go func() {
+				defer close(done)
+				dst := make([]msg.Req, 256)
+				for {
+					if in.RecvBatch(dst) == 0 {
+						select {
+						case <-stop:
+							return
+						default:
+							runtime.Gosched()
+						}
+					}
+				}
+			}()
+			batch := make([]msg.Req, size)
+			for i := range batch {
+				batch[i] = msg.Req{Op: msg.OpPing}
+			}
+			b.ResetTimer()
+			// b.N counts requests, so ns/op is directly per-request cost.
+			for sent := 0; sent < b.N; {
+				n := out.SendBatch(batch)
+				if n == 0 {
+					runtime.Gosched() // queue full: let the consumer drain
+					continue
+				}
+				sent += n
+			}
+			b.StopTimer()
+			close(stop)
+			<-done
+		})
+	}
 }
 
 // BenchmarkSec4_KernelTrapHot is the ~150-cycle comparison point.

@@ -6,6 +6,7 @@ package main
 
 import (
 	"fmt"
+	"runtime"
 	"time"
 
 	"newtos/internal/channel"
@@ -22,6 +23,8 @@ func main() {
 		{"kernel trap (cold caches)", measureTrap(true)},
 		{"kernel ping-pong (sendrec)", measurePingPong()},
 		{"channel enqueue (consumer draining)", measureChannel()},
+		{"channel batch enqueue (batch=8)", measureChannelBatch(8)},
+		{"channel batch enqueue (batch=64)", measureChannelBatch(64)},
 	}
 	fmt.Print(trace.Table("§IV — IPC micro-costs (paper: trap 150/3000 cycles, enqueue ~30)", rows))
 }
@@ -81,6 +84,9 @@ func measureChannel() string {
 				case <-stop:
 					return
 				default:
+					// Empty queue: yield so a single-core box schedules the
+					// producer instead of burning the rest of the timeslice.
+					runtime.Gosched()
 				}
 			}
 		}
@@ -90,7 +96,50 @@ func measureChannel() string {
 	start := time.Now()
 	for i := 0; i < n; i++ {
 		for !out.Send(r) {
+			runtime.Gosched()
 		}
+	}
+	per := time.Since(start) / n
+	close(stop)
+	<-done
+	return fmt.Sprintf("%8v  (~%.0f cycles)", per, float64(per.Nanoseconds())*cyclesPerNs)
+}
+
+// measureChannelBatch measures the batched fast path: one SendBatch (one
+// doorbell ring) moves `size` requests while the consumer drains with
+// RecvBatch.
+func measureChannelBatch(size int) string {
+	bell := channel.NewDoorbell()
+	out, in, _ := channel.NewQueue(4096, bell)
+	stop := make(chan struct{})
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		dst := make([]msg.Req, 256)
+		for {
+			if in.RecvBatch(dst) == 0 {
+				select {
+				case <-stop:
+					return
+				default:
+					runtime.Gosched()
+				}
+			}
+		}
+	}()
+	const n = 2000000
+	batch := make([]msg.Req, size)
+	for i := range batch {
+		batch[i] = msg.Req{Op: msg.OpPing}
+	}
+	start := time.Now()
+	for sent := 0; sent < n; {
+		m := out.SendBatch(batch)
+		if m == 0 {
+			runtime.Gosched()
+			continue
+		}
+		sent += m
 	}
 	per := time.Since(start) / n
 	close(stop)

@@ -1,0 +1,3 @@
+module newtos
+
+go 1.24

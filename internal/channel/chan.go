@@ -5,6 +5,7 @@ import (
 
 	"newtos/internal/msg"
 	"newtos/internal/spsc"
+	"newtos/internal/trace"
 )
 
 // DefaultDepth is the default queue depth (slots) for stack channels.
@@ -14,8 +15,9 @@ const DefaultDepth = 512
 // exactly one producer and one consumer (paper §IV: "single-producer,
 // single-consumer ... they do not require any locking").
 type Out struct {
-	ring *spsc.Ring[msg.Req]
-	bell *Doorbell
+	ring  *spsc.Ring[msg.Req]
+	bell  *Doorbell
+	stats *trace.BatchCounter
 }
 
 // Send enqueues r and rings the consumer's doorbell. It reports false when
@@ -33,6 +35,22 @@ func (o Out) Send(r msg.Req) bool {
 	return true
 }
 
+// SendBatch enqueues as many of reqs as the queue accepts and returns the
+// count moved. The consumer's doorbell is rung exactly once for the whole
+// batch — this is the doorbell-coalescing contract: one wakeup per batch
+// per hop, however many requests the batch carries.
+func (o Out) SendBatch(reqs []msg.Req) int {
+	if o.ring == nil || len(reqs) == 0 {
+		return 0
+	}
+	n := o.ring.EnqueueBatch(reqs)
+	if n > 0 {
+		o.stats.Observe(n)
+		o.bell.Ring()
+	}
+	return n
+}
+
 // Valid reports whether the endpoint is wired.
 func (o Out) Valid() bool { return o.ring != nil }
 
@@ -44,9 +62,17 @@ func (o Out) Len() int {
 	return o.ring.Len()
 }
 
+// Stats returns the send-side batch-size counter (nil on an unwired end).
+// Only the batched entry points (SendBatch/RecvBatch) observe, keeping the
+// cycle-counted per-slot path untouched; the data-path server loops move
+// everything through the batched calls, so the counters see all fast-path
+// traffic.
+func (o Out) Stats() *trace.BatchCounter { return o.stats }
+
 // In is the consumer end of a unidirectional channel queue.
 type In struct {
-	ring *spsc.Ring[msg.Req]
+	ring  *spsc.Ring[msg.Req]
+	stats *trace.BatchCounter
 }
 
 // Recv pops one request.
@@ -57,12 +83,16 @@ func (i In) Recv() (msg.Req, bool) {
 	return i.ring.TryDequeue()
 }
 
-// RecvBatch pops up to len(dst) requests, returning the count.
+// RecvBatch pops up to len(dst) requests, returning the count. This is the
+// server-loop drain primitive: one call moves a whole batch out of the ring
+// with a single head publication.
 func (i In) RecvBatch(dst []msg.Req) int {
 	if i.ring == nil {
 		return 0
 	}
-	return i.ring.DequeueBatch(dst)
+	n := i.ring.DequeueBatch(dst)
+	i.stats.Observe(n)
+	return n
 }
 
 // Empty reports whether the queue appears empty.
@@ -71,14 +101,20 @@ func (i In) Empty() bool { return i.ring == nil || i.ring.Empty() }
 // Valid reports whether the endpoint is wired.
 func (i In) Valid() bool { return i.ring != nil }
 
+// Stats returns the receive-side batch-size counter (nil on an unwired end).
+func (i In) Stats() *trace.BatchCounter { return i.stats }
+
 // NewQueue builds one unidirectional queue of the given depth whose
-// consumer is woken through bell.
+// consumer is woken through bell. The queue carries a separately allocated,
+// cache-line-padded batch counter per side so the producer's and consumer's
+// counters do not false-share.
 func NewQueue(depth int, bell *Doorbell) (Out, In, error) {
 	r, err := spsc.New[msg.Req](depth)
 	if err != nil {
 		return Out{}, In{}, fmt.Errorf("channel: %w", err)
 	}
-	return Out{ring: r, bell: bell}, In{ring: r}, nil
+	return Out{ring: r, bell: bell, stats: &trace.BatchCounter{}},
+		In{ring: r, stats: &trace.BatchCounter{}}, nil
 }
 
 // Duplex is one side's view of a bidirectional channel: a queue to the peer

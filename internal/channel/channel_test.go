@@ -366,3 +366,127 @@ func BenchmarkChannelCrossCore(b *testing.B) {
 	close(stop)
 	<-done
 }
+
+func TestSendBatchRecvBatchFIFO(t *testing.T) {
+	bell := NewDoorbell()
+	out, in, err := NewQueue(64, bell)
+	if err != nil {
+		t.Fatal(err)
+	}
+	batch := make([]msg.Req, 10)
+	for i := range batch {
+		batch[i] = msg.Req{ID: uint64(i + 1), Op: msg.OpPing}
+	}
+	if n := out.SendBatch(batch); n != 10 {
+		t.Fatalf("SendBatch = %d, want 10", n)
+	}
+	dst := make([]msg.Req, 4)
+	want := uint64(1)
+	for want <= 10 {
+		n := in.RecvBatch(dst)
+		if n == 0 {
+			t.Fatalf("RecvBatch dried up at ID %d", want)
+		}
+		for _, r := range dst[:n] {
+			if r.ID != want {
+				t.Fatalf("got ID %d, want %d (FIFO broken)", r.ID, want)
+			}
+			want++
+		}
+	}
+	if n := in.RecvBatch(dst); n != 0 {
+		t.Fatalf("RecvBatch on empty queue = %d", n)
+	}
+}
+
+func TestSendBatchPartialAcceptOnFullQueue(t *testing.T) {
+	out, in, err := NewQueue(4, NewDoorbell())
+	if err != nil {
+		t.Fatal(err)
+	}
+	batch := []msg.Req{{ID: 1}, {ID: 2}, {ID: 3}, {ID: 4}, {ID: 5}, {ID: 6}}
+	if n := out.SendBatch(batch); n != 4 {
+		t.Fatalf("SendBatch into depth-4 queue = %d, want 4", n)
+	}
+	if n := out.SendBatch(batch[4:]); n != 0 {
+		t.Fatalf("SendBatch into full queue = %d, want 0", n)
+	}
+	if r, ok := in.Recv(); !ok || r.ID != 1 {
+		t.Fatalf("Recv = (%+v,%v)", r, ok)
+	}
+	if n := out.SendBatch(batch[4:5]); n != 1 {
+		t.Fatalf("SendBatch after drain = %d, want 1", n)
+	}
+}
+
+// TestSendBatchCoalescesDoorbell is the doorbell contract: an armed
+// consumer is woken exactly once per flushed batch, however many requests
+// the batch carries.
+func TestSendBatchCoalescesDoorbell(t *testing.T) {
+	bell := NewDoorbell()
+	out, in, err := NewQueue(256, bell)
+	if err != nil {
+		t.Fatal(err)
+	}
+	batch := make([]msg.Req, 64)
+	for i := range batch {
+		batch[i] = msg.Req{ID: uint64(i + 1), Op: msg.OpPing}
+	}
+
+	for round := uint64(1); round <= 3; round++ {
+		// Arm from the test goroutine: the queue is known-drained here, so
+		// the arm-then-recheck protocol is trivially satisfied and the
+		// batch below is guaranteed to land on an armed bell. Whether the
+		// ring fires before or after Wait blocks, the wake token makes
+		// Wait return true — no timing dependence.
+		bell.Arm()
+		if !in.Empty() {
+			t.Fatal("queue not drained between rounds")
+		}
+		woke := make(chan bool)
+		go func() { woke <- bell.Wait(2 * time.Second) }()
+		if n := out.SendBatch(batch); n != len(batch) {
+			t.Fatalf("SendBatch = %d, want %d", n, len(batch))
+		}
+		if !<-woke {
+			t.Fatal("armed consumer was not woken by the batch")
+		}
+		if got := bell.Wakeups(); got != round {
+			t.Fatalf("Wakeups after %d batches of %d = %d, want %d (one ring per batch)",
+				round, len(batch), got, round)
+		}
+		dst := make([]msg.Req, len(batch))
+		for got := 0; got < len(batch); {
+			got += in.RecvBatch(dst)
+		}
+	}
+}
+
+func TestBatchCountersObserveTraffic(t *testing.T) {
+	out, in, err := NewQueue(64, NewDoorbell())
+	if err != nil {
+		t.Fatal(err)
+	}
+	batch := make([]msg.Req, 8)
+	out.SendBatch(batch)
+	out.SendBatch(batch[:3])
+	// Per-slot Send is deliberately unobserved (cycle-counted path).
+	out.Send(msg.Req{ID: 12})
+	if got := out.Stats().Msgs(); got != 11 {
+		t.Fatalf("send Msgs = %d, want 11", got)
+	}
+	if got := out.Stats().Batches(); got != 2 {
+		t.Fatalf("send Batches = %d, want 2", got)
+	}
+	if got := out.Stats().Max(); got != 8 {
+		t.Fatalf("send Max = %d, want 8", got)
+	}
+	dst := make([]msg.Req, 16)
+	in.RecvBatch(dst)
+	if got := in.Stats().Msgs(); got != 12 {
+		t.Fatalf("recv Msgs = %d, want 12", got)
+	}
+	if got := in.Stats().Batches(); got != 1 {
+		t.Fatalf("recv Batches = %d, want 1", got)
+	}
+}

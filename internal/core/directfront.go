@@ -25,7 +25,8 @@ type directFront struct {
 
 	ep      *kipc.Endpoint
 	port    *wiring.Port
-	box     wiring.Outbox
+	box     *wiring.Outbox
+	scratch []msg.Req
 	nextID  uint64
 	pending map[uint64]appCall
 }
@@ -68,6 +69,8 @@ func (d *directFront) Init(rt *proc.Runtime, restart bool) error {
 	// The edge's peer name is the transport component, which is the
 	// substring after "sc-".
 	d.port = d.shimPorts.Export(d.edge, d.edge[3:])
+	d.box = wiring.NewOutbox(d.port)
+	d.scratch = make([]msg.Req, wiring.ScratchLen)
 	ep, err := d.shimPorts.Hub().Kern.Register(d.fdName, rt.Bell)
 	if err != nil {
 		return fmt.Errorf("directfront: %w", err)
@@ -108,23 +111,22 @@ func (d *directFront) Poll(now time.Time) bool {
 		worked = true
 	}
 	if dup.Valid() {
-		// Replies back to the applications.
-		for i := 0; i < 256; i++ {
-			r, ok := dup.In.Recv()
-			if !ok {
-				break
+		// Replies back to the applications, drained in batches.
+		if wiring.Drain(dup.In, d.scratch, wiring.RecvBudget, func(b []msg.Req) {
+			for _, r := range b {
+				call, ok := d.pending[r.ID]
+				if !ok {
+					continue
+				}
+				delete(d.pending, r.ID)
+				rep := r
+				rep.ID = call.appID
+				_ = d.ep.Send(call.app, kipc.Msg{Type: uint32(rep.Op), Data: rep.MarshalBinary()})
 			}
+		}) {
 			worked = true
-			call, ok := d.pending[r.ID]
-			if !ok {
-				continue
-			}
-			delete(d.pending, r.ID)
-			rep := r
-			rep.ID = call.appID
-			_ = d.ep.Send(call.app, kipc.Msg{Type: uint32(rep.Op), Data: rep.MarshalBinary()})
 		}
-		if d.box.Flush(dup.Out) {
+		if d.box.Flush() {
 			worked = true
 		}
 	}

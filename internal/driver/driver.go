@@ -28,11 +28,12 @@ type Server struct {
 	ports *wiring.Ports
 	dev   *nic.Device
 
-	rt     *proc.Runtime
-	ep     *kipc.Endpoint
-	ipPort *wiring.Port
-	outIP  wiring.Outbox
-	wired  bool
+	rt      *proc.Runtime
+	ep      *kipc.Endpoint
+	ipPort  *wiring.Port
+	outIP   *wiring.Outbox
+	scratch []msg.Req
+	wired   bool
 }
 
 var _ proc.Service = (*Server)(nil)
@@ -50,6 +51,8 @@ func (s *Server) Init(rt *proc.Runtime, restart bool) error {
 	s.rt = rt
 	s.ports.Begin(rt.Bell)
 	s.ipPort = s.ports.Attach("ip-" + s.name)
+	s.outIP = wiring.NewOutbox(s.ipPort)
+	s.scratch = make([]msg.Req, wiring.ScratchLen)
 	ep, err := s.ports.Hub().Kern.Register(s.name, rt.Bell)
 	if err != nil {
 		return fmt.Errorf("driver %s: %w", s.name, err)
@@ -101,43 +104,14 @@ func (s *Server) Poll(now time.Time) bool {
 		worked = true
 	}
 
-	// Requests from IP.
-	for i := 0; i < 256; i++ {
-		r, ok := dup.In.Recv()
-		if !ok {
-			break
+	// Requests from IP, drained in batches: descriptors for a whole batch
+	// are posted back-to-back before the device is kicked again.
+	if wiring.Drain(dup.In, s.scratch, wiring.RecvBudget, func(b []msg.Req) {
+		for _, r := range b {
+			s.handleIPReq(r)
 		}
+	}) {
 		worked = true
-		switch r.Op {
-		case msg.OpTxSubmit:
-			desc := nic.TxDesc{
-				Ptrs:    append([]shm.RichPtr(nil), r.Chain()...),
-				Cookie:  r.ID,
-				SegSize: uint16(r.Arg[1]),
-			}
-			if r.Arg[0]&msg.OffloadCsumIP != 0 {
-				desc.Flags |= nic.TxCsumIP
-			}
-			if r.Arg[0]&msg.OffloadCsumL4 != 0 {
-				desc.Flags |= nic.TxCsumL4
-			}
-			if r.Arg[0]&msg.OffloadTSO != 0 {
-				desc.Flags |= nic.TxTSO
-			}
-			if err := s.dev.PostTx(desc); err != nil {
-				// Ring full or device down: complete with an error so IP
-				// can free and (for TCP) let the RTO recover — dropping
-				// a packet in the network stack is acceptable.
-				s.outIP.Push(msg.Req{ID: r.ID, Op: msg.OpTxDone, Status: msg.StatusErrNoBufs})
-			}
-		case msg.OpRxSupply:
-			if err := s.dev.PostRx(r.Ptrs[0]); err != nil {
-				// RX ring full; IP's accounting will retry via recycling.
-				continue
-			}
-		case msg.OpDrvReset:
-			s.dev.Reset()
-		}
 	}
 
 	// Completions from the device.
@@ -163,10 +137,44 @@ func (s *Server) Poll(now time.Time) bool {
 		worked = true
 	}
 
-	if s.outIP.Flush(dup.Out) {
+	if s.outIP.Flush() {
 		worked = true
 	}
 	return worked
+}
+
+// handleIPReq executes one request from IP (TX path).
+func (s *Server) handleIPReq(r msg.Req) {
+	switch r.Op {
+	case msg.OpTxSubmit:
+		desc := nic.TxDesc{
+			Ptrs:    append([]shm.RichPtr(nil), r.Chain()...),
+			Cookie:  r.ID,
+			SegSize: uint16(r.Arg[1]),
+		}
+		if r.Arg[0]&msg.OffloadCsumIP != 0 {
+			desc.Flags |= nic.TxCsumIP
+		}
+		if r.Arg[0]&msg.OffloadCsumL4 != 0 {
+			desc.Flags |= nic.TxCsumL4
+		}
+		if r.Arg[0]&msg.OffloadTSO != 0 {
+			desc.Flags |= nic.TxTSO
+		}
+		if err := s.dev.PostTx(desc); err != nil {
+			// Ring full or device down: complete with an error so IP
+			// can free and (for TCP) let the RTO recover — dropping
+			// a packet in the network stack is acceptable.
+			s.outIP.Push(msg.Req{ID: r.ID, Op: msg.OpTxDone, Status: msg.StatusErrNoBufs})
+		}
+	case msg.OpRxSupply:
+		if err := s.dev.PostRx(r.Ptrs[0]); err != nil {
+			// RX ring full; IP's accounting will retry via recycling.
+			return
+		}
+	case msg.OpDrvReset:
+		s.dev.Reset()
+	}
 }
 
 // Deadline: the driver has no timers; device interrupts wake it.

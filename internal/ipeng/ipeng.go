@@ -275,6 +275,34 @@ func (e *Engine) FromTransport(proto uint8, r msg.Req, now time.Time) {
 	}
 }
 
+// FromTransportBatch feeds a drained batch from TCP or UDP through the
+// engine. The per-destination output slices (toDrv/toPF/...) accumulate
+// across the whole batch, so each downstream hop later receives one batch —
+// and pays one wakeup — per loop iteration instead of one per request.
+func (e *Engine) FromTransportBatch(proto uint8, batch []msg.Req, now time.Time) {
+	e.now = now
+	for i := range batch {
+		e.FromTransport(proto, batch[i], now)
+	}
+}
+
+// FromDriverBatch feeds a drained batch from the named driver through the
+// engine (see FromTransportBatch for the batching rationale).
+func (e *Engine) FromDriverBatch(name string, batch []msg.Req, now time.Time) {
+	e.now = now
+	for i := range batch {
+		e.FromDriver(name, batch[i], now)
+	}
+}
+
+// FromPFBatch feeds a drained batch of verdicts through the engine.
+func (e *Engine) FromPFBatch(batch []msg.Req, now time.Time) {
+	e.now = now
+	for i := range batch {
+		e.FromPF(batch[i], now)
+	}
+}
+
 // FromDriver handles a message from the named driver.
 func (e *Engine) FromDriver(name string, r msg.Req, now time.Time) {
 	e.now = now

@@ -39,9 +39,13 @@ type Server struct {
 	pfPort  *wiring.Port
 	tcpPort *wiring.Port
 	udpPort *wiring.Port
-	pfBox   wiring.Outbox
-	tcpBox  wiring.Outbox
-	udpBox  wiring.Outbox
+	pfBox   *wiring.Outbox
+	tcpBox  *wiring.Outbox
+	udpBox  *wiring.Outbox
+	// scratch is the reusable drain buffer all edges share (the loop is
+	// single-threaded and each batch is fully processed before the next
+	// drain).
+	scratch []msg.Req
 }
 
 var _ proc.Service = (*Server)(nil)
@@ -84,13 +88,17 @@ func (s *Server) Init(rt *proc.Runtime, restart bool) error {
 	s.drvBox = make(map[string]*wiring.Outbox, len(s.cfg.Drivers))
 	for _, d := range s.cfg.Drivers {
 		s.drvPort[d] = s.ports.Export("ip-"+d, d)
-		s.drvBox[d] = &wiring.Outbox{}
+		s.drvBox[d] = wiring.NewOutbox(s.drvPort[d])
 	}
 	if s.cfg.PFEnabled {
 		s.pfPort = s.ports.Export("ip-pf", "pf")
+		s.pfBox = wiring.NewOutbox(s.pfPort)
 	}
 	s.tcpPort = s.ports.Export("ip-tcp", "tcp")
 	s.udpPort = s.ports.Export("ip-udp", "udp")
+	s.tcpBox = wiring.NewOutbox(s.tcpPort)
+	s.udpBox = wiring.NewOutbox(s.udpPort)
+	s.scratch = make([]msg.Req, wiring.ScratchLen)
 
 	// Inject faults that corrupt routing state (fault-injection hook).
 	rt.Fault.SetCorruptHook(func() {
@@ -99,7 +107,9 @@ func (s *Server) Init(rt *proc.Runtime, restart bool) error {
 	return nil
 }
 
-// Poll moves one batch of messages through the engine.
+// Poll drains every edge in batches, runs the whole intake through the
+// engine, and flushes each destination's accumulated output once — one
+// doorbell ring per edge per iteration, not per request.
 func (s *Server) Poll(now time.Time) bool {
 	worked := false
 
@@ -114,12 +124,9 @@ func (s *Server) Poll(now time.Time) bool {
 		if !dup.Valid() {
 			continue
 		}
-		for i := 0; i < 256; i++ {
-			r, ok := dup.In.Recv()
-			if !ok {
-				break
-			}
-			s.eng.FromDriver(name, r, now)
+		if wiring.Drain(dup.In, s.scratch, wiring.RecvBudget, func(b []msg.Req) {
+			s.eng.FromDriverBatch(name, b, now)
+		}) {
 			worked = true
 		}
 	}
@@ -133,55 +140,42 @@ func (s *Server) Poll(now time.Time) bool {
 			worked = true
 		}
 		if dup.Valid() {
-			for i := 0; i < 256; i++ {
-				r, ok := dup.In.Recv()
-				if !ok {
-					break
-				}
-				s.eng.FromPF(r, now)
+			if wiring.Drain(dup.In, s.scratch, wiring.RecvBudget, func(b []msg.Req) {
+				s.eng.FromPFBatch(b, now)
+			}) {
 				worked = true
 			}
 		}
 	}
 
 	// Transport edges.
-	if s.pollTransport(s.tcpPort, &s.tcpBox, netpkt.ProtoTCP, now) {
+	if s.pollTransport(s.tcpPort, s.tcpBox, netpkt.ProtoTCP, now) {
 		worked = true
 	}
-	if s.pollTransport(s.udpPort, &s.udpBox, netpkt.ProtoUDP, now) {
+	if s.pollTransport(s.udpPort, s.udpBox, netpkt.ProtoUDP, now) {
 		worked = true
 	}
 
-	// Flush engine output.
-	for name, port := range s.drvPort {
-		dup := port.Cur()
-		if !dup.Valid() {
-			continue
-		}
+	// Flush engine output: one batch (and one wakeup) per destination.
+	for name := range s.drvPort {
 		s.drvBox[name].Push(s.eng.DrainToDriver(name)...)
-		if s.drvBox[name].Flush(dup.Out) {
+		if s.drvBox[name].Flush() {
 			worked = true
 		}
 	}
 	if s.pfPort != nil {
-		if dup := s.pfPort.Cur(); dup.Valid() {
-			s.pfBox.Push(s.eng.DrainToPF()...)
-			if s.pfBox.Flush(dup.Out) {
-				worked = true
-			}
-		}
-	}
-	if dup := s.tcpPort.Cur(); dup.Valid() {
-		s.tcpBox.Push(s.eng.DrainToTCP()...)
-		if s.tcpBox.Flush(dup.Out) {
+		s.pfBox.Push(s.eng.DrainToPF()...)
+		if s.pfBox.Flush() {
 			worked = true
 		}
 	}
-	if dup := s.udpPort.Cur(); dup.Valid() {
-		s.udpBox.Push(s.eng.DrainToUDP()...)
-		if s.udpBox.Flush(dup.Out) {
-			worked = true
-		}
+	s.tcpBox.Push(s.eng.DrainToTCP()...)
+	if s.tcpBox.Flush() {
+		worked = true
+	}
+	s.udpBox.Push(s.eng.DrainToUDP()...)
+	if s.udpBox.Flush() {
+		worked = true
 	}
 	return worked
 }
@@ -197,12 +191,9 @@ func (s *Server) pollTransport(port *wiring.Port, box *wiring.Outbox, proto uint
 	if !dup.Valid() {
 		return worked
 	}
-	for i := 0; i < 256; i++ {
-		r, ok := dup.In.Recv()
-		if !ok {
-			break
-		}
-		s.eng.FromTransport(proto, r, now)
+	if wiring.Drain(dup.In, s.scratch, wiring.RecvBudget, func(b []msg.Req) {
+		s.eng.FromTransportBatch(proto, b, now)
+	}) {
 		worked = true
 	}
 	return worked
@@ -213,5 +204,3 @@ func (s *Server) Deadline(now time.Time) time.Time { return time.Time{} }
 
 // Stop is a no-op; pools die with the incarnation.
 func (s *Server) Stop() {}
-
-var _ = msg.Req{} // keep msg import for documentation references

@@ -32,10 +32,11 @@ type Server struct {
 	ports *wiring.Ports
 	eng   *pfeng.Engine
 
-	ipPort *wiring.Port
-	scPort *wiring.Port
-	ipBox  wiring.Outbox
-	scBox  wiring.Outbox
+	ipPort  *wiring.Port
+	scPort  *wiring.Port
+	ipBox   *wiring.Outbox
+	scBox   *wiring.Outbox
+	scratch []msg.Req
 }
 
 var _ proc.Service = (*Server)(nil)
@@ -72,10 +73,16 @@ func (s *Server) Init(rt *proc.Runtime, restart bool) error {
 	s.ports.Begin(rt.Bell)
 	s.ipPort = s.ports.Attach("ip-pf")
 	s.scPort = s.ports.Attach("sc-pf")
+	s.ipBox = wiring.NewOutbox(s.ipPort)
+	s.scBox = wiring.NewOutbox(s.scPort)
+	s.scratch = make([]msg.Req, wiring.ScratchLen)
 	return nil
 }
 
-// Poll answers verdict queries and configuration requests.
+// Poll answers verdict queries and configuration requests. Queries are
+// drained in batches and the verdicts for the whole batch travel back to IP
+// with a single doorbell ring — the T junction pays one wakeup per batch
+// per hop.
 func (s *Server) Poll(now time.Time) bool {
 	worked := false
 	dup, changed := s.ipPort.Take()
@@ -83,20 +90,18 @@ func (s *Server) Poll(now time.Time) bool {
 		s.ipBox.Drop()
 	}
 	if dup.Valid() {
-		for i := 0; i < 512; i++ {
-			r, ok := dup.In.Recv()
-			if !ok {
-				break
+		if wiring.Drain(dup.In, s.scratch, wiring.RecvBudget, func(b []msg.Req) {
+			for _, r := range b {
+				if r.Op != msg.OpPFQuery {
+					continue
+				}
+				verdict := s.verdict(r, now)
+				s.ipBox.Push(msg.Req{ID: r.ID, Op: msg.OpPFVerdict, Status: verdict})
 			}
+		}) {
 			worked = true
-			if r.Op != msg.OpPFQuery {
-				continue
-			}
-			verdict := s.verdict(r, now)
-			rep := msg.Req{ID: r.ID, Op: msg.OpPFVerdict, Status: verdict}
-			s.ipBox.Push(rep)
 		}
-		if s.ipBox.Flush(dup.Out) {
+		if s.ipBox.Flush() {
 			worked = true
 		}
 	}
@@ -107,15 +112,14 @@ func (s *Server) Poll(now time.Time) bool {
 		s.scBox.Drop()
 	}
 	if cdup.Valid() {
-		for i := 0; i < 64; i++ {
-			r, ok := cdup.In.Recv()
-			if !ok {
-				break
+		if wiring.Drain(cdup.In, s.scratch, 64, func(b []msg.Req) {
+			for _, r := range b {
+				s.config(r)
 			}
+		}) {
 			worked = true
-			s.config(r)
 		}
-		if s.scBox.Flush(cdup.Out) {
+		if s.scBox.Flush() {
 			worked = true
 		}
 	}

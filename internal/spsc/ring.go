@@ -98,6 +98,30 @@ func (r *Ring[T]) TryEnqueue(v T) bool {
 	return true
 }
 
+// EnqueueBatch appends as many elements of src as there is room for and
+// returns the number accepted (possibly zero on a full ring). The tail is
+// published once for the whole batch, so the consumer observes the batch
+// atomically-in-order. It must be called only by the producer goroutine.
+func (r *Ring[T]) EnqueueBatch(src []T) int {
+	t := r.tail.Load()
+	free := uint64(len(r.buf)) - (t - r.cachedHead)
+	if free < uint64(len(src)) {
+		r.cachedHead = r.head.Load()
+		free = uint64(len(r.buf)) - (t - r.cachedHead)
+	}
+	n := len(src)
+	if uint64(n) > free {
+		n = int(free)
+	}
+	for i := 0; i < n; i++ {
+		r.buf[(t+uint64(i))&r.mask] = src[i]
+	}
+	if n > 0 {
+		r.tail.Store(t + uint64(n))
+	}
+	return n
+}
+
 // TryDequeue removes and returns the oldest element.
 // It must be called only by the consumer goroutine.
 func (r *Ring[T]) TryDequeue() (T, bool) {

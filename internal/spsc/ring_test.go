@@ -1,6 +1,7 @@
 package spsc
 
 import (
+	"runtime"
 	"sync"
 	"testing"
 	"testing/quick"
@@ -239,4 +240,117 @@ func BenchmarkCrossCoreEnqueue(b *testing.B) {
 	b.StopTimer()
 	close(stop)
 	<-done
+}
+
+func TestEnqueueBatchFIFO(t *testing.T) {
+	r := MustNew[int](16)
+	if n := r.EnqueueBatch([]int{0, 1, 2, 3, 4}); n != 5 {
+		t.Fatalf("EnqueueBatch = %d, want 5", n)
+	}
+	for i := 0; i < 5; i++ {
+		v, ok := r.TryDequeue()
+		if !ok || v != i {
+			t.Fatalf("dequeue = (%d,%v), want (%d,true)", v, ok, i)
+		}
+	}
+	if n := r.EnqueueBatch(nil); n != 0 {
+		t.Fatalf("EnqueueBatch(nil) = %d, want 0", n)
+	}
+}
+
+func TestEnqueueBatchWraparound(t *testing.T) {
+	r := MustNew[int](8)
+	// Advance head/tail so the next batch must wrap the buffer edge.
+	for i := 0; i < 6; i++ {
+		if !r.TryEnqueue(i) {
+			t.Fatal("prefill enqueue failed")
+		}
+	}
+	for i := 0; i < 6; i++ {
+		if _, ok := r.TryDequeue(); !ok {
+			t.Fatal("prefill dequeue failed")
+		}
+	}
+	// Ring is empty with tail at 6: an 8-element batch spans the wrap.
+	src := []int{10, 11, 12, 13, 14, 15, 16, 17}
+	if n := r.EnqueueBatch(src); n != 8 {
+		t.Fatalf("EnqueueBatch = %d, want 8", n)
+	}
+	dst := make([]int, 8)
+	if n := r.DequeueBatch(dst); n != 8 {
+		t.Fatalf("DequeueBatch = %d, want 8", n)
+	}
+	for i, v := range dst {
+		if v != src[i] {
+			t.Fatalf("dst[%d] = %d, want %d (wraparound order broken)", i, v, src[i])
+		}
+	}
+}
+
+func TestEnqueueBatchPartialAcceptWhenNearlyFull(t *testing.T) {
+	r := MustNew[int](8)
+	for i := 0; i < 5; i++ {
+		r.TryEnqueue(i)
+	}
+	// Only 3 slots free: a batch of 6 is partially accepted.
+	if n := r.EnqueueBatch([]int{100, 101, 102, 103, 104, 105}); n != 3 {
+		t.Fatalf("EnqueueBatch on nearly-full ring = %d, want 3", n)
+	}
+	// Full ring accepts nothing.
+	if n := r.EnqueueBatch([]int{9}); n != 0 {
+		t.Fatalf("EnqueueBatch on full ring = %d, want 0", n)
+	}
+	want := []int{0, 1, 2, 3, 4, 100, 101, 102}
+	for i, w := range want {
+		v, ok := r.TryDequeue()
+		if !ok || v != w {
+			t.Fatalf("dequeue %d = (%d,%v), want (%d,true)", i, v, ok, w)
+		}
+	}
+	// Space reclaimed: the rejected tail can go in now.
+	if n := r.EnqueueBatch([]int{103, 104, 105}); n != 3 {
+		t.Fatalf("EnqueueBatch after drain = %d, want 3", n)
+	}
+}
+
+func TestEnqueueBatchConcurrentWithDequeueBatch(t *testing.T) {
+	const total = 20000
+	r := MustNew[int](64)
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		src := make([]int, 0, 16)
+		next := 0
+		for next < total {
+			src = src[:0]
+			for i := 0; i < 16 && next+i < total; i++ {
+				src = append(src, next+i)
+			}
+			n := r.EnqueueBatch(src)
+			next += n
+			if n < len(src) {
+				// Ring full: yield, then re-offer the rejected suffix.
+				runtime.Gosched()
+			}
+		}
+	}()
+	dst := make([]int, 32)
+	want := 0
+	for want < total {
+		n := r.DequeueBatch(dst)
+		for i := 0; i < n; i++ {
+			if dst[i] != want {
+				t.Fatalf("got %d, want %d (order broken across batches)", dst[i], want)
+			}
+			want++
+		}
+		if n == 0 {
+			runtime.Gosched()
+		}
+	}
+	wg.Wait()
+	if !r.Empty() {
+		t.Fatal("ring not empty after draining everything")
+	}
 }

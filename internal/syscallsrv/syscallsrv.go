@@ -46,9 +46,10 @@ type Server struct {
 	tcpPort *wiring.Port
 	udpPort *wiring.Port
 	pfPort  *wiring.Port
-	tcpBox  wiring.Outbox
-	udpBox  wiring.Outbox
-	pfBox   wiring.Outbox
+	tcpBox  *wiring.Outbox
+	udpBox  *wiring.Outbox
+	pfBox   *wiring.Outbox
+	scratch []msg.Req
 
 	nextID  uint64
 	pending map[uint64]pendingCall
@@ -73,6 +74,10 @@ func (s *Server) Init(rt *proc.Runtime, restart bool) error {
 	s.tcpPort = s.ports.Export("sc-tcp", "tcp")
 	s.udpPort = s.ports.Export("sc-udp", "udp")
 	s.pfPort = s.ports.Export("sc-pf", "pf")
+	s.tcpBox = wiring.NewOutbox(s.tcpPort)
+	s.udpBox = wiring.NewOutbox(s.udpPort)
+	s.pfBox = wiring.NewOutbox(s.pfPort)
+	s.scratch = make([]msg.Req, wiring.ScratchLen)
 	kern := s.ports.Hub().Kern
 	for _, name := range []string{TCPFrontdoor, UDPFrontdoor, PFFrontdoor} {
 		ep, err := kern.Register(name, rt.Bell)
@@ -134,14 +139,14 @@ func (s *Server) Poll(now time.Time) bool {
 		worked = true
 	}
 
-	// Flush queued forwards.
-	if d := s.tcpPort.Cur(); d.Valid() && s.tcpBox.Flush(d.Out) {
+	// Flush queued forwards: one batch per transport per iteration.
+	if s.tcpBox.Flush() {
 		worked = true
 	}
-	if d := s.udpPort.Cur(); d.Valid() && s.udpBox.Flush(d.Out) {
+	if s.udpBox.Flush() {
 		worked = true
 	}
-	if d := s.pfPort.Cur(); d.Valid() && s.pfBox.Flush(d.Out) {
+	if s.pfBox.Flush() {
 		worked = true
 	}
 	return worked
@@ -175,34 +180,30 @@ func (s *Server) dispatch(epIdx int, from kipc.EndpointID, req msg.Req) {
 	}
 }
 
-// drainReplies relays transport replies back to blocked applications.
+// drainReplies relays transport replies back to blocked applications,
+// draining the reply queue in batches.
 func (s *Server) drainReplies(port *wiring.Port) bool {
 	dup := port.Cur()
 	if !dup.Valid() {
 		return false
 	}
-	worked := false
-	for i := 0; i < 256; i++ {
-		r, ok := dup.In.Recv()
-		if !ok {
-			break
+	return wiring.Drain(dup.In, s.scratch, wiring.RecvBudget, func(b []msg.Req) {
+		for _, r := range b {
+			call, known := s.pending[r.ID]
+			if !known {
+				continue // reply from a previous transport incarnation
+			}
+			delete(s.pending, r.ID)
+			if last, ok := s.lastOp[call.sock]; ok && last.appID == call.appID {
+				delete(s.lastOp, call.sock)
+			}
+			rep := r
+			rep.ID = call.appID
+			// The app is blocked in Receive on its SendRec; this rendezvous
+			// completes immediately.
+			_ = s.sendToApp(call.epIdx, call.app, rep)
 		}
-		worked = true
-		call, known := s.pending[r.ID]
-		if !known {
-			continue // reply from a previous transport incarnation
-		}
-		delete(s.pending, r.ID)
-		if last, ok := s.lastOp[call.sock]; ok && last.appID == call.appID {
-			delete(s.lastOp, call.sock)
-		}
-		rep := r
-		rep.ID = call.appID
-		// The app is blocked in Receive on its SendRec; this rendezvous
-		// completes immediately.
-		_ = s.sendToApp(call.epIdx, call.app, rep)
-	}
-	return worked
+	})
 }
 
 func (s *Server) sendToApp(epIdx int, app kipc.EndpointID, rep msg.Req) error {
@@ -217,27 +218,33 @@ func (s *Server) sendToApp(epIdx int, app kipc.EndpointID, rep msg.Req) error {
 // network traffic); everything else gets an error, and the application
 // retries or observes the aborted connection.
 func (s *Server) recoverTransport(isTCP bool) {
-	box := &s.udpBox
+	box := s.udpBox
 	if isTCP {
-		box = &s.tcpBox
+		box = s.tcpBox
 	}
+	// Collect reissues first: inserting into s.pending while ranging over
+	// it may make the new entry visible to the same iteration, reissuing
+	// the call twice.
+	var reissues []pendingCall
 	for id, call := range s.pending {
-		reissue := call.op == msg.OpSockRecv || call.op == msg.OpSockAccept
 		if !s.callBelongsTo(isTCP, call) {
 			continue
 		}
 		delete(s.pending, id)
-		if reissue {
-			s.nextID++
-			nid := s.nextID
-			s.pending[nid] = call
-			fwd := call.orig
-			fwd.ID = nid
-			box.Push(fwd)
+		if call.op == msg.OpSockRecv || call.op == msg.OpSockAccept {
+			reissues = append(reissues, call)
 			continue
 		}
 		rep := msg.Req{ID: call.appID, Op: msg.OpSockReply, Flow: call.sock, Status: msg.StatusErrAborted}
 		_ = s.sendToApp(call.epIdx, call.app, rep)
+	}
+	for _, call := range reissues {
+		s.nextID++
+		nid := s.nextID
+		s.pending[nid] = call
+		fwd := call.orig
+		fwd.ID = nid
+		box.Push(fwd)
 	}
 }
 

@@ -40,11 +40,12 @@ type Server struct {
 	cfg   Config
 	ports *wiring.Ports
 
-	eng    *tcpeng.Engine
-	ipPort *wiring.Port
-	scPort *wiring.Port
-	ipBox  wiring.Outbox
-	scBox  wiring.Outbox
+	eng     *tcpeng.Engine
+	ipPort  *wiring.Port
+	scPort  *wiring.Port
+	ipBox   *wiring.Outbox
+	scBox   *wiring.Outbox
+	scratch []msg.Req
 }
 
 var _ proc.Service = (*Server)(nil)
@@ -89,6 +90,9 @@ func (s *Server) Init(rt *proc.Runtime, restart bool) error {
 	s.ports.Begin(rt.Bell)
 	s.ipPort = s.ports.Attach("ip-tcp")
 	s.scPort = s.ports.Attach("sc-tcp")
+	s.ipBox = wiring.NewOutbox(s.ipPort)
+	s.scBox = wiring.NewOutbox(s.scPort)
+	s.scratch = make([]msg.Req, wiring.ScratchLen)
 	return nil
 }
 
@@ -117,7 +121,8 @@ func flowsFromReqs(reqs []msg.Req, local netpkt.IPAddr, proto uint8) []pfeng.Flo
 	return out
 }
 
-// Poll moves messages between channels and the engine and runs timers.
+// Poll drains both edges in batches, runs the engine (including timers),
+// and flushes each outbox once per iteration — one doorbell ring per edge.
 func (s *Server) Poll(now time.Time) bool {
 	worked := false
 
@@ -129,12 +134,11 @@ func (s *Server) Poll(now time.Time) bool {
 		worked = true
 	}
 	if ipDup.Valid() {
-		for i := 0; i < 512; i++ {
-			r, ok := ipDup.In.Recv()
-			if !ok {
-				break
+		if wiring.Drain(ipDup.In, s.scratch, wiring.RecvBudget, func(b []msg.Req) {
+			for _, r := range b {
+				s.eng.FromIP(r, now)
 			}
-			s.eng.FromIP(r, now)
+		}) {
 			worked = true
 		}
 	}
@@ -144,29 +148,24 @@ func (s *Server) Poll(now time.Time) bool {
 		s.scBox.Drop()
 	}
 	if scDup.Valid() {
-		for i := 0; i < 256; i++ {
-			r, ok := scDup.In.Recv()
-			if !ok {
-				break
+		if wiring.Drain(scDup.In, s.scratch, wiring.RecvBudget, func(b []msg.Req) {
+			for _, r := range b {
+				s.eng.FromFront(r, now)
 			}
-			s.eng.FromFront(r, now)
+		}) {
 			worked = true
 		}
 	}
 
 	s.eng.Tick(now)
 
-	if ipDup.Valid() {
-		s.ipBox.Push(s.eng.DrainToIP()...)
-		if s.ipBox.Flush(ipDup.Out) {
-			worked = true
-		}
+	s.ipBox.Push(s.eng.DrainToIP()...)
+	if s.ipBox.Flush() {
+		worked = true
 	}
-	if scDup.Valid() {
-		s.scBox.Push(s.eng.DrainToFront()...)
-		if s.scBox.Flush(scDup.Out) {
-			worked = true
-		}
+	s.scBox.Push(s.eng.DrainToFront()...)
+	if s.scBox.Flush() {
+		worked = true
 	}
 	return worked
 }

@@ -22,6 +22,61 @@ func (m *Meter) Add(n int) { m.bytes.Add(uint64(n)) }
 // Total returns the cumulative byte count.
 func (m *Meter) Total() uint64 { return m.bytes.Load() }
 
+// BatchCounter aggregates the sizes of message batches moving through one
+// point — e.g. one direction of one channel. The channel layer observes
+// once per SendBatch (= one doorbell ring) and once per RecvBatch drain,
+// so Batches() approximates wakeup-relevant events while Msgs() counts
+// requests: their ratio is the achieved doorbell coalescing factor.
+// Per-slot Send/Recv do not observe, keeping the cycle-counted single-slot
+// path untouched.
+//
+// The struct is padded to a cache line so separately allocated counters
+// (e.g. a queue's producer-side and consumer-side pair) do not false-share.
+type BatchCounter struct {
+	batches atomic.Uint64
+	msgs    atomic.Uint64
+	max     atomic.Uint64
+	_       [40]byte
+}
+
+// Observe records one batch of n messages. n <= 0 is ignored.
+func (c *BatchCounter) Observe(n int) {
+	if n <= 0 {
+		return
+	}
+	c.batches.Add(1)
+	c.msgs.Add(uint64(n))
+	for {
+		cur := c.max.Load()
+		if uint64(n) <= cur || c.max.CompareAndSwap(cur, uint64(n)) {
+			return
+		}
+	}
+}
+
+// Batches returns how many batches were observed.
+func (c *BatchCounter) Batches() uint64 { return c.batches.Load() }
+
+// Msgs returns the total messages across all batches.
+func (c *BatchCounter) Msgs() uint64 { return c.msgs.Load() }
+
+// Max returns the largest observed batch.
+func (c *BatchCounter) Max() uint64 { return c.max.Load() }
+
+// Avg returns the mean batch size (0 when nothing was observed).
+func (c *BatchCounter) Avg() float64 {
+	b := c.batches.Load()
+	if b == 0 {
+		return 0
+	}
+	return float64(c.msgs.Load()) / float64(b)
+}
+
+func (c *BatchCounter) String() string {
+	return fmt.Sprintf("%d msgs / %d batches (avg %.1f, max %d)",
+		c.Msgs(), c.Batches(), c.Avg(), c.Max())
+}
+
 // Sample is one point of a bitrate time series.
 type Sample struct {
 	T    time.Duration // since sampling start

@@ -40,11 +40,12 @@ type Server struct {
 	cfg   Config
 	ports *wiring.Ports
 
-	eng    *udpeng.Engine
-	ipPort *wiring.Port
-	scPort *wiring.Port
-	ipBox  wiring.Outbox
-	scBox  wiring.Outbox
+	eng     *udpeng.Engine
+	ipPort  *wiring.Port
+	scPort  *wiring.Port
+	ipBox   *wiring.Outbox
+	scBox   *wiring.Outbox
+	scratch []msg.Req
 }
 
 var _ proc.Service = (*Server)(nil)
@@ -88,6 +89,9 @@ func (s *Server) Init(rt *proc.Runtime, restart bool) error {
 	s.ports.Begin(rt.Bell)
 	s.ipPort = s.ports.Attach("ip-udp")
 	s.scPort = s.ports.Attach("sc-udp")
+	s.ipBox = wiring.NewOutbox(s.ipPort)
+	s.scBox = wiring.NewOutbox(s.scPort)
+	s.scratch = make([]msg.Req, wiring.ScratchLen)
 	return nil
 }
 
@@ -109,7 +113,8 @@ func (s *Server) persistFlows() {
 	}
 }
 
-// Poll moves messages between channels and the engine.
+// Poll drains both edges in batches, runs the whole intake through the
+// engine, and flushes each outbox once per iteration.
 func (s *Server) Poll(now time.Time) bool {
 	worked := false
 
@@ -120,12 +125,11 @@ func (s *Server) Poll(now time.Time) bool {
 		worked = true
 	}
 	if ipDup.Valid() {
-		for i := 0; i < 512; i++ {
-			r, ok := ipDup.In.Recv()
-			if !ok {
-				break
+		if wiring.Drain(ipDup.In, s.scratch, wiring.RecvBudget, func(b []msg.Req) {
+			for _, r := range b {
+				s.eng.FromIP(r)
 			}
-			s.eng.FromIP(r)
+		}) {
 			worked = true
 		}
 	}
@@ -135,27 +139,22 @@ func (s *Server) Poll(now time.Time) bool {
 		s.scBox.Drop()
 	}
 	if scDup.Valid() {
-		for i := 0; i < 256; i++ {
-			r, ok := scDup.In.Recv()
-			if !ok {
-				break
+		if wiring.Drain(scDup.In, s.scratch, wiring.RecvBudget, func(b []msg.Req) {
+			for _, r := range b {
+				s.eng.FromFront(r)
 			}
-			s.eng.FromFront(r)
+		}) {
 			worked = true
 		}
 	}
 
-	if ipDup.Valid() {
-		s.ipBox.Push(s.eng.DrainToIP()...)
-		if s.ipBox.Flush(ipDup.Out) {
-			worked = true
-		}
+	s.ipBox.Push(s.eng.DrainToIP()...)
+	if s.ipBox.Flush() {
+		worked = true
 	}
-	if scDup.Valid() {
-		s.scBox.Push(s.eng.DrainToFront()...)
-		if s.scBox.Flush(scDup.Out) {
-			worked = true
-		}
+	s.scBox.Push(s.eng.DrainToFront()...)
+	if s.scBox.Flush() {
+		worked = true
 	}
 	return worked
 }

@@ -5,37 +5,110 @@ import (
 	"newtos/internal/msg"
 )
 
-// Outbox buffers requests for a channel whose queue may momentarily fill.
-// Servers must never block on a full queue (paper §IV-A); they buffer and
-// retry on the next poll. Callers that prefer dropping (e.g. packets) can
-// check Len and shed instead of pushing.
-type Outbox struct {
-	q []msg.Req
-}
+// Shared drain tuning for server loops: RecvBudget caps how many requests
+// one edge may feed into an engine per poll, so one busy edge cannot
+// starve the others; ScratchLen is the batch moved per RecvBatch call.
+const (
+	RecvBudget = 512
+	ScratchLen = 256
+)
 
-// Push appends requests to the outbox.
-func (o *Outbox) Push(reqs ...msg.Req) {
-	o.q = append(o.q, reqs...)
-}
-
-// Flush sends as much as the queue accepts; reports whether anything moved.
-func (o *Outbox) Flush(out channel.Out) bool {
+// Drain repeatedly fills scratch from in and hands each batch to handle,
+// moving at most budget requests. It is the server loops' shared intake
+// primitive: one RecvBatch per scratch-full, whole batches into the
+// engine. Reports whether anything moved.
+func Drain(in channel.In, scratch []msg.Req, budget int, handle func([]msg.Req)) bool {
 	moved := false
-	for len(o.q) > 0 {
-		if !out.Send(o.q[0]) {
+	for budget > 0 {
+		limit := len(scratch)
+		if budget < limit {
+			limit = budget
+		}
+		n := in.RecvBatch(scratch[:limit])
+		if n == 0 {
 			break
 		}
-		o.q = o.q[1:]
+		handle(scratch[:n])
 		moved = true
-	}
-	if len(o.q) == 0 {
-		o.q = nil
+		budget -= n
 	}
 	return moved
 }
 
-// Len returns the number of buffered requests.
+// Outbox is a per-edge staging buffer. Servers must never block on a full
+// queue (paper §IV-A); instead every server loop stages its engine's output
+// here during an iteration and flushes once at the iteration boundary, so
+// the whole batch moves with a single doorbell ring (channel.SendBatch).
+// Whatever the queue does not accept stays staged for the next poll.
+// Callers that prefer dropping (e.g. packets) can check Len and shed
+// instead of pushing.
+//
+// An Outbox is bound to its edge's Port. Each staged batch is stamped with
+// the port generation it was produced for; if the peer (or the channel)
+// reincarnates while requests are staged, Flush drops them instead of
+// delivering them to a duplex the requests were never meant for — the
+// owner's crash-recovery actions (abort, resubmit, resupply) regenerate
+// whatever still matters.
+type Outbox struct {
+	port    *Port
+	q       []msg.Req
+	gen     int
+	dropped uint64
+}
+
+// NewOutbox creates the staging buffer for one edge.
+func NewOutbox(port *Port) *Outbox {
+	return &Outbox{port: port}
+}
+
+// Push stages requests. An empty outbox stamps the batch with the
+// generation of the duplex the owner is currently using (SeenGen), which is
+// the incarnation this output was produced for.
+func (o *Outbox) Push(reqs ...msg.Req) {
+	if len(reqs) == 0 {
+		return
+	}
+	if len(o.q) == 0 && o.port != nil {
+		o.gen = o.port.SeenGen()
+	}
+	o.q = append(o.q, reqs...)
+}
+
+// Flush sends the staged batch with one doorbell ring, keeping whatever the
+// queue does not accept. A batch staged across a peer reincarnation
+// (generation advanced since staging) is dropped unsent. Reports whether
+// anything moved.
+func (o *Outbox) Flush() bool {
+	if len(o.q) == 0 || o.port == nil {
+		return false
+	}
+	if o.gen != o.port.Gen() {
+		o.dropped += uint64(len(o.q))
+		o.q = o.q[:0]
+		return false
+	}
+	dup := o.port.Cur()
+	if !dup.Valid() {
+		return false
+	}
+	n := dup.Out.SendBatch(o.q)
+	if n == 0 {
+		return false
+	}
+	rem := copy(o.q, o.q[n:])
+	o.q = o.q[:rem]
+	return true
+}
+
+// Len returns the number of staged requests.
 func (o *Outbox) Len() int { return len(o.q) }
 
-// Drop discards the buffered requests (peer restarted; its queue is gone).
-func (o *Outbox) Drop() { o.q = nil }
+// Dropped returns how many staged requests were discarded because their
+// target incarnation died before they could be flushed.
+func (o *Outbox) Dropped() uint64 { return o.dropped }
+
+// Drop discards the staged requests (peer restarted; its queue is gone).
+func (o *Outbox) Drop() {
+	o.dropped += uint64(len(o.q))
+	o.q = o.q[:0]
+}

@@ -1,0 +1,174 @@
+package wiring
+
+import (
+	"testing"
+
+	"newtos/internal/channel"
+	"newtos/internal/msg"
+)
+
+// wireEdge builds one exported/attached edge and returns the creator-side
+// port, the attacher's Ports manager (to simulate reincarnations), and the
+// attacher-side port.
+func wireEdge(t *testing.T) (hub *Hub, ipSide *Port, tcpPorts *Ports, tcpSide *Port) {
+	t.Helper()
+	hub = newHub()
+	ipPorts := NewPorts(hub, "ip")
+	tcpPorts = NewPorts(hub, "tcp")
+	ipPorts.Begin(channel.NewDoorbell())
+	ipSide = ipPorts.Export("ip-tcp", "tcp")
+	tcpPorts.Begin(channel.NewDoorbell())
+	tcpSide = tcpPorts.Attach("ip-tcp")
+	if d, changed := ipSide.Take(); !changed || !d.Valid() {
+		t.Fatal("creator not wired")
+	}
+	if d, changed := tcpSide.Take(); !changed || !d.Valid() {
+		t.Fatal("attacher not wired")
+	}
+	return hub, ipSide, tcpPorts, tcpSide
+}
+
+func TestOutboxFlushDeliversBatchFIFO(t *testing.T) {
+	_, ipSide, _, tcpSide := wireEdge(t)
+	box := NewOutbox(ipSide)
+	box.Push(msg.Req{ID: 1}, msg.Req{ID: 2})
+	box.Push(msg.Req{ID: 3})
+	if !box.Flush() {
+		t.Fatal("Flush moved nothing")
+	}
+	if box.Len() != 0 {
+		t.Fatalf("Len after flush = %d", box.Len())
+	}
+	dup := tcpSide.Cur()
+	dst := make([]msg.Req, 8)
+	n := dup.In.RecvBatch(dst)
+	if n != 3 {
+		t.Fatalf("peer received %d, want 3", n)
+	}
+	for i, r := range dst[:3] {
+		if r.ID != uint64(i+1) {
+			t.Fatalf("dst[%d].ID = %d (FIFO broken)", i, r.ID)
+		}
+	}
+	// The whole batch arrived via a single SendBatch: one send-side batch.
+	if got := dup.In.Stats().Batches(); got != 1 {
+		t.Fatalf("recv batches = %d, want 1 (flush must coalesce)", got)
+	}
+}
+
+func TestOutboxFlushKeepsRemainderWhenQueueFills(t *testing.T) {
+	hub := newHub()
+	ipPorts := NewPorts(hub, "ip")
+	ipPorts.SetDepth(4)
+	tcpPorts := NewPorts(hub, "tcp")
+	ipPorts.Begin(channel.NewDoorbell())
+	ipSide := ipPorts.Export("ip-tcp", "tcp")
+	tcpPorts.Begin(channel.NewDoorbell())
+	tcpSide := tcpPorts.Attach("ip-tcp")
+	ipSide.Take()
+	tcpSide.Take()
+
+	box := NewOutbox(ipSide)
+	for i := 1; i <= 6; i++ {
+		box.Push(msg.Req{ID: uint64(i)})
+	}
+	if !box.Flush() {
+		t.Fatal("Flush moved nothing")
+	}
+	if box.Len() != 2 {
+		t.Fatalf("staged remainder = %d, want 2", box.Len())
+	}
+	dst := make([]msg.Req, 8)
+	if n := tcpSide.Cur().In.RecvBatch(dst); n != 4 {
+		t.Fatalf("peer received %d, want 4", n)
+	}
+	// Queue drained: the remainder goes out on the next flush, in order.
+	if !box.Flush() {
+		t.Fatal("second Flush moved nothing")
+	}
+	if n := tcpSide.Cur().In.RecvBatch(dst); n != 2 || dst[0].ID != 5 || dst[1].ID != 6 {
+		t.Fatalf("remainder = %d %v", n, dst[:n])
+	}
+}
+
+// TestOutboxDropsBatchStagedAcrossReincarnation is the port-generation
+// contract: requests staged for incarnation N must never be delivered once
+// the peer reincarnates — even if the owning loop forgets its explicit
+// Drop() — because recovery regenerates whatever still matters and stale
+// requests would corrupt the new incarnation's protocol state.
+func TestOutboxDropsBatchStagedAcrossReincarnation(t *testing.T) {
+	_, ipSide, tcpPorts, _ := wireEdge(t)
+	box := NewOutbox(ipSide)
+	box.Push(msg.Req{ID: 41}, msg.Req{ID: 42})
+
+	// tcp reincarnates: a fresh duplex is created and the port generation
+	// advances.
+	genBefore := ipSide.Gen()
+	tcpPorts.Begin(channel.NewDoorbell())
+	tcpSide2 := tcpPorts.Attach("ip-tcp")
+	if ipSide.Gen() == genBefore {
+		t.Fatal("reincarnation did not advance the port generation")
+	}
+
+	// Flush before the owner Takes the rebind: nothing may reach the old
+	// duplex, and the stale batch must be discarded.
+	if box.Flush() {
+		t.Fatal("Flush delivered a batch staged for a dead incarnation")
+	}
+	if box.Len() != 0 {
+		t.Fatalf("stale batch still staged (Len=%d)", box.Len())
+	}
+	if box.Dropped() != 2 {
+		t.Fatalf("Dropped = %d, want 2", box.Dropped())
+	}
+
+	// Even after the owner Takes the new duplex, the dropped requests are
+	// gone: the new incarnation starts from a clean queue.
+	if _, changed := ipSide.Take(); !changed {
+		t.Fatal("owner did not observe the rebind")
+	}
+	if box.Flush() {
+		t.Fatal("Flush resurrected dropped requests")
+	}
+	if d, changed := tcpSide2.Take(); !changed || !d.Valid() {
+		t.Fatal("new incarnation not wired")
+	} else if _, ok := d.In.Recv(); ok {
+		t.Fatal("stale request delivered to the new incarnation")
+	}
+
+	// Fresh traffic staged for the new incarnation flows normally.
+	box.Push(msg.Req{ID: 43})
+	if !box.Flush() {
+		t.Fatal("post-recovery flush moved nothing")
+	}
+	if r, ok := tcpSide2.Cur().In.Recv(); !ok || r.ID != 43 {
+		t.Fatalf("post-recovery delivery = (%+v,%v)", r, ok)
+	}
+}
+
+// TestOutboxDropsBatchPushedDuringPendingRebind covers the narrower race:
+// the rebind lands between the owner's Take and its Push. The staged batch
+// was produced for the duplex the owner is still holding (SeenGen), so the
+// pending newer generation must void it.
+func TestOutboxDropsBatchPushedDuringPendingRebind(t *testing.T) {
+	_, ipSide, tcpPorts, _ := wireEdge(t)
+	box := NewOutbox(ipSide)
+
+	// Rebind first (owner has NOT Taken yet), then push: the output was
+	// computed against the old duplex.
+	tcpPorts.Begin(channel.NewDoorbell())
+	tcpSide2 := tcpPorts.Attach("ip-tcp")
+	box.Push(msg.Req{ID: 77})
+
+	if box.Flush() {
+		t.Fatal("Flush delivered across a pending rebind")
+	}
+	if box.Dropped() != 1 {
+		t.Fatalf("Dropped = %d, want 1", box.Dropped())
+	}
+	if d, _ := tcpSide2.Take(); d.Valid() {
+		if _, ok := d.In.Recv(); ok {
+			t.Fatal("stale request crossed the reincarnation")
+		}
+	}
+}

@@ -89,6 +89,24 @@ func (p *Port) Cur() channel.Duplex {
 	return p.cur
 }
 
+// Gen returns the latest incarnation generation of the edge's channel. It
+// advances every time a rebind installs a fresh duplex (either side
+// reincarnated).
+func (p *Port) Gen() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.gen
+}
+
+// SeenGen returns the generation of the duplex Cur returns — the one the
+// owner last Took. SeenGen != Gen means a rebind is pending: anything
+// staged for the Cur duplex must not survive into the next incarnation.
+func (p *Port) SeenGen() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.seen
+}
+
 // Ports manages one component's edges across incarnations. It is held by
 // the component's factory closure (it outlives incarnations); each
 // incarnation calls Begin and then re-declares its edges.
