@@ -207,6 +207,31 @@ func BenchmarkSec4_ChannelBatch(b *testing.B) {
 	}
 }
 
+// BenchmarkSec4_TCPSharded measures shard-count scaling of the flow-hash
+// sharded TCP engine: the same aggregate bulk transfer over a fat
+// (ten-gigabit, low-latency) pipe with the TCP engine split 1/2/4 ways.
+// The paper scales by multiplying components, not threads; on a multi-core
+// box /4 should beat /1 because four engine loops chew the same socket
+// load behind four doorbells. On a single-core CI box the sub-benchmarks
+// merely smoke-test the sharded data path end to end.
+func BenchmarkSec4_TCPSharded(b *testing.B) {
+	for _, shards := range []int{1, 2, 4} {
+		b.Run(fmt.Sprint(shards), func(b *testing.B) {
+			var total float64
+			for i := 0; i < b.N; i++ {
+				mbps, err := experiments.RunTCPSharded(shards, experiments.Table2Opts{
+					Duration: 600 * time.Millisecond, Wires: 2, ConnsPerWire: 4,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				total += mbps
+			}
+			b.ReportMetric(total/float64(b.N), "Mbps")
+		})
+	}
+}
+
 // BenchmarkSec4_KernelTrapHot is the ~150-cycle comparison point.
 func BenchmarkSec4_KernelTrapHot(b *testing.B) {
 	k := kipc.New(kipc.DefaultConfig())

@@ -42,6 +42,14 @@ const (
 	CompStorage = "storage"
 )
 
+// MaxTCPShards bounds Config.TCPShards (the shard index must fit the edge
+// naming and the fault-injection tooling; 16 is far beyond the evaluation).
+const MaxTCPShards = 16
+
+// TCPShardName returns the component name of TCP shard k in an n-shard
+// node: the historical "tcp" when n <= 1, "tcp<k>" otherwise.
+func TCPShardName(k, n int) string { return tcpsrv.ShardName(k, n) }
+
 // Config selects a stack configuration (one Table II row).
 type Config struct {
 	// Name identifies the node (diagnostics).
@@ -58,6 +66,12 @@ type Config struct {
 	Offload bool
 	// TSO additionally enables TCP segmentation offload (rows 5-6).
 	TSO bool
+	// TCPShards runs the TCP engine as this many flow-hash shards, each an
+	// independent server process with its own doorbell and channel pair to
+	// IP and to the SYSCALL server (docs/ARCHITECTURE.md "Sharded TCP").
+	// <= 1 keeps the single quarantined TCP server. Sharding requires the
+	// SYSCALL server (it is the shard router for socket calls).
+	TCPShards int
 	// DedicatedCores pins each server loop to an OS thread.
 	DedicatedCores bool
 	// Kernel sets the simulated kernel cost model.
@@ -67,6 +81,14 @@ type Config struct {
 	// LinkUpDelay is the device link-retrain time after a reset — the
 	// visible gap of Figure 4 (default 0 for fast tests).
 	LinkUpDelay time.Duration
+}
+
+// tcpShardCount is TCPShards normalized to at least one shard.
+func (c Config) tcpShardCount() int {
+	if c.TCPShards < 1 {
+		return 1
+	}
+	return c.TCPShards
 }
 
 // SplitTSO returns the flagship configuration: split stack, dedicated
@@ -126,7 +148,7 @@ func NewNode(cfg Config, hub *wiring.Hub, devices map[string]*nic.Device) (*Node
 	ipPorts := wiring.NewPorts(hub, CompIP)
 	ipCfg := ipsrv.Config{
 		Ifaces: cfg.Ifaces, PFEnabled: cfg.PF, Offload: cfg.Offload,
-		Drivers: drvNames,
+		Drivers: drvNames, TCPShards: cfg.tcpShardCount(),
 	}
 	n.addProc(CompIP, opts, func() proc.Service {
 		return ipsrv.New(ipCfg, ipPorts)
@@ -140,22 +162,40 @@ func NewNode(cfg Config, hub *wiring.Hub, devices map[string]*nic.Device) (*Node
 		})
 	}
 
-	// Transports.
+	// Transports. TCP runs as TCPShards independent flow-hash shards, each
+	// its own process with its own doorbell; the SYSCALL server routes
+	// socket calls between them, so sharding requires it.
 	localIP := netpkt.IPAddr{}
 	if len(cfg.Ifaces) > 0 {
 		localIP = cfg.Ifaces[0].IP
 	}
 	srcFor := SrcSelector(cfg.Ifaces)
-	tcpPorts := wiring.NewPorts(hub, CompTCP)
-	tcpShim := wiring.NewPorts(hub, "shim-sc-tcp")
-	tcpCfg := tcpsrv.Config{LocalIP: localIP, SrcFor: srcFor, Offload: cfg.Offload, TSO: cfg.TSO}
-	n.addProc(CompTCP, opts, func() proc.Service {
-		s := tcpsrv.New(tcpCfg, tcpPorts)
-		if !cfg.SyscallServer {
-			return newDirectFrontWithPorts(s, tcpShim, "sc-tcp", syscallsrv.TCPFrontdoor)
+	shards := cfg.tcpShardCount()
+	if shards > MaxTCPShards {
+		return nil, fmt.Errorf("node %s: TCPShards %d exceeds MaxTCPShards %d", cfg.Name, shards, MaxTCPShards)
+	}
+	if shards > 1 && !cfg.SyscallServer {
+		return nil, fmt.Errorf("node %s: TCPShards %d requires the SYSCALL server (it routes socket calls to shards)", cfg.Name, shards)
+	}
+	for k := 0; k < shards; k++ {
+		name := TCPShardName(k, shards)
+		tcpPorts := wiring.NewPorts(hub, name)
+		tcpCfg := tcpsrv.Config{
+			LocalIP: localIP, SrcFor: srcFor, Offload: cfg.Offload, TSO: cfg.TSO,
+			Shard: k, Shards: shards,
 		}
-		return s
-	})
+		var tcpShim *wiring.Ports
+		if !cfg.SyscallServer { // implies shards == 1 (gated above)
+			tcpShim = wiring.NewPorts(hub, "shim-sc-tcp")
+		}
+		n.addProc(name, opts, func() proc.Service {
+			s := tcpsrv.New(tcpCfg, tcpPorts)
+			if !cfg.SyscallServer {
+				return newDirectFrontWithPorts(s, tcpShim, "sc-tcp", syscallsrv.TCPFrontdoor)
+			}
+			return s
+		})
+	}
 	udpPorts := wiring.NewPorts(hub, CompUDP)
 	udpShim := wiring.NewPorts(hub, "shim-sc-udp")
 	udpCfg := udpsrv.Config{LocalIP: localIP, SrcFor: srcFor, Offload: cfg.Offload}
@@ -171,7 +211,7 @@ func NewNode(cfg Config, hub *wiring.Hub, devices map[string]*nic.Device) (*Node
 	if cfg.SyscallServer {
 		scPorts := wiring.NewPorts(hub, CompSC)
 		n.addProc(CompSC, opts, func() proc.Service {
-			return syscallsrv.New(scPorts)
+			return syscallsrv.New(scPorts, shards)
 		})
 	}
 	return n, nil
@@ -196,7 +236,11 @@ func (n *Node) Start() error {
 	if n.Cfg.PF {
 		order = append(order, CompPF)
 	}
-	order = append(order, CompTCP, CompUDP)
+	shards := n.Cfg.tcpShardCount()
+	for k := 0; k < shards; k++ {
+		order = append(order, TCPShardName(k, shards))
+	}
+	order = append(order, CompUDP)
 	if n.Cfg.SyscallServer {
 		order = append(order, CompSC)
 	}
@@ -221,9 +265,15 @@ func (n *Node) Stop() {
 func (n *Node) Proc(name string) *proc.Proc { return n.procs[name] }
 
 // Components lists the crashable stack components on this node (the
-// fault-injection population of Table III).
+// fault-injection population of Table III); every TCP shard is its own
+// crashable component.
 func (n *Node) Components() []string {
-	out := []string{CompTCP, CompUDP, CompIP}
+	shards := n.Cfg.tcpShardCount()
+	out := []string{}
+	for k := 0; k < shards; k++ {
+		out = append(out, TCPShardName(k, shards))
+	}
+	out = append(out, CompUDP, CompIP)
 	if n.Cfg.PF {
 		out = append(out, CompPF)
 	}

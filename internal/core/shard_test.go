@@ -1,0 +1,275 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"newtos/internal/faults"
+	"newtos/internal/netpkt"
+	"newtos/internal/sock"
+	"newtos/internal/tcpeng"
+)
+
+// shardOfChild decodes the owning shard from an engine-assigned socket id
+// (accepted children), per the tcpeng.SockIDBase contract.
+func shardOfChild(id uint32, shards int) int {
+	return int((id - tcpeng.SockIDBase) % uint32(shards))
+}
+
+// clientPortFor finds a client port (above base) whose connection would
+// land on the given shard of the SERVER node: the server's engines key the
+// flow as (serverPort, clientIP, clientPort).
+func clientPortFor(t *testing.T, serverPort uint16, clientIP netpkt.IPAddr, shard, shards int) uint16 {
+	t.Helper()
+	for port := uint16(40000); port < 44000; port++ {
+		if netpkt.TCPShardOf(serverPort, clientIP, port, shards) == shard {
+			return port
+		}
+	}
+	t.Fatalf("no client port maps to shard %d", shard)
+	return 0
+}
+
+// shardEchoServer accepts connections on port, reports each child's owning
+// shard, and echoes per connection until EOF.
+func shardEchoServer(t *testing.T, lan *LAN, port uint16, shards int) <-chan int {
+	t.Helper()
+	cli, err := sock.NewClient(lan.B.Hub, fmt.Sprintf("shardsrv%d", port))
+	if err != nil {
+		t.Fatal(err)
+	}
+	l, err := cli.Socket(sock.TCP)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Bind(port); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Listen(8); err != nil {
+		t.Fatal(err)
+	}
+	childShards := make(chan int, 64)
+	go func() {
+		for {
+			conn, err := l.Accept()
+			if err != nil {
+				return
+			}
+			childShards <- shardOfChild(conn.ID(), shards)
+			go func() {
+				buf := make([]byte, 16384)
+				for {
+					n, err := conn.Recv(buf)
+					if err != nil || n == 0 {
+						return
+					}
+					if _, err := conn.Send(buf[:n]); err != nil {
+						return
+					}
+				}
+			}()
+		}
+	}()
+	return childShards
+}
+
+// TestShardedTCPRouting drives echo traffic through a 2-shard stack with
+// clients pinned (via explicit bind) to both server-side shards: the same
+// 4-tuple must keep hitting the same shard, and distinct tuples must reach
+// distinct shards — end to end through IP's hash routing and the SYSCALL
+// server's shard router.
+func TestShardedTCPRouting(t *testing.T) {
+	const shards = 2
+	lan := testLAN(t, func(c *Config) { c.TCPShards = shards })
+	childShards := shardEchoServer(t, lan, 7500, shards)
+
+	cli, err := sock.NewClient(lan.A.Hub, "shardcli")
+	if err != nil {
+		t.Fatal(err)
+	}
+	aIP := lan.IPOf("a", 0)
+	seen := map[int]bool{}
+	for want := 0; want < shards; want++ {
+		port := clientPortFor(t, 7500, aIP, want, shards)
+		s, err := cli.Socket(sock.TCP)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := s.Bind(port); err != nil {
+			t.Fatal(err)
+		}
+		if err := s.Connect(lan.IPOf("b", 0), 7500); err != nil {
+			t.Fatalf("connect (shard %d): %v", want, err)
+		}
+		msgTxt := fmt.Sprintf("ping-shard-%d", want)
+		if _, err := s.Send([]byte(msgTxt)); err != nil {
+			t.Fatal(err)
+		}
+		buf := make([]byte, 256)
+		n, err := s.Recv(buf)
+		if err != nil || string(buf[:n]) != msgTxt {
+			t.Fatalf("echo via shard %d: %q %v", want, buf[:n], err)
+		}
+		got := <-childShards
+		if got != want {
+			t.Fatalf("connection pinned to shard %d was accepted on shard %d", want, got)
+		}
+		seen[got] = true
+		if err := s.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if len(seen) != shards {
+		t.Fatalf("connections reached %d of %d shards", len(seen), shards)
+	}
+}
+
+// TestShardedTCPConnectSpread opens a batch of unpinned connections and
+// checks the front's round-robin connect routing plus hash-compatible
+// autobind spread them over every server-side shard.
+func TestShardedTCPConnectSpread(t *testing.T) {
+	const shards = 2
+	lan := testLAN(t, func(c *Config) { c.TCPShards = shards })
+	childShards := shardEchoServer(t, lan, 7510, shards)
+
+	cli, err := sock.NewClient(lan.A.Hub, "spreadcli")
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[int]bool{}
+	for i := 0; i < 8; i++ {
+		s, err := cli.Socket(sock.TCP)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := s.Connect(lan.IPOf("b", 0), 7510); err != nil {
+			t.Fatalf("connect %d: %v", i, err)
+		}
+		if _, err := s.Send([]byte("spread")); err != nil {
+			t.Fatal(err)
+		}
+		buf := make([]byte, 64)
+		if n, err := s.Recv(buf); err != nil || string(buf[:n]) != "spread" {
+			t.Fatalf("echo %d: %q %v", i, buf[:n], err)
+		}
+		seen[<-childShards] = true
+		_ = s.Close()
+	}
+	if len(seen) != shards {
+		t.Fatalf("8 random connections reached only %d of %d shards", len(seen), shards)
+	}
+}
+
+// TestShardRestartIsolation is the sharded crash-recovery contract: one
+// shard's crash resets ITS established connections (peers learn via RST)
+// while the other shard's connections keep transferring untouched, and the
+// crashed shard comes back accepting new connections (listeners are
+// replicated and recovered from the shard's own storage key).
+func TestShardRestartIsolation(t *testing.T) {
+	const shards = 2
+	lan := testLAN(t, func(c *Config) { c.TCPShards = shards })
+	childShards := shardEchoServer(t, lan, 7600, shards)
+	aIP := lan.IPOf("a", 0)
+
+	cli, err := sock.NewClient(lan.A.Hub, "isocli")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cli.CallTimeout = 20 * time.Second
+
+	// One established connection per server-side shard.
+	conns := make([]*sock.Socket, shards)
+	for shard := 0; shard < shards; shard++ {
+		port := clientPortFor(t, 7600, aIP, shard, shards)
+		s, err := cli.Socket(sock.TCP)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := s.Bind(port); err != nil {
+			t.Fatal(err)
+		}
+		if err := s.Connect(lan.IPOf("b", 0), 7600); err != nil {
+			t.Fatal(err)
+		}
+		if got := <-childShards; got != shard {
+			t.Fatalf("setup: connection meant for shard %d accepted on %d", shard, got)
+		}
+		// Warm up.
+		if _, err := s.Send([]byte("warmup")); err != nil {
+			t.Fatal(err)
+		}
+		buf := make([]byte, 256)
+		if _, err := s.Recv(buf); err != nil {
+			t.Fatal(err)
+		}
+		conns[shard] = s
+	}
+
+	// Crash shard 0 of the RECEIVING node only.
+	p := lan.B.Proc(TCPShardName(0, shards))
+	if p == nil {
+		t.Fatal("no tcp0 component")
+	}
+	before := len(lan.B.Monitor.Events())
+	p.Fault().Arm(faults.Crash)
+	deadline := time.Now().Add(5 * time.Second)
+	for len(lan.B.Monitor.Events()) <= before && time.Now().Before(deadline) {
+		time.Sleep(5 * time.Millisecond)
+	}
+	if len(lan.B.Monitor.Events()) <= before {
+		t.Fatal("tcp0 never recovered")
+	}
+	time.Sleep(100 * time.Millisecond) // let rewiring settle
+
+	// The survivor shard's connection transfers as if nothing happened.
+	echo := func(s *sock.Socket, tag string) error {
+		if _, err := s.Send([]byte(tag)); err != nil {
+			return err
+		}
+		buf := make([]byte, 256)
+		n, err := s.Recv(buf)
+		if err != nil {
+			return err
+		}
+		if string(buf[:n]) != tag {
+			return fmt.Errorf("got %q", buf[:n])
+		}
+		return nil
+	}
+	if err := echo(conns[1], "survivor"); err != nil {
+		t.Fatalf("shard 1 connection broke across a shard 0 crash: %v", err)
+	}
+
+	// The crashed shard's connection is gone (established state is lost by
+	// design; the peer learns via RST).
+	if err := echo(conns[0], "ghost"); err == nil {
+		t.Fatal("connection on the crashed shard survived; expected a reset")
+	}
+
+	// And the crashed shard accepts new connections again: its listener
+	// clone was recovered from the shard's own storage key.
+	port := clientPortFor(t, 7600, aIP, 0, shards)
+	for port2 := port + 1; ; port2++ {
+		if netpkt.TCPShardOf(7600, aIP, port2, shards) == 0 {
+			port = port2
+			break
+		}
+	}
+	s2, err := cli.Socket(sock.TCP)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s2.Bind(port); err != nil {
+		t.Fatal(err)
+	}
+	if err := s2.Connect(lan.IPOf("b", 0), 7600); err != nil {
+		t.Fatalf("reconnect to recovered shard 0: %v", err)
+	}
+	if got := <-childShards; got != 0 {
+		t.Fatalf("post-recovery connection accepted on shard %d, want 0", got)
+	}
+	if err := echo(s2, "fresh-after-crash"); err != nil {
+		t.Fatalf("echo on recovered shard 0: %v", err)
+	}
+}

@@ -10,6 +10,7 @@ import (
 	"newtos/internal/nic"
 	"newtos/internal/pfeng"
 	"newtos/internal/sock"
+	"newtos/internal/tcpsrv"
 	"newtos/internal/trace"
 )
 
@@ -229,7 +230,7 @@ func RunTable1() ([]RecoveryReport, error) {
 		core.CompIP:  {"ip/config"},
 		core.CompUDP: {"udp/sockets", "udp/flows"},
 		core.CompPF:  {"pf/rules"},
-		core.CompTCP: {"tcp/sockets", "tcp/flows"},
+		core.CompTCP: {tcpsrv.StorageKeyFor(0), tcpsrv.FlowsKeyFor(0)},
 	}
 	order := []string{"eth0", core.CompIP, core.CompUDP, core.CompPF, core.CompTCP}
 	var out []RecoveryReport

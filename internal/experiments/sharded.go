@@ -1,0 +1,26 @@
+package experiments
+
+import (
+	"time"
+
+	"newtos/internal/core"
+	"newtos/internal/nic"
+)
+
+// RunTCPSharded measures aggregate outgoing TCP throughput with the TCP
+// engine sharded N ways (docs/ARCHITECTURE.md "Sharded TCP"): the flagship
+// split configuration plus Config.TCPShards, driven by the standard
+// multi-connection bulk transfer. Connections are spread across shards by
+// the SYSCALL server's round-robin connect routing, so N shards put N
+// engine loops to work on a multi-core box.
+//
+// The wire is ten-gigabit with negligible latency so the transport layer —
+// not wire pacing — is the bottleneck being scaled; compare shard counts
+// against each other, not against the paced Table II rows.
+func RunTCPSharded(shards int, opts Table2Opts) (float64, error) {
+	cfg := core.SplitTSO()
+	cfg.TCPShards = shards
+	wcfg := nic.TenGigabit()
+	wcfg.Latency = 5 * time.Microsecond // keep BDP inside the 64 KB window
+	return RunLANTransfer(cfg, wcfg, opts)
+}

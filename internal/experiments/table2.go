@@ -97,13 +97,21 @@ func runSplitRow(row Table2Row, opts Table2Opts) (float64, error) {
 // RunSplitRowConfig runs a split-stack bulk transfer with explicit packet
 // filter / TSO / SYSCALL-server knobs (used by the ablation benchmarks).
 func RunSplitRowConfig(opts Table2Opts, pf, tso, sc bool) (float64, error) {
-	opts.fill()
 	cfg := core.SplitTSO()
 	cfg.SyscallServer = sc
 	cfg.TSO = tso
 	cfg.Offload = true
 	cfg.PF = pf
-	lan, err := core.NewLAN(cfg, opts.Wires, nic.Gigabit())
+	return RunLANTransfer(cfg, nic.Gigabit(), opts)
+}
+
+// RunLANTransfer measures aggregate A→B TCP throughput over a two-node LAN
+// in the given stack configuration: Wires links, ConnsPerWire parallel
+// bulk connections per link, measured after warmup. It is the shared
+// driver behind the split Table II rows and the shard-scaling benchmarks.
+func RunLANTransfer(cfg core.Config, wcfg nic.WireConfig, opts Table2Opts) (float64, error) {
+	opts.fill()
+	lan, err := core.NewLAN(cfg, opts.Wires, wcfg)
 	if err != nil {
 		return 0, err
 	}

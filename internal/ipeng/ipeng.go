@@ -8,12 +8,20 @@
 // IP owns the receive pools the drivers DMA into and the header pool for
 // outgoing frames, so it is also the component whose crash forces device
 // resets (paper §V-D "IP").
+//
+// IP is also the inbound router of the sharded TCP engine
+// (docs/ARCHITECTURE.md "Sharded TCP"): with Config.TCPShards > 1 it hashes
+// every inbound segment's 4-tuple (netpkt.TCPShardOf) to one of N per-shard
+// output batches — one SendBatch, one wakeup per shard per iteration — and
+// tracks each delivery under that shard's abort scope so a single shard's
+// restart recycles only its own buffers.
 package ipeng
 
 import (
 	"bytes"
 	"encoding/gob"
 	"fmt"
+	"strconv"
 	"time"
 
 	"newtos/internal/channel"
@@ -56,6 +64,13 @@ type Config struct {
 	// Offload requests device checksum offload (and enables TSO
 	// pass-through from the transports).
 	Offload bool
+	// TCPShards is how many TCP engine shards inbound segments are
+	// distributed over. IP routes each segment by the flow-hash contract
+	// (netpkt.TCPShardOf over dstPort/srcIP/srcPort — the local host's view
+	// of the 4-tuple), accumulating one output batch per shard per
+	// iteration so the one-wakeup-per-batch-per-hop amortization holds for
+	// every shard edge. <= 1 means a single unsharded TCP server.
+	TCPShards int
 	// SaveState persists interface configuration.
 	SaveState func(blob []byte)
 }
@@ -96,8 +111,10 @@ type outPkt struct {
 	offload   uint64
 	segSize   uint16
 	nextHop   netpkt.IPAddr
-	// Reply routing: which transport asked, and with what request ID.
+	// Reply routing: which transport asked (and, for TCP, which shard),
+	// and with what request ID.
 	srcProto uint8
+	srcShard int
 	origID   uint64
 	// verdictDone marks packets already past the PF junction.
 	verdictDone bool
@@ -115,6 +132,12 @@ type inPkt struct {
 	srcIP     netpkt.IPAddr
 	dstIP     netpkt.IPAddr
 	proto     uint8
+	// srcPort/dstPort are parsed at intake (while the frame view is in
+	// hand) for TCP shard routing; portsOK is false when the segment was
+	// too short to carry them.
+	srcPort uint16
+	dstPort uint16
+	portsOK bool
 }
 
 // Engine is the IP server's logic. Single-threaded.
@@ -127,9 +150,13 @@ type Engine struct {
 	order   []string // iface routing order
 	ipid    uint16
 
+	tcpShards int
+
 	toDrv map[string][]msg.Req
 	toPF  []msg.Req
-	toTCP []msg.Req
+	// toTCP holds one output batch per TCP shard, so each shard edge gets
+	// one SendBatch (and its peer one wakeup) per loop iteration.
+	toTCP [][]msg.Req
 	toUDP []msg.Req
 	stats Stats
 	now   time.Time
@@ -148,13 +175,19 @@ func New(cfg Config) (*Engine, error) {
 	if err != nil {
 		return nil, fmt.Errorf("ipeng: hdr pool: %w", err)
 	}
+	shards := cfg.TCPShards
+	if shards < 1 {
+		shards = 1
+	}
 	e := &Engine{
-		cfg:     cfg,
-		rxPool:  rx,
-		hdrPool: hdr,
-		db:      channel.NewReqDB(),
-		ifaces:  make(map[string]*iface),
-		toDrv:   make(map[string][]msg.Req),
+		cfg:       cfg,
+		rxPool:    rx,
+		hdrPool:   hdr,
+		db:        channel.NewReqDB(),
+		ifaces:    make(map[string]*iface),
+		tcpShards: shards,
+		toDrv:     make(map[string][]msg.Req),
+		toTCP:     make([][]msg.Req, shards),
 	}
 	for _, ic := range cfg.Ifaces {
 		e.ifaces[ic.Name] = &iface{
@@ -198,10 +231,17 @@ func (e *Engine) DrainToPF() []msg.Req {
 	return out
 }
 
-// DrainToTCP returns pending deliveries/completions for TCP.
-func (e *Engine) DrainToTCP() []msg.Req {
-	out := e.toTCP
-	e.toTCP = nil
+// DrainToTCP returns pending deliveries/completions for TCP shard 0 — the
+// whole TCP server in unsharded deployments (monolith, single-server rows).
+func (e *Engine) DrainToTCP() []msg.Req { return e.DrainToTCPShard(0) }
+
+// DrainToTCPShard returns pending deliveries/completions for one TCP shard.
+func (e *Engine) DrainToTCPShard(shard int) []msg.Req {
+	if shard < 0 || shard >= e.tcpShards {
+		return nil
+	}
+	out := e.toTCP[shard]
+	e.toTCP[shard] = nil
 	return out
 }
 
@@ -253,25 +293,62 @@ func (e *Engine) OnPFRestart(now time.Time) {
 	e.db.AbortDest("pf")
 }
 
+// tcpDest names the request-database abort scope of one TCP shard, so a
+// single shard's restart aborts only its own in-flight deliveries and
+// transmissions while the other shards' state is untouched.
+func tcpDest(shard int) string { return "tcp/" + strconv.Itoa(shard) }
+
 // OnTransportRestart drops deliveries parked with a dead transport and
-// recycles their buffers.
+// recycles their buffers. For TCP this is the unsharded spelling of
+// OnTCPShardRestart(0, now).
 func (e *Engine) OnTransportRestart(proto uint8, now time.Time) {
-	e.now = now
-	dest := "tcp"
-	if proto == netpkt.ProtoUDP {
-		dest = "udp"
+	if proto == netpkt.ProtoTCP {
+		e.OnTCPShardRestart(0, now)
+		return
 	}
-	e.db.AbortDest(dest)
+	e.now = now
+	e.db.AbortDest("udp")
 }
 
-// FromTransport handles a message from TCP or UDP.
+// OnTCPShardRestart handles the restart of one TCP shard: only that shard's
+// parked deliveries are aborted (their buffers recycled) — per-shard crash
+// recovery must leave every other shard's established state alone.
+func (e *Engine) OnTCPShardRestart(shard int, now time.Time) {
+	e.now = now
+	e.db.AbortDest(tcpDest(shard))
+}
+
+// FromTransport handles a message from the (unsharded) TCP server or from
+// UDP; sharded TCP servers enter through FromTCPShard instead.
 func (e *Engine) FromTransport(proto uint8, r msg.Req, now time.Time) {
 	e.now = now
 	switch r.Op {
 	case msg.OpIPSend:
-		e.sendOut(proto, r)
+		e.sendOut(proto, 0, r)
 	case msg.OpIPDeliverDone:
 		e.deliverDone(r)
+	}
+}
+
+// FromTCPShard handles a message from one TCP shard; the shard index rides
+// on outbound packets so completions travel back to the shard that sent
+// them.
+func (e *Engine) FromTCPShard(shard int, r msg.Req, now time.Time) {
+	e.now = now
+	switch r.Op {
+	case msg.OpIPSend:
+		e.sendOut(netpkt.ProtoTCP, shard, r)
+	case msg.OpIPDeliverDone:
+		e.deliverDone(r)
+	}
+}
+
+// FromTCPShardBatch feeds a drained batch from one TCP shard through the
+// engine (see FromTransportBatch for the batching rationale).
+func (e *Engine) FromTCPShardBatch(shard int, batch []msg.Req, now time.Time) {
+	e.now = now
+	for i := range batch {
+		e.FromTCPShard(shard, batch[i], now)
 	}
 }
 
@@ -372,8 +449,9 @@ func (e *Engine) route(dst netpkt.IPAddr) (*iface, netpkt.IPAddr, bool) {
 }
 
 // sendOut builds the full frame header for a transport payload and routes
-// it through the PF junction towards a driver.
-func (e *Engine) sendOut(proto uint8, r msg.Req) {
+// it through the PF junction towards a driver. shard identifies the TCP
+// shard that asked (0 for UDP/unsharded) so the completion goes home.
+func (e *Engine) sendOut(proto uint8, shard int, r msg.Req) {
 	segSize := uint16(r.Arg[0] >> 16)
 	dst := netpkt.IPFromU32(uint32(r.Arg[2]))
 	src := netpkt.IPFromU32(uint32(r.Arg[1]))
@@ -382,7 +460,7 @@ func (e *Engine) sendOut(proto uint8, r msg.Req) {
 	ifc, nextHop, ok := e.route(dst)
 	if !ok {
 		e.stats.DropsNoRoute++
-		e.replyTransport(proto, r.ID, msg.StatusErrInval)
+		e.replyTransport(proto, shard, r.ID, msg.StatusErrInval)
 		return
 	}
 	if src == (netpkt.IPAddr{}) {
@@ -392,12 +470,12 @@ func (e *Engine) sendOut(proto uint8, r msg.Req) {
 	// Resolve the transport's header chunk and payload chain.
 	chain := r.Chain()
 	if len(chain) == 0 {
-		e.replyTransport(proto, r.ID, msg.StatusErrInval)
+		e.replyTransport(proto, shard, r.ID, msg.StatusErrInval)
 		return
 	}
 	l4hdr, err := e.cfg.Space.View(chain[0])
 	if err != nil {
-		e.replyTransport(proto, r.ID, msg.StatusErrInval)
+		e.replyTransport(proto, shard, r.ID, msg.StatusErrInval)
 		return
 	}
 	payload := chain[1:]
@@ -413,7 +491,7 @@ func (e *Engine) sendOut(proto uint8, r msg.Req) {
 	// combine them with IP headers in one chunk").
 	hdrPtr, hdrBuf, err := e.hdrPool.Alloc()
 	if err != nil {
-		e.replyTransport(proto, r.ID, msg.StatusErrNoBufs)
+		e.replyTransport(proto, shard, r.ID, msg.StatusErrNoBufs)
 		return
 	}
 	e.ipid++
@@ -448,6 +526,7 @@ func (e *Engine) sendOut(proto uint8, r msg.Req) {
 		segSize:   segSize,
 		nextHop:   nextHop,
 		srcProto:  proto,
+		srcShard:  shard,
 		origID:    r.ID,
 	}
 	e.junctionOut(pkt)
@@ -533,7 +612,7 @@ func (e *Engine) txDone(r msg.Req) {
 		if r.Status != 0 {
 			st = r.Status
 		}
-		e.replyTransport(pkt.srcProto, pkt.origID, st)
+		e.replyTransport(pkt.srcProto, pkt.srcShard, pkt.origID, st)
 	}
 }
 
@@ -543,14 +622,14 @@ func (e *Engine) failOut(pkt *outPkt, status int32) {
 		_ = e.hdrPool.Free(pkt.icmpPayload)
 	}
 	if pkt.origID != 0 {
-		e.replyTransport(pkt.srcProto, pkt.origID, status)
+		e.replyTransport(pkt.srcProto, pkt.srcShard, pkt.origID, status)
 	}
 }
 
-func (e *Engine) replyTransport(proto uint8, id uint64, status int32) {
+func (e *Engine) replyTransport(proto uint8, shard int, id uint64, status int32) {
 	rep := msg.Req{ID: id, Op: msg.OpIPSendDone, Status: status}
 	if proto == netpkt.ProtoTCP {
-		e.toTCP = append(e.toTCP, rep)
+		e.toTCP[shard] = append(e.toTCP[shard], rep)
 	} else if proto == netpkt.ProtoUDP {
 		e.toUDP = append(e.toUDP, rep)
 	}
@@ -689,6 +768,13 @@ func (e *Engine) handleIPv4(ifc *iface, name string, buf shm.RichPtr, view []byt
 		dstIP:     ih.Dst,
 		proto:     ih.Proto,
 	}
+	if l4 := l3[ih.HeaderLen:]; len(l4) >= 4 {
+		// Parse the port pair here, while the view is in hand, so shard
+		// routing in demux needs no second space lookup per segment.
+		pkt.srcPort = uint16(l4[0])<<8 | uint16(l4[1])
+		pkt.dstPort = uint16(l4[2])<<8 | uint16(l4[3])
+		pkt.portsOK = true
+	}
 	if !e.cfg.PFEnabled {
 		e.demux(pkt)
 		return
@@ -709,7 +795,10 @@ func (e *Engine) handleIPv4(ifc *iface, name string, buf shm.RichPtr, view []byt
 	e.toPF = append(e.toPF, q)
 }
 
-// demux hands a passed inbound packet to its protocol.
+// demux hands a passed inbound packet to its protocol. TCP segments are
+// routed to their owning shard by the flow-hash contract; the delivery is
+// tracked under that shard's abort scope so only the owning shard's
+// restart recycles it.
 func (e *Engine) demux(pkt *inPkt) {
 	switch pkt.proto {
 	case netpkt.ProtoICMP:
@@ -717,9 +806,17 @@ func (e *Engine) demux(pkt *inPkt) {
 		e.recycleRx(pkt)
 	case netpkt.ProtoTCP, netpkt.ProtoUDP:
 		id := e.db.NewID()
-		dest := "tcp"
-		if pkt.proto == netpkt.ProtoUDP {
-			dest = "udp"
+		dest := "udp"
+		shard := 0
+		if pkt.proto == netpkt.ProtoTCP {
+			shard = e.tcpShardFor(pkt)
+			if shard < 0 {
+				// Segment too short to carry ports: malformed, drop.
+				e.stats.DropsMalformed++
+				e.recycleRx(pkt)
+				return
+			}
+			dest = tcpDest(shard)
 		}
 		e.db.Track(id, dest, pkt, func(_ uint64, data any) {
 			// Transport crashed before acknowledging the delivery; the
@@ -731,14 +828,28 @@ func (e *Engine) demux(pkt *inPkt) {
 		req.Arg[0] = uint64(pkt.l4Off)
 		req.Arg[1] = uint64(pkt.srcIP.U32())
 		req.Arg[2] = uint64(pkt.dstIP.U32())
-		if dest == "tcp" {
-			e.toTCP = append(e.toTCP, req)
+		if pkt.proto == netpkt.ProtoTCP {
+			e.toTCP[shard] = append(e.toTCP[shard], req)
 		} else {
 			e.toUDP = append(e.toUDP, req)
 		}
 	default:
 		e.recycleRx(pkt)
 	}
+}
+
+// tcpShardFor computes the owning shard of an inbound segment from the
+// local host's view of the 4-tuple: (dstPort, srcIP, srcPort) — the same
+// tuple the TCP engines key their connection tables on. The ports were
+// parsed at intake; -1 means the segment was too short to carry them.
+func (e *Engine) tcpShardFor(pkt *inPkt) int {
+	if e.tcpShards <= 1 {
+		return 0
+	}
+	if !pkt.portsOK {
+		return -1
+	}
+	return netpkt.TCPShardOf(pkt.dstPort, pkt.srcIP, pkt.srcPort, e.tcpShards)
 }
 
 // deliverDone: the transport is finished with an RX buffer.

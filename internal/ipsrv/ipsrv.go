@@ -13,6 +13,7 @@ import (
 	"newtos/internal/msg"
 	"newtos/internal/netpkt"
 	"newtos/internal/proc"
+	"newtos/internal/tcpsrv"
 	"newtos/internal/wiring"
 )
 
@@ -26,6 +27,12 @@ type Config struct {
 	Offload   bool
 	// Drivers lists the driver component names (edge "ip-<name>").
 	Drivers []string
+	// TCPShards is the number of TCP engine shards. IP creates one edge per
+	// shard ("ip-tcp<k>" towards component "tcp<k>") with its own SPSC
+	// duplex, and routes inbound segments between them by the flow-hash
+	// contract (see ipeng.Config.TCPShards). <= 1 keeps the single
+	// "ip-tcp"/"tcp" edge.
+	TCPShards int
 }
 
 // Server is one IP server incarnation.
@@ -37,11 +44,12 @@ type Server struct {
 	drvPort map[string]*wiring.Port
 	drvBox  map[string]*wiring.Outbox
 	pfPort  *wiring.Port
-	tcpPort *wiring.Port
-	udpPort *wiring.Port
-	pfBox   *wiring.Outbox
-	tcpBox  *wiring.Outbox
-	udpBox  *wiring.Outbox
+	// tcpPorts/tcpBoxes hold one edge per TCP shard (len 1 unsharded).
+	tcpPorts []*wiring.Port
+	tcpBoxes []*wiring.Outbox
+	udpPort  *wiring.Port
+	pfBox    *wiring.Outbox
+	udpBox   *wiring.Outbox
 	// scratch is the reusable drain buffer all edges share (the loop is
 	// single-threaded and each batch is fully processed before the next
 	// drain).
@@ -67,6 +75,7 @@ func (s *Server) Init(rt *proc.Runtime, restart bool) error {
 		Ifaces:    s.cfg.Ifaces,
 		PFEnabled: s.cfg.PFEnabled,
 		Offload:   s.cfg.Offload,
+		TCPShards: s.cfg.TCPShards,
 		SaveState: func(blob []byte) { hub.Store.Put(StorageKey, blob) },
 	}
 	eng, err := ipeng.New(ecfg)
@@ -94,9 +103,18 @@ func (s *Server) Init(rt *proc.Runtime, restart bool) error {
 		s.pfPort = s.ports.Export("ip-pf", "pf")
 		s.pfBox = wiring.NewOutbox(s.pfPort)
 	}
-	s.tcpPort = s.ports.Export("ip-tcp", "tcp")
+	shards := s.cfg.TCPShards
+	if shards < 1 {
+		shards = 1
+	}
+	s.tcpPorts = make([]*wiring.Port, shards)
+	s.tcpBoxes = make([]*wiring.Outbox, shards)
+	for k := 0; k < shards; k++ {
+		edge, peer := tcpsrv.IPEdge(k, shards)
+		s.tcpPorts[k] = s.ports.Export(edge, peer)
+		s.tcpBoxes[k] = wiring.NewOutbox(s.tcpPorts[k])
+	}
 	s.udpPort = s.ports.Export("ip-udp", "udp")
-	s.tcpBox = wiring.NewOutbox(s.tcpPort)
 	s.udpBox = wiring.NewOutbox(s.udpPort)
 	s.scratch = make([]msg.Req, wiring.ScratchLen)
 
@@ -148,9 +166,24 @@ func (s *Server) Poll(now time.Time) bool {
 		}
 	}
 
-	// Transport edges.
-	if s.pollTransport(s.tcpPort, s.tcpBox, netpkt.ProtoTCP, now) {
-		worked = true
+	// Transport edges: one per TCP shard, plus UDP. A single shard's
+	// reincarnation aborts only that shard's in-flight work.
+	for k, port := range s.tcpPorts {
+		k, port := k, port
+		dup, changed := port.Take()
+		if changed && dup.Valid() {
+			s.tcpBoxes[k].Drop()
+			s.eng.OnTCPShardRestart(k, now)
+			worked = true
+		}
+		if !dup.Valid() {
+			continue
+		}
+		if wiring.Drain(dup.In, s.scratch, wiring.RecvBudget, func(b []msg.Req) {
+			s.eng.FromTCPShardBatch(k, b, now)
+		}) {
+			worked = true
+		}
 	}
 	if s.pollTransport(s.udpPort, s.udpBox, netpkt.ProtoUDP, now) {
 		worked = true
@@ -169,9 +202,11 @@ func (s *Server) Poll(now time.Time) bool {
 			worked = true
 		}
 	}
-	s.tcpBox.Push(s.eng.DrainToTCP()...)
-	if s.tcpBox.Flush() {
-		worked = true
+	for k := range s.tcpBoxes {
+		s.tcpBoxes[k].Push(s.eng.DrainToTCPShard(k)...)
+		if s.tcpBoxes[k].Flush() {
+			worked = true
+		}
 	}
 	s.udpBox.Push(s.eng.DrainToUDP()...)
 	if s.udpBox.Flush() {

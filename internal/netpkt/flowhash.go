@@ -1,0 +1,56 @@
+package netpkt
+
+// TCP flow-hash sharding contract (docs/ARCHITECTURE.md "Sharded TCP").
+//
+// The TCP engine is deployed as N independent shards; every TCP segment and
+// every socket operation must land on the shard that owns its connection.
+// Ownership is a pure function of the connection 4-tuple as seen from the
+// local host: (local port, remote IP, remote port). The local IP is
+// deliberately excluded — a multi-homed host keeps a connection on one shard
+// even when policy routing moves it between interfaces, and the engine's
+// connection table is keyed the same way.
+//
+// Everyone who routes must use these functions:
+//
+//   - ipeng hashes inbound segments with (dstPort, srcIP, srcPort) — the
+//     packet's view of (localPort, remoteIP, remotePort);
+//   - tcpeng's autobind picks an ephemeral port whose hash lands on its own
+//     shard, so return traffic for actively-opened connections comes home;
+//   - the SYSCALL server routes a bound connect() by the same hash, so
+//     explicitly-bound clients also land where their inbound traffic will;
+//   - SYNs for listening ports are routed by the same hash (listeners are
+//     replicated across shards), so each accepted connection lives wholly on
+//     the shard its SYN hashed to.
+
+// TCPFlowHash hashes a connection 4-tuple from the local host's point of
+// view (FNV-1a over localPort, remoteIP, remotePort). It is the single
+// hash function of the sharding contract above.
+func TCPFlowHash(localPort uint16, remoteIP IPAddr, remotePort uint16) uint32 {
+	const (
+		offset32 = 2166136261
+		prime32  = 16777619
+	)
+	h := uint32(offset32)
+	mix := func(b byte) {
+		h ^= uint32(b)
+		h *= prime32
+	}
+	mix(byte(localPort >> 8))
+	mix(byte(localPort))
+	for _, b := range remoteIP {
+		mix(b)
+	}
+	mix(byte(remotePort >> 8))
+	mix(byte(remotePort))
+	return h
+}
+
+// TCPShardOf maps a connection 4-tuple to its owning shard in [0, shards).
+// Every router (ipeng, tcpeng, syscallsrv) must agree with this mapping;
+// shards <= 1 always yields 0, so unsharded stacks pay nothing.
+func TCPShardOf(localPort uint16, remoteIP IPAddr, remotePort uint16, shards int) int {
+	if shards <= 1 {
+		return 0
+	}
+	return int(TCPFlowHash(localPort, remoteIP, remotePort) % uint32(shards))
+}

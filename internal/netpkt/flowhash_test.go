@@ -1,0 +1,79 @@
+package netpkt
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestTCPShardOfDeterministic(t *testing.T) {
+	ip := MustIP("10.0.0.2")
+	for shards := 1; shards <= 8; shards++ {
+		want := TCPShardOf(7000, ip, 45001, shards)
+		for i := 0; i < 100; i++ {
+			if got := TCPShardOf(7000, ip, 45001, shards); got != want {
+				t.Fatalf("shards=%d: same tuple hashed to %d then %d", shards, want, got)
+			}
+		}
+		if want < 0 || want >= shards {
+			t.Fatalf("shards=%d: shard %d out of range", shards, want)
+		}
+	}
+	if TCPShardOf(7000, ip, 45001, 0) != 0 || TCPShardOf(7000, ip, 45001, 1) != 0 {
+		t.Fatal("unsharded deployments must always map to shard 0")
+	}
+}
+
+// TestTCPShardOfSymmetry pins the routing contract: IP hashes an inbound
+// segment as (dstPort, srcIP, srcPort) and must land on the shard whose
+// engine keyed the connection as (localPort, remoteIP, remotePort) — the
+// same triple, so the same function call. A regression here would strand
+// established connections on the wrong shard.
+func TestTCPShardOfSymmetry(t *testing.T) {
+	remote := MustIP("10.0.1.7")
+	for shards := 2; shards <= 4; shards++ {
+		for port := uint16(45000); port < 45100; port++ {
+			engineView := TCPShardOf(port, remote, 9000, shards)
+			ipView := TCPShardOf(port, remote, 9000, shards) // dstPort, srcIP, srcPort
+			if engineView != ipView {
+				t.Fatalf("views disagree for port %d", port)
+			}
+		}
+	}
+}
+
+func TestTCPShardOfSpread(t *testing.T) {
+	const shards, n = 4, 40000
+	counts := make([]int, shards)
+	rnd := rand.New(rand.NewSource(1))
+	for i := 0; i < n; i++ {
+		lp := uint16(rnd.Intn(1 << 16))
+		rp := uint16(rnd.Intn(1 << 16))
+		ip := IPFromU32(rnd.Uint32())
+		counts[TCPShardOf(lp, ip, rp, shards)]++
+	}
+	for s, c := range counts {
+		frac := float64(c) / n
+		// Perfect balance is 0.25; require every shard within [0.2, 0.3].
+		if frac < 0.20 || frac > 0.30 {
+			t.Fatalf("shard %d received %.3f of random flows; distribution skewed: %v", s, frac, counts)
+		}
+	}
+}
+
+// TestTCPShardOfEphemeralRange mirrors tcpeng's autobind: within the
+// ephemeral port range every shard must have plenty of ports that hash
+// home for any fixed remote, or connect() would exhaust the range.
+func TestTCPShardOfEphemeralRange(t *testing.T) {
+	remote := MustIP("10.0.0.2")
+	for _, shards := range []int{2, 4, 8} {
+		counts := make([]int, shards)
+		for port := uint16(45000); port < 65500; port++ {
+			counts[TCPShardOf(port, remote, 9000, shards)]++
+		}
+		for s, c := range counts {
+			if c < 1024 {
+				t.Fatalf("shards=%d: only %d ephemeral ports hash to shard %d", shards, c, s)
+			}
+		}
+	}
+}

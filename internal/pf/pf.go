@@ -11,19 +11,21 @@ package pf
 import (
 	"bytes"
 	"encoding/gob"
+	"strings"
 	"time"
 
 	"newtos/internal/msg"
 	"newtos/internal/netpkt"
 	"newtos/internal/pfeng"
 	"newtos/internal/proc"
+	"newtos/internal/tcpsrv"
 	"newtos/internal/wiring"
 )
 
-// Storage keys.
+// Storage keys. TCP flow dumps are per-shard (tcpsrv.FlowsKeyFor); PF
+// enumerates them by prefix so it needs no knowledge of the shard count.
 const (
 	RulesKey    = "pf/rules"
-	TCPFlowsKey = "tcp/flows"
 	UDPFlowsKey = "udp/flows"
 )
 
@@ -59,9 +61,16 @@ func (s *Server) Init(rt *proc.Runtime, restart bool) error {
 		}
 		// Rebuild dynamic state from the transports' persisted flows:
 		// established outgoing connections must keep working after a PF
-		// restart.
+		// restart. TCP persists one flow dump per shard; the rebuild is
+		// the union over every shard's key plus UDP's.
 		now := time.Now()
-		for _, key := range []string{TCPFlowsKey, UDPFlowsKey} {
+		keys := []string{UDPFlowsKey}
+		for _, k := range hub.Store.Keys(tcpsrv.FlowsKeyPrefix) {
+			if strings.HasSuffix(k, tcpsrv.FlowsKeySuffix) {
+				keys = append(keys, k)
+			}
+		}
+		for _, key := range keys {
 			if blob, ok := hub.Store.Get(key); ok {
 				var flows []pfeng.Flow
 				if gob.NewDecoder(bytes.NewReader(blob)).Decode(&flows) == nil {

@@ -10,6 +10,12 @@
 // A Ring is safe for exactly one producing goroutine and one consuming
 // goroutine. All operations are non-blocking; the channel layer adds
 // doorbell-based sleeping on top.
+//
+// EnqueueBatch and DequeueBatch are the batched fast path: N slots move
+// with one tail (or head) publication, and both are partial-accept — a
+// full or emptying ring moves what fits and reports the count, so nobody
+// ever blocks (paper §IV-A). TryEnqueue/TryDequeue remain the single-slot
+// primitives underneath.
 package spsc
 
 import (

@@ -8,15 +8,40 @@
 // socket, which lets it reissue recv-class operations when a transport
 // server restarts and return errors for the rest — exactly the paper's
 // recovery contract.
+//
+// # Sharded TCP routing
+//
+// With N > 1 TCP shards (docs/ARCHITECTURE.md "Sharded TCP") the server is
+// also the shard router for socket calls:
+//
+//   - create/bind/listen/close are broadcast to every shard (the front
+//     assigns the socket id below tcpeng.SockIDBase so all shards share
+//     it), and the app's reply is gathered from all N;
+//   - connect is routed to exactly one shard — the flow-hash owner when
+//     the socket was explicitly bound, round-robin otherwise (the shard's
+//     engine then autobinds a port whose hash lands on itself);
+//   - accept keeps one standing accept per shard per listener, so a SYN
+//     hashed to any shard surfaces through its local listener clone;
+//   - data ops route by socket id: engine-assigned ids encode their shard,
+//     frontdoor-assigned ids carry an owner record (persisted to the
+//     storage server so routing survives a SYSCALL-server restart).
+//
+// A single shard's restart aborts/reissues only the calls in flight to
+// that shard; the other shards' pending operations are untouched.
 package syscallsrv
 
 import (
+	"bytes"
+	"encoding/gob"
 	"fmt"
 	"time"
 
 	"newtos/internal/kipc"
 	"newtos/internal/msg"
+	"newtos/internal/netpkt"
 	"newtos/internal/proc"
+	"newtos/internal/tcpeng"
+	"newtos/internal/tcpsrv"
 	"newtos/internal/wiring"
 )
 
@@ -28,6 +53,46 @@ const (
 	PFFrontdoor  = "frontdoor-pf"
 )
 
+// ShardMetaKey is where the frontdoor's TCP shard-routing table (socket
+// owners, listener flags, id counter) is persisted so a SYSCALL-server
+// restart keeps routing established sockets to their shards.
+const ShardMetaKey = "sc/tcp/shards"
+
+// gather tracks one broadcast operation (create/bind/listen/close) until
+// every shard has answered; the app gets one reply with the first non-OK
+// status (close is always reported OK — a shard that lost its clone in a
+// restart has nothing left to close).
+type gather struct {
+	remaining int
+	status    int32
+	op        msg.Op
+	app       kipc.EndpointID
+	appID     uint64
+	epIdx     int
+	flow      uint32
+	// bindPort is recorded on the vsock only when a bind broadcast
+	// succeeds on every shard — a half-failed bind must not change how
+	// later connects are routed.
+	bindPort uint16
+}
+
+// vsock is the frontdoor's view of one TCP socket it named (id below
+// tcpeng.SockIDBase): which shard owns it, whether it listens, and the
+// accept plumbing for listeners.
+type vsock struct {
+	id        uint32
+	owner     int // owning shard; -1 until connect routes it
+	port      uint16
+	listening bool
+	// childQ holds accepted-connection replies from standing accepts that
+	// arrived while no application accept was waiting.
+	childQ []msg.Req
+	// waiters are application accepts parked until a child arrives.
+	waiters []pendingCall
+	// armed marks shards with a standing accept outstanding.
+	armed []bool
+}
+
 // pendingCall routes a transport reply back to the blocked application.
 type pendingCall struct {
 	app   kipc.EndpointID
@@ -36,49 +101,77 @@ type pendingCall struct {
 	op    msg.Op
 	orig  msg.Req
 	epIdx int // which frontdoor the call arrived on (reply goes back there)
+	// shard is the TCP shard the call was forwarded to (-1 for UDP/PF).
+	shard int
+	// gather links the call into a broadcast (nil for single-shard calls).
+	gather *gather
+	// standing marks a frontdoor-synthesized accept (no app is waiting on
+	// this ID; completions feed the listener's childQ/waiters).
+	standing bool
 }
 
 // Server is one SYSCALL server incarnation.
 type Server struct {
-	ports *wiring.Ports
+	ports   *wiring.Ports
+	nShards int
 
-	eps     []*kipc.Endpoint
-	tcpPort *wiring.Port
-	udpPort *wiring.Port
-	pfPort  *wiring.Port
-	tcpBox  *wiring.Outbox
-	udpBox  *wiring.Outbox
-	pfBox   *wiring.Outbox
-	scratch []msg.Req
+	eps      []*kipc.Endpoint
+	tcpPorts []*wiring.Port
+	tcpBoxes []*wiring.Outbox
+	udpPort  *wiring.Port
+	pfPort   *wiring.Port
+	udpBox   *wiring.Outbox
+	pfBox    *wiring.Outbox
+	scratch  []msg.Req
 
 	nextID  uint64
 	pending map[uint64]pendingCall
 	// lastOp remembers the unfinished operation per socket so it can be
 	// reissued after a transport crash (recv/select-class only).
 	lastOp map[uint32]pendingCall
+
+	// Sharded-TCP routing state (empty when nShards <= 1).
+	vsocks map[uint32]*vsock
+	nextV  uint32
+	rr     int
 }
 
 var _ proc.Service = (*Server)(nil)
 
-// New creates a SYSCALL server incarnation.
-func New(ports *wiring.Ports) *Server {
-	return &Server{ports: ports}
+// New creates a SYSCALL server incarnation routing to tcpShards TCP shards
+// (<= 1 means the single unsharded TCP server).
+func New(ports *wiring.Ports, tcpShards int) *Server {
+	if tcpShards < 1 {
+		tcpShards = 1
+	}
+	return &Server{ports: ports, nShards: tcpShards}
 }
 
 // Init registers the frontdoor endpoints and exports the control channels
-// to the transports and the packet filter.
+// to the transports and the packet filter; on restart the shard-routing
+// table is recovered from the storage server.
 func (s *Server) Init(rt *proc.Runtime, restart bool) error {
 	s.pending = make(map[uint64]pendingCall)
 	s.lastOp = make(map[uint32]pendingCall)
+	s.vsocks = make(map[uint32]*vsock)
+	if restart && s.nShards > 1 {
+		s.loadShardMeta()
+	}
 	s.ports.Begin(rt.Bell)
-	s.tcpPort = s.ports.Export("sc-tcp", "tcp")
+	s.tcpPorts = make([]*wiring.Port, s.nShards)
+	s.tcpBoxes = make([]*wiring.Outbox, s.nShards)
+	for k := 0; k < s.nShards; k++ {
+		edge, peer := tcpsrv.SCEdge(k, s.nShards)
+		s.tcpPorts[k] = s.ports.Export(edge, peer)
+		s.tcpBoxes[k] = wiring.NewOutbox(s.tcpPorts[k])
+	}
 	s.udpPort = s.ports.Export("sc-udp", "udp")
 	s.pfPort = s.ports.Export("sc-pf", "pf")
-	s.tcpBox = wiring.NewOutbox(s.tcpPort)
 	s.udpBox = wiring.NewOutbox(s.udpPort)
 	s.pfBox = wiring.NewOutbox(s.pfPort)
 	s.scratch = make([]msg.Req, wiring.ScratchLen)
 	kern := s.ports.Hub().Kern
+	s.eps = nil
 	for _, name := range []string{TCPFrontdoor, UDPFrontdoor, PFFrontdoor} {
 		ep, err := kern.Register(name, rt.Bell)
 		if err != nil {
@@ -93,11 +186,18 @@ func (s *Server) Init(rt *proc.Runtime, restart bool) error {
 func (s *Server) Poll(now time.Time) bool {
 	worked := false
 
-	// Transport restarts: reissue or abort what was in flight.
-	if _, changed := s.tcpPort.Take(); changed {
-		s.tcpBox.Drop()
-		s.recoverTransport(true)
-		worked = true
+	// Transport restarts: reissue or abort what was in flight. Each TCP
+	// shard recovers independently.
+	for k, port := range s.tcpPorts {
+		if _, changed := port.Take(); changed {
+			s.tcpBoxes[k].Drop()
+			if s.nShards > 1 {
+				s.recoverTCPShard(k)
+			} else {
+				s.recoverTransport(true)
+			}
+			worked = true
+		}
 	}
 	if _, changed := s.udpPort.Take(); changed {
 		s.udpBox.Drop()
@@ -129,8 +229,10 @@ func (s *Server) Poll(now time.Time) bool {
 	}
 
 	// Replies from the transports.
-	if s.drainReplies(s.tcpPort) {
-		worked = true
+	for _, port := range s.tcpPorts {
+		if s.drainReplies(port) {
+			worked = true
+		}
 	}
 	if s.drainReplies(s.udpPort) {
 		worked = true
@@ -140,8 +242,10 @@ func (s *Server) Poll(now time.Time) bool {
 	}
 
 	// Flush queued forwards: one batch per transport per iteration.
-	if s.tcpBox.Flush() {
-		worked = true
+	for _, box := range s.tcpBoxes {
+		if box.Flush() {
+			worked = true
+		}
 	}
 	if s.udpBox.Flush() {
 		worked = true
@@ -156,9 +260,16 @@ func (s *Server) Poll(now time.Time) bool {
 // internal ID. epIdx identifies which frontdoor it arrived on (0 = TCP,
 // 1 = UDP, 2 = PF).
 func (s *Server) dispatch(epIdx int, from kipc.EndpointID, req msg.Req) {
+	if epIdx == 0 && s.nShards > 1 {
+		s.dispatchTCPSharded(from, req)
+		return
+	}
 	s.nextID++
 	id := s.nextID
-	call := pendingCall{app: from, appID: req.ID, sock: req.Flow, op: req.Op, orig: req, epIdx: epIdx}
+	call := pendingCall{app: from, appID: req.ID, sock: req.Flow, op: req.Op, orig: req, epIdx: epIdx, shard: -1}
+	if epIdx == 0 {
+		call.shard = 0
+	}
 	s.pending[id] = call
 	fwd := req
 	fwd.ID = id
@@ -172,12 +283,197 @@ func (s *Server) dispatch(epIdx int, from kipc.EndpointID, req msg.Req) {
 
 	switch epIdx {
 	case 0:
-		s.tcpBox.Push(fwd)
+		s.tcpBoxes[0].Push(fwd)
 	case 1:
 		s.udpBox.Push(fwd)
 	case 2:
 		s.pfBox.Push(fwd)
 	}
+}
+
+// dispatchTCPSharded routes one TCP socket call in a sharded deployment
+// (see the package comment for the contract).
+func (s *Server) dispatchTCPSharded(from kipc.EndpointID, req msg.Req) {
+	switch req.Op {
+	case msg.OpSockCreate:
+		v := s.newVsock()
+		fwd := req
+		fwd.Arg[0] = uint64(v.id) // frontdoor-assigned id, same on all shards
+		s.broadcastTCP(from, req, fwd, v.id)
+	case msg.OpSockBind:
+		v := s.vsocks[req.Flow]
+		if v == nil {
+			s.forwardTCP(s.shardOfFlow(req.Flow), from, req)
+			return
+		}
+		g := s.broadcastTCP(from, req, req, v.id)
+		g.bindPort = uint16(req.Arg[0])
+	case msg.OpSockListen:
+		v := s.vsocks[req.Flow]
+		if v == nil {
+			s.forwardTCP(s.shardOfFlow(req.Flow), from, req)
+			return
+		}
+		v.listening = true
+		if v.armed == nil {
+			v.armed = make([]bool, s.nShards)
+		}
+		s.persistShardMeta()
+		s.broadcastTCP(from, req, req, v.id)
+	case msg.OpSockAccept:
+		s.acceptTCP(from, req)
+	case msg.OpSockConnect:
+		v := s.vsocks[req.Flow]
+		if v != nil && v.owner < 0 {
+			if v.port != 0 {
+				// Explicitly bound: the flow hash decides the owner, so
+				// inbound segments (routed by the same hash at IP) arrive
+				// at the shard holding the connection.
+				dst := netpkt.IPFromU32(uint32(req.Arg[0]))
+				v.owner = netpkt.TCPShardOf(v.port, dst, uint16(req.Arg[1]), s.nShards)
+			} else {
+				// Unbound: any shard will do — its engine autobinds a
+				// port whose hash lands on itself.
+				v.owner = s.rr % s.nShards
+				s.rr++
+			}
+			s.persistShardMeta()
+		}
+		s.forwardTCP(s.shardOfFlow(req.Flow), from, req)
+	case msg.OpSockClose:
+		v := s.vsocks[req.Flow]
+		if v == nil {
+			s.forwardTCP(s.shardOfFlow(req.Flow), from, req)
+			return
+		}
+		// Orphan any children accepted but never delivered to the app.
+		for _, child := range v.childQ {
+			s.closeOrphan(uint32(child.Arg[0]))
+		}
+		for _, w := range v.waiters {
+			rep := msg.Req{ID: w.appID, Op: msg.OpSockReply, Flow: v.id, Status: msg.StatusErrAborted}
+			_ = s.sendToApp(w.epIdx, w.app, rep)
+		}
+		delete(s.vsocks, req.Flow)
+		s.persistShardMeta()
+		s.broadcastTCP(from, req, req, v.id)
+	default:
+		s.forwardTCP(s.shardOfFlow(req.Flow), from, req)
+	}
+}
+
+// forwardTCP sends one call to a single TCP shard as a plain app call.
+func (s *Server) forwardTCP(shard int, from kipc.EndpointID, req msg.Req) {
+	s.nextID++
+	id := s.nextID
+	if req.Op != msg.OpSockRecvDone {
+		s.pending[id] = pendingCall{app: from, appID: req.ID, sock: req.Flow, op: req.Op, orig: req, epIdx: 0, shard: shard}
+	}
+	fwd := req
+	fwd.ID = id
+	s.tcpBoxes[shard].Push(fwd)
+}
+
+// broadcastTCP sends one call to every shard and gathers the replies into
+// a single app reply.
+func (s *Server) broadcastTCP(from kipc.EndpointID, orig, fwd msg.Req, flow uint32) *gather {
+	g := &gather{
+		remaining: s.nShards, status: msg.StatusOK, op: orig.Op,
+		app: from, appID: orig.ID, epIdx: 0, flow: flow,
+	}
+	for k := 0; k < s.nShards; k++ {
+		s.nextID++
+		id := s.nextID
+		f := fwd
+		f.ID = id
+		s.pending[id] = pendingCall{
+			app: from, appID: orig.ID, sock: flow, op: orig.Op,
+			orig: f, epIdx: 0, shard: k, gather: g,
+		}
+		s.tcpBoxes[k].Push(f)
+	}
+	return g
+}
+
+// acceptTCP serves an application accept: from the queued children if any,
+// otherwise by parking the app and keeping one standing accept per shard.
+func (s *Server) acceptTCP(from kipc.EndpointID, req msg.Req) {
+	v := s.vsocks[req.Flow]
+	if v == nil || !v.listening {
+		s.forwardTCP(s.shardOfFlow(req.Flow), from, req)
+		return
+	}
+	if len(v.childQ) > 0 {
+		rep := v.childQ[0]
+		v.childQ = v.childQ[1:]
+		rep.ID = req.ID
+		_ = s.sendToApp(0, from, rep)
+		return
+	}
+	v.waiters = append(v.waiters, pendingCall{app: from, appID: req.ID, sock: v.id, op: req.Op, orig: req, epIdx: 0})
+	s.armAccepts(v)
+}
+
+// armAccepts ensures every shard has a standing accept outstanding for the
+// listener, so a connection landing on any shard surfaces immediately.
+func (s *Server) armAccepts(v *vsock) {
+	for k := 0; k < s.nShards; k++ {
+		if v.armed[k] {
+			continue
+		}
+		s.nextID++
+		id := s.nextID
+		acc := msg.Req{ID: id, Op: msg.OpSockAccept, Flow: v.id}
+		s.pending[id] = pendingCall{sock: v.id, op: msg.OpSockAccept, orig: acc, epIdx: 0, shard: k, standing: true}
+		v.armed[k] = true
+		s.tcpBoxes[k].Push(acc)
+	}
+}
+
+// closeOrphan tells a shard to close a child connection the application
+// will never see (its listener closed first). No reply is expected.
+func (s *Server) closeOrphan(child uint32) {
+	if child == 0 {
+		return
+	}
+	s.nextID++
+	cl := msg.Req{ID: s.nextID, Op: msg.OpSockClose, Flow: child}
+	s.tcpBoxes[s.shardOfFlow(child)].Push(cl)
+}
+
+// shardOfFlow maps a socket id to its owning shard: engine-assigned ids
+// encode it, frontdoor-assigned ids carry an owner record.
+func (s *Server) shardOfFlow(flow uint32) int {
+	if flow >= tcpeng.SockIDBase {
+		return int((flow - tcpeng.SockIDBase) % uint32(s.nShards))
+	}
+	if v := s.vsocks[flow]; v != nil && v.owner >= 0 {
+		return v.owner
+	}
+	return 0
+}
+
+// noteConnectFailed releases a round-robin owner assignment when the
+// routed connect did not establish: the socket is still connectable (the
+// pcb exists on every shard from the create broadcast), and a retry must
+// be free to land on a shard with, say, ephemeral ports to spare instead
+// of being pinned to the one that just failed.
+func (s *Server) noteConnectFailed(flow uint32, shard int) {
+	if v := s.vsocks[flow]; v != nil && v.owner == shard {
+		v.owner = -1
+		s.persistShardMeta()
+	}
+}
+
+func (s *Server) newVsock() *vsock {
+	s.nextV++
+	if s.nextV >= tcpeng.SockIDBase {
+		s.nextV = 1
+	}
+	v := &vsock{id: s.nextV, owner: -1, armed: make([]bool, s.nShards)}
+	s.vsocks[v.id] = v
+	s.persistShardMeta()
+	return v
 }
 
 // drainReplies relays transport replies back to blocked applications,
@@ -194,16 +490,94 @@ func (s *Server) drainReplies(port *wiring.Port) bool {
 				continue // reply from a previous transport incarnation
 			}
 			delete(s.pending, r.ID)
-			if last, ok := s.lastOp[call.sock]; ok && last.appID == call.appID {
-				delete(s.lastOp, call.sock)
+			switch {
+			case call.gather != nil:
+				g := call.gather
+				if r.Status != msg.StatusOK && g.status == msg.StatusOK {
+					g.status = r.Status
+				}
+				g.remaining--
+				if g.remaining == 0 {
+					s.finishGather(g)
+				}
+			case call.standing:
+				s.standingAcceptReply(call, r)
+			default:
+				if last, ok := s.lastOp[call.sock]; ok && last.appID == call.appID {
+					delete(s.lastOp, call.sock)
+				}
+				if call.op == msg.OpSockConnect && r.Status != msg.StatusOK {
+					s.noteConnectFailed(call.sock, call.shard)
+				}
+				rep := r
+				rep.ID = call.appID
+				// The app is blocked in Receive on its SendRec; this rendezvous
+				// completes immediately.
+				_ = s.sendToApp(call.epIdx, call.app, rep)
 			}
-			rep := r
-			rep.ID = call.appID
-			// The app is blocked in Receive on its SendRec; this rendezvous
-			// completes immediately.
-			_ = s.sendToApp(call.epIdx, call.app, rep)
 		}
 	})
+}
+
+// finishGather sends the single reply of a completed broadcast.
+func (s *Server) finishGather(g *gather) {
+	status := g.status
+	if g.op == msg.OpSockClose {
+		status = msg.StatusOK
+	}
+	if g.op == msg.OpSockBind && status == msg.StatusOK && g.bindPort != 0 {
+		// The port steers connect routing only once every shard holds the
+		// reservation. (A half-failed bind errors to the app; the shards
+		// that did reserve release the port when the socket closes.)
+		if v := s.vsocks[g.flow]; v != nil {
+			v.port = g.bindPort
+			s.persistShardMeta()
+		}
+	}
+	if g.op == msg.OpSockCreate && status != msg.StatusOK {
+		// The app never learns this socket id and will never close it:
+		// undo the create on every shard that succeeded and drop the
+		// routing entry, or failed creates accumulate pcbs forever.
+		if _, ok := s.vsocks[g.flow]; ok {
+			for k := 0; k < s.nShards; k++ {
+				s.nextID++
+				s.tcpBoxes[k].Push(msg.Req{ID: s.nextID, Op: msg.OpSockClose, Flow: g.flow})
+			}
+			delete(s.vsocks, g.flow)
+			s.persistShardMeta()
+		}
+	}
+	rep := msg.Req{ID: g.appID, Op: msg.OpSockReply, Flow: g.flow, Status: status}
+	_ = s.sendToApp(g.epIdx, g.app, rep)
+}
+
+// standingAcceptReply handles the completion of a frontdoor-synthesized
+// accept: hand the child to a waiting app accept or queue it.
+func (s *Server) standingAcceptReply(call pendingCall, r msg.Req) {
+	v := s.vsocks[call.sock]
+	if v == nil {
+		// Listener closed while the accept was parked; don't leak the child.
+		if r.Status == msg.StatusOK {
+			s.closeOrphan(uint32(r.Arg[0]))
+		}
+		return
+	}
+	v.armed[call.shard] = false
+	if r.Status != msg.StatusOK {
+		return // listener aborted or shard restarted; re-armed on demand
+	}
+	if len(v.waiters) > 0 {
+		w := v.waiters[0]
+		v.waiters = v.waiters[1:]
+		rep := r
+		rep.ID = w.appID
+		_ = s.sendToApp(w.epIdx, w.app, rep)
+		if len(v.waiters) > 0 {
+			s.armAccepts(v)
+		}
+	} else {
+		v.childQ = append(v.childQ, r)
+	}
 }
 
 func (s *Server) sendToApp(epIdx int, app kipc.EndpointID, rep msg.Req) error {
@@ -213,6 +587,75 @@ func (s *Server) sendToApp(epIdx int, app kipc.EndpointID, rep msg.Req) error {
 	return s.eps[epIdx].Send(app, kipc.Msg{Type: uint32(rep.Op), Data: rep.MarshalBinary()})
 }
 
+// recoverTCPShard handles the restart of ONE TCP shard: only calls in
+// flight to that shard are touched. Recv-class calls and standing accepts
+// are reissued against the new incarnation (the engine recovered its
+// listeners from the shard's storage key); broadcasts count the dead shard
+// as aborted; everything else errors back to the application.
+func (s *Server) recoverTCPShard(k int) {
+	var reissues []pendingCall
+	rearm := map[*vsock]bool{}
+	for id, call := range s.pending {
+		if call.epIdx != 0 || call.shard != k {
+			continue
+		}
+		delete(s.pending, id)
+		switch {
+		case call.gather != nil:
+			g := call.gather
+			if g.status == msg.StatusOK {
+				g.status = msg.StatusErrAborted
+			}
+			g.remaining--
+			if g.remaining == 0 {
+				s.finishGather(g)
+			}
+		case call.standing:
+			if v := s.vsocks[call.sock]; v != nil {
+				v.armed[k] = false
+				if len(v.waiters) > 0 {
+					rearm[v] = true
+				}
+			}
+		case call.op == msg.OpSockRecv || call.op == msg.OpSockAccept:
+			reissues = append(reissues, call)
+		default:
+			if call.op == msg.OpSockConnect {
+				s.noteConnectFailed(call.sock, call.shard)
+			}
+			rep := msg.Req{ID: call.appID, Op: msg.OpSockReply, Flow: call.sock, Status: msg.StatusErrAborted}
+			_ = s.sendToApp(call.epIdx, call.app, rep)
+		}
+	}
+	for _, call := range reissues {
+		s.nextID++
+		nid := s.nextID
+		call.shard = k
+		s.pending[nid] = call
+		fwd := call.orig
+		fwd.ID = nid
+		s.tcpBoxes[k].Push(fwd)
+	}
+	for v := range rearm {
+		s.armAccepts(v)
+	}
+	// Purge queued children the dead shard owned: their pcbs died with it
+	// (established state is unrecoverable by design), so handing them to a
+	// later accept() would give the app a socket that answers ErrNoSock.
+	for _, v := range s.vsocks {
+		if len(v.childQ) == 0 {
+			continue
+		}
+		kept := v.childQ[:0]
+		for _, child := range v.childQ {
+			if s.shardOfFlow(uint32(child.Arg[0])) != k {
+				kept = append(kept, child)
+			}
+		}
+		v.childQ = kept
+	}
+}
+
 // recoverTransport handles a transport server restart: recv-class
 // operations are reissued against the new incarnation (they trigger no
 // network traffic); everything else gets an error, and the application
@@ -220,7 +663,7 @@ func (s *Server) sendToApp(epIdx int, app kipc.EndpointID, rep msg.Req) error {
 func (s *Server) recoverTransport(isTCP bool) {
 	box := s.udpBox
 	if isTCP {
-		box = s.tcpBox
+		box = s.tcpBoxes[0]
 	}
 	// Collect reissues first: inserting into s.pending while ranging over
 	// it may make the new entry visible to the same iteration, reissuing
@@ -257,6 +700,54 @@ func (s *Server) callBelongsTo(isTCP bool, call pendingCall) bool {
 		return call.epIdx == 0
 	}
 	return call.epIdx == 1
+}
+
+// savedShardMeta is the persisted shard-routing table.
+type savedShardMeta struct {
+	NextV uint32
+	RR    int
+	Socks map[uint32]savedVsock
+}
+
+type savedVsock struct {
+	Owner     int
+	Port      uint16
+	Listening bool
+}
+
+// persistShardMeta parks the routing table in the storage server. It only
+// changes on control-plane calls (create/bind/listen/connect/close), never
+// on the data path.
+func (s *Server) persistShardMeta() {
+	meta := savedShardMeta{NextV: s.nextV, RR: s.rr, Socks: make(map[uint32]savedVsock, len(s.vsocks))}
+	for id, v := range s.vsocks {
+		meta.Socks[id] = savedVsock{Owner: v.owner, Port: v.port, Listening: v.listening}
+	}
+	var buf bytes.Buffer
+	if gob.NewEncoder(&buf).Encode(meta) == nil {
+		s.ports.Hub().Store.Put(ShardMetaKey, buf.Bytes())
+	}
+}
+
+// loadShardMeta restores the routing table after a SYSCALL-server restart.
+// Standing accepts and queued children are not recovered — the next
+// application accept re-arms the shards.
+func (s *Server) loadShardMeta() {
+	blob, ok := s.ports.Hub().Store.Get(ShardMetaKey)
+	if !ok {
+		return
+	}
+	var meta savedShardMeta
+	if gob.NewDecoder(bytes.NewReader(blob)).Decode(&meta) != nil {
+		return
+	}
+	s.nextV, s.rr = meta.NextV, meta.RR
+	for id, sv := range meta.Socks {
+		s.vsocks[id] = &vsock{
+			id: id, owner: sv.Owner, port: sv.Port, listening: sv.Listening,
+			armed: make([]bool, s.nShards),
+		}
+	}
 }
 
 // Deadline: no timers.

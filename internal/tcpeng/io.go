@@ -53,8 +53,7 @@ func (e *Engine) handleListenSyn(l *pcb, th netpkt.TCPHeader, key fourTuple, dst
 	if len(l.acceptQ)+1 > l.backlog {
 		return // silently drop; peer retries
 	}
-	e.next++
-	c := &pcb{id: e.next, state: StateSynRcvd, mss: MSS, listenerID: l.id}
+	c := &pcb{id: e.allocID(), state: StateSynRcvd, mss: MSS, listenerID: l.id}
 	c.fourTuple = key
 	c.localIP = dstIP
 	c.bound = true

@@ -12,6 +12,14 @@
 // rebuild). Established connections die with the server; listening sockets
 // are recovered, so new connections can be opened immediately after a TCP
 // crash.
+//
+// The engine is shard-aware (docs/ARCHITECTURE.md "Sharded TCP"): with
+// Config.ShardCount > 1 it is one of N independent instances, autobind only
+// picks ports whose flow hash (netpkt.TCPShardOf) lands on its own shard,
+// engine-assigned socket ids encode the shard above SockIDBase, and
+// listeners are replicated by the frontdoor so a SYN hashed to any shard
+// finds one locally — the whole established connection then lives on that
+// shard alone.
 package tcpeng
 
 import (
@@ -47,6 +55,15 @@ const (
 	timeWait    = 200 * time.Millisecond
 	synRTO      = 100 * time.Millisecond
 )
+
+// SockIDBase splits the socket-id space between the two allocators: ids
+// below it are assigned by the frontdoor (the SYSCALL server names sockets
+// before broadcasting their creation to every shard); ids at or above it
+// are engine-assigned (accepted children and unsharded stacks) and encode
+// the owning shard as (id - SockIDBase) % ShardCount, which is how the
+// frontdoor routes operations on accepted connections without keeping a
+// table.
+const SockIDBase = 1 << 20
 
 // State is a TCP connection state.
 type State int
@@ -92,6 +109,14 @@ type Config struct {
 	// oversized segments.
 	Offload bool
 	TSO     bool
+	// ShardID / ShardCount place this engine in a flow-hash sharded
+	// deployment (docs/ARCHITECTURE.md "Sharded TCP"): autobind only picks
+	// local ports whose netpkt.TCPShardOf lands on ShardID, so inbound
+	// routing at IP brings return traffic back to this shard, and
+	// engine-assigned socket ids encode the shard. ShardCount <= 1 means
+	// unsharded and changes nothing.
+	ShardID    int
+	ShardCount int
 	// PublishBuf exports a socket's TX buffer to the application.
 	PublishBuf func(sock uint32, buf *sockbuf.Buf)
 	// SaveState persists the recoverable state (called on transitions).
@@ -188,6 +213,7 @@ type Engine struct {
 	listeners map[uint16]uint32
 	usedPorts map[uint16]bool
 	next      uint32
+	idStride  uint32
 	issClock  uint32
 
 	toIP    []msg.Req
@@ -199,7 +225,7 @@ type Engine struct {
 
 // New creates a TCP engine; hdrPool holds in-flight segment headers.
 func New(cfg Config, hdrPool *shm.Pool) *Engine {
-	return &Engine{
+	e := &Engine{
 		cfg:       cfg,
 		hdrPool:   hdrPool,
 		db:        channel.NewReqDB(),
@@ -208,8 +234,22 @@ func New(cfg Config, hdrPool *shm.Pool) *Engine {
 		listeners: make(map[uint16]uint32),
 		usedPorts: make(map[uint16]bool),
 		next:      2000,
+		idStride:  1,
 		issClock:  1,
 	}
+	if cfg.ShardCount > 1 {
+		// Engine-assigned ids must be unique across shards and reveal their
+		// shard: stride by the shard count from a shard-offset base.
+		e.next = SockIDBase + uint32(cfg.ShardID)
+		e.idStride = uint32(cfg.ShardCount)
+	}
+	return e
+}
+
+// allocID returns the next engine-assigned socket id (shard-unique).
+func (e *Engine) allocID() uint32 {
+	e.next += e.idStride
+	return e.next
 }
 
 // Stats returns activity counters.
@@ -291,9 +331,20 @@ func (e *Engine) reply(id uint64, flow uint32, status int32) {
 	e.toFront = append(e.toFront, msg.Req{ID: id, Op: msg.OpSockReply, Flow: flow, Status: status})
 }
 
+// create opens a socket. Arg[0], when non-zero, is a frontdoor-assigned
+// socket id (must be below SockIDBase): the SYSCALL server names the socket
+// before broadcasting the create to every shard, so all shards know the
+// same socket under the same id. Zero means engine-assigned (unsharded
+// fronts and the monolith).
 func (e *Engine) create(r msg.Req) {
-	e.next++
-	p := &pcb{id: e.next, state: StateClosed, mss: MSS}
+	id := uint32(r.Arg[0])
+	if id == 0 {
+		id = e.allocID()
+	} else if _, exists := e.sockets[id]; exists || id >= SockIDBase {
+		e.reply(r.ID, id, msg.StatusErrInval)
+		return
+	}
+	p := &pcb{id: id, state: StateClosed, mss: MSS}
 	e.sockets[p.id] = p
 	rep := r.Reply(msg.OpSockReply, msg.StatusOK)
 	rep.Flow = p.id
@@ -357,13 +408,23 @@ func (e *Engine) replyAccept(frontID uint64, listener, child uint32) {
 	e.toFront = append(e.toFront, rep)
 }
 
+// autobind picks a free ephemeral port. In a sharded deployment it only
+// accepts ports whose flow hash (with the already-set remote endpoint)
+// lands on this shard, so IP's hash routing delivers the connection's
+// inbound segments here — the sharded stack's substitute for telling IP
+// about every active connection.
 func (e *Engine) autobind(p *pcb) {
 	for port := uint16(45000); port < 65500; port++ {
-		if !e.usedPorts[port] {
-			p.localPort, p.bound = port, true
-			e.usedPorts[port] = true
-			return
+		if e.usedPorts[port] {
+			continue
 		}
+		if e.cfg.ShardCount > 1 &&
+			netpkt.TCPShardOf(port, p.remoteIP, p.remotePort, e.cfg.ShardCount) != e.cfg.ShardID {
+			continue
+		}
+		p.localPort, p.bound = port, true
+		e.usedPorts[port] = true
+		return
 	}
 }
 
@@ -377,11 +438,19 @@ func (e *Engine) connect(r msg.Req) {
 		e.reply(r.ID, r.Flow, msg.StatusErrInval)
 		return
 	}
-	if !p.bound {
-		e.autobind(p)
-	}
 	p.remoteIP = netpkt.IPFromU32(uint32(r.Arg[0]))
 	p.remotePort = uint16(r.Arg[1])
+	if !p.bound {
+		// Remote endpoint first: autobind hashes it to stay on-shard.
+		e.autobind(p)
+		if !p.bound {
+			// Ephemeral range exhausted (a shard only owns ~1/N of it):
+			// fail loudly instead of SYNing from port 0, whose replies
+			// would hash to some other shard and hang the handshake.
+			e.reply(r.ID, r.Flow, msg.StatusErrNoBufs)
+			return
+		}
+	}
 	p.localIP = e.srcFor(p.remoteIP)
 	key := fourTuple{localPort: p.localPort, remoteIP: p.remoteIP, remotePort: p.remotePort}
 	if _, dup := e.conns[key]; dup {
@@ -688,6 +757,10 @@ func (e *Engine) RestoreState(blob []byte) error {
 }
 
 // Flows returns active connection 4-tuples (for PF conntrack rebuild).
+// Arg[0] packs the protocol in the low byte and the connection's actual
+// local address above it: on multi-homed hosts different connections leave
+// through different interfaces, and PF's rebuilt conntrack entries must
+// carry the address the packets really use, not the node's first address.
 func (e *Engine) Flows() []msg.Req {
 	out := make([]msg.Req, 0, len(e.conns))
 	for key, id := range e.conns {
@@ -695,14 +768,31 @@ func (e *Engine) Flows() []msg.Req {
 		if p.state != StateEstablished {
 			continue
 		}
+		local := p.localIP
+		if local == (netpkt.IPAddr{}) {
+			local = e.srcFor(key.remoteIP)
+		}
 		r := msg.Req{Op: msg.OpPFStats, Flow: id}
-		r.Arg[0] = uint64(netpkt.ProtoTCP)
+		r.Arg[0] = uint64(netpkt.ProtoTCP) | uint64(local.U32())<<8
 		r.Arg[1] = uint64(key.localPort)
 		r.Arg[2] = uint64(key.remoteIP.U32())
 		r.Arg[3] = uint64(key.remotePort)
 		out = append(out, r)
 	}
 	return out
+}
+
+// OnFrontRestart drops operations parked for a dead frontdoor incarnation
+// (SYSCALL server or direct-front shim): their reply IDs belong to a
+// requester that no longer exists, so completing them would either be
+// dropped or — worse — consume an accepted connection the new incarnation
+// never learns about. Accepted children stay in their listeners' accept
+// queues for the new incarnation's reissued accepts.
+func (e *Engine) OnFrontRestart() {
+	for _, p := range e.sockets {
+		p.pendingAccept = nil
+		p.pendingRecv = 0
+	}
 }
 
 // OnIPRestart aborts in-flight sends to the dead IP incarnation,

@@ -566,8 +566,13 @@ func TestFlowsForConntrackRebuild(t *testing.T) {
 		t.Fatalf("flows = %d", len(flows))
 	}
 	f := flows[0]
-	if f.Arg[0] != uint64(netpkt.ProtoTCP) || uint16(f.Arg[3]) != 9008 {
+	if uint8(f.Arg[0]) != netpkt.ProtoTCP || uint16(f.Arg[3]) != 9008 {
 		t.Fatalf("flow = %+v", f)
+	}
+	// The dump carries the connection's actual local address (multi-homed
+	// hosts must rebuild conntrack with the address the packets use).
+	if got := netpkt.IPFromU32(uint32(f.Arg[0] >> 8)); got != pi.aIP {
+		t.Fatalf("flow local IP = %v, want %v", got, pi.aIP)
 	}
 }
 

@@ -2,6 +2,14 @@
 // TCP is deliberately quarantined as the one component whose state is too
 // large and too fast-changing to recover (paper Table I); isolating it
 // keeps its crashes from taking IP, UDP, PF or the drivers down with it.
+//
+// The server scales across cores by flow-hash sharding (docs/ARCHITECTURE.md
+// "Sharded TCP"): Config.Shard/Shards place one instance in a set of N
+// independent engines, each behind its own server loop, doorbell, and SPSC
+// channel pair to IP and to the SYSCALL server. A shard persists its
+// recoverable state under shard-scoped storage keys (StorageKeyFor,
+// FlowsKeyFor), so one shard's crash and recovery never touches another
+// shard's established connections.
 package tcpsrv
 
 import (
@@ -19,12 +27,53 @@ import (
 	"newtos/internal/wiring"
 )
 
-// Storage keys.
+// BufKeyPfx prefixes the registry names of per-socket shared TX buffers.
+const BufKeyPfx = "sockbuf/tcp/"
+
+// StorageKeyFor is the storage-server key one shard's recoverable socket
+// state (listeners, connection tuples) lives under. Keys are per-shard so
+// a restarting shard recovers exactly its own listeners and nothing else.
+func StorageKeyFor(shard int) string { return fmt.Sprintf("tcp/%d/sockets", shard) }
+
+// FlowsKeyFor is the storage-server key one shard's active-flow dump (for
+// PF conntrack rebuild) lives under. PF reads every key matching
+// FlowsKeyPrefix+"<shard>/flows".
+func FlowsKeyFor(shard int) string { return fmt.Sprintf("tcp/%d/flows", shard) }
+
+// FlowsKeyPrefix and FlowsKeySuffix let PF enumerate all shards' flow dumps
+// without knowing the shard count.
 const (
-	StorageKey = "tcp/sockets"
-	FlowsKey   = "tcp/flows"
-	BufKeyPfx  = "sockbuf/tcp/"
+	FlowsKeyPrefix = "tcp/"
+	FlowsKeySuffix = "/flows"
 )
+
+// ShardName returns the component (process) name of TCP shard k in an
+// n-shard node: the historical "tcp" when n <= 1, "tcp<k>" otherwise. It is
+// the single source of the shard-naming contract; the edge names below and
+// every other package derive from it.
+func ShardName(k, n int) string {
+	if n <= 1 {
+		return "tcp"
+	}
+	return fmt.Sprintf("tcp%d", k)
+}
+
+// IPEdge names shard k's edge to the IP server and the peer component the
+// creator (IP) exports it towards.
+func IPEdge(k, n int) (edge, peer string) {
+	if n <= 1 {
+		return "ip-tcp", "tcp"
+	}
+	return fmt.Sprintf("ip-tcp%d", k), ShardName(k, n)
+}
+
+// SCEdge names shard k's edge to the SYSCALL server and the peer component.
+func SCEdge(k, n int) (edge, peer string) {
+	if n <= 1 {
+		return "sc-tcp", "tcp"
+	}
+	return fmt.Sprintf("sc-tcp%d", k), ShardName(k, n)
+}
 
 // Config assembles a TCP server.
 type Config struct {
@@ -33,6 +82,20 @@ type Config struct {
 	SrcFor  func(netpkt.IPAddr) netpkt.IPAddr
 	Offload bool
 	TSO     bool
+	// Shard / Shards place this server in a flow-hash sharded deployment:
+	// it becomes shard Shard of Shards, attaching the per-shard edges
+	// ("ip-tcp<k>", "sc-tcp<k>") and persisting under per-shard storage
+	// keys. Shards <= 1 keeps the historical single-server layout (edges
+	// "ip-tcp"/"sc-tcp", shard-0 storage keys).
+	Shard  int
+	Shards int
+}
+
+// edges returns the shard's IP- and SYSCALL-facing edge names.
+func (c Config) edges() (ip, sc string) {
+	ip, _ = IPEdge(c.Shard, c.Shards)
+	sc, _ = SCEdge(c.Shard, c.Shards)
+	return ip, sc
 }
 
 // Server is one TCP server incarnation.
@@ -62,59 +125,83 @@ func (s *Server) Engine() *tcpeng.Engine { return s.eng }
 // from the storage server (established connections are lost by design).
 func (s *Server) Init(rt *proc.Runtime, restart bool) error {
 	hub := s.ports.Hub()
-	hdrPool, err := hub.Space.NewPool(fmt.Sprintf("tcp.hdr.%d", rt.Incarnation), 128, 8192)
+	hdrPool, err := hub.Space.NewPool(fmt.Sprintf("tcp.%d.hdr.%d", s.cfg.Shard, rt.Incarnation), 128, 8192)
 	if err != nil {
 		return fmt.Errorf("tcpsrv: %w", err)
 	}
+	storageKey := StorageKeyFor(s.cfg.Shard)
 	s.eng = tcpeng.New(tcpeng.Config{
-		Space:   hub.Space,
-		LocalIP: s.cfg.LocalIP,
-		SrcFor:  s.cfg.SrcFor,
-		Offload: s.cfg.Offload,
-		TSO:     s.cfg.TSO,
+		Space:      hub.Space,
+		LocalIP:    s.cfg.LocalIP,
+		SrcFor:     s.cfg.SrcFor,
+		Offload:    s.cfg.Offload,
+		TSO:        s.cfg.TSO,
+		ShardID:    s.cfg.Shard,
+		ShardCount: s.cfg.Shards,
 		PublishBuf: func(sock uint32, buf *sockbuf.Buf) {
 			hub.Reg.Publish(BufKeyPfx+fmt.Sprint(sock), buf)
 		},
 		SaveState: func(blob []byte) {
-			hub.Store.Put(StorageKey, blob)
+			hub.Store.Put(storageKey, blob)
 			s.persistFlows()
 		},
 	}, hdrPool)
 	if restart {
-		if blob, ok := hub.Store.Get(StorageKey); ok {
+		if blob, ok := hub.Store.Get(storageKey); ok {
 			if err := s.eng.RestoreState(blob); err != nil {
 				return fmt.Errorf("tcpsrv: restore: %w", err)
 			}
 		}
 	}
 	s.ports.Begin(rt.Bell)
-	s.ipPort = s.ports.Attach("ip-tcp")
-	s.scPort = s.ports.Attach("sc-tcp")
+	ipEdge, scEdge := s.cfg.edges()
+	s.ipPort = s.ports.Attach(ipEdge)
+	s.scPort = s.ports.Attach(scEdge)
 	s.ipBox = wiring.NewOutbox(s.ipPort)
 	s.scBox = wiring.NewOutbox(s.scPort)
 	s.scratch = make([]msg.Req, wiring.ScratchLen)
 	return nil
 }
 
-// persistFlows saves active connection 4-tuples so PF can rebuild its
-// connection tracking after a crash.
+// persistFlows saves this shard's active connection 4-tuples so PF can
+// rebuild its connection tracking after a crash. Each shard writes its own
+// key: a shard restart replaces only its own flows, and PF's rebuild is the
+// union over shards.
 func (s *Server) persistFlows() {
-	flows := flowsFromReqs(s.eng.Flows(), s.cfg.LocalIP, netpkt.ProtoTCP)
+	flows := flowsFromReqs(s.eng.Flows(), s.srcFor)
 	var buf bytes.Buffer
 	if gob.NewEncoder(&buf).Encode(flows) == nil {
-		s.ports.Hub().Store.Put(FlowsKey, buf.Bytes())
+		s.ports.Hub().Store.Put(FlowsKeyFor(s.cfg.Shard), buf.Bytes())
 	}
 }
 
+// srcFor resolves the local source address for a destination, matching the
+// engine's own selection on multi-homed hosts.
+func (s *Server) srcFor(dst netpkt.IPAddr) netpkt.IPAddr {
+	if s.cfg.SrcFor != nil {
+		return s.cfg.SrcFor(dst)
+	}
+	return s.cfg.LocalIP
+}
+
 // flowsFromReqs converts an engine flow dump into PF conntrack entries.
-func flowsFromReqs(reqs []msg.Req, local netpkt.IPAddr, proto uint8) []pfeng.Flow {
+// The dump's Arg[0] carries the connection's actual local address above the
+// protocol byte (see tcpeng.Flows); srcFor covers dumps predating it. The
+// conntrack entry must name the address the packets really use — stamping
+// the node's first address breaks rebuilds on multi-homed hosts.
+func flowsFromReqs(reqs []msg.Req, srcFor func(netpkt.IPAddr) netpkt.IPAddr) []pfeng.Flow {
 	out := make([]pfeng.Flow, 0, len(reqs))
 	for _, r := range reqs {
+		dst := netpkt.IPFromU32(uint32(r.Arg[2]))
+		src := netpkt.IPFromU32(uint32(r.Arg[0] >> 8))
+		if src == (netpkt.IPAddr{}) {
+			src = srcFor(dst)
+		}
 		out = append(out, pfeng.Flow{
-			Proto:   proto,
-			Src:     local,
+			Proto:   uint8(r.Arg[0]),
+			Src:     src,
 			SrcPort: uint16(r.Arg[1]),
-			Dst:     netpkt.IPFromU32(uint32(r.Arg[2])),
+			Dst:     dst,
 			DstPort: uint16(r.Arg[3]),
 		})
 	}
@@ -146,6 +233,7 @@ func (s *Server) Poll(now time.Time) bool {
 	scDup, scChanged := s.scPort.Take()
 	if scChanged {
 		s.scBox.Drop()
+		s.eng.OnFrontRestart()
 	}
 	if scDup.Valid() {
 		if wiring.Drain(scDup.In, s.scratch, wiring.RecvBudget, func(b []msg.Req) {

@@ -17,6 +17,16 @@
 // A Port is one server's end of one edge. Port generations let the owning
 // event loop notice "the peer (or the channel) changed" exactly once and
 // run its crash-recovery actions (abort requests, resubmit, resupply).
+//
+// Two shared data-path primitives live here as well (docs/ARCHITECTURE.md):
+// Drain, the server loops' batched intake (one RecvBatch per scratch-full,
+// whole batches into the engine, budgeted so one busy edge cannot starve
+// the rest), and Outbox, the per-edge staging buffer every loop flushes
+// once per iteration so a whole iteration's output moves with one doorbell
+// ring — and is dropped, not misdelivered, when the peer reincarnates
+// under it. Sharded components (e.g. the TCP shards' "ip-tcp<k>" and
+// "sc-tcp<k>" edges) are ordinary edges: one Port and one Outbox per
+// shard, nothing here knows about sharding.
 package wiring
 
 import (
