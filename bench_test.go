@@ -232,6 +232,23 @@ func BenchmarkSec4_TCPSharded(b *testing.B) {
 	}
 }
 
+// BenchmarkSec4_RxBurst measures the elastic RX-pool burst path
+// (docs/ARCHITECTURE.md "Elastic pools"): a 4× over-complement burst that
+// must complete with zero device drops while the pool grows and then
+// shrinks back. The drops metric is the acceptance signal; ns/op prices
+// the grow/park/release machinery per frame.
+func BenchmarkSec4_RxBurst(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.RunRxBurst(experiments.RxBurstOpts{Factor: 4, Elastic: true})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(res.DeviceDrops), "drops")
+		b.ReportMetric(float64(res.SegmentsPeak), "segs-peak")
+		b.ReportMetric(float64(res.SegmentsEnd), "segs-end")
+	}
+}
+
 // BenchmarkSec4_KernelTrapHot is the ~150-cycle comparison point.
 func BenchmarkSec4_KernelTrapHot(b *testing.B) {
 	k := kipc.New(kipc.DefaultConfig())

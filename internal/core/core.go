@@ -72,6 +72,12 @@ type Config struct {
 	// <= 1 keeps the single quarantined TCP server. Sharding requires the
 	// SYSCALL server (it is the shard router for socket calls).
 	TCPShards int
+	// ElasticPools lets the stack's shared-memory pools grow under
+	// pressure and shrink after quiescence (docs/ARCHITECTURE.md "Elastic
+	// pools"): IP's RX/header pools, the transports' header pools, and the
+	// per-socket TX buffers. Off keeps every pool statically sized at its
+	// historical worst case.
+	ElasticPools bool
 	// DedicatedCores pins each server loop to an OS thread.
 	DedicatedCores bool
 	// Kernel sets the simulated kernel cost model.
@@ -96,7 +102,8 @@ func (c Config) tcpShardCount() int {
 func SplitTSO() Config {
 	return Config{
 		SyscallServer: true, PF: true, Offload: true, TSO: true,
-		Kernel: kipc.DefaultConfig(),
+		ElasticPools: true,
+		Kernel:       kipc.DefaultConfig(),
 	}
 }
 
@@ -149,6 +156,7 @@ func NewNode(cfg Config, hub *wiring.Hub, devices map[string]*nic.Device) (*Node
 	ipCfg := ipsrv.Config{
 		Ifaces: cfg.Ifaces, PFEnabled: cfg.PF, Offload: cfg.Offload,
 		Drivers: drvNames, TCPShards: cfg.tcpShardCount(),
+		Elastic: cfg.ElasticPools,
 	}
 	n.addProc(CompIP, opts, func() proc.Service {
 		return ipsrv.New(ipCfg, ipPorts)
@@ -182,7 +190,7 @@ func NewNode(cfg Config, hub *wiring.Hub, devices map[string]*nic.Device) (*Node
 		tcpPorts := wiring.NewPorts(hub, name)
 		tcpCfg := tcpsrv.Config{
 			LocalIP: localIP, SrcFor: srcFor, Offload: cfg.Offload, TSO: cfg.TSO,
-			Shard: k, Shards: shards,
+			Shard: k, Shards: shards, Elastic: cfg.ElasticPools,
 		}
 		var tcpShim *wiring.Ports
 		if !cfg.SyscallServer { // implies shards == 1 (gated above)
@@ -198,7 +206,7 @@ func NewNode(cfg Config, hub *wiring.Hub, devices map[string]*nic.Device) (*Node
 	}
 	udpPorts := wiring.NewPorts(hub, CompUDP)
 	udpShim := wiring.NewPorts(hub, "shim-sc-udp")
-	udpCfg := udpsrv.Config{LocalIP: localIP, SrcFor: srcFor, Offload: cfg.Offload}
+	udpCfg := udpsrv.Config{LocalIP: localIP, SrcFor: srcFor, Offload: cfg.Offload, Elastic: cfg.ElasticPools}
 	n.addProc(CompUDP, opts, func() proc.Service {
 		s := udpsrv.New(udpCfg, udpPorts)
 		if !cfg.SyscallServer {

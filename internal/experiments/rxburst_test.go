@@ -1,0 +1,39 @@
+package experiments
+
+import "testing"
+
+// TestRxBurstElasticRemovesDeviceDrops is the acceptance run for elastic
+// RX pools: a burst of 4× the static complement drops frames at the device
+// with the seed's static pool, completes with zero device drops once the
+// pool is elastic, and the pool shrinks back to its base segment after the
+// burst quiesces.
+func TestRxBurstElasticRemovesDeviceDrops(t *testing.T) {
+	static, elastic, err := RunRxBurstComparison(RxBurstOpts{Factor: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("static:  %v", static)
+	t.Logf("elastic: %v", elastic)
+
+	if static.DeviceDrops == 0 {
+		t.Fatal("static pool survived a 4x burst: the experiment is not stressing the complement")
+	}
+	if static.PoolPressure == 0 {
+		t.Fatal("static run counted no pool pressure (satellite: exhaustion must be observable)")
+	}
+	if elastic.DeviceDrops != 0 {
+		t.Fatalf("elastic run dropped %d frames at the device", elastic.DeviceDrops)
+	}
+	if elastic.PoolPressure != 0 {
+		t.Fatalf("elastic run hit pool pressure %d times", elastic.PoolPressure)
+	}
+	if elastic.SegmentsPeak < 2 {
+		t.Fatalf("elastic pool never grew (peak %d segments)", elastic.SegmentsPeak)
+	}
+	if elastic.SegmentsEnd != 1 {
+		t.Fatalf("elastic pool did not shrink back to base: %d segments", elastic.SegmentsEnd)
+	}
+	if elastic.Grows == 0 || elastic.Shrinks == 0 {
+		t.Fatalf("elasticity events not counted: +%d/-%d", elastic.Grows, elastic.Shrinks)
+	}
+}

@@ -21,6 +21,7 @@ import (
 	"bytes"
 	"encoding/gob"
 	"fmt"
+	"log"
 	"strconv"
 	"time"
 
@@ -28,6 +29,7 @@ import (
 	"newtos/internal/msg"
 	"newtos/internal/netpkt"
 	"newtos/internal/shm"
+	"newtos/internal/trace"
 )
 
 // Tunables.
@@ -41,7 +43,19 @@ const (
 	HdrChunkSize = 2048
 	arpTimeout   = 500 * time.Millisecond
 	arpQueueCap  = 128
+	// hdrChunks / elasticHdrChunks size the header pool: static pools keep
+	// the historical worst-case complement, elastic pools start at a
+	// quarter of it and grow on demand.
+	hdrChunks        = 4096
+	elasticHdrChunks = 1024
 )
+
+// DefaultElastic is the pool growth policy core enables with
+// Config.ElasticPools: up to 8 segments (8× the base complement), shrink a
+// quiescent trailing segment after ~1k idle loop iterations.
+func DefaultElastic() shm.Elastic {
+	return shm.Elastic{MaxSegments: 8, HighWater: 0.5, Quiescence: shm.DefaultQuiescence}
+}
 
 // IfaceConfig is one interface's static configuration — the state the
 // paper calls "very limited (static) ... basically the routing
@@ -71,6 +85,10 @@ type Config struct {
 	// iteration so the one-wakeup-per-batch-per-hop amortization holds for
 	// every shard edge. <= 1 means a single unsharded TCP server.
 	TCPShards int
+	// Elastic is the growth policy for the RX and header pools. The zero
+	// value keeps both statically sized (the pre-elastic behavior); see
+	// DefaultElastic for the policy core turns on.
+	Elastic shm.Elastic
 	// SaveState persists interface configuration.
 	SaveState func(blob []byte)
 }
@@ -87,6 +105,9 @@ type Stats struct {
 	DropsRingFull           uint64
 	TxResubmitted           uint64
 	PFResubmitted           uint64
+	// RxPressure counts RX-buffer allocations that failed while supplying
+	// a driver: each one is a receive buffer the device went without.
+	RxPressure uint64
 }
 
 type iface struct {
@@ -99,6 +120,10 @@ type iface struct {
 	arpSent map[netpkt.IPAddr]time.Time
 	// outstanding receive buffers supplied to the driver.
 	rxOutstanding int
+	// rxPressure counts resupply allocations this interface lost to pool
+	// exhaustion; inPressure gates the once-per-episode log line.
+	rxPressure uint64
+	inPressure bool
 }
 
 // outPkt is one outbound packet in flight inside IP.
@@ -160,6 +185,11 @@ type Engine struct {
 	toUDP []msg.Req
 	stats Stats
 	now   time.Time
+
+	// rxCounters/hdrCounters mirror the pools' elasticity into trace
+	// gauges; Tick refreshes the gauges once per loop iteration.
+	rxCounters  trace.PoolCounters
+	hdrCounters trace.PoolCounters
 }
 
 // New creates an IP engine with fresh pools in space. Each incarnation
@@ -171,7 +201,11 @@ func New(cfg Config) (*Engine, error) {
 	if err != nil {
 		return nil, fmt.Errorf("ipeng: rx pool: %w", err)
 	}
-	hdr, err := cfg.Space.NewPool("ip.hdr", HdrChunkSize, 4096)
+	hc := hdrChunks
+	if cfg.Elastic.Enabled() {
+		hc = elasticHdrChunks
+	}
+	hdr, err := cfg.Space.NewPool("ip.hdr", HdrChunkSize, hc)
 	if err != nil {
 		return nil, fmt.Errorf("ipeng: hdr pool: %w", err)
 	}
@@ -198,11 +232,53 @@ func New(cfg Config) (*Engine, error) {
 		}
 		e.order = append(e.order, ic.Name)
 	}
+	if cfg.Elastic.Enabled() {
+		rx.SetElastic(cfg.Elastic)
+		rx.SetObserver(&e.rxCounters)
+		// The header pool keeps the historical worst case as its hard
+		// cap: base complement × segments == the old static complement.
+		hdrElastic := cfg.Elastic
+		hdrElastic.MaxSegments = hdrChunks / elasticHdrChunks
+		hdr.SetElastic(hdrElastic)
+		hdr.SetObserver(&e.hdrCounters)
+	}
+	e.rxCounters.Sample(rx.Segments(), rx.InUse())
+	e.hdrCounters.Sample(hdr.Segments(), hdr.InUse())
 	return e, nil
 }
 
 // Stats returns activity counters.
 func (e *Engine) Stats() Stats { return e.stats }
+
+// RxPoolCounters exposes the RX pool's elasticity gauges/counters.
+func (e *Engine) RxPoolCounters() *trace.PoolCounters { return &e.rxCounters }
+
+// HdrPoolCounters exposes the header pool's elasticity gauges/counters.
+func (e *Engine) HdrPoolCounters() *trace.PoolCounters { return &e.hdrCounters }
+
+// RxPressure returns how many RX-buffer allocations the named interface
+// lost to pool exhaustion.
+func (e *Engine) RxPressure(name string) uint64 {
+	if ifc, ok := e.ifaces[name]; ok {
+		return ifc.rxPressure
+	}
+	return 0
+}
+
+// Tick runs the per-iteration housekeeping the elastic pools need: every
+// driver is topped back up to RxBufsPerDriver (burst traffic parks RX
+// buffers with the transports, so recycling alone under-supplies the
+// device), the pools evaluate their grow/shrink policy, and the trace
+// gauges are refreshed. The server loop calls it once per iteration.
+func (e *Engine) Tick() {
+	for _, name := range e.order {
+		e.SupplyDriver(name)
+	}
+	e.rxPool.Tick()
+	e.hdrPool.Tick()
+	e.rxCounters.Sample(e.rxPool.Segments(), e.rxPool.InUse())
+	e.hdrCounters.Sample(e.hdrPool.Segments(), e.hdrPool.InUse())
+}
 
 // LocalIP returns the first interface address (hosts in the evaluation
 // have one address per interface, same-subnet wiring).
@@ -260,15 +336,35 @@ func (e *Engine) SupplyDriver(name string) {
 		return
 	}
 	for ifc.rxOutstanding < RxBufsPerDriver {
-		ptr, _, err := e.rxPool.Alloc()
-		if err != nil {
-			return // pool pressure; recycling will resupply
+		ptr, ok := e.rxAlloc(ifc, name)
+		if !ok {
+			return // pool exhausted at the cap; counted by rxAlloc
 		}
 		req := msg.Req{ID: e.db.NewID(), Op: msg.OpRxSupply}
 		req.SetChain([]shm.RichPtr{ptr})
 		e.toDrv[name] = append(e.toDrv[name], req)
 		ifc.rxOutstanding++
 	}
+}
+
+// rxAlloc reserves one receive buffer for the named interface. Exhaustion
+// is never silent: every failed allocation is counted (per interface and in
+// Stats.RxPressure) and the start of each pressure episode is logged once,
+// so a capped (or static) pool starving a device is observable.
+func (e *Engine) rxAlloc(ifc *iface, name string) (shm.RichPtr, bool) {
+	ptr, _, err := e.rxPool.Alloc()
+	if err != nil {
+		ifc.rxPressure++
+		e.stats.RxPressure++
+		if !ifc.inPressure {
+			ifc.inPressure = true
+			log.Printf("ipeng: rx pool exhausted supplying %s (%d/%d chunks in use, %d segments); device may drop until buffers recycle",
+				name, e.rxPool.InUse(), e.rxPool.Chunks(), e.rxPool.Segments())
+		}
+		return shm.RichPtr{}, false
+	}
+	ifc.inPressure = false
+	return ptr, true
 }
 
 // OnDriverRestart implements IP's recovery role for a crashed driver:
@@ -946,8 +1042,13 @@ func (e *Engine) resupply(name string) {
 	if !ok {
 		return
 	}
-	ptr, _, err := e.rxPool.Alloc()
-	if err != nil {
+	if ifc.rxOutstanding >= RxBufsPerDriver {
+		// Already at the target complement (Tick tops drivers up every
+		// iteration); supplying past it would overflow the device ring.
+		return
+	}
+	ptr, allocOK := e.rxAlloc(ifc, name)
+	if !allocOK {
 		return
 	}
 	req := msg.Req{ID: e.db.NewID(), Op: msg.OpRxSupply}

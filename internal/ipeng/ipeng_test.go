@@ -1,6 +1,9 @@
 package ipeng
 
 import (
+	"bytes"
+	"log"
+	"os"
 	"testing"
 	"time"
 
@@ -318,5 +321,174 @@ func TestSaveRestoreConfig(t *testing.T) {
 	}
 	if err := e2.RestoreState([]byte{0xff}); err == nil {
 		t.Fatal("garbage blob accepted")
+	}
+}
+
+// burstRig feeds the engine inbound UDP frames through its own supplied RX
+// buffers, playing both the driver (fifo of posted buffers) and a slow
+// transport (parking deliveries un-acked).
+type burstRig struct {
+	t      *testing.T
+	e      *Engine
+	space  *shm.Space
+	posted []shm.RichPtr // supplied buffers, consumed FIFO like a device ring
+	parked []msg.Req     // un-acked deliveries holding RX chunks
+	frame  []byte
+}
+
+func newBurstRig(t *testing.T, elastic shm.Elastic) *burstRig {
+	t.Helper()
+	space := shm.NewSpace()
+	e, err := New(Config{
+		Space:   space,
+		Ifaces:  []IfaceConfig{{Name: "eth0", IP: selfIP, MaskBits: 24}},
+		Elastic: elastic,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.SetMAC("eth0", selfM)
+	frame := make([]byte, netpkt.EthHeaderLen+netpkt.IPv4HeaderLen+netpkt.UDPHeaderLen+4)
+	eh := netpkt.EthHeader{Dst: selfM, Src: peerM, Type: netpkt.EtherTypeIPv4}
+	eh.Marshal(frame)
+	ih := netpkt.IPv4Header{
+		TotalLen: uint16(len(frame) - netpkt.EthHeaderLen), TTL: 64,
+		Proto: netpkt.ProtoUDP, Src: peerIP, Dst: selfIP,
+	}
+	ih.Marshal(frame[netpkt.EthHeaderLen:], true)
+	uh := netpkt.UDPHeader{SrcPort: 1000, DstPort: 2000, Length: netpkt.UDPHeaderLen + 4}
+	uh.Marshal(frame[netpkt.EthHeaderLen+netpkt.IPv4HeaderLen:])
+	return &burstRig{t: t, e: e, space: space, frame: frame}
+}
+
+// pump runs one "loop iteration": tick the engine and collect new supplies.
+func (r *burstRig) pump() {
+	r.e.Tick()
+	for _, req := range r.e.DrainToDriver("eth0") {
+		if req.Op == msg.OpRxSupply {
+			r.posted = append(r.posted, req.Ptrs[0])
+		}
+	}
+}
+
+// deliver injects one frame into the oldest posted buffer; false means the
+// device ring ran dry (the starvation the elastic pool is meant to avoid).
+func (r *burstRig) deliver() bool {
+	r.pump()
+	if len(r.posted) == 0 {
+		return false
+	}
+	buf := r.posted[0]
+	r.posted = r.posted[1:]
+	view, err := r.space.View(buf)
+	if err != nil {
+		r.t.Fatalf("posted buffer view: %v", err)
+	}
+	copy(view, r.frame)
+	req := msg.Req{Op: msg.OpRxPacket}
+	req.SetChain([]shm.RichPtr{buf.Slice(0, uint32(len(r.frame)))})
+	req.Arg[1] = msg.FlagCsumOK
+	r.e.FromDriver("eth0", req, time.Now())
+	r.parked = append(r.parked, r.e.DrainToUDP()...)
+	return true
+}
+
+// ackAll releases every parked delivery back to the engine.
+func (r *burstRig) ackAll() {
+	for _, d := range r.parked {
+		if d.Op != msg.OpIPDeliver {
+			continue
+		}
+		r.e.FromTransport(netpkt.ProtoUDP, msg.Req{ID: d.ID, Op: msg.OpIPDeliverDone}, time.Now())
+	}
+	r.parked = nil
+}
+
+// TestStaticRxPoolStarvationIsCounted reproduces the pre-elastic scaling
+// cliff: a static pool exhausted by parked deliveries stops supplying the
+// driver — and now counts every lost allocation instead of swallowing
+// ErrPoolFull, logging once per pressure episode.
+func TestStaticRxPoolStarvationIsCounted(t *testing.T) {
+	var logBuf bytes.Buffer
+	log.SetOutput(&logBuf)
+	defer log.SetOutput(os.Stderr)
+
+	r := newBurstRig(t, shm.Elastic{}) // static
+	total := RxBufsPerDriver * 8
+	delivered := 0
+	for i := 0; i < total+64; i++ {
+		if !r.deliver() {
+			break
+		}
+		delivered++
+	}
+	if delivered >= total+64 {
+		t.Fatal("static pool never starved the driver")
+	}
+	st := r.e.Stats()
+	if st.RxPressure == 0 {
+		t.Fatal("pool exhaustion not counted in Stats.RxPressure")
+	}
+	if r.e.RxPressure("eth0") != st.RxPressure {
+		t.Fatalf("per-iface pressure %d != stats %d", r.e.RxPressure("eth0"), st.RxPressure)
+	}
+	if got := bytes.Count(logBuf.Bytes(), []byte("rx pool exhausted")); got != 1 {
+		t.Fatalf("pressure episode logged %d times, want once", got)
+	}
+	// Relief (acks) ends the episode; renewed exhaustion logs once more.
+	r.ackAll()
+	r.pump()
+	for i := 0; i < total+64; i++ {
+		if !r.deliver() {
+			break
+		}
+	}
+	if got := bytes.Count(logBuf.Bytes(), []byte("rx pool exhausted")); got != 2 {
+		t.Fatalf("second pressure episode logged %d times total, want 2", got)
+	}
+}
+
+// TestElasticRxPoolAbsorbsBurst drives the same burst against an elastic
+// pool: the pool grows instead of starving the driver, no pressure is
+// counted, and after the deliveries are released and light traffic washes
+// the high-segment buffers out of the ring, quiescence shrinks the pool
+// back to one segment.
+func TestElasticRxPoolAbsorbsBurst(t *testing.T) {
+	r := newBurstRig(t, shm.Elastic{MaxSegments: 8, HighWater: 0.5, Quiescence: 8})
+	total := RxBufsPerDriver * 8 * 2 // 2x the static complement
+	for i := 0; i < total; i++ {
+		if !r.deliver() {
+			t.Fatalf("driver starved at frame %d despite elasticity", i)
+		}
+	}
+	if st := r.e.Stats(); st.RxPressure != 0 {
+		t.Fatalf("RxPressure = %d under elastic growth", st.RxPressure)
+	}
+	peak := r.e.RxPoolCounters().Segments()
+	if peak < 2 {
+		t.Fatalf("pool did not grow: %d segments", peak)
+	}
+	if r.e.RxPoolCounters().Grows() == 0 {
+		t.Fatal("grow events not counted")
+	}
+
+	// Quiesce: release everything, then run light traffic (deliver + ack
+	// immediately) so the outstanding supplies migrate back to the base
+	// segment, and let the policy ticks retire the rest.
+	r.ackAll()
+	for i := 0; i < 3*RxBufsPerDriver; i++ {
+		if !r.deliver() {
+			t.Fatal("driver starved during wash-out")
+		}
+		r.ackAll()
+	}
+	for i := 0; i < 200 && r.e.RxPoolCounters().Segments() > 1; i++ {
+		r.pump()
+	}
+	if got := r.e.RxPoolCounters().Segments(); got != 1 {
+		t.Fatalf("pool did not shrink back: %d segments (peak %d)", got, peak)
+	}
+	if r.e.RxPoolCounters().Shrinks() == 0 {
+		t.Fatal("shrink events not counted")
 	}
 }

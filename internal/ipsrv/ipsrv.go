@@ -33,6 +33,9 @@ type Config struct {
 	// contract (see ipeng.Config.TCPShards). <= 1 keeps the single
 	// "ip-tcp"/"tcp" edge.
 	TCPShards int
+	// Elastic lets the RX and header pools grow under pressure and shrink
+	// after quiescence (ipeng.DefaultElastic); false keeps them static.
+	Elastic bool
 }
 
 // Server is one IP server incarnation.
@@ -77,6 +80,9 @@ func (s *Server) Init(rt *proc.Runtime, restart bool) error {
 		Offload:   s.cfg.Offload,
 		TCPShards: s.cfg.TCPShards,
 		SaveState: func(blob []byte) { hub.Store.Put(StorageKey, blob) },
+	}
+	if s.cfg.Elastic {
+		ecfg.Elastic = ipeng.DefaultElastic()
 	}
 	eng, err := ipeng.New(ecfg)
 	if err != nil {
@@ -188,6 +194,10 @@ func (s *Server) Poll(now time.Time) bool {
 	if s.pollTransport(s.udpPort, s.udpBox, netpkt.ProtoUDP, now) {
 		worked = true
 	}
+
+	// Per-iteration housekeeping: top drivers back up to their receive
+	// complement and run the pools' elastic grow/shrink policy.
+	s.eng.Tick()
 
 	// Flush engine output: one batch (and one wakeup) per destination.
 	for name := range s.drvPort {

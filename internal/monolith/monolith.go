@@ -520,10 +520,17 @@ func (c *Conn) SendTo(data []byte, dst netpkt.IPAddr, port uint16) (int, error) 
 		if err != nil {
 			return total, err
 		}
-		if rep.Status != msg.StatusOK {
+		switch rep.Status {
+		case msg.StatusOK:
+			total += staged
+		case msg.StatusErrAgain, msg.StatusErrNoBufs:
+			// Stack-side buffer exhaustion is backpressure, not an error:
+			// the engine recycled the rejected chain, so retry once the
+			// stack drains.
+			time.Sleep(20 * time.Microsecond)
+		default:
 			return total, fmt.Errorf("monolith: send: status %d", rep.Status)
 		}
-		total += staged
 	}
 	return total, nil
 }

@@ -13,6 +13,16 @@
 //   - when the owner crashes, the pool generation is bumped: stale rich
 //     pointers held by survivors resolve to ErrStale instead of garbage.
 //
+// Pools are segmented and elastic: a pool is an ordered set of fixed-size
+// segments behind one PoolID. Grow appends a segment (new shared mapping,
+// same generation — outstanding rich pointers stay valid), Shrink retires
+// fully-free trailing segments (pointers into a retired segment resolve to
+// ErrOutOfRange, never garbage), and an optional Elastic policy drives both
+// automatically: Alloc grows on demand under pressure, and Tick — called
+// once per owner loop iteration — retires quiescent trailing segments.
+// Offsets are global across segments, so the rich-pointer format and every
+// consumer-side rule are unchanged by growth.
+//
 // A Space plays the role of the paper's virtual memory manager: the trusted
 // third party through which pools are exported and attached.
 package shm
@@ -31,9 +41,11 @@ var (
 	ErrStale = errors.New("shm: stale rich pointer (pool generation changed)")
 	// ErrNoSuchPool means the pool ID is not known to the space.
 	ErrNoSuchPool = errors.New("shm: no such pool")
-	// ErrOutOfRange means a rich pointer points outside the pool.
+	// ErrOutOfRange means a rich pointer points outside the pool (including
+	// into a segment that has since been retired by Shrink).
 	ErrOutOfRange = errors.New("shm: rich pointer out of range")
-	// ErrPoolFull means the pool has no free chunks.
+	// ErrPoolFull means the pool has no free chunks (and, for elastic
+	// pools, growth has reached the segment cap).
 	ErrPoolFull = errors.New("shm: pool full")
 	// ErrNotChunkStart means a free was attempted on a pointer that does not
 	// reference the start of an allocated chunk.
@@ -85,8 +97,10 @@ func NewSpace() *Space {
 	return &Space{pools: make(map[PoolID]*Pool)}
 }
 
-// NewPool creates a pool of nChunks chunks of chunkSize bytes each, owned by
-// owner (an opaque name used for diagnostics and write protection).
+// NewPool creates a pool of one base segment holding nChunks chunks of
+// chunkSize bytes each, owned by owner (an opaque name used for diagnostics
+// and write protection). nChunks is also the segment size: every segment a
+// later Grow appends holds the same complement.
 func (s *Space) NewPool(owner string, chunkSize, nChunks int) (*Pool, error) {
 	if chunkSize <= 0 || nChunks <= 0 {
 		return nil, fmt.Errorf("shm: invalid pool geometry %dx%d", nChunks, chunkSize)
@@ -98,15 +112,11 @@ func (s *Space) NewPool(owner string, chunkSize, nChunks int) (*Pool, error) {
 		id:        PoolID(s.next),
 		owner:     owner,
 		chunkSize: chunkSize,
-		nChunks:   nChunks,
-		data:      make([]byte, chunkSize*nChunks),
-		state:     make([]uint32, nChunks),
-		free:      make([]uint32, 0, nChunks),
+		segChunks: nChunks,
 	}
 	p.gen.Store(1)
-	for i := nChunks - 1; i >= 0; i-- {
-		p.free = append(p.free, uint32(i))
-	}
+	segs := []*segment{newSegment(chunkSize, nChunks)}
+	p.segs.Store(&segs)
 	s.pools[p.id] = p
 	return p, nil
 }
@@ -140,25 +150,126 @@ func (s *Space) Drop(id PoolID) {
 	delete(s.pools, id)
 }
 
-// Pool is a fixed-geometry chunk allocator backed by one contiguous byte
-// region. Alloc and Free must be called only by the owning server's
-// goroutine (single-threaded owner, per the paper); View may be called by
-// anyone who attached the pool.
+// Elastic is a pool's growth/shrink policy. The zero value disables
+// elasticity entirely: the pool keeps its base segment forever and Alloc
+// fails with ErrPoolFull when it empties, exactly the static behavior.
+type Elastic struct {
+	// MaxSegments caps the pool at this many segments in total (including
+	// the base segment). <= 1 disables automatic growth.
+	MaxSegments int
+	// LowWater triggers proactive growth from Tick: when the free fraction
+	// of the whole pool drops below LowWater, a segment is appended before
+	// Alloc ever fails. 0 disables proactive growth (Alloc still grows on
+	// demand when the pool runs dry).
+	LowWater float64
+	// HighWater guards shrinking: a trailing segment is only retired when,
+	// after retiring it, the remaining pool would still be at least
+	// HighWater free — so a pool running near its working set never
+	// thrashes grow/shrink. 0 means DefaultHighWater; a negative value
+	// disables the guard (any fully-free trailing segment retires after
+	// quiescence, used by owners that keep their base complement
+	// permanently allocated, e.g. sockbuf's supply ring).
+	HighWater float64
+	// Quiescence is how many consecutive Tick calls (owner loop
+	// iterations, not wall clock) a trailing segment must stay fully free
+	// and above the high watermark before it is retired. 0 means
+	// DefaultQuiescence.
+	Quiescence int
+}
+
+// Elasticity defaults.
+const (
+	DefaultHighWater  = 0.5
+	DefaultQuiescence = 1024
+)
+
+// Enabled reports whether the policy allows automatic growth.
+func (e Elastic) Enabled() bool { return e.MaxSegments > 1 }
+
+func (e Elastic) highWater() float64 {
+	if e.HighWater > 0 {
+		return e.HighWater
+	}
+	return DefaultHighWater
+}
+
+func (e Elastic) quiescence() int {
+	if e.Quiescence > 0 {
+		return e.Quiescence
+	}
+	return DefaultQuiescence
+}
+
+// PoolObserver receives elasticity events; trace.PoolCounters implements
+// it. Methods are called with the pool's owner lock held and must not call
+// back into the pool.
+type PoolObserver interface {
+	// PoolGrew reports a segment was appended; segments is the new count.
+	PoolGrew(segments int)
+	// PoolShrank reports trailing segments were retired; segments is the
+	// new count.
+	PoolShrank(segments int)
+	// PoolPressure reports an Alloc that failed hard (pool full and at the
+	// growth cap).
+	PoolPressure()
+}
+
+// segment is one fixed-size mapping of a pool: its own backing array, so
+// growth never copies or remaps in-flight chunks, plus owner-side
+// allocation metadata (local chunk indexes).
+type segment struct {
+	data []byte
+	// state[i] is 0 when chunk i is free, 1 when allocated. Owner-written.
+	state []uint32
+	free  []uint32
+}
+
+func newSegment(chunkSize, nChunks int) *segment {
+	s := &segment{
+		data:  make([]byte, chunkSize*nChunks),
+		state: make([]uint32, nChunks),
+		free:  make([]uint32, 0, nChunks),
+	}
+	for i := nChunks - 1; i >= 0; i-- {
+		s.free = append(s.free, uint32(i))
+	}
+	return s
+}
+
+// Pool is a chunk allocator backed by an ordered set of fixed-size
+// segments. Alloc, Free, Grow, Shrink, Tick and Reset are owner-side
+// operations (they serialize on an internal lock, so an application-side
+// helper like sockbuf may share them with the owning server); View may be
+// called by anyone who attached the pool and is lock-free.
 type Pool struct {
 	id        PoolID
 	owner     string
 	chunkSize int
-	nChunks   int
+	// segChunks is the fixed chunk complement of every segment.
+	segChunks int
 	gen       atomic.Uint32
-	data      []byte
 
-	// state[i] is 0 when chunk i is free, 1 when allocated. It is written
-	// only by the owner; kept as a slice of uint32 for cheap auditing.
-	state []uint32
-	free  []uint32
+	// segs is the copy-on-write segment list: View loads it without
+	// locking; owner-side operations replace it under mu. The list is
+	// append-only within a generation: Shrink tombstones an entry to nil
+	// (releasing its memory) but never truncates, so a retired segment's
+	// offset range is never reused by a later Grow — a stale rich pointer
+	// into it keeps resolving ErrOutOfRange instead of aliasing fresh
+	// data. Reset (generation bump) is the only thing that compacts.
+	segs atomic.Pointer[[]*segment]
 
-	allocs atomic.Uint64
-	frees  atomic.Uint64
+	mu       sync.Mutex
+	elastic  Elastic
+	observer PoolObserver
+	// quiet counts consecutive Ticks the trailing segment stayed
+	// shrink-eligible.
+	quiet int
+
+	allocs   atomic.Uint64
+	frees    atomic.Uint64
+	grows    atomic.Uint64
+	shrinks  atomic.Uint64
+	pressure atomic.Uint64
 }
 
 // ID returns the pool's identifier.
@@ -173,60 +284,166 @@ func (p *Pool) Gen() uint32 { return p.gen.Load() }
 // ChunkSize returns the size of each chunk in bytes.
 func (p *Pool) ChunkSize() int { return p.chunkSize }
 
-// Chunks returns the total number of chunks.
-func (p *Pool) Chunks() int { return p.nChunks }
+// SegChunks returns the chunk complement of one segment.
+func (p *Pool) SegChunks() int { return p.segChunks }
+
+// Segments returns the current live (non-retired) segment count.
+func (p *Pool) Segments() int {
+	live := 0
+	for _, seg := range *p.segs.Load() {
+		if seg != nil {
+			live++
+		}
+	}
+	return live
+}
+
+// Chunks returns the total number of chunks across all live segments.
+func (p *Pool) Chunks() int { return p.Segments() * p.segChunks }
+
+// segBytes returns one segment's span in the pool's global offset space.
+func (p *Pool) segBytes() int { return p.segChunks * p.chunkSize }
+
+// SetElastic installs the growth/shrink policy. Safe to call before the
+// pool is shared; changing policy on a live pool is owner-side.
+func (p *Pool) SetElastic(e Elastic) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.elastic = e
+}
+
+// SetObserver installs the elasticity event sink (e.g. a
+// trace.PoolCounters).
+func (p *Pool) SetObserver(o PoolObserver) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.observer = o
+}
 
 // FreeChunks returns the number of currently free chunks.
-func (p *Pool) FreeChunks() int { return len(p.free) }
+func (p *Pool) FreeChunks() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.freeLocked()
+}
+
+func (p *Pool) freeLocked() int {
+	free := 0
+	for _, seg := range *p.segs.Load() {
+		if seg != nil {
+			free += len(seg.free)
+		}
+	}
+	return free
+}
+
+func (p *Pool) liveLocked() int {
+	live := 0
+	for _, seg := range *p.segs.Load() {
+		if seg != nil {
+			live++
+		}
+	}
+	return live
+}
+
+// InUse returns the number of allocated chunks (owner-side accounting).
+func (p *Pool) InUse() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.liveLocked()*p.segChunks - p.freeLocked()
+}
 
 // Stats returns cumulative allocation and free counts.
 func (p *Pool) Stats() (allocs, frees uint64) {
 	return p.allocs.Load(), p.frees.Load()
 }
 
+// ElasticStats returns cumulative elasticity counters: segments appended,
+// segments retired, and hard allocation failures (pool full at the cap).
+func (p *Pool) ElasticStats() (grows, shrinks, pressure uint64) {
+	return p.grows.Load(), p.shrinks.Load(), p.pressure.Load()
+}
+
 // Alloc reserves one chunk and returns a rich pointer covering all of it
-// plus a writable view for the owner to fill. Only the owner may call it.
+// plus a writable view for the owner to fill. When the pool is dry and the
+// elastic policy allows it, a segment is appended transparently; ErrPoolFull
+// is returned only at the hard cap (or for non-elastic pools).
 func (p *Pool) Alloc() (RichPtr, []byte, error) {
-	if len(p.free) == 0 {
-		return RichPtr{}, nil, ErrPoolFull
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	segs := *p.segs.Load()
+	// Lowest segment first: occupancy concentrates at the front of the
+	// pool, letting trailing segments drain fully free and retire.
+	for si, seg := range segs {
+		if seg != nil && len(seg.free) > 0 {
+			ptr, view := p.allocFrom(si, seg)
+			return ptr, view, nil
+		}
 	}
-	idx := p.free[len(p.free)-1]
-	p.free = p.free[:len(p.free)-1]
-	p.state[idx] = 1
+	if p.elastic.Enabled() && p.liveLocked() < p.elastic.MaxSegments {
+		if seg := p.growLocked(); seg != nil {
+			ptr, view := p.allocFrom(len(*p.segs.Load())-1, seg)
+			return ptr, view, nil
+		}
+	}
+	p.pressure.Add(1)
+	if p.observer != nil {
+		p.observer.PoolPressure()
+	}
+	return RichPtr{}, nil, ErrPoolFull
+}
+
+// allocFrom pops one chunk off segment si. Caller holds mu and guarantees
+// the segment has a free chunk.
+func (p *Pool) allocFrom(si int, seg *segment) (RichPtr, []byte) {
+	li := seg.free[len(seg.free)-1]
+	seg.free = seg.free[:len(seg.free)-1]
+	seg.state[li] = 1
 	p.allocs.Add(1)
+	global := uint32(si*p.segChunks) + li
 	ptr := RichPtr{
 		Pool: p.id,
 		Gen:  p.gen.Load(),
-		Off:  idx * uint32(p.chunkSize),
+		Off:  global * uint32(p.chunkSize),
 		Len:  uint32(p.chunkSize),
 	}
-	return ptr, p.data[ptr.Off : ptr.Off+ptr.Len : ptr.Off+ptr.Len], nil
+	lo := int(li) * p.chunkSize
+	hi := lo + p.chunkSize
+	return ptr, seg.data[lo:hi:hi]
 }
 
-// Free releases the chunk that ptr points into. Only the owner may call it.
-// ptr may be any sub-slice of the chunk; the whole chunk is released.
+// Free releases the chunk that ptr points into. Owner-side. ptr may be any
+// sub-slice of the chunk; the whole chunk is released. A pointer into a
+// segment retired by Shrink resolves to ErrOutOfRange.
 func (p *Pool) Free(ptr RichPtr) error {
 	if ptr.Pool != p.id {
 		return fmt.Errorf("%w: ptr pool %d, this pool %d", ErrNoSuchPool, ptr.Pool, p.id)
 	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
 	if ptr.Gen != p.gen.Load() {
 		return ErrStale
 	}
-	idx := int(ptr.Off) / p.chunkSize
-	if idx < 0 || idx >= p.nChunks {
+	segs := *p.segs.Load()
+	gi := int(ptr.Off) / p.chunkSize
+	si, li := gi/p.segChunks, gi%p.segChunks
+	if gi < 0 || si >= len(segs) || segs[si] == nil {
 		return ErrOutOfRange
 	}
-	if p.state[idx] == 0 {
-		return fmt.Errorf("%w: chunk %d already free", ErrNotChunkStart, idx)
+	seg := segs[si]
+	if seg.state[li] == 0 {
+		return fmt.Errorf("%w: chunk %d already free", ErrNotChunkStart, gi)
 	}
-	p.state[idx] = 0
-	p.free = append(p.free, uint32(idx))
+	seg.state[li] = 0
+	seg.free = append(seg.free, uint32(li))
 	p.frees.Add(1)
 	return nil
 }
 
 // View resolves ptr into this pool, validating generation and bounds.
-// The returned slice must be treated as read-only by non-owners.
+// The returned slice must be treated as read-only by non-owners. View is
+// lock-free: it may run concurrently with owner-side Grow and Shrink.
 func (p *Pool) View(ptr RichPtr) ([]byte, error) {
 	if ptr.Pool != p.id {
 		return nil, fmt.Errorf("%w: ptr pool %d, this pool %d", ErrNoSuchPool, ptr.Pool, p.id)
@@ -234,11 +451,28 @@ func (p *Pool) View(ptr RichPtr) ([]byte, error) {
 	if ptr.Gen != p.gen.Load() {
 		return nil, ErrStale
 	}
+	if ptr.Len == 0 {
+		return nil, nil
+	}
+	segs := *p.segs.Load()
+	sb := uint64(p.segBytes())
 	end := uint64(ptr.Off) + uint64(ptr.Len)
-	if end > uint64(len(p.data)) {
+	if end > sb*uint64(len(segs)) {
 		return nil, ErrOutOfRange
 	}
-	return p.data[ptr.Off:end:end], nil
+	si := uint64(ptr.Off) / sb
+	if (end-1)/sb != si {
+		// Chunks never span segments; a range that does is forged.
+		return nil, ErrOutOfRange
+	}
+	if segs[si] == nil {
+		// Retired segment: its offset range is never reused, so a stale
+		// pointer resolves here — an error, never another chunk's data.
+		return nil, ErrOutOfRange
+	}
+	lo := uint64(ptr.Off) - si*sb
+	hi := lo + uint64(ptr.Len)
+	return segs[si].data[lo:hi:hi], nil
 }
 
 // OwnerView is like View but documents intent: the owner may write through
@@ -247,17 +481,169 @@ func (p *Pool) OwnerView(ptr RichPtr) ([]byte, error) {
 	return p.View(ptr)
 }
 
-// Reset simulates the owner crashing and the pool being re-created in the
-// new incarnation's (inherited) address space: all chunks become free and
-// the generation is bumped so outstanding rich pointers turn stale.
-func (p *Pool) Reset() {
-	p.gen.Add(1)
-	p.free = p.free[:0]
-	for i := p.nChunks - 1; i >= 0; i-- {
-		p.state[i] = 0
-		p.free = append(p.free, uint32(i))
+// Grow appends one segment, extending the pool by SegChunks chunks. All
+// outstanding rich pointers remain valid: offsets are global and existing
+// segments are untouched. Fails with ErrPoolFull at the elastic policy's
+// segment cap (a pool with no policy may grow without bound).
+func (p *Pool) Grow() error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if max := p.elastic.MaxSegments; max > 0 && p.liveLocked() >= max {
+		return fmt.Errorf("%w: at segment cap %d", ErrPoolFull, max)
 	}
+	if p.growLocked() == nil {
+		return fmt.Errorf("%w: offset space exhausted this generation", ErrPoolFull)
+	}
+	return nil
 }
 
-// InUse returns the number of allocated chunks (owner-side accounting).
-func (p *Pool) InUse() int { return p.nChunks - len(p.free) }
+func (p *Pool) growLocked() *segment {
+	segs := *p.segs.Load()
+	// Always append at a fresh index — retired (nil) slots keep their
+	// offset range dead so stale pointers never alias the new segment.
+	// Each retired slot therefore permanently consumes segBytes of the
+	// pool's 32-bit offset space for the rest of the generation; refuse
+	// to grow past it (the pool degrades to static, pressure counted)
+	// rather than let offsets wrap back into live segments.
+	if (uint64(len(segs))+1)*uint64(p.segBytes()) > 1<<32 {
+		return nil
+	}
+	seg := newSegment(p.chunkSize, p.segChunks)
+	ns := make([]*segment, len(segs)+1)
+	copy(ns, segs)
+	ns[len(segs)] = seg
+	p.segs.Store(&ns)
+	p.grows.Add(1)
+	if p.observer != nil {
+		p.observer.PoolGrew(p.liveLocked())
+	}
+	return seg
+}
+
+// Shrink retires every fully-free trailing segment (never the base
+// segment) immediately, returning how many were retired. A retired
+// segment's memory is released but its offset range stays dead for the
+// rest of the generation: rich pointers into it resolve to ErrOutOfRange —
+// even after later growth — while pointers into surviving segments stay
+// valid (no generation bump).
+func (p *Pool) Shrink() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.shrinkLocked(len(*p.segs.Load()))
+}
+
+func (p *Pool) shrinkLocked(max int) int {
+	segs := *p.segs.Load()
+	retired := 0
+	var ns []*segment
+	// Walk live segments from the end; tombstone fully-free ones until
+	// the first busy (or the base) segment.
+	for i := len(segs) - 1; i > 0 && retired < max; i-- {
+		if segs[i] == nil {
+			continue
+		}
+		if len(segs[i].free) != p.segChunks || !p.anyLiveBelowLocked(segs, i) {
+			break
+		}
+		if ns == nil {
+			ns = make([]*segment, len(segs))
+			copy(ns, segs)
+		}
+		ns[i] = nil
+		retired++
+	}
+	if retired == 0 {
+		return 0
+	}
+	p.segs.Store(&ns)
+	p.shrinks.Add(uint64(retired))
+	if p.observer != nil {
+		p.observer.PoolShrank(p.liveLocked())
+	}
+	return retired
+}
+
+// anyLiveBelowLocked reports whether a live segment exists below index i
+// (retiring i must never leave the pool without its base complement).
+func (p *Pool) anyLiveBelowLocked(segs []*segment, i int) bool {
+	for j := 0; j < i; j++ {
+		if segs[j] != nil {
+			return true
+		}
+	}
+	return false
+}
+
+// Tick runs one step of the elastic policy; the owner calls it once per
+// loop iteration (quiescence is measured in iterations, not wall clock).
+// It grows proactively below the low watermark and retires one quiescent
+// trailing segment at a time once the pool has stayed comfortably free for
+// the policy's quiescence window. No-op for non-elastic pools.
+func (p *Pool) Tick() {
+	if !p.elastic.Enabled() {
+		return
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	segs := *p.segs.Load()
+	free := p.freeLocked()
+	live := p.liveLocked()
+	total := live * p.segChunks
+	if lw := p.elastic.LowWater; lw > 0 && live < p.elastic.MaxSegments &&
+		float64(free) < lw*float64(total) {
+		p.growLocked()
+		p.quiet = 0
+		return
+	}
+	// Shrink eligibility: the highest live segment (never the last one
+	// standing) is fully free, and the pool stays above the high
+	// watermark after retiring it.
+	eligible := false
+	if live > 1 {
+		for i := len(segs) - 1; i > 0; i-- {
+			if segs[i] == nil {
+				continue
+			}
+			eligible = len(segs[i].free) == p.segChunks
+			break
+		}
+	}
+	if eligible && p.elastic.HighWater >= 0 {
+		eligible = float64(free-p.segChunks) >= p.elastic.highWater()*float64(total-p.segChunks)
+	}
+	if eligible {
+		p.quiet++
+		if p.quiet >= p.elastic.quiescence() {
+			p.shrinkLocked(1)
+			p.quiet = 0
+		}
+		return
+	}
+	p.quiet = 0
+}
+
+// Reset simulates the owner crashing and the pool being re-created in the
+// new incarnation's (inherited) address space: the pool returns to its base
+// geometry (one segment, all chunks free) and the generation is bumped so
+// every outstanding rich pointer — including those into grown segments —
+// turns stale. The generation bump is what makes compacting the segment
+// list (reusing retired offset ranges) safe here.
+func (p *Pool) Reset() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.gen.Add(1)
+	segs := *p.segs.Load()
+	base := segs[0]
+	for i := range base.state {
+		base.state[i] = 0
+	}
+	base.free = base.free[:0]
+	for i := p.segChunks - 1; i >= 0; i-- {
+		base.free = append(base.free, uint32(i))
+	}
+	if len(segs) > 1 {
+		ns := []*segment{base}
+		p.segs.Store(&ns)
+	}
+	p.quiet = 0
+}

@@ -36,6 +36,13 @@ var (
 	ErrNotConnected = errors.New("sock: not connected")
 	ErrWouldBlock   = errors.New("sock: would block")
 	ErrStack        = errors.New("sock: stack error")
+	// ErrNoBufs reports buffer-memory exhaustion (ENOBUFS-style): an
+	// elastic pool at its hard cap or a socket buffer that could not be
+	// provisioned. It matches ErrWouldBlock under errors.Is — the stack
+	// may drain and the operation can be retried — but stays
+	// distinguishable for callers that want to back off harder than for
+	// ordinary flow control.
+	ErrNoBufs = fmt.Errorf("sock: no buffer space available (%w)", ErrWouldBlock)
 )
 
 func statusErr(st int32) error {
@@ -56,6 +63,12 @@ func statusErr(st int32) error {
 		return ErrNotConnected
 	case msg.StatusErrAgain:
 		return ErrWouldBlock
+	case msg.StatusErrNoBufs:
+		// Buffer memory exhaustion is backpressure (the stack is still
+		// draining, or an elastic pool is at its cap), not a stack fault:
+		// surface it EWOULDBLOCK-style so callers retry, but keep it
+		// distinguishable from plain flow control.
+		return ErrNoBufs
 	default:
 		return fmt.Errorf("%w: status %d", ErrStack, st)
 	}
@@ -331,6 +344,12 @@ func (s *Socket) SendTo(data []byte, dst netpkt.IPAddr, port uint16) (int, error
 			return total, err
 		}
 		if err := statusErr(rep.Status); err != nil {
+			if errors.Is(err, ErrWouldBlock) {
+				// The stack rejected the chain under buffer pressure and
+				// recycled it; Send is blocking, so wait and restage.
+				time.Sleep(50 * time.Microsecond)
+				continue
+			}
 			return total, err
 		}
 		total += n

@@ -1,0 +1,59 @@
+package sock
+
+import (
+	"errors"
+	"testing"
+
+	"newtos/internal/msg"
+)
+
+// Regression test for the sockbuf-exhaustion contract: buffer-memory
+// statuses surface to applications as EWOULDBLOCK-style backpressure
+// (retryable), not as a generic stack error.
+func TestBufferExhaustionSurfacesAsBackpressure(t *testing.T) {
+	for _, st := range []int32{msg.StatusErrAgain, msg.StatusErrNoBufs} {
+		if err := statusErr(st); !errors.Is(err, ErrWouldBlock) {
+			t.Fatalf("status %d = %v, want ErrWouldBlock", st, err)
+		}
+	}
+	// ENOBUFS stays distinguishable from plain flow control: a Connect or
+	// Socket caller can tell hard memory exhaustion from a draining
+	// window and back off harder.
+	if err := statusErr(msg.StatusErrNoBufs); !errors.Is(err, ErrNoBufs) {
+		t.Fatalf("status NoBufs = %v, want ErrNoBufs", err)
+	}
+	if err := statusErr(msg.StatusErrAgain); errors.Is(err, ErrNoBufs) {
+		t.Fatal("plain EAGAIN must not match ErrNoBufs")
+	}
+}
+
+func TestStatusErrMapping(t *testing.T) {
+	cases := []struct {
+		st   int32
+		want error
+	}{
+		{msg.StatusOK, nil},
+		{msg.StatusErrTimedOut, ErrTimeout},
+		{msg.StatusErrRefused, ErrRefused},
+		{msg.StatusErrConnRst, ErrReset},
+		{msg.StatusErrAborted, ErrAborted},
+		{msg.StatusErrInUse, ErrAddrInUse},
+		{msg.StatusErrNotConn, ErrNotConnected},
+	}
+	for _, c := range cases {
+		err := statusErr(c.st)
+		if c.want == nil {
+			if err != nil {
+				t.Fatalf("status %d = %v, want nil", c.st, err)
+			}
+			continue
+		}
+		if !errors.Is(err, c.want) {
+			t.Fatalf("status %d = %v, want %v", c.st, err, c.want)
+		}
+	}
+	// Unknown statuses still map to the generic stack error.
+	if err := statusErr(-9999); !errors.Is(err, ErrStack) {
+		t.Fatalf("unknown status = %v", err)
+	}
+}

@@ -13,6 +13,14 @@
 //
 // An exhausted ring is back-pressure: the application blocks in send until
 // the stack has drained earlier data.
+//
+// Elastic buffers (NewElastic) provision sockets for the common case
+// instead of the worst: a socket starts with a small base complement and
+// the backing pool grows segment by segment while the app outruns the ring,
+// up to a hard cap — at which point Get returning ok=false is the same
+// back-pressure signal as a static buffer. When the app goes idle, surplus
+// chunks drain back into the pool on recycle and quiescent trailing
+// segments retire, so socket memory scales with active connections.
 package sockbuf
 
 import (
@@ -23,36 +31,70 @@ import (
 )
 
 // DefaultChunks and DefaultChunkSize give each socket 64 KB of TX buffer —
-// one full TSO burst (16 × 4 KB).
+// one full TSO burst (16 × 4 KB). ElasticBaseChunks is the resident
+// complement of an elastic socket buffer: 16 KB that grow on demand to the
+// same 64 KB worst case.
 const (
-	DefaultChunks    = 16
-	DefaultChunkSize = 4096
+	DefaultChunks     = 16
+	DefaultChunkSize  = 4096
+	ElasticBaseChunks = 4
+	// elasticQuiescence is how many recycle/tick events a fully-free
+	// trailing segment must survive before it retires.
+	elasticQuiescence = 128
 )
 
 // Buf is one socket's transmit buffer.
 type Buf struct {
 	pool   *shm.Pool
 	supply *spsc.Ring[shm.RichPtr]
+	// base is the chunk complement kept resident in the supply ring;
+	// elastic buffers return chunks beyond it to the pool on recycle.
+	base    int
+	elastic bool
 }
 
-// New allocates a socket buffer in space, owned by owner. All chunks start
-// out in the supply ring.
+// New allocates a static socket buffer in space, owned by owner. All chunks
+// start out in the supply ring and the buffer never grows.
 func New(space *shm.Space, owner string, chunkSize, nChunks int) (*Buf, error) {
-	pool, err := space.NewPool(owner, chunkSize, nChunks)
+	return build(space, owner, chunkSize, nChunks, nChunks)
+}
+
+// NewElastic allocates an elastic socket buffer: baseChunks resident, grown
+// on demand up to maxChunks (rounded up to whole base-sized segments),
+// shrunk back after quiescence.
+func NewElastic(space *shm.Space, owner string, chunkSize, baseChunks, maxChunks int) (*Buf, error) {
+	if maxChunks < baseChunks {
+		maxChunks = baseChunks
+	}
+	return build(space, owner, chunkSize, baseChunks, maxChunks)
+}
+
+func build(space *shm.Space, owner string, chunkSize, baseChunks, maxChunks int) (*Buf, error) {
+	pool, err := space.NewPool(owner, chunkSize, baseChunks)
 	if err != nil {
 		return nil, fmt.Errorf("sockbuf: %w", err)
 	}
-	// Ring capacity must be a power of two >= nChunks.
+	elastic := maxChunks > baseChunks
+	segs := 1
+	if elastic {
+		segs = (maxChunks + baseChunks - 1) / baseChunks
+		// HighWater -1: the base complement lives in the supply ring
+		// (permanently allocated), so the free-fraction guard would never
+		// pass; any fully-free trailing segment may retire.
+		pool.SetElastic(shm.Elastic{MaxSegments: segs, HighWater: -1, Quiescence: elasticQuiescence})
+	}
+	// Ring capacity must be a power of two covering every chunk the pool
+	// can ever hold, so Recycle never has to drop.
 	cap := 2
-	for cap < nChunks {
+	for cap < segs*baseChunks {
 		cap *= 2
 	}
 	ring, err := spsc.New[shm.RichPtr](cap)
 	if err != nil {
 		return nil, fmt.Errorf("sockbuf: %w", err)
 	}
-	b := &Buf{pool: pool, supply: ring}
-	for i := 0; i < nChunks; i++ {
+	b := &Buf{pool: pool, supply: ring, base: baseChunks, elastic: elastic}
+	for i := 0; i < baseChunks; i++ {
 		ptr, _, err := pool.Alloc()
 		if err != nil {
 			return nil, fmt.Errorf("sockbuf: prefill: %w", err)
@@ -68,10 +110,22 @@ func (b *Buf) Pool() *shm.Pool { return b.pool }
 // ChunkSize returns the chunk size in bytes.
 func (b *Buf) ChunkSize() int { return b.pool.ChunkSize() }
 
-// Get pops a free chunk; app side only. ok=false means the buffer is
-// exhausted and the caller should back off (flow control).
+// Get pops a free chunk; app side only. An elastic buffer that outran its
+// ring grows the backing pool on demand. ok=false means the buffer is
+// exhausted (elastic: at its hard cap) and the caller should back off —
+// the EWOULDBLOCK-style flow-control signal, never an error.
 func (b *Buf) Get() (shm.RichPtr, bool) {
-	return b.supply.TryDequeue()
+	if ptr, ok := b.supply.TryDequeue(); ok {
+		return ptr, true
+	}
+	if !b.elastic {
+		return shm.RichPtr{}, false
+	}
+	ptr, _, err := b.pool.Alloc()
+	if err != nil {
+		return shm.RichPtr{}, false // hard cap reached: back-pressure
+	}
+	return ptr, true
 }
 
 // Write fills a previously Got chunk with data and returns a rich pointer
@@ -90,6 +144,10 @@ func (b *Buf) Write(ptr shm.RichPtr, data []byte) (shm.RichPtr, error) {
 
 // Recycle returns a chunk to the supply ring; transport side only. The
 // pointer may be a sub-slice of the chunk; the whole chunk is recycled.
+// Elastic buffers keep only the base segment's chunks resident in the
+// ring: chunks from grown segments go back to the backing pool (where
+// demand re-allocates them lowest-segment-first), so trailing segments
+// drain fully free and can retire.
 func (b *Buf) Recycle(ptr shm.RichPtr) {
 	full := shm.RichPtr{
 		Pool: ptr.Pool,
@@ -97,7 +155,22 @@ func (b *Buf) Recycle(ptr shm.RichPtr) {
 		Off:  ptr.Off - ptr.Off%uint32(b.pool.ChunkSize()),
 		Len:  uint32(b.pool.ChunkSize()),
 	}
-	b.supply.TryEnqueue(full)
+	grown := b.elastic && int(full.Off) >= b.base*b.pool.ChunkSize()
+	if grown || !b.supply.TryEnqueue(full) {
+		_ = b.pool.Free(full)
+	}
+	if b.elastic {
+		b.pool.Tick()
+	}
+}
+
+// Tick advances the elastic quiescence clock without a recycle (the owning
+// transport calls it from its loop so idle sockets shrink too). No-op for
+// static buffers.
+func (b *Buf) Tick() {
+	if b.elastic {
+		b.pool.Tick()
+	}
 }
 
 // Free returns how many chunks are currently available to the app.

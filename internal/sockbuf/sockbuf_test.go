@@ -73,3 +73,88 @@ func TestChunkSize(t *testing.T) {
 		t.Fatalf("ChunkSize = %d", b.ChunkSize())
 	}
 }
+
+func newElasticBuf(t *testing.T) (*shm.Space, *Buf) {
+	t.Helper()
+	space := shm.NewSpace()
+	b, err := NewElastic(space, "etest", 512, 4, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return space, b
+}
+
+func TestElasticGrowsOnDemand(t *testing.T) {
+	_, b := newElasticBuf(t)
+	ptrs := make([]shm.RichPtr, 0, 16)
+	for i := 0; i < 16; i++ {
+		ptr, ok := b.Get()
+		if !ok {
+			t.Fatalf("chunk %d missing: elastic buffer did not grow", i)
+		}
+		ptrs = append(ptrs, ptr)
+	}
+	if b.Pool().Segments() != 4 {
+		t.Fatalf("segments = %d, want 4", b.Pool().Segments())
+	}
+	// Writes through grown chunks work like base chunks.
+	if _, err := b.Write(ptrs[15], []byte("grown")); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Regression test for the exhaustion contract: a buffer at its hard cap
+// signals backpressure through ok=false — the same EWOULDBLOCK-style
+// signal as a static buffer — never an error or a bogus chunk.
+func TestElasticCapIsBackpressure(t *testing.T) {
+	_, b := newElasticBuf(t)
+	for i := 0; i < 16; i++ {
+		if _, ok := b.Get(); !ok {
+			t.Fatalf("chunk %d missing", i)
+		}
+	}
+	if ptr, ok := b.Get(); ok {
+		t.Fatalf("got chunk %v beyond the 16-chunk cap", ptr)
+	}
+	// Pressure is observable on the backing pool.
+	if _, _, pr := b.Pool().ElasticStats(); pr == 0 {
+		t.Fatal("hard allocation failure not counted as pressure")
+	}
+}
+
+func TestElasticShrinksAfterQuiescence(t *testing.T) {
+	_, b := newElasticBuf(t)
+	ptrs := make([]shm.RichPtr, 0, 16)
+	for i := 0; i < 16; i++ {
+		ptr, ok := b.Get()
+		if !ok {
+			t.Fatal("missing chunk")
+		}
+		ptrs = append(ptrs, ptr)
+	}
+	// Transport recycles everything: grown-segment chunks return to the
+	// pool, base chunks to the ring.
+	for _, ptr := range ptrs {
+		b.Recycle(ptr)
+	}
+	if b.Free() != 4 {
+		t.Fatalf("ring holds %d chunks, want the base 4", b.Free())
+	}
+	// Idle ticks advance quiescence until all grown segments retire.
+	for i := 0; i < 4*elasticQuiescence; i++ {
+		b.Tick()
+	}
+	if b.Pool().Segments() != 1 {
+		t.Fatalf("segments after quiescence = %d, want 1", b.Pool().Segments())
+	}
+	// The buffer still works end to end after shrinking.
+	ptr, ok := b.Get()
+	if !ok {
+		t.Fatal("no chunk after shrink")
+	}
+	w, err := b.Write(ptr, []byte("still alive"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b.Recycle(w)
+}

@@ -268,8 +268,16 @@ func (e *Engine) fastRetransmit(p *pcb) {
 // TIME-WAIT reaping, and handshake retries.
 func (e *Engine) Tick(now time.Time) {
 	e.now = now
+	// Elastic pools: evaluate the header pool's grow/shrink policy once per
+	// loop iteration (quiescence is counted in iterations).
+	e.hdrPool.Tick()
 	var dead []*pcb
 	for _, p := range e.sockets {
+		// Advance each socket buffer's quiescence clock so idle
+		// connections shrink back to their base complement.
+		if p.buf != nil {
+			p.buf.Tick()
+		}
 		// Delayed ACK.
 		if !p.delAckAt.IsZero() && !now.Before(p.delAckAt) {
 			e.sendAck(p)

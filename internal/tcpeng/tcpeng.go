@@ -119,6 +119,11 @@ type Config struct {
 	ShardCount int
 	// PublishBuf exports a socket's TX buffer to the application.
 	PublishBuf func(sock uint32, buf *sockbuf.Buf)
+	// ElasticBufs provisions per-socket TX buffers elastically: each
+	// socket starts at sockbuf.ElasticBaseChunks and grows on demand to
+	// sockbuf.DefaultChunks, shrinking back when the app goes idle — so
+	// socket memory scales with active connections, not the worst case.
+	ElasticBufs bool
 	// SaveState persists the recoverable state (called on transitions).
 	SaveState func(blob []byte)
 }
@@ -457,12 +462,17 @@ func (e *Engine) connect(r msg.Req) {
 		e.reply(r.ID, r.Flow, msg.StatusErrInUse)
 		return
 	}
+	if !e.ensureBuf(p) {
+		// Socket-buffer memory exhausted: EWOULDBLOCK-style backpressure
+		// (the port stays bound, the app may retry), not a dead socket.
+		e.reply(r.ID, r.Flow, msg.StatusErrNoBufs)
+		return
+	}
 	p.fourTuple = key
 	e.conns[key] = p.id
 	e.initSendState(p)
 	p.state = StateSynSent
 	p.pendingConnect = r.ID
-	e.ensureBuf(p)
 	e.emitSegment(p, netpkt.TCPSyn, p.iss, nil, 0, true)
 	p.sndNxt = p.iss + 1
 	p.rto = synRTO
@@ -480,20 +490,33 @@ func (e *Engine) initSendState(p *pcb) {
 	p.sndWnd = MSS
 }
 
-// ensureBuf creates and publishes the socket's TX buffer.
-func (e *Engine) ensureBuf(p *pcb) {
+// ensureBuf creates and publishes the socket's TX buffer; false means
+// socket-buffer memory could not be provisioned (callers must surface that
+// as backpressure, not silence).
+func (e *Engine) ensureBuf(p *pcb) bool {
 	if p.buf != nil {
-		return
+		return true
 	}
-	buf, err := sockbuf.New(e.cfg.Space, fmt.Sprintf("tcp.sock.%d", p.id),
-		sockbuf.DefaultChunkSize, sockbuf.DefaultChunks)
+	name := fmt.Sprintf("tcp.sock.%d", p.id)
+	var (
+		buf *sockbuf.Buf
+		err error
+	)
+	if e.cfg.ElasticBufs {
+		buf, err = sockbuf.NewElastic(e.cfg.Space, name,
+			sockbuf.DefaultChunkSize, sockbuf.ElasticBaseChunks, sockbuf.DefaultChunks)
+	} else {
+		buf, err = sockbuf.New(e.cfg.Space, name,
+			sockbuf.DefaultChunkSize, sockbuf.DefaultChunks)
+	}
 	if err != nil {
-		return
+		return false
 	}
 	p.buf = buf
 	if e.cfg.PublishBuf != nil {
 		e.cfg.PublishBuf(p.id, buf)
 	}
+	return true
 }
 
 func (e *Engine) send(r msg.Req) {
@@ -510,10 +533,18 @@ func (e *Engine) send(r msg.Req) {
 		} else {
 			e.reply(r.ID, r.Flow, msg.StatusErrNotConn)
 		}
+		e.recycleChain(p, r)
 		return
 	}
 	if p.finQueued {
 		e.reply(r.ID, r.Flow, msg.StatusErrInval)
+		e.recycleChain(p, r)
+		return
+	}
+	if p.buf == nil && !e.ensureBuf(p) {
+		// The socket's shared buffer never materialized (alloc failure at
+		// connection setup): backpressure, not a hard error.
+		e.reply(r.ID, r.Flow, msg.StatusErrAgain)
 		return
 	}
 	total := 0
@@ -526,6 +557,19 @@ func (e *Engine) send(r msg.Req) {
 	rep.Arg[0] = uint64(total)
 	e.toFront = append(e.toFront, rep)
 	e.output(p)
+}
+
+// recycleChain returns a rejected send request's staged chunks to the
+// socket's supply ring. Without this, every rejected send leaks the app's
+// buffer space — the app cannot recycle (the transport is the ring's only
+// producer), so rejection must hand the chunks back here.
+func (e *Engine) recycleChain(p *pcb, r msg.Req) {
+	if p.buf == nil {
+		return
+	}
+	for _, ptr := range r.Chain() {
+		p.buf.Recycle(ptr)
+	}
 }
 
 func (e *Engine) recv(r msg.Req) {

@@ -22,6 +22,7 @@ import (
 	"newtos/internal/netpkt"
 	"newtos/internal/pfeng"
 	"newtos/internal/proc"
+	"newtos/internal/shm"
 	"newtos/internal/sockbuf"
 	"newtos/internal/tcpeng"
 	"newtos/internal/wiring"
@@ -89,6 +90,10 @@ type Config struct {
 	// "ip-tcp"/"sc-tcp", shard-0 storage keys).
 	Shard  int
 	Shards int
+	// Elastic provisions this shard's header pool and the per-socket TX
+	// buffers elastically (grow under pressure, shrink after quiescence)
+	// instead of statically at the worst case.
+	Elastic bool
 }
 
 // edges returns the shard's IP- and SYSCALL-facing edge names.
@@ -125,19 +130,30 @@ func (s *Server) Engine() *tcpeng.Engine { return s.eng }
 // from the storage server (established connections are lost by design).
 func (s *Server) Init(rt *proc.Runtime, restart bool) error {
 	hub := s.ports.Hub()
-	hdrPool, err := hub.Space.NewPool(fmt.Sprintf("tcp.%d.hdr.%d", s.cfg.Shard, rt.Incarnation), 128, 8192)
+	// Elastic shards start the header pool at 1/8 of the historical
+	// worst-case complement and grow it segment by segment back to the
+	// same cap under load.
+	hdrChunks, hdrSegs := 8192, 1
+	if s.cfg.Elastic {
+		hdrChunks, hdrSegs = 1024, 8
+	}
+	hdrPool, err := hub.Space.NewPool(fmt.Sprintf("tcp.%d.hdr.%d", s.cfg.Shard, rt.Incarnation), 128, hdrChunks)
 	if err != nil {
 		return fmt.Errorf("tcpsrv: %w", err)
 	}
+	if s.cfg.Elastic {
+		hdrPool.SetElastic(shm.Elastic{MaxSegments: hdrSegs})
+	}
 	storageKey := StorageKeyFor(s.cfg.Shard)
 	s.eng = tcpeng.New(tcpeng.Config{
-		Space:      hub.Space,
-		LocalIP:    s.cfg.LocalIP,
-		SrcFor:     s.cfg.SrcFor,
-		Offload:    s.cfg.Offload,
-		TSO:        s.cfg.TSO,
-		ShardID:    s.cfg.Shard,
-		ShardCount: s.cfg.Shards,
+		Space:       hub.Space,
+		LocalIP:     s.cfg.LocalIP,
+		SrcFor:      s.cfg.SrcFor,
+		Offload:     s.cfg.Offload,
+		TSO:         s.cfg.TSO,
+		ShardID:     s.cfg.Shard,
+		ShardCount:  s.cfg.Shards,
+		ElasticBufs: s.cfg.Elastic,
 		PublishBuf: func(sock uint32, buf *sockbuf.Buf) {
 			hub.Reg.Publish(BufKeyPfx+fmt.Sprint(sock), buf)
 		},

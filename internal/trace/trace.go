@@ -77,6 +77,64 @@ func (c *BatchCounter) String() string {
 		c.Msgs(), c.Batches(), c.Avg(), c.Max())
 }
 
+// PoolCounters surfaces one elastic shared-memory pool's activity: gauges
+// for the current segment count and in-use chunks, and counters for grow,
+// shrink, and pressure (hard allocation failure) events. It implements
+// shm.PoolObserver, so installing it with Pool.SetObserver keeps the event
+// counters live; the owner refreshes the gauges from its loop with Sample.
+//
+// Padded to a cache line so per-pool counters allocated side by side do not
+// false-share.
+type PoolCounters struct {
+	segments atomic.Int64
+	inUse    atomic.Int64
+	grows    atomic.Uint64
+	shrinks  atomic.Uint64
+	pressure atomic.Uint64
+	_        [24]byte
+}
+
+// Sample refreshes the gauges (called from the owner's loop).
+func (c *PoolCounters) Sample(segments, inUse int) {
+	c.segments.Store(int64(segments))
+	c.inUse.Store(int64(inUse))
+}
+
+// PoolGrew records a segment append (shm.PoolObserver).
+func (c *PoolCounters) PoolGrew(segments int) {
+	c.segments.Store(int64(segments))
+	c.grows.Add(1)
+}
+
+// PoolShrank records trailing-segment retirement (shm.PoolObserver).
+func (c *PoolCounters) PoolShrank(segments int) {
+	c.segments.Store(int64(segments))
+	c.shrinks.Add(1)
+}
+
+// PoolPressure records a hard allocation failure (shm.PoolObserver).
+func (c *PoolCounters) PoolPressure() { c.pressure.Add(1) }
+
+// Segments returns the segment-count gauge.
+func (c *PoolCounters) Segments() int { return int(c.segments.Load()) }
+
+// InUse returns the in-use chunk gauge.
+func (c *PoolCounters) InUse() int { return int(c.inUse.Load()) }
+
+// Grows returns how many segments were appended.
+func (c *PoolCounters) Grows() uint64 { return c.grows.Load() }
+
+// Shrinks returns how many shrink events retired segments.
+func (c *PoolCounters) Shrinks() uint64 { return c.shrinks.Load() }
+
+// Pressure returns how many allocations failed hard (pool full at cap).
+func (c *PoolCounters) Pressure() uint64 { return c.pressure.Load() }
+
+func (c *PoolCounters) String() string {
+	return fmt.Sprintf("%d segs, %d in use (+%d/-%d segs, %d pressure)",
+		c.Segments(), c.InUse(), c.Grows(), c.Shrinks(), c.Pressure())
+}
+
 // Sample is one point of a bitrate time series.
 type Sample struct {
 	T    time.Duration // since sampling start

@@ -72,3 +72,24 @@ func TestMbpsFormat(t *testing.T) {
 		t.Fatalf("Mbps = %q", got)
 	}
 }
+
+func TestPoolCounters(t *testing.T) {
+	var c PoolCounters
+	c.Sample(1, 10)
+	if c.Segments() != 1 || c.InUse() != 10 {
+		t.Fatalf("gauges = %d, %d", c.Segments(), c.InUse())
+	}
+	c.PoolGrew(2)
+	c.PoolGrew(3)
+	c.PoolShrank(2)
+	c.PoolPressure()
+	if c.Segments() != 2 {
+		t.Fatalf("segment gauge = %d after events", c.Segments())
+	}
+	if c.Grows() != 2 || c.Shrinks() != 1 || c.Pressure() != 1 {
+		t.Fatalf("counters = %d/%d/%d", c.Grows(), c.Shrinks(), c.Pressure())
+	}
+	if s := c.String(); s == "" {
+		t.Fatal("empty String()")
+	}
+}

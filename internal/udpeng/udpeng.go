@@ -38,6 +38,10 @@ type Config struct {
 	// PublishBuf exports a socket's TX buffer to the application (via the
 	// registry in the real assembly). May be nil in tests.
 	PublishBuf func(sock uint32, buf *sockbuf.Buf)
+	// ElasticBufs provisions per-socket TX buffers elastically (small base
+	// complement, demand growth up to sockbuf.DefaultChunks, shrink after
+	// quiescence) so socket memory scales with active sockets.
+	ElasticBufs bool
 	// SaveState persists the socket table for crash recovery. May be nil.
 	SaveState func(blob []byte)
 	// RecvQueueCap bounds per-socket queued datagrams (default 64);
@@ -174,12 +178,34 @@ func (e *Engine) FromIP(r msg.Req) {
 	}
 }
 
+// Tick runs the per-iteration elastic-pool policy: the header pool and
+// every socket buffer advance their quiescence clocks, so grown segments
+// retire even on sockets that have gone fully idle. The server loop calls
+// it once per iteration.
+func (e *Engine) Tick() {
+	e.hdrPool.Tick()
+	for _, s := range e.sockets {
+		if s.buf != nil {
+			s.buf.Tick()
+		}
+	}
+}
+
+// newBuf provisions one socket's shared TX buffer, elastic or static per
+// the engine configuration.
+func (e *Engine) newBuf(owner string) (*sockbuf.Buf, error) {
+	if e.cfg.ElasticBufs {
+		return sockbuf.NewElastic(e.cfg.Space, owner,
+			sockbuf.DefaultChunkSize, sockbuf.ElasticBaseChunks, sockbuf.DefaultChunks)
+	}
+	return sockbuf.New(e.cfg.Space, owner, sockbuf.DefaultChunkSize, sockbuf.DefaultChunks)
+}
+
 func (e *Engine) create(r msg.Req) {
 	e.next++
 	id := e.next
 	s := &socket{id: id}
-	buf, err := sockbuf.New(e.cfg.Space, fmt.Sprintf("udp.sock.%d", id),
-		sockbuf.DefaultChunkSize, sockbuf.DefaultChunks)
+	buf, err := e.newBuf(fmt.Sprintf("udp.sock.%d", id))
 	if err != nil {
 		e.toFront = append(e.toFront, r.Reply(msg.OpSockReply, msg.StatusErrNoBufs))
 		return
@@ -242,6 +268,17 @@ func (e *Engine) autobind(s *socket) {
 	}
 }
 
+// recycleChain hands a rejected send's staged chunks back to the socket's
+// supply ring (the engine is the ring's only producer; the app cannot).
+func (e *Engine) recycleChain(s *socket, r msg.Req) {
+	if s.buf == nil {
+		return
+	}
+	for _, ptr := range r.Chain() {
+		s.buf.Recycle(ptr)
+	}
+}
+
 func (e *Engine) send(r msg.Req) {
 	s, ok := e.sockets[r.Flow]
 	if !ok {
@@ -253,6 +290,7 @@ func (e *Engine) send(r msg.Req) {
 	if dstPort == 0 {
 		if !s.connected {
 			e.toFront = append(e.toFront, r.Reply(msg.OpSockReply, msg.StatusErrNotConn))
+			e.recycleChain(s, r)
 			return
 		}
 		dstIP, dstPort = s.remoteIP, s.remotePt
@@ -270,7 +308,10 @@ func (e *Engine) send(r msg.Req) {
 	// consumers; each layer prepends its header in its own chunk).
 	hdrPtr, hdrBuf, err := e.hdrPool.Alloc()
 	if err != nil {
+		// Header-pool exhaustion is backpressure: give the app its staged
+		// chunks back so the EWOULDBLOCK-style retry can restage them.
 		e.toFront = append(e.toFront, r.Reply(msg.OpSockReply, msg.StatusErrNoBufs))
+		e.recycleChain(s, r)
 		return
 	}
 	uh := netpkt.UDPHeader{
@@ -533,8 +574,7 @@ func (e *Engine) RestoreState(blob []byte) error {
 			id: sv.ID, port: sv.Port, bound: sv.Bound,
 			remoteIP: sv.RemoteIP, remotePt: sv.RemotePt, connected: sv.Connected,
 		}
-		buf, err := sockbuf.New(e.cfg.Space, fmt.Sprintf("udp.sock.%d.r", s.id),
-			sockbuf.DefaultChunkSize, sockbuf.DefaultChunks)
+		buf, err := e.newBuf(fmt.Sprintf("udp.sock.%d.r", s.id))
 		if err != nil {
 			return fmt.Errorf("udpeng: restore buf: %w", err)
 		}

@@ -15,6 +15,7 @@ import (
 	"newtos/internal/netpkt"
 	"newtos/internal/pfeng"
 	"newtos/internal/proc"
+	"newtos/internal/shm"
 	"newtos/internal/sockbuf"
 	"newtos/internal/udpeng"
 	"newtos/internal/wiring"
@@ -33,6 +34,9 @@ type Config struct {
 	// SrcFor selects the source address per destination (multi-homed).
 	SrcFor  func(netpkt.IPAddr) netpkt.IPAddr
 	Offload bool
+	// Elastic provisions the header pool and per-socket TX buffers
+	// elastically (grow under pressure, shrink after quiescence).
+	Elastic bool
 }
 
 // Server is one UDP server incarnation.
@@ -62,15 +66,25 @@ func (s *Server) Engine() *udpeng.Engine { return s.eng }
 // from the storage server and the sockets recreated.
 func (s *Server) Init(rt *proc.Runtime, restart bool) error {
 	hub := s.ports.Hub()
-	hdrPool, err := hub.Space.NewPool(fmt.Sprintf("udp.hdr.%d", rt.Incarnation), 128, 4096)
+	// Elastic servers start the header pool at 1/8 of the historical
+	// worst-case complement and grow on demand back to the same cap.
+	hdrChunks, hdrSegs := 4096, 1
+	if s.cfg.Elastic {
+		hdrChunks, hdrSegs = 512, 8
+	}
+	hdrPool, err := hub.Space.NewPool(fmt.Sprintf("udp.hdr.%d", rt.Incarnation), 128, hdrChunks)
 	if err != nil {
 		return fmt.Errorf("udpsrv: %w", err)
 	}
+	if s.cfg.Elastic {
+		hdrPool.SetElastic(shm.Elastic{MaxSegments: hdrSegs})
+	}
 	s.eng = udpeng.New(udpeng.Config{
-		Space:   hub.Space,
-		LocalIP: s.cfg.LocalIP,
-		SrcFor:  s.cfg.SrcFor,
-		Offload: s.cfg.Offload,
+		Space:       hub.Space,
+		LocalIP:     s.cfg.LocalIP,
+		SrcFor:      s.cfg.SrcFor,
+		Offload:     s.cfg.Offload,
+		ElasticBufs: s.cfg.Elastic,
 		PublishBuf: func(sock uint32, buf *sockbuf.Buf) {
 			hub.Reg.Publish(BufKeyPfx+fmt.Sprint(sock), buf)
 		},
@@ -147,6 +161,10 @@ func (s *Server) Poll(now time.Time) bool {
 			worked = true
 		}
 	}
+
+	// Elastic pools: one policy step per loop iteration (header pool and
+	// idle socket buffers).
+	s.eng.Tick()
 
 	s.ipBox.Push(s.eng.DrainToIP()...)
 	if s.ipBox.Flush() {
