@@ -272,6 +272,31 @@ func (n *Node) Stop() {
 // Proc returns a component's process handle (fault injection, restarts).
 func (n *Node) Proc(name string) *proc.Proc { return n.procs[name] }
 
+// OutboxDropped totals, across every running server loop on this node, the
+// staged requests shed because their target incarnation died before they
+// flushed — the observable cost of outbox generation-stamping during
+// recovery (wiring.Outbox).
+func (n *Node) OutboxDropped() uint64 {
+	var total uint64
+	for _, c := range n.OutboxDroppedPer() {
+		total += c
+	}
+	return total
+}
+
+// OutboxDroppedPer breaks OutboxDropped down by component. Counters are
+// per-incarnation (a restarted component starts from zero), so deltas
+// across a crash must be taken per component, never on the node total.
+func (n *Node) OutboxDroppedPer() map[string]uint64 {
+	out := make(map[string]uint64, len(n.procs))
+	for name, p := range n.procs {
+		if r, ok := p.Service().(wiring.DropReporter); ok {
+			out[name] = r.OutboxDropped()
+		}
+	}
+	return out
+}
+
 // Components lists the crashable stack components on this node (the
 // fault-injection population of Table III); every TCP shard is its own
 // crashable component.

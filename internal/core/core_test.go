@@ -242,6 +242,68 @@ func TestPFBlocksAndStatefulPasses(t *testing.T) {
 	}
 }
 
+// TestPFPolicyPerInterface is the policy-routing scenario: the same port
+// is blocked on one NIC and open on another. The rule travels packed over
+// the control plane (pf.PackRule Iface bytes) and the verdict queries carry
+// the crossing interface, so the whole per-interface PF path is end to end.
+func TestPFPolicyPerInterface(t *testing.T) {
+	cfg := SplitTSO()
+	cfg.DedicatedCores = false
+	cfg.HeartbeatMiss = 150 * time.Millisecond
+	lan, err := NewLAN(cfg, 2, nic.WireConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := lan.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(lan.Stop)
+
+	// eth1 is the untrusted wire: inbound TCP to 7300 is blocked there
+	// only.
+	if err := lan.B.AddPFRule(pfeng.Rule{
+		Action: pfeng.Block, Dir: pfeng.In, Proto: 6, DstPort: 7300,
+		Iface: "eth1", Quick: true,
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	ready := make(chan struct{})
+	done := make(chan error, 1)
+	go echoServer(t, lan, 7300, ready, done)
+	<-ready
+
+	cli, err := sock.NewClient(lan.A.Hub, "policycli")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cli.CallTimeout = 3 * time.Second
+	blocked, err := cli.Socket(sock.TCP)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := blocked.Connect(lan.IPOf("b", 1), 7300); err == nil {
+		t.Fatal("connect over the blocked interface succeeded")
+	}
+
+	// The same port over eth0 works.
+	cli.CallTimeout = 10 * time.Second
+	ok, err := cli.Socket(sock.TCP)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ok.Connect(lan.IPOf("b", 0), 7300); err != nil {
+		t.Fatalf("connect over the open interface: %v", err)
+	}
+	if _, err := ok.Send([]byte("hi")); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 16)
+	if n, err := ok.Recv(buf); err != nil || string(buf[:n]) != "hi" {
+		t.Fatalf("echo over open interface: %q %v", buf[:n], err)
+	}
+}
+
 // transferUnderCrash runs a TCP echo session and injects a fault into the
 // named component of node B mid-transfer, asserting the transfer still
 // completes (transparent recovery) unless expectBreak.

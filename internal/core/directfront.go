@@ -135,6 +135,16 @@ func (d *directFront) Poll(now time.Time) bool {
 
 func (d *directFront) Deadline(now time.Time) time.Time { return d.inner.Deadline(now) }
 
+// OutboxDropped forwards the wrapped transport's counter plus the shim's
+// own staging buffer (wiring.DropReporter).
+func (d *directFront) OutboxDropped() uint64 {
+	n := wiring.SumDropped(d.box)
+	if r, ok := d.inner.(wiring.DropReporter); ok {
+		n += r.OutboxDropped()
+	}
+	return n
+}
+
 func (d *directFront) Stop() {
 	if d.ep != nil {
 		d.ep.Close()

@@ -18,9 +18,24 @@ type LAN struct {
 	Wires []*nic.Wire
 }
 
+// LANOpts tunes topology details beyond the paper defaults.
+type LANOpts struct {
+	// PeerGateways installs on every interface a gateway route via the
+	// peer's address on that wire. With plain subnet routes a dst is only
+	// reachable over its own wire; peer gateways give the route table a
+	// live fallback, so a link failure mid-transfer can fail over to a
+	// surviving NIC (experiments.RunLinkFailover).
+	PeerGateways bool
+}
+
 // NewLAN builds two mirrored nodes from base (Name/Ifaces are filled in),
 // with nWires links. Link i carries subnet 10.0.<i>.0/24: A = .1, B = .2.
 func NewLAN(base Config, nWires int, wcfg nic.WireConfig) (*LAN, error) {
+	return NewLANOpt(base, nWires, wcfg, LANOpts{})
+}
+
+// NewLANOpt is NewLAN with explicit topology options.
+func NewLANOpt(base Config, nWires int, wcfg nic.WireConfig, o LANOpts) (*LAN, error) {
 	hubA := wiring.NewHub(kipc.New(base.Kernel))
 	hubB := wiring.NewHub(kipc.New(base.Kernel))
 
@@ -45,12 +60,18 @@ func NewLAN(base Config, nWires int, wcfg nic.WireConfig) (*LAN, error) {
 		lan.Wires = append(lan.Wires, w)
 		devsA[name] = devA
 		devsB[name] = devB
-		ifacesA = append(ifacesA, ipeng.IfaceConfig{
+		icA := ipeng.IfaceConfig{
 			Name: name, IP: netpkt.IPAddr{10, 0, byte(i), 1}, MaskBits: 24,
-		})
-		ifacesB = append(ifacesB, ipeng.IfaceConfig{
+		}
+		icB := ipeng.IfaceConfig{
 			Name: name, IP: netpkt.IPAddr{10, 0, byte(i), 2}, MaskBits: 24,
-		})
+		}
+		if o.PeerGateways {
+			icA.GW = icB.IP
+			icB.GW = icA.IP
+		}
+		ifacesA = append(ifacesA, icA)
+		ifacesB = append(ifacesB, icB)
 	}
 
 	cfgA := base
@@ -99,6 +120,13 @@ func (l *LAN) IPOf(side string, link int) netpkt.IPAddr {
 		host = 2
 	}
 	return netpkt.IPAddr{10, 0, byte(link), host}
+}
+
+// SetLink administratively raises or lowers one end of a wire; carrier is
+// lost on both ends (nic.Device.SetLink), and the drivers on each side
+// report the transition to their IP servers as link events.
+func (l *LAN) SetLink(side string, link int, up bool) {
+	l.DeviceOf(side, link).SetLink(up)
 }
 
 // DeviceOf exposes a node's device for raw frame injection (examples,

@@ -61,7 +61,11 @@ func (c *PFClient) call(req msg.Req) (msg.Req, error) {
 
 // AddRule installs one rule.
 func (c *PFClient) AddRule(rule pfeng.Rule) error {
-	rep, err := c.call(pf.PackRule(rule))
+	req, err := pf.PackRule(rule)
+	if err != nil {
+		return err
+	}
+	rep, err := c.call(req)
 	if err != nil {
 		return err
 	}

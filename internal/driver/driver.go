@@ -34,6 +34,10 @@ type Server struct {
 	outIP   *wiring.Outbox
 	scratch []msg.Req
 	wired   bool
+	// lastLink/linkKnown track the device link state already reported to
+	// IP, so Poll forwards each transition as exactly one edge event.
+	lastLink  bool
+	linkKnown bool
 }
 
 var _ proc.Service = (*Server)(nil)
@@ -89,10 +93,24 @@ func (s *Server) Poll(now time.Time) bool {
 		}
 		info.Arg[0] = m
 		s.outIP.Push(info)
+		s.linkKnown = false // (re)announce link state to the new edge
 		worked = true
 	}
 	if !dup.Valid() {
 		return worked
+	}
+
+	// Link transitions are edge events IP's route table depends on: report
+	// every change exactly once (SetLink raises an interrupt, so the loop
+	// wakes promptly; retrain completion is caught by the regular poll).
+	if up := s.dev.LinkUp(); !s.linkKnown || up != s.lastLink {
+		s.linkKnown, s.lastLink = true, up
+		ev := msg.Req{Op: msg.OpLinkEvent}
+		if up {
+			ev.Arg[0] = 1
+		}
+		s.outIP.Push(ev)
+		worked = true
 	}
 
 	// Drain interrupt notifications (edge-style; completions collected
@@ -176,6 +194,11 @@ func (s *Server) handleIPReq(r msg.Req) {
 		s.dev.Reset()
 	}
 }
+
+// OutboxDropped reports how many staged requests this loop discarded
+// because their target incarnation died before they flushed
+// (wiring.DropReporter).
+func (s *Server) OutboxDropped() uint64 { return wiring.SumDropped(s.outIP) }
 
 // Deadline: the driver has no timers; device interrupts wake it.
 func (s *Server) Deadline(now time.Time) time.Time { return time.Time{} }

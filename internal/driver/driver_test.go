@@ -157,6 +157,28 @@ func TestDriverDeliversReceivedFrames(t *testing.T) {
 	}
 }
 
+func TestDriverForwardsLinkTransitions(t *testing.T) {
+	r := newRig(t)
+	// Boot announces MAC and the initial (up) link state.
+	r.waitMsg(func(m msg.Req) bool { return m.Op == msg.OpDrvInfo })
+	ev := r.waitMsg(func(m msg.Req) bool { return m.Op == msg.OpLinkEvent })
+	if ev.Arg[0] != 1 {
+		t.Fatalf("initial link event = %+v, want up", ev)
+	}
+
+	r.dev.SetLink(false)
+	ev = r.waitMsg(func(m msg.Req) bool { return m.Op == msg.OpLinkEvent })
+	if ev.Arg[0] != 0 {
+		t.Fatalf("link-down event = %+v, want down", ev)
+	}
+
+	r.dev.SetLink(true)
+	ev = r.waitMsg(func(m msg.Req) bool { return m.Op == msg.OpLinkEvent })
+	if ev.Arg[0] != 1 {
+		t.Fatalf("link-up event = %+v, want up", ev)
+	}
+}
+
 func TestDriverSurvivesRestartAndResetsDevice(t *testing.T) {
 	r := newRig(t)
 	r.waitMsg(func(m msg.Req) bool { return m.Op == msg.OpDrvInfo })

@@ -165,7 +165,12 @@ type RecoveryReport struct {
 	Component   string
 	StateBytes  int
 	RecoveryDur time.Duration
-	Notes       string
+	// PeerDrops is how many staged requests the node's OTHER loops shed
+	// during this recovery because they were produced for the dead
+	// incarnation (wiring.Outbox generation stamping) — the counter every
+	// server now exports through wiring.DropReporter.
+	PeerDrops uint64
+	Notes     string
 }
 
 // RunTable1 crashes each component once on an idle-ish system and measures
@@ -242,6 +247,7 @@ func RunTable1() ([]RecoveryReport, error) {
 			}
 		}
 		before := len(lan.B.Monitor.Events())
+		dropsBefore := lan.B.OutboxDroppedPer()
 		p := lan.B.Proc(comp)
 		if p == nil || p.Fault() == nil {
 			continue
@@ -257,8 +263,15 @@ func RunTable1() ([]RecoveryReport, error) {
 			ev := evs[len(evs)-1]
 			rep.RecoveryDur = ev.RecoveredAt.Sub(ev.DetectedAt)
 		}
-		out = append(out, rep)
 		time.Sleep(200 * time.Millisecond) // settle before the next crash
+		// Per-component deltas, floored at zero: the crashed component's
+		// own counter restarts from scratch with its new incarnation.
+		for name, after := range lan.B.OutboxDroppedPer() {
+			if b := dropsBefore[name]; after > b {
+				rep.PeerDrops += after - b
+			}
+		}
+		out = append(out, rep)
 	}
 	return out, nil
 }

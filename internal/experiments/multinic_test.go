@@ -1,0 +1,60 @@
+package experiments
+
+import (
+	"testing"
+	"time"
+)
+
+// TestLinkFailover is the end-to-end multi-homed correctness check: a TCP
+// transfer addressed to wire 0's subnet survives an administrative
+// link-down of that wire mid-transfer — the data completes over the
+// surviving NIC (peer-gateway route + weak-host acceptance) and every byte
+// the application sent arrives.
+func TestLinkFailover(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full failover transfer")
+	}
+	res, err := RunLinkFailover(FailoverOpts{Warmup: 250 * time.Millisecond, Tail: 250 * time.Millisecond})
+	if err != nil {
+		t.Fatalf("failover run failed: %v", err)
+	}
+	if res.BytesReceived == 0 || res.BytesSent == 0 {
+		t.Fatalf("no data moved: %+v", res)
+	}
+	if res.BytesReceived != res.BytesSent {
+		t.Fatalf("transfer incomplete across failover: sent %d, received %d",
+			res.BytesSent, res.BytesReceived)
+	}
+	if res.SurvivorRxBytes == 0 {
+		t.Fatalf("no traffic on the surviving NIC after the cut: %+v", res)
+	}
+	if res.DeadRxFramesAfterCut != 0 {
+		t.Fatalf("dead wire still delivered %d frames after carrier loss", res.DeadRxFramesAfterCut)
+	}
+	if res.Recovery <= 0 || res.Recovery > 10*time.Second {
+		t.Fatalf("implausible recovery time %v", res.Recovery)
+	}
+	t.Logf("failover: recovery %v, %d bytes total, %d bytes over survivor",
+		res.Recovery, res.BytesReceived, res.SurvivorRxBytes)
+}
+
+// TestMultiNICAggregateBeatsSingle is the Table 2-style multi-NIC row: two
+// gigabit wires into one IP server must out-aggregate one. Kept short; the
+// full-duration numbers live in BenchmarkSec4_MultiNIC / EXPERIMENTS.md.
+func TestMultiNICAggregateBeatsSingle(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full multi-NIC transfer")
+	}
+	res, err := RunMultiNIC(Table2Opts{Duration: 600 * time.Millisecond, ConnsPerWire: 2})
+	if err != nil {
+		t.Fatalf("multi-NIC run failed: %v", err)
+	}
+	if res.SingleMbps <= 0 || res.AggregateMbps <= 0 {
+		t.Fatalf("no data moved: %+v", res)
+	}
+	if res.AggregateMbps <= res.SingleMbps {
+		t.Fatalf("two NICs did not out-aggregate one: single %.1f Mbps, aggregate %.1f Mbps",
+			res.SingleMbps, res.AggregateMbps)
+	}
+	t.Logf("multi-NIC: single %.1f Mbps, aggregate %.1f Mbps", res.SingleMbps, res.AggregateMbps)
+}

@@ -139,7 +139,7 @@ func RunRxBurst(opts RxBurstOpts) (RxBurstResult, error) {
 	// inbound deliveries like a slow transport, and release the oldest
 	// once more than hold are waiting.
 	pump := func(hold int) {
-		eng.Tick()
+		eng.Tick(time.Now())
 		for _, r := range eng.DrainToDriver("eth0") {
 			switch r.Op {
 			case msg.OpRxSupply:

@@ -43,6 +43,12 @@ const (
 	HdrChunkSize = 2048
 	arpTimeout   = 500 * time.Millisecond
 	arpQueueCap  = 128
+	// maxARPTries bounds resolution attempts per neighbor: after this many
+	// unanswered requests the queued packets fail with StatusErrNoRoute and
+	// their chunks are freed, instead of retrying forever and pinning up to
+	// arpQueueCap chunks per neighbor per interface (which would also keep
+	// elastic pools from ever shrinking the segments those chunks live in).
+	maxARPTries = 5
 	// hdrChunks / elasticHdrChunks size the header pool: static pools keep
 	// the historical worst-case complement, elastic pools start at a
 	// quarter of it and grow on demand.
@@ -105,6 +111,15 @@ type Stats struct {
 	DropsRingFull           uint64
 	TxResubmitted           uint64
 	PFResubmitted           uint64
+	// LinkDowns/LinkUps count link transitions reported by the drivers.
+	LinkDowns, LinkUps uint64
+	// Rerouted counts packets moved to another live interface when their
+	// egress link died while they were parked awaiting ARP resolution.
+	Rerouted uint64
+	// ARPFailed counts packets failed back to their transport because the
+	// next hop never answered maxARPTries ARP requests (or the link died
+	// with no alternative route).
+	ARPFailed uint64
 	// RxPressure counts RX-buffer allocations that failed while supplying
 	// a driver: each one is a receive buffer the device went without.
 	RxPressure uint64
@@ -114,10 +129,16 @@ type iface struct {
 	cfg   IfaceConfig
 	mac   netpkt.MAC
 	macOK bool
-	arp   map[netpkt.IPAddr]netpkt.MAC
+	// linkUp mirrors the driver's last link event; the route table skips
+	// interfaces whose link is down.
+	linkUp bool
+	arp    map[netpkt.IPAddr]netpkt.MAC
 	// pending holds packets awaiting ARP resolution of a next hop.
 	pending map[netpkt.IPAddr][]*outPkt
 	arpSent map[netpkt.IPAddr]time.Time
+	// arpTries counts unanswered ARP requests per next hop; at maxARPTries
+	// the pending queue for that neighbor is failed and freed.
+	arpTries map[netpkt.IPAddr]int
 	// outstanding receive buffers supplied to the driver.
 	rxOutstanding int
 	// rxPressure counts resupply allocations this interface lost to pool
@@ -136,6 +157,10 @@ type outPkt struct {
 	offload   uint64
 	segSize   uint16
 	nextHop   netpkt.IPAddr
+	// dstIP/srcIP are the packet's addresses as routed, kept so a link
+	// failure can re-run route() for packets parked awaiting ARP.
+	dstIP netpkt.IPAddr
+	srcIP netpkt.IPAddr
 	// Reply routing: which transport asked (and, for TCP, which shard),
 	// and with what request ID.
 	srcProto uint8
@@ -225,10 +250,12 @@ func New(cfg Config) (*Engine, error) {
 	}
 	for _, ic := range cfg.Ifaces {
 		e.ifaces[ic.Name] = &iface{
-			cfg:     ic,
-			arp:     make(map[netpkt.IPAddr]netpkt.MAC),
-			pending: make(map[netpkt.IPAddr][]*outPkt),
-			arpSent: make(map[netpkt.IPAddr]time.Time),
+			cfg:      ic,
+			linkUp:   true,
+			arp:      make(map[netpkt.IPAddr]netpkt.MAC),
+			pending:  make(map[netpkt.IPAddr][]*outPkt),
+			arpSent:  make(map[netpkt.IPAddr]time.Time),
+			arpTries: make(map[netpkt.IPAddr]int),
 		}
 		e.order = append(e.order, ic.Name)
 	}
@@ -265,15 +292,18 @@ func (e *Engine) RxPressure(name string) uint64 {
 	return 0
 }
 
-// Tick runs the per-iteration housekeeping the elastic pools need: every
-// driver is topped back up to RxBufsPerDriver (burst traffic parks RX
-// buffers with the transports, so recycling alone under-supplies the
-// device), the pools evaluate their grow/shrink policy, and the trace
-// gauges are refreshed. The server loop calls it once per iteration.
-func (e *Engine) Tick() {
+// Tick runs the per-iteration housekeeping: every driver is topped back up
+// to RxBufsPerDriver (burst traffic parks RX buffers with the transports,
+// so recycling alone under-supplies the device), ARP retries fire and give
+// up for neighbors that never answer, the pools evaluate their grow/shrink
+// policy, and the trace gauges are refreshed. The server loop calls it once
+// per iteration.
+func (e *Engine) Tick(now time.Time) {
+	e.now = now
 	for _, name := range e.order {
 		e.SupplyDriver(name)
 	}
+	e.arpSweep()
 	e.rxPool.Tick()
 	e.hdrPool.Tick()
 	e.rxCounters.Sample(e.rxPool.Segments(), e.rxPool.InUse())
@@ -484,6 +514,8 @@ func (e *Engine) FromDriver(name string, r msg.Req, now time.Time) {
 		e.rxPacket(name, r)
 	case msg.OpTxDone:
 		e.txDone(r)
+	case msg.OpLinkEvent:
+		e.OnLinkChange(name, r.Arg[0] == 1, now)
 	case msg.OpDrvInfo:
 		if ifc, ok := e.ifaces[name]; ok {
 			var mac netpkt.MAC
@@ -525,23 +557,118 @@ func (e *Engine) FromPF(r msg.Req, now time.Time) {
 	}
 }
 
-// route picks the interface and next hop for dst.
-func (e *Engine) route(dst netpkt.IPAddr) (*iface, netpkt.IPAddr, bool) {
-	// Direct subnet first.
+// route is the multi-homed route table: it picks the egress interface and
+// next hop for dst, honoring link state and source binding. src is the
+// packet's (possibly zero) source address; a non-zero src that matches an
+// interface address binds the packet to that interface when it has any
+// route to dst.
+//
+// Every live interface contributes up to one candidate — a connected-subnet
+// route (next hop = dst) or a gateway route (next hop = GW) — and the best
+// candidate wins by precedence:
+//
+//	bound+direct > direct > bound+gateway > gateway
+//
+// Destination specificity comes first (longest-prefix-match: a connected
+// subnet always beats a default gateway), source binding breaks ties among
+// equally specific routes. Interfaces whose link is down never match, which
+// is what makes a dst normally reached over a dead wire fail over to
+// another live subnet or gateway route. Remaining ties keep configuration
+// order.
+func (e *Engine) route(dst, src netpkt.IPAddr) (*iface, netpkt.IPAddr, bool) {
+	const (
+		bound   = 1
+		gateway = 2
+		direct  = 4
+	)
+	var (
+		best      *iface
+		bestHop   netpkt.IPAddr
+		bestScore int
+	)
 	for _, name := range e.order {
 		ifc := e.ifaces[name]
-		if dst.InSubnet(ifc.cfg.IP, ifc.cfg.MaskBits) {
-			return ifc, dst, true
+		if !ifc.linkUp {
+			continue
+		}
+		score, hop := 0, netpkt.IPAddr{}
+		switch {
+		case dst.InSubnet(ifc.cfg.IP, ifc.cfg.MaskBits):
+			score, hop = direct, dst
+		case ifc.cfg.GW != (netpkt.IPAddr{}):
+			score, hop = gateway, ifc.cfg.GW
+		default:
+			continue // no route to dst via this interface
+		}
+		if src != (netpkt.IPAddr{}) && src == ifc.cfg.IP {
+			score += bound
+		}
+		if score > bestScore {
+			best, bestHop, bestScore = ifc, hop, score
 		}
 	}
-	// Default gateway.
+	return best, bestHop, best != nil
+}
+
+// isLocal reports whether ip is one of this host's interface addresses.
+// Inbound acceptance is weak-host: a packet for any local address is ours
+// no matter which interface it arrived on — multi-homed failover depends on
+// it (traffic for a dead wire's address comes in over the surviving one).
+func (e *Engine) isLocal(ip netpkt.IPAddr) bool {
 	for _, name := range e.order {
-		ifc := e.ifaces[name]
-		if ifc.cfg.GW != (netpkt.IPAddr{}) {
-			return ifc, ifc.cfg.GW, true
+		if e.ifaces[name].cfg.IP == ip {
+			return true
 		}
 	}
-	return nil, netpkt.IPAddr{}, false
+	return false
+}
+
+// OnLinkChange applies a driver's link transition to the route table. On a
+// down edge, every packet parked on the interface awaiting ARP resolution
+// is re-routed through a surviving interface — or failed back to its
+// transport with StatusErrNoRoute — instead of staying silently parked on a
+// wire that can no longer carry it. (Frames already posted to the device
+// fail fast through their TxDone completions; the transports' RTO path then
+// retransmits via the new route.)
+func (e *Engine) OnLinkChange(name string, up bool, now time.Time) {
+	e.now = now
+	ifc, ok := e.ifaces[name]
+	if !ok || ifc.linkUp == up {
+		return
+	}
+	ifc.linkUp = up
+	if up {
+		e.stats.LinkUps++
+		return
+	}
+	e.stats.LinkDowns++
+	for hop, pkts := range ifc.pending {
+		delete(ifc.pending, hop)
+		delete(ifc.arpSent, hop)
+		delete(ifc.arpTries, hop)
+		for _, pkt := range pkts {
+			e.reroute(pkt)
+		}
+	}
+}
+
+// reroute re-runs the route table for a parked packet whose egress link
+// died; with no surviving route the packet fails back to its transport.
+// The survivor is a different interface, so the packet goes back through
+// the outbound PF junction — its earlier verdict was for the dead egress,
+// and per-interface policy may differ on the new one.
+func (e *Engine) reroute(pkt *outPkt) {
+	ifc, hop, ok := e.route(pkt.dstIP, pkt.srcIP)
+	if !ok {
+		e.stats.DropsNoRoute++
+		e.failOut(pkt, msg.StatusErrNoRoute)
+		return
+	}
+	e.stats.Rerouted++
+	pkt.ifaceName = ifc.cfg.Name
+	pkt.nextHop = hop
+	pkt.verdictDone = false
+	e.junctionOut(pkt)
 }
 
 // sendOut builds the full frame header for a transport payload and routes
@@ -553,10 +680,10 @@ func (e *Engine) sendOut(proto uint8, shard int, r msg.Req) {
 	src := netpkt.IPFromU32(uint32(r.Arg[1]))
 	offloadReq := r.Arg[3]
 
-	ifc, nextHop, ok := e.route(dst)
+	ifc, nextHop, ok := e.route(dst, src)
 	if !ok {
 		e.stats.DropsNoRoute++
-		e.replyTransport(proto, shard, r.ID, msg.StatusErrInval)
+		e.replyTransport(proto, shard, r.ID, msg.StatusErrNoRoute)
 		return
 	}
 	if src == (netpkt.IPAddr{}) {
@@ -621,6 +748,8 @@ func (e *Engine) sendOut(proto uint8, shard int, r msg.Req) {
 		offload:   offload,
 		segSize:   segSize,
 		nextHop:   nextHop,
+		dstIP:     dst,
+		srcIP:     src,
 		srcProto:  proto,
 		srcShard:  shard,
 		origID:    r.ID,
@@ -644,6 +773,7 @@ func (e *Engine) junctionOut(pkt *outPkt) {
 	})
 	q := msg.Req{ID: id, Op: msg.OpPFQuery}
 	q.Arg[0] = 1 // direction: out
+	q.Arg[1] = msg.PackIfaceName(pkt.ifaceName)
 	// PF sees the packet from the IP header on.
 	chain := append([]shm.RichPtr{pkt.hdr.Slice(netpkt.EthHeaderLen, pkt.hdr.Len)}, pkt.payload...)
 	q.SetChain(chain)
@@ -695,6 +825,11 @@ func (e *Engine) txDone(r msg.Req) {
 	}
 	pkt, ok := data.(*outPkt)
 	if !ok {
+		// Engine-internal frame (ARP request/reply): the tracked data is
+		// the bare header chunk, which is all there is to free.
+		if ptr, isPtr := data.(shm.RichPtr); isPtr {
+			_ = e.hdrPool.Free(ptr)
+		}
 		return
 	}
 	_ = e.hdrPool.Free(pkt.hdr)
@@ -738,11 +873,64 @@ func (e *Engine) maybeARP(ifc *iface, target netpkt.IPAddr) {
 	if t, ok := ifc.arpSent[target]; ok && e.now.Sub(t) < arpTimeout {
 		return
 	}
+	e.sendARP(ifc, target)
+}
+
+// arpSweep is the per-iteration resolution timer: neighbors with packets
+// queued whose last ARP request timed out (or never left, under header-pool
+// pressure) are retried, and after maxARPTries *sent* requests the queue is
+// failed (StatusErrNoRoute) so the transports see an error and the pool
+// chunks are freed. A later packet for the same neighbor starts a fresh
+// episode.
+func (e *Engine) arpSweep() {
+	for _, name := range e.order {
+		ifc := e.ifaces[name]
+		for target := range ifc.pending {
+			if sentAt, ok := ifc.arpSent[target]; ok && e.now.Sub(sentAt) < arpTimeout {
+				continue
+			}
+			if !ifc.linkUp || ifc.arpTries[target] >= maxARPTries {
+				e.failPending(ifc, target, msg.StatusErrNoRoute)
+				continue
+			}
+			e.sendARP(ifc, target)
+		}
+		// Resolution state with no waiters (e.g. queue failed on
+		// link-down) expires quietly.
+		for target, sentAt := range ifc.arpSent {
+			if len(ifc.pending[target]) == 0 && e.now.Sub(sentAt) >= arpTimeout {
+				delete(ifc.arpSent, target)
+				delete(ifc.arpTries, target)
+			}
+		}
+	}
+}
+
+// failPending fails every packet queued behind an unresolvable next hop and
+// clears the neighbor's resolution state.
+func (e *Engine) failPending(ifc *iface, target netpkt.IPAddr, status int32) {
+	pend := ifc.pending[target]
+	delete(ifc.pending, target)
+	delete(ifc.arpSent, target)
+	delete(ifc.arpTries, target)
+	for _, pkt := range pend {
+		e.stats.ARPFailed++
+		e.failOut(pkt, status)
+	}
+}
+
+// sendARP emits one ARP request for target. The attempt timestamp is
+// recorded even when the header pool is exhausted (rate-limiting retries
+// under pressure), but the give-up budget is only charged for requests that
+// actually went out — transient buffer pressure must not turn into a
+// permanent EHOSTUNREACH for a neighbor that was never probed.
+func (e *Engine) sendARP(ifc *iface, target netpkt.IPAddr) {
 	ifc.arpSent[target] = e.now
 	hdrPtr, buf, err := e.hdrPool.Alloc()
 	if err != nil {
-		return
+		return // retry next sweep; the try is not charged
 	}
+	ifc.arpTries[target]++
 	eh := netpkt.EthHeader{Dst: netpkt.Broadcast, Src: ifc.mac, Type: netpkt.EtherTypeARP}
 	eh.Marshal(buf)
 	ap := netpkt.ARPPacket{
@@ -832,6 +1020,7 @@ func (e *Engine) flushPending(ifc *iface, ip netpkt.IPAddr) {
 	}
 	delete(ifc.pending, ip)
 	delete(ifc.arpSent, ip)
+	delete(ifc.arpTries, ip)
 	mac := ifc.arp[ip]
 	for _, pkt := range pend {
 		e.frameOut(ifc, pkt, mac)
@@ -846,7 +1035,7 @@ func (e *Engine) handleIPv4(ifc *iface, name string, buf shm.RichPtr, view []byt
 		e.dropRx(name, buf)
 		return
 	}
-	if ih.Dst != ifc.cfg.IP {
+	if !e.isLocal(ih.Dst) {
 		e.dropRx(name, buf) // not for us; hosts do not forward
 		return
 	}
@@ -882,11 +1071,14 @@ func (e *Engine) handleIPv4(ifc *iface, name string, buf shm.RichPtr, view []byt
 		nid := e.db.NewID()
 		e.db.Track(nid, "pf", p, nil)
 		q := msg.Req{ID: nid, Op: msg.OpPFQuery}
+		q.Arg[0] = 0 // direction: in
+		q.Arg[1] = msg.PackIfaceName(p.ifaceName)
 		q.SetChain([]shm.RichPtr{p.buf.Slice(p.l3Off, p.buf.Len)})
 		e.toPF = append(e.toPF, q)
 	})
 	q := msg.Req{ID: id, Op: msg.OpPFQuery}
 	q.Arg[0] = 0 // direction: in
+	q.Arg[1] = msg.PackIfaceName(pkt.ifaceName)
 	q.SetChain([]shm.RichPtr{buf.Slice(pkt.l3Off, buf.Len)})
 	e.toPF = append(e.toPF, q)
 }
@@ -987,8 +1179,12 @@ func (e *Engine) handleICMP(pkt *inPkt) {
 	rep.Marshal(hdrBuf, len(icmp)-netpkt.ICMPHeaderLen)
 
 	// Route it back through our own send path (post-routing filter
-	// included), as a transportless packet.
-	ifc, nextHop, ok := e.route(pkt.srcIP)
+	// included), as a transportless packet. The reply is source-bound to
+	// the address the echo was addressed to — NOT the egress interface's
+	// address: on a multi-homed host the reply may leave through a
+	// different NIC than the one carrying the pinged address, and answering
+	// from the egress address would break the requester's ID/addr matching.
+	ifc, nextHop, ok := e.route(pkt.srcIP, pkt.dstIP)
 	if !ok {
 		_ = e.hdrPool.Free(hdrPtr)
 		return
@@ -1004,7 +1200,7 @@ func (e *Engine) handleICMP(pkt *inPkt) {
 	ih := netpkt.IPv4Header{
 		TotalLen: uint16(netpkt.IPv4HeaderLen + len(icmp)), ID: e.ipid,
 		TTL: netpkt.DefaultTTL, Proto: netpkt.ProtoICMP,
-		Src: ifc.cfg.IP, Dst: pkt.srcIP,
+		Src: pkt.dstIP, Dst: pkt.srcIP,
 	}
 	ih.Marshal(frameBuf[netpkt.EthHeaderLen:], true)
 	out := &outPkt{
@@ -1014,6 +1210,8 @@ func (e *Engine) handleICMP(pkt *inPkt) {
 		payload:   []shm.RichPtr{hdrPtr.Slice(0, uint32(len(icmp)))},
 		totalLen:  netpkt.EthHeaderLen + netpkt.IPv4HeaderLen + len(icmp),
 		nextHop:   nextHop,
+		dstIP:     pkt.srcIP,
+		srcIP:     pkt.dstIP,
 		srcProto:  netpkt.ProtoICMP,
 		origID:    0,
 	}
@@ -1079,13 +1277,16 @@ func (e *Engine) RestoreState(blob []byte) error {
 	e.cfg.Ifaces = ifaces
 	for _, ic := range ifaces {
 		ni := &iface{
-			cfg:     ic,
-			arp:     make(map[netpkt.IPAddr]netpkt.MAC),
-			pending: make(map[netpkt.IPAddr][]*outPkt),
-			arpSent: make(map[netpkt.IPAddr]time.Time),
+			cfg:      ic,
+			linkUp:   true,
+			arp:      make(map[netpkt.IPAddr]netpkt.MAC),
+			pending:  make(map[netpkt.IPAddr][]*outPkt),
+			arpSent:  make(map[netpkt.IPAddr]time.Time),
+			arpTries: make(map[netpkt.IPAddr]int),
 		}
 		if o, ok := old[ic.Name]; ok {
 			ni.mac, ni.macOK = o.mac, o.macOK
+			ni.linkUp = o.linkUp // physical link state outlives config restore
 		}
 		e.ifaces[ic.Name] = ni
 		e.order = append(e.order, ic.Name)

@@ -363,7 +363,7 @@ func newBurstRig(t *testing.T, elastic shm.Elastic) *burstRig {
 
 // pump runs one "loop iteration": tick the engine and collect new supplies.
 func (r *burstRig) pump() {
-	r.e.Tick()
+	r.e.Tick(time.Now())
 	for _, req := range r.e.DrainToDriver("eth0") {
 		if req.Op == msg.OpRxSupply {
 			r.posted = append(r.posted, req.Ptrs[0])

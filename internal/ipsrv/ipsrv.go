@@ -196,8 +196,9 @@ func (s *Server) Poll(now time.Time) bool {
 	}
 
 	// Per-iteration housekeeping: top drivers back up to their receive
-	// complement and run the pools' elastic grow/shrink policy.
-	s.eng.Tick()
+	// complement, retry/expire ARP resolution, and run the pools' elastic
+	// grow/shrink policy.
+	s.eng.Tick(now)
 
 	// Flush engine output: one batch (and one wakeup) per destination.
 	for name := range s.drvPort {
@@ -242,6 +243,17 @@ func (s *Server) pollTransport(port *wiring.Port, box *wiring.Outbox, proto uint
 		worked = true
 	}
 	return worked
+}
+
+// OutboxDropped sums the requests every IP edge shed across peer
+// reincarnations (wiring.DropReporter).
+func (s *Server) OutboxDropped() uint64 {
+	n := wiring.SumDropped(s.pfBox, s.udpBox)
+	for _, b := range s.drvBox {
+		n += wiring.SumDropped(b)
+	}
+	n += wiring.SumDropped(s.tcpBoxes...)
+	return n
 }
 
 // Deadline: IP's only timers are ARP retries, absorbed by MaxSleep.

@@ -297,7 +297,8 @@ func (s *Stack) pumpLocked(now time.Time) {
 				if q.Arg[0] == 1 {
 					dir = pfeng.Out
 				}
-				if err != nil || s.pf.VerdictPacket(dir, view, now) != pfeng.Pass {
+				iface := msg.UnpackIfaceName(q.Arg[1])
+				if err != nil || s.pf.VerdictPacket(dir, iface, view, now) != pfeng.Pass {
 					verdict = 1
 				}
 			}

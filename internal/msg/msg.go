@@ -24,12 +24,13 @@ const (
 	OpInvalid Op = iota
 
 	// IP -> driver.
-	OpTxSubmit // transmit frame; Ptrs = chunk chain, Arg0 = offload flags, Arg1 = TSO segment size
-	OpTxDone   // driver -> IP reply: frame hit the wire (or was dropped); Status
-	OpRxSupply // IP -> driver: empty RX buffer the device may DMA into
-	OpRxPacket // driver -> IP: received frame; Ptrs[0] = buffer, Arg0 = length, Arg1 = checksum-ok flag
-	OpDrvReset // IP -> driver: reset the device (used during IP recovery)
-	OpDrvInfo  // driver -> IP: link/MAC announcement; Arg0..1 = MAC, Arg2 = link Mbps
+	OpTxSubmit  // transmit frame; Ptrs = chunk chain, Arg0 = offload flags, Arg1 = TSO segment size
+	OpTxDone    // driver -> IP reply: frame hit the wire (or was dropped); Status
+	OpRxSupply  // IP -> driver: empty RX buffer the device may DMA into
+	OpRxPacket  // driver -> IP: received frame; Ptrs[0] = buffer, Arg0 = length, Arg1 = checksum-ok flag
+	OpDrvReset  // IP -> driver: reset the device (used during IP recovery)
+	OpDrvInfo   // driver -> IP: link/MAC announcement; Arg0..1 = MAC, Arg2 = link Mbps
+	OpLinkEvent // driver -> IP: link transition edge event; Arg0 = 1 up / 0 down
 
 	// Transport (TCP/UDP) -> IP.
 	OpIPSend     // send a packet; Ptrs = transport hdr + payload chain; Arg0 = proto, Arg1 = src IP, Arg2 = dst IP, Arg3 = flags (offload request)
@@ -40,7 +41,7 @@ const (
 	OpIPDeliverDone // transport -> IP reply: buffer no longer referenced, IP may recycle
 
 	// IP <-> packet filter (the "T junction", paper Fig. 3).
-	OpPFQuery   // IP -> PF: verdict request; Arg0 = direction (0 in / 1 out), Ptrs = packet
+	OpPFQuery   // IP -> PF: verdict request; Arg0 = direction (0 in / 1 out), Arg1 = packed iface name, Ptrs = packet
 	OpPFVerdict // PF -> IP: Status = 0 pass, 1 block
 
 	// SYSCALL server <-> transports (control plane; data goes via pools).
@@ -77,7 +78,8 @@ const (
 var opNames = map[Op]string{
 	OpInvalid: "invalid", OpTxSubmit: "tx-submit", OpTxDone: "tx-done",
 	OpRxSupply: "rx-supply", OpRxPacket: "rx-packet", OpDrvReset: "drv-reset",
-	OpDrvInfo: "drv-info", OpIPSend: "ip-send", OpIPSendDone: "ip-send-done",
+	OpDrvInfo: "drv-info", OpLinkEvent: "link-event",
+	OpIPSend: "ip-send", OpIPSendDone: "ip-send-done",
 	OpIPDeliver: "ip-deliver", OpIPDeliverDone: "ip-deliver-done",
 	OpPFQuery: "pf-query", OpPFVerdict: "pf-verdict",
 	OpSockCreate: "sock-create", OpSockBind: "sock-bind", OpSockConnect: "sock-connect",
@@ -176,4 +178,31 @@ const (
 	StatusErrTimedOut int32 = -110 // ETIMEDOUT
 	StatusErrAborted  int32 = -103 // ECONNABORTED: server restarted, op aborted
 	StatusErrBlocked  int32 = -13  // EACCES: packet filter blocked
+	StatusErrNoRoute  int32 = -113 // EHOSTUNREACH: no live route / next hop unresolvable
 )
+
+// PackIfaceName packs up to the first 8 bytes of an interface name into one
+// request arg (big-endian, zero-padded), so PF queries and link events can
+// carry the interface without a blob. Evaluation interfaces are "ethN".
+func PackIfaceName(name string) uint64 {
+	var v uint64
+	for i := 0; i < 8 && i < len(name); i++ {
+		v |= uint64(name[i]) << (8 * uint(7-i))
+	}
+	return v
+}
+
+// UnpackIfaceName is the inverse of PackIfaceName.
+func UnpackIfaceName(v uint64) string {
+	var b [8]byte
+	n := 0
+	for i := 0; i < 8; i++ {
+		c := byte(v >> (8 * uint(7-i)))
+		if c == 0 {
+			break
+		}
+		b[i] = c
+		n++
+	}
+	return string(b[:n])
+}

@@ -85,12 +85,18 @@ type Device struct {
 
 	mu       sync.Mutex
 	tx       *wireDir // attached by Wire
+	peer     *Device  // other end of the wire (carrier propagation)
 	txQ      []TxDesc
 	txDone   []TxCompletion
 	rxFree   []shm.RichPtr
 	rxDone   []RxCompletion
 	linkUpAt time.Time
-	gen      uint32 // bumped on Reset; stale completions are discarded
+	// adminDown is operator/driver-requested link disable (SetLink);
+	// carrierDown mirrors the peer's administrative state — on a
+	// point-to-point wire, taking one end down kills carrier on both.
+	adminDown   bool
+	carrierDown bool
+	gen         uint32 // bumped on Reset; stale completions are discarded
 
 	txKick chan struct{}
 	stop   chan struct{}
@@ -140,11 +146,60 @@ func (d *Device) attachTx(dir *wireDir) {
 	d.mu.Unlock()
 }
 
-// LinkUp reports whether the link has trained.
+// LinkUp reports whether the link is usable: administratively enabled,
+// carrier present (the peer is administratively up), and trained.
 func (d *Device) LinkUp() bool {
 	d.mu.Lock()
 	defer d.mu.Unlock()
-	return time.Now().After(d.linkUpAt)
+	return d.linkOKLocked()
+}
+
+func (d *Device) linkOKLocked() bool {
+	return !d.adminDown && !d.carrierDown && time.Now().After(d.linkUpAt)
+}
+
+// SetLink administratively raises or lowers the link — the ifconfig up/down
+// knob (or a yanked cable). Lowering drops carrier at the wire peer too;
+// raising retrains both ends for LinkUpDelay. Link transitions raise an
+// interrupt so the driver notices without polling delay.
+func (d *Device) SetLink(up bool) {
+	d.mu.Lock()
+	changed := d.adminDown == up
+	d.adminDown = !up
+	if up && changed {
+		d.linkUpAt = time.Now().Add(d.cfg.LinkUpDelay)
+	}
+	peer := d.peer
+	d.mu.Unlock()
+	if !changed {
+		return
+	}
+	d.raiseIRQ()
+	if peer != nil {
+		peer.setCarrier(up)
+	}
+}
+
+// setCarrier reflects the peer's administrative state: carrier loss on a
+// point-to-point link is visible on both ends.
+func (d *Device) setCarrier(up bool) {
+	d.mu.Lock()
+	changed := d.carrierDown == up
+	d.carrierDown = !up
+	if up && changed {
+		d.linkUpAt = time.Now().Add(d.cfg.LinkUpDelay)
+	}
+	d.mu.Unlock()
+	if changed {
+		d.raiseIRQ()
+	}
+}
+
+// setPeer wires carrier propagation (called by Wire once both ends attach).
+func (d *Device) setPeer(peer *Device) {
+	d.mu.Lock()
+	d.peer = peer
+	d.mu.Unlock()
 }
 
 // PostTx places a descriptor on the TX ring ("filling descriptors and
@@ -254,7 +309,7 @@ func (d *Device) txEngine() {
 			have bool
 			gen  uint32
 			tx   *wireDir
-			up   = time.Now().After(d.linkUpAt)
+			up   = d.linkOKLocked()
 		)
 		if len(d.txQ) > 0 {
 			desc, have = d.txQ[0], true
@@ -340,7 +395,7 @@ func (d *Device) complete(gen uint32, c TxCompletion) {
 // raises an interrupt.
 func (d *Device) receiveFrame(frame []byte) {
 	d.mu.Lock()
-	if !time.Now().After(d.linkUpAt) {
+	if !d.linkOKLocked() {
 		d.mu.Unlock()
 		d.stats.rxLinkDown.Add(1)
 		return

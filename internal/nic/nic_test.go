@@ -371,6 +371,73 @@ func TestLinkDownDuringRetrain(t *testing.T) {
 	}
 }
 
+func TestSetLinkAdminDown(t *testing.T) {
+	a, b, space, done := devicePair(t, WireConfig{})
+	defer done()
+	postBuffers(t, space, b, 4)
+	a.SetLink(false)
+	if a.LinkUp() {
+		t.Fatal("link up after SetLink(false)")
+	}
+	if b.LinkUp() {
+		t.Fatal("carrier still up on peer after admin-down on the other end")
+	}
+	// Frames posted while admin-down fail, on both ends.
+	txPool, _ := space.NewPool("tx", 2048, 2)
+	frame := buildFrame(t, []byte("admin down"), true)
+	ptr, buf, _ := txPool.Alloc()
+	copy(buf, frame)
+	_ = a.PostTx(TxDesc{Ptrs: []shm.RichPtr{ptr.Slice(0, uint32(len(frame)))}, Cookie: 1})
+	comps := waitTx(t, a, 1)
+	if comps[0].OK {
+		t.Fatal("frame transmitted on admin-down link")
+	}
+	if a.Stats().TxDropsLinkDown == 0 {
+		t.Fatal("admin-down TX not counted")
+	}
+	// Raising the link restores both ends (no LinkUpDelay configured).
+	a.SetLink(true)
+	if !a.LinkUp() || !b.LinkUp() {
+		t.Fatal("link did not come back up on both ends")
+	}
+}
+
+func TestSetLinkIRQAndRetrain(t *testing.T) {
+	space := shm.NewSpace()
+	a := NewDevice(DeviceConfig{Name: "a", LinkUpDelay: 60 * time.Millisecond}, space)
+	defer a.Close()
+	b := NewDevice(DeviceConfig{Name: "b", LinkUpDelay: 60 * time.Millisecond}, space)
+	defer b.Close()
+	w := NewWire(WireConfig{})
+	defer w.Close()
+	w.AttachA(a)
+	w.AttachB(b)
+	irqs := make(chan struct{}, 8)
+	b.SetIRQ(func() {
+		select {
+		case irqs <- struct{}{}:
+		default:
+		}
+	})
+	a.SetLink(false)
+	select {
+	case <-irqs:
+	case <-time.After(time.Second):
+		t.Fatal("no interrupt on peer carrier loss")
+	}
+	a.SetLink(true)
+	if a.LinkUp() || b.LinkUp() {
+		t.Fatal("link up before retrain completed")
+	}
+	deadline := time.Now().Add(time.Second)
+	for !(a.LinkUp() && b.LinkUp()) && time.Now().Before(deadline) {
+		time.Sleep(5 * time.Millisecond)
+	}
+	if !a.LinkUp() || !b.LinkUp() {
+		t.Fatal("link did not retrain on both ends")
+	}
+}
+
 func TestWireLoss(t *testing.T) {
 	a, b, space, done := devicePair(t, WireConfig{LossProb: 1.0, Seed: 1})
 	defer done()

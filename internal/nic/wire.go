@@ -116,6 +116,18 @@ func (w *Wire) attach(dev *Device, dir int) {
 	rx.dst = dev
 	rx.mu.Unlock()
 	dev.attachTx(d)
+	// Once both ends are attached, wire them as carrier peers so an
+	// administrative link-down on one end is visible on the other.
+	w.dirs[0].mu.Lock()
+	a := w.dirs[0].dst
+	w.dirs[0].mu.Unlock()
+	w.dirs[1].mu.Lock()
+	b := w.dirs[1].dst
+	w.dirs[1].mu.Unlock()
+	if a != nil && b != nil {
+		a.setPeer(b)
+		b.setPeer(a)
+	}
 	w.wg.Add(2)
 	go func() {
 		defer w.wg.Done()

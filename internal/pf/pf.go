@@ -11,6 +11,7 @@ package pf
 import (
 	"bytes"
 	"encoding/gob"
+	"fmt"
 	"strings"
 	"time"
 
@@ -144,7 +145,8 @@ func (s *Server) verdict(r msg.Req, now time.Time) int32 {
 	if r.Arg[0] == 1 {
 		dir = pfeng.Out
 	}
-	if s.eng.VerdictPacket(dir, view, now) == pfeng.Pass {
+	iface := msg.UnpackIfaceName(r.Arg[1])
+	if s.eng.VerdictPacket(dir, iface, view, now) == pfeng.Pass {
 		return 0
 	}
 	return 1
@@ -179,33 +181,62 @@ func (s *Server) persistRules() {
 	}
 }
 
+// OutboxDropped sums the requests PF's edges shed across peer
+// reincarnations (wiring.DropReporter).
+func (s *Server) OutboxDropped() uint64 { return wiring.SumDropped(s.ipBox, s.scBox) }
+
 // Deadline: PF has no timers.
 func (s *Server) Deadline(now time.Time) time.Time { return time.Time{} }
 
 // Stop is a no-op.
 func (s *Server) Stop() {}
 
+// MaxRuleIface is how many bytes of Rule.Iface the channel encoding
+// carries (Arg[0] bits 24..63); the evaluation's "ethN" names fit. Longer
+// names are rejected by PackRule — a silently truncated name would never
+// match the full name verdict queries carry, turning a block rule into a
+// no-op (fail-open). Use the direct engine API for exotic interface naming.
+const MaxRuleIface = 5
+
 // PackRule encodes a rule into a request (channel slots carry no blobs).
-func PackRule(rule pfeng.Rule) msg.Req {
+// It fails for interface names longer than MaxRuleIface.
+func PackRule(rule pfeng.Rule) (msg.Req, error) {
 	r := msg.Req{Op: msg.OpPFRuleAdd}
+	if len(rule.Iface) > MaxRuleIface {
+		return r, fmt.Errorf("pf: rule iface %q exceeds the %d-byte channel encoding", rule.Iface, MaxRuleIface)
+	}
 	quick := uint64(0)
 	if rule.Quick {
 		quick = 1
 	}
 	r.Arg[0] = uint64(rule.Action) | uint64(rule.Dir)<<4 | uint64(rule.Proto)<<8 | quick<<16
+	for i := 0; i < MaxRuleIface && i < len(rule.Iface); i++ {
+		r.Arg[0] |= uint64(rule.Iface[i]) << (24 + 8*uint(i))
+	}
 	r.Arg[1] = uint64(rule.Src.U32())<<8 | uint64(rule.SrcBits)
 	r.Arg[2] = uint64(rule.Dst.U32())<<8 | uint64(rule.DstBits)
 	r.Arg[3] = uint64(rule.SrcPort)<<16 | uint64(rule.DstPort)
-	return r
+	return r, nil
 }
 
 // UnpackRule is the inverse of PackRule.
 func UnpackRule(r msg.Req) pfeng.Rule {
+	var ifb [MaxRuleIface]byte
+	n := 0
+	for i := 0; i < MaxRuleIface; i++ {
+		c := byte(r.Arg[0] >> (24 + 8*uint(i)))
+		if c == 0 {
+			break
+		}
+		ifb[i] = c
+		n++
+	}
 	return pfeng.Rule{
 		Action:  pfeng.Action(r.Arg[0] & 0xf),
 		Dir:     pfeng.Dir(r.Arg[0] >> 4 & 0xf),
 		Proto:   uint8(r.Arg[0] >> 8 & 0xff),
 		Quick:   r.Arg[0]>>16&1 == 1,
+		Iface:   string(ifb[:n]),
 		Src:     netpkt.IPFromU32(uint32(r.Arg[1] >> 8)),
 		SrcBits: int(r.Arg[1] & 0xff),
 		Dst:     netpkt.IPFromU32(uint32(r.Arg[2] >> 8)),

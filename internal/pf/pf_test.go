@@ -15,18 +15,29 @@ func TestPackUnpackRule(t *testing.T) {
 		{Action: pfeng.Block, Dir: pfeng.AnyDir,
 			Src: netpkt.MustIP("192.168.0.0"), SrcBits: 16,
 			Dst: netpkt.MustIP("10.1.2.3"), DstBits: 32},
+		{Action: pfeng.Block, Dir: pfeng.In, Proto: netpkt.ProtoTCP, DstPort: 8080, Iface: "eth0"},
+		{Action: pfeng.Pass, Dir: pfeng.AnyDir, Iface: "eth15", Quick: true},
 	}
 	for i, r := range rules {
-		got := UnpackRule(PackRule(r))
-		if got != r {
+		req, err := PackRule(r)
+		if err != nil {
+			t.Fatalf("rule %d: %v", i, err)
+		}
+		if got := UnpackRule(req); got != r {
 			t.Fatalf("rule %d: got %+v want %+v", i, got, r)
 		}
+	}
+	// Names the encoding cannot carry are rejected loudly — a truncated
+	// name would never match the full name verdict queries carry, turning
+	// a block rule into a silent no-op.
+	if _, err := PackRule(pfeng.Rule{Action: pfeng.Block, Iface: "wlp2s0"}); err == nil {
+		t.Fatal("over-long rule iface accepted")
 	}
 }
 
 // Property: pack/unpack is the identity over the rule space.
 func TestQuickPackUnpack(t *testing.T) {
-	prop := func(action, dir uint8, proto uint8, src, dst uint32, sb, db uint8, sp, dp uint16, quick bool) bool {
+	prop := func(action, dir uint8, proto uint8, src, dst uint32, sb, db uint8, sp, dp uint16, quick bool, ifn uint8) bool {
 		r := pfeng.Rule{
 			Action:  pfeng.Action(action%2 + 1),
 			Dir:     pfeng.Dir(dir%3 + 1),
@@ -37,7 +48,11 @@ func TestQuickPackUnpack(t *testing.T) {
 			DstBits: int(db % 33),
 			SrcPort: sp, DstPort: dp, Quick: quick,
 		}
-		return UnpackRule(PackRule(r)) == r
+		if ifn%4 != 0 {
+			r.Iface = []string{"", "eth0", "eth1", "eth15"}[ifn%4]
+		}
+		req, err := PackRule(r)
+		return err == nil && UnpackRule(req) == r
 	}
 	if err := quick.Check(prop, &quick.Config{MaxCount: 500}); err != nil {
 		t.Fatal(err)

@@ -58,6 +58,11 @@ type Rule struct {
 	SrcPort uint16 // 0 = any
 	DstPort uint16
 	Quick   bool
+	// Iface restricts the rule to packets crossing the named interface
+	// (inbound: arrival NIC; outbound: egress NIC). Empty matches any —
+	// which is every rule written before the stack was multi-homed. Note
+	// the channel encoding (pf.PackRule) rejects names over 5 bytes.
+	Iface string
 }
 
 // Flow is a connection-tracking key (forward direction).
@@ -79,11 +84,19 @@ type Stats struct {
 	Passed, Blocked, StateHits, StatesCreated uint64
 }
 
+// stateEntry is one conntrack record: when the flow was last seen and the
+// interface it last crossed — multi-homed observability (a failover shows
+// up as the entry's interface changing, not as a new flow).
+type stateEntry struct {
+	seen  time.Time
+	iface string
+}
+
 // Engine is one packet filter instance. Not safe for concurrent use; it
 // lives inside a single-threaded server.
 type Engine struct {
 	rules      []Rule
-	state      map[Flow]time.Time
+	state      map[Flow]stateEntry
 	stateTTL   time.Duration
 	defaultAct Action
 	stats      Stats
@@ -96,7 +109,7 @@ func New(stateTTL time.Duration) *Engine {
 		stateTTL = 120 * time.Second
 	}
 	return &Engine{
-		state:      make(map[Flow]time.Time),
+		state:      make(map[Flow]stateEntry),
 		stateTTL:   stateTTL,
 		defaultAct: Pass,
 	}
@@ -130,17 +143,30 @@ func (e *Engine) States() []Flow {
 	return out
 }
 
+// StateIface returns the interface a tracked flow (either direction) last
+// crossed; ok is false for unknown flows.
+func (e *Engine) StateIface(f Flow) (iface string, ok bool) {
+	if ent, hit := e.state[f]; hit {
+		return ent.iface, true
+	}
+	if ent, hit := e.state[f.reverse()]; hit {
+		return ent.iface, true
+	}
+	return "", false
+}
+
 // RestoreStates injects conntrack entries (recovery after a crash; the
-// paper rebuilds them "by querying the TCP and UDP servers").
+// paper rebuilds them "by querying the TCP and UDP servers"). Restored
+// entries carry no interface until traffic re-stamps them.
 func (e *Engine) RestoreStates(flows []Flow, now time.Time) {
 	for _, f := range flows {
-		e.state[f] = now
+		e.state[f] = stateEntry{seen: now}
 	}
 }
 
-// VerdictPacket evaluates a raw IPv4 packet (starting at the IP header).
-// Malformed packets are blocked.
-func (e *Engine) VerdictPacket(dir Dir, ipPacket []byte, now time.Time) Action {
+// VerdictPacket evaluates a raw IPv4 packet (starting at the IP header)
+// crossing iface. Malformed packets are blocked.
+func (e *Engine) VerdictPacket(dir Dir, iface string, ipPacket []byte, now time.Time) Action {
 	ip, err := netpkt.ParseIPv4(ipPacket, false)
 	if err != nil {
 		e.stats.Blocked++
@@ -166,13 +192,14 @@ func (e *Engine) VerdictPacket(dir Dir, ipPacket []byte, now time.Time) Action {
 		}
 		flow.SrcPort, flow.DstPort = uh.SrcPort, uh.DstPort
 	}
-	return e.Verdict(dir, flow, tcpFlags, now)
+	return e.Verdict(dir, iface, flow, tcpFlags, now)
 }
 
-// Verdict evaluates a parsed flow. tcpFlags is zero for non-TCP.
-func (e *Engine) Verdict(dir Dir, flow Flow, tcpFlags uint8, now time.Time) Action {
+// Verdict evaluates a parsed flow crossing iface. tcpFlags is zero for
+// non-TCP.
+func (e *Engine) Verdict(dir Dir, iface string, flow Flow, tcpFlags uint8, now time.Time) Action {
 	// Known state passes without consulting rules.
-	if e.hasState(flow, now) {
+	if e.hasState(flow, iface, now) {
 		e.stats.StateHits++
 		e.stats.Passed++
 		return Pass
@@ -181,7 +208,7 @@ func (e *Engine) Verdict(dir Dir, flow Flow, tcpFlags uint8, now time.Time) Acti
 	act := e.defaultAct
 	for i := range e.rules {
 		r := &e.rules[i]
-		if !r.matches(dir, flow) {
+		if !r.matches(dir, iface, flow) {
 			continue
 		}
 		act = r.Action
@@ -205,25 +232,29 @@ func (e *Engine) Verdict(dir Dir, flow Flow, tcpFlags uint8, now time.Time) Acti
 			create = true
 		}
 		if create {
-			e.state[flow] = now
+			e.state[flow] = stateEntry{seen: now, iface: iface}
 			e.stats.StatesCreated++
 		}
 	}
 	return Pass
 }
 
-func (e *Engine) hasState(flow Flow, now time.Time) bool {
-	if t, ok := e.state[flow]; ok {
-		if now.Sub(t) < e.stateTTL {
-			e.state[flow] = now
+// hasState checks (and refreshes) conntrack in both directions. Hits
+// re-stamp the entry's interface: state deliberately does NOT pin a flow to
+// the interface it was created on, so an established connection keeps
+// passing after it fails over to a surviving NIC.
+func (e *Engine) hasState(flow Flow, iface string, now time.Time) bool {
+	if ent, ok := e.state[flow]; ok {
+		if now.Sub(ent.seen) < e.stateTTL {
+			e.state[flow] = stateEntry{seen: now, iface: iface}
 			return true
 		}
 		delete(e.state, flow)
 	}
 	rev := flow.reverse()
-	if t, ok := e.state[rev]; ok {
-		if now.Sub(t) < e.stateTTL {
-			e.state[rev] = now
+	if ent, ok := e.state[rev]; ok {
+		if now.Sub(ent.seen) < e.stateTTL {
+			e.state[rev] = stateEntry{seen: now, iface: iface}
 			return true
 		}
 		delete(e.state, rev)
@@ -231,8 +262,11 @@ func (e *Engine) hasState(flow Flow, now time.Time) bool {
 	return false
 }
 
-func (r *Rule) matches(dir Dir, f Flow) bool {
+func (r *Rule) matches(dir Dir, iface string, f Flow) bool {
 	if r.Dir != AnyDir && r.Dir != 0 && r.Dir != dir {
+		return false
+	}
+	if r.Iface != "" && r.Iface != iface {
 		return false
 	}
 	if r.Proto != 0 && r.Proto != f.Proto {

@@ -20,7 +20,7 @@ func tcpFlow(src, dst netpkt.IPAddr, sp, dp uint16) Flow {
 
 func TestEmptyRuleSetPasses(t *testing.T) {
 	e := New(0)
-	if v := e.Verdict(In, tcpFlow(hostB, hostA, 1, 2), 0, time.Now()); v != Pass {
+	if v := e.Verdict(In, "", tcpFlow(hostB, hostA, 1, 2), 0, time.Now()); v != Pass {
 		t.Fatalf("verdict = %v", v)
 	}
 }
@@ -30,10 +30,10 @@ func TestLastMatchWins(t *testing.T) {
 	e.AddRule(Rule{Action: Block, Dir: In})                                     // block all in
 	e.AddRule(Rule{Action: Pass, Dir: In, Proto: netpkt.ProtoTCP, DstPort: 22}) // then allow ssh
 	now := time.Now()
-	if v := e.Verdict(In, tcpFlow(evil, hostA, 999, 22), 0, now); v != Pass {
+	if v := e.Verdict(In, "", tcpFlow(evil, hostA, 999, 22), 0, now); v != Pass {
 		t.Fatal("ssh not allowed by later rule")
 	}
-	if v := e.Verdict(In, tcpFlow(evil, hostA, 999, 80), 0, now); v != Block {
+	if v := e.Verdict(In, "", tcpFlow(evil, hostA, 999, 80), 0, now); v != Block {
 		t.Fatal("http not blocked")
 	}
 }
@@ -42,7 +42,7 @@ func TestQuickStopsEvaluation(t *testing.T) {
 	e := New(0)
 	e.AddRule(Rule{Action: Block, Dir: In, Quick: true, Proto: netpkt.ProtoTCP, DstPort: 23})
 	e.AddRule(Rule{Action: Pass, Dir: In})
-	if v := e.Verdict(In, tcpFlow(evil, hostA, 5, 23), 0, time.Now()); v != Block {
+	if v := e.Verdict(In, "", tcpFlow(evil, hostA, 5, 23), 0, time.Now()); v != Block {
 		t.Fatal("quick block overridden by later rule")
 	}
 }
@@ -51,10 +51,10 @@ func TestSubnetAndPortMatch(t *testing.T) {
 	e := New(0)
 	e.AddRule(Rule{Action: Block, Dir: AnyDir, Src: netpkt.MustIP("192.168.0.0"), SrcBits: 16})
 	now := time.Now()
-	if v := e.Verdict(In, tcpFlow(evil, hostA, 1, 2), 0, now); v != Block {
+	if v := e.Verdict(In, "", tcpFlow(evil, hostA, 1, 2), 0, now); v != Block {
 		t.Fatal("subnet source not blocked")
 	}
-	if v := e.Verdict(In, tcpFlow(hostB, hostA, 1, 2), 0, now); v != Pass {
+	if v := e.Verdict(In, "", tcpFlow(hostB, hostA, 1, 2), 0, now); v != Pass {
 		t.Fatal("other source blocked")
 	}
 }
@@ -67,18 +67,18 @@ func TestStatefulReturnTraffic(t *testing.T) {
 	now := time.Now()
 	out := tcpFlow(hostA, hostB, 40000, 80)
 	// Outbound SYN passes and creates state.
-	if v := e.Verdict(Out, out, netpkt.TCPSyn, now); v != Pass {
+	if v := e.Verdict(Out, "", out, netpkt.TCPSyn, now); v != Pass {
 		t.Fatal("outbound SYN blocked")
 	}
 	if e.Stats().StatesCreated != 1 {
 		t.Fatal("no state created")
 	}
 	// Return SYN|ACK passes despite the block-all-in rule.
-	if v := e.Verdict(In, out.reverse(), netpkt.TCPSyn|netpkt.TCPAck, now); v != Pass {
+	if v := e.Verdict(In, "", out.reverse(), netpkt.TCPSyn|netpkt.TCPAck, now); v != Pass {
 		t.Fatal("return traffic blocked")
 	}
 	// Unrelated inbound is still blocked.
-	if v := e.Verdict(In, tcpFlow(hostB, hostA, 81, 40001), 0, now); v != Block {
+	if v := e.Verdict(In, "", tcpFlow(hostB, hostA, 81, 40001), 0, now); v != Block {
 		t.Fatal("unrelated inbound passed")
 	}
 }
@@ -86,11 +86,11 @@ func TestStatefulReturnTraffic(t *testing.T) {
 func TestNonSynDoesNotCreateState(t *testing.T) {
 	e := New(0)
 	now := time.Now()
-	e.Verdict(Out, tcpFlow(hostA, hostB, 1, 2), netpkt.TCPAck, now)
+	e.Verdict(Out, "", tcpFlow(hostA, hostB, 1, 2), netpkt.TCPAck, now)
 	if e.Stats().StatesCreated != 0 {
 		t.Fatal("pure ACK created state")
 	}
-	e.Verdict(Out, Flow{Proto: netpkt.ProtoUDP, Src: hostA, Dst: hostB, SrcPort: 53, DstPort: 53}, 0, now)
+	e.Verdict(Out, "", Flow{Proto: netpkt.ProtoUDP, Src: hostA, Dst: hostB, SrcPort: 53, DstPort: 53}, 0, now)
 	if e.Stats().StatesCreated != 1 {
 		t.Fatal("UDP did not create state")
 	}
@@ -100,12 +100,12 @@ func TestStateExpiry(t *testing.T) {
 	e := New(50 * time.Millisecond)
 	e.AddRule(Rule{Action: Block, Dir: In})
 	t0 := time.Now()
-	e.Verdict(Out, tcpFlow(hostA, hostB, 1, 2), netpkt.TCPSyn, t0)
-	if v := e.Verdict(In, tcpFlow(hostB, hostA, 2, 1), 0, t0.Add(10*time.Millisecond)); v != Pass {
+	e.Verdict(Out, "", tcpFlow(hostA, hostB, 1, 2), netpkt.TCPSyn, t0)
+	if v := e.Verdict(In, "", tcpFlow(hostB, hostA, 2, 1), 0, t0.Add(10*time.Millisecond)); v != Pass {
 		t.Fatal("fresh state missed")
 	}
 	// Long quiet period: state expires. (The hit above refreshed it.)
-	if v := e.Verdict(In, tcpFlow(hostB, hostA, 2, 1), 0, t0.Add(10*time.Second)); v != Block {
+	if v := e.Verdict(In, "", tcpFlow(hostB, hostA, 2, 1), 0, t0.Add(10*time.Second)); v != Block {
 		t.Fatal("expired state still passing")
 	}
 }
@@ -122,12 +122,54 @@ func TestVerdictPacketParsesHeaders(t *testing.T) {
 	}
 	ip.Marshal(buf, true)
 	tcp.Marshal(buf[netpkt.IPv4HeaderLen:])
-	if v := e.VerdictPacket(In, buf, time.Now()); v != Block {
+	if v := e.VerdictPacket(In, "", buf, time.Now()); v != Block {
 		t.Fatal("packet to 8080 not blocked")
 	}
 	// Malformed packet is blocked.
-	if v := e.VerdictPacket(In, buf[:10], time.Now()); v != Block {
+	if v := e.VerdictPacket(In, "", buf[:10], time.Now()); v != Block {
 		t.Fatal("truncated packet passed")
+	}
+}
+
+func TestPerInterfaceRules(t *testing.T) {
+	// Policy differs per NIC: eth0 faces the world (block inbound 8080),
+	// eth1 is the trusted wire (pass everything).
+	e := New(0)
+	e.AddRule(Rule{Action: Block, Dir: In, Proto: netpkt.ProtoTCP, DstPort: 8080, Iface: "eth0"})
+	now := time.Now()
+	f := tcpFlow(evil, hostA, 999, 8080)
+	if v := e.Verdict(In, "eth0", f, 0, now); v != Block {
+		t.Fatal("eth0 rule did not block on eth0")
+	}
+	if v := e.Verdict(In, "eth1", f, 0, now); v != Pass {
+		t.Fatal("eth0-scoped rule blocked traffic on eth1")
+	}
+	// Empty Iface keeps the pre-multi-NIC wildcard semantics.
+	e2 := New(0)
+	e2.AddRule(Rule{Action: Block, Dir: In, Proto: netpkt.ProtoTCP, DstPort: 8080})
+	if v := e2.Verdict(In, "eth1", f, 0, now); v != Block {
+		t.Fatal("wildcard-interface rule did not match")
+	}
+}
+
+func TestConntrackRecordsInterface(t *testing.T) {
+	e := New(0)
+	now := time.Now()
+	out := tcpFlow(hostA, hostB, 40000, 80)
+	e.Verdict(Out, "eth0", out, netpkt.TCPSyn, now)
+	if ifc, ok := e.StateIface(out); !ok || ifc != "eth0" {
+		t.Fatalf("state iface = %q/%v, want eth0", ifc, ok)
+	}
+	// A state hit on another interface (failover) re-stamps the entry
+	// instead of blocking or duplicating the flow.
+	if v := e.Verdict(In, "eth1", out.reverse(), netpkt.TCPAck, now); v != Pass {
+		t.Fatal("failover traffic blocked by conntrack")
+	}
+	if ifc, _ := e.StateIface(out); ifc != "eth1" {
+		t.Fatalf("state iface after failover = %q, want eth1", ifc)
+	}
+	if len(e.States()) != 1 {
+		t.Fatalf("states = %d, want 1", len(e.States()))
 	}
 }
 
@@ -148,7 +190,7 @@ func TestRulesSaveLoadRoundTrip(t *testing.T) {
 		t.Fatalf("rules = %d", e2.NumRules())
 	}
 	now := time.Now()
-	if v := e2.Verdict(In, tcpFlow(evil, hostA, 1, 1003), 0, now); v != Block {
+	if v := e2.Verdict(In, "", tcpFlow(evil, hostA, 1, 1003), 0, now); v != Block {
 		t.Fatal("restored rules not effective")
 	}
 }
@@ -157,7 +199,7 @@ func TestStatesSaveLoadRoundTrip(t *testing.T) {
 	e := New(0)
 	e.AddRule(Rule{Action: Block, Dir: In})
 	now := time.Now()
-	e.Verdict(Out, tcpFlow(hostA, hostB, 5000, 80), netpkt.TCPSyn, now)
+	e.Verdict(Out, "", tcpFlow(hostA, hostB, 5000, 80), netpkt.TCPSyn, now)
 	blob, err := e.SaveStates()
 	if err != nil {
 		t.Fatal(err)
@@ -170,7 +212,7 @@ func TestStatesSaveLoadRoundTrip(t *testing.T) {
 	if err := e2.LoadStates(blob, now); err != nil {
 		t.Fatal(err)
 	}
-	if v := e2.Verdict(In, tcpFlow(hostB, hostA, 80, 5000), netpkt.TCPAck, now); v != Pass {
+	if v := e2.Verdict(In, "", tcpFlow(hostB, hostA, 80, 5000), netpkt.TCPAck, now); v != Pass {
 		t.Fatal("restored state not effective")
 	}
 }
@@ -186,8 +228,8 @@ func TestQuickVerdictDeterministic(t *testing.T) {
 		}
 		f := tcpFlow(evil, hostA, 1, dstPort)
 		now := time.Now()
-		v1 := e.Verdict(In, f, 0, now)
-		v2 := e.Verdict(In, f, 0, now)
+		v1 := e.Verdict(In, "", f, 0, now)
+		v2 := e.Verdict(In, "", f, 0, now)
 		if v1 != v2 {
 			return false
 		}
@@ -217,7 +259,7 @@ func BenchmarkVerdict1024Rules(b *testing.B) {
 	now := time.Now()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		e.Verdict(In, f, netpkt.TCPAck, now)
+		e.Verdict(In, "", f, netpkt.TCPAck, now)
 	}
 }
 
@@ -225,9 +267,9 @@ func BenchmarkStateHit(b *testing.B) {
 	e := New(0)
 	now := time.Now()
 	f := tcpFlow(hostA, hostB, 1, 2)
-	e.Verdict(Out, f, netpkt.TCPSyn, now)
+	e.Verdict(Out, "", f, netpkt.TCPSyn, now)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		e.Verdict(In, f.reverse(), 0, now)
+		e.Verdict(In, "", f.reverse(), 0, now)
 	}
 }

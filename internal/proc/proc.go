@@ -126,6 +126,9 @@ type incarnation struct {
 	stop  chan struct{}
 	done  chan struct{}
 	valid atomic.Bool // false once abandoned/superseded
+	// ready flips after Init succeeds; Service() hides the incarnation
+	// until then, so observers never see a service mid-construction.
+	ready atomic.Bool
 }
 
 // New creates a process. factory builds a fresh Service per incarnation;
@@ -167,6 +170,21 @@ func (p *Proc) Fault() *faults.Point {
 }
 
 func (p *Proc) rtOf(inc *incarnation) *Runtime { return inc.rt }
+
+// Service returns the live incarnation's service, or nil when none is
+// running or the current incarnation has not finished Init (its state may
+// still be under construction). Callers may type-assert observability
+// interfaces (e.g. stats or drop reporters); the service's methods are only
+// safe to call when they read atomic counters, as the loop goroutine owns
+// all other state.
+func (p *Proc) Service() Service {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.cur == nil || !p.cur.ready.Load() {
+		return nil
+	}
+	return p.cur.svc
+}
 
 // Start launches the first incarnation (fresh start mode). It returns once
 // the incarnation's Init has completed or failed.
@@ -274,6 +292,7 @@ func (p *Proc) run(inc *incarnation, restart bool, initDone chan<- error) {
 		initDone <- err
 		return
 	}
+	inc.ready.Store(true)
 	initDone <- nil
 	p.status.Store(int32(StatusRunning))
 	p.hb.Store(time.Now().UnixNano())

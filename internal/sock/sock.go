@@ -43,6 +43,11 @@ var (
 	// distinguishable for callers that want to back off harder than for
 	// ordinary flow control.
 	ErrNoBufs = fmt.Errorf("sock: no buffer space available (%w)", ErrWouldBlock)
+	// ErrNoRoute reports an unreachable destination (EHOSTUNREACH-style):
+	// no live route, or a next hop that never answered ARP. Unlike
+	// ErrNoBufs it is NOT retry-on-wouldblock — the destination stays
+	// unreachable until routing changes.
+	ErrNoRoute = errors.New("sock: no route to host")
 )
 
 func statusErr(st int32) error {
@@ -69,6 +74,8 @@ func statusErr(st int32) error {
 		// surface it EWOULDBLOCK-style so callers retry, but keep it
 		// distinguishable from plain flow control.
 		return ErrNoBufs
+	case msg.StatusErrNoRoute:
+		return ErrNoRoute
 	default:
 		return fmt.Errorf("%w: status %d", ErrStack, st)
 	}

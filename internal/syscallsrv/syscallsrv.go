@@ -750,6 +750,14 @@ func (s *Server) loadShardMeta() {
 	}
 }
 
+// OutboxDropped sums the requests the SYSCALL server's edges shed across
+// peer reincarnations (wiring.DropReporter).
+func (s *Server) OutboxDropped() uint64 {
+	n := wiring.SumDropped(s.udpBox, s.pfBox)
+	n += wiring.SumDropped(s.tcpBoxes...)
+	return n
+}
+
 // Deadline: no timers.
 func (s *Server) Deadline(now time.Time) time.Time { return time.Time{} }
 

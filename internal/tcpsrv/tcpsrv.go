@@ -274,6 +274,10 @@ func (s *Server) Poll(now time.Time) bool {
 	return worked
 }
 
+// OutboxDropped sums the requests this shard's edges shed across peer
+// reincarnations (wiring.DropReporter).
+func (s *Server) OutboxDropped() uint64 { return wiring.SumDropped(s.ipBox, s.scBox) }
+
 // Deadline surfaces the engine's earliest timer.
 func (s *Server) Deadline(now time.Time) time.Time { return s.eng.Deadline(now) }
 

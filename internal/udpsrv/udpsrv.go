@@ -177,6 +177,10 @@ func (s *Server) Poll(now time.Time) bool {
 	return worked
 }
 
+// OutboxDropped sums the requests UDP's edges shed across peer
+// reincarnations (wiring.DropReporter).
+func (s *Server) OutboxDropped() uint64 { return wiring.SumDropped(s.ipBox, s.scBox) }
+
 // Deadline: UDP has no timers.
 func (s *Server) Deadline(now time.Time) time.Time { return time.Time{} }
 

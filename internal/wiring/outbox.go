@@ -1,6 +1,8 @@
 package wiring
 
 import (
+	"sync/atomic"
+
 	"newtos/internal/channel"
 	"newtos/internal/msg"
 )
@@ -50,10 +52,12 @@ func Drain(in channel.In, scratch []msg.Req, budget int, handle func([]msg.Req))
 // owner's crash-recovery actions (abort, resubmit, resupply) regenerate
 // whatever still matters.
 type Outbox struct {
-	port    *Port
-	q       []msg.Req
-	gen     int
-	dropped uint64
+	port *Port
+	q    []msg.Req
+	gen  int
+	// dropped is atomic: the owning loop writes it, but DropReporter
+	// consumers (recovery experiments) read it from other goroutines.
+	dropped atomic.Uint64
 }
 
 // NewOutbox creates the staging buffer for one edge.
@@ -83,7 +87,7 @@ func (o *Outbox) Flush() bool {
 		return false
 	}
 	if o.gen != o.port.Gen() {
-		o.dropped += uint64(len(o.q))
+		o.dropped.Add(uint64(len(o.q)))
 		o.q = o.q[:0]
 		return false
 	}
@@ -105,10 +109,30 @@ func (o *Outbox) Len() int { return len(o.q) }
 
 // Dropped returns how many staged requests were discarded because their
 // target incarnation died before they could be flushed.
-func (o *Outbox) Dropped() uint64 { return o.dropped }
+func (o *Outbox) Dropped() uint64 { return o.dropped.Load() }
+
+// DropReporter is implemented by server shells that surface the sum of
+// their outboxes' Dropped() counters, so recovery experiments can observe
+// how many staged requests each loop shed across peer reincarnations
+// instead of the counts dying with the incarnation unread.
+type DropReporter interface {
+	OutboxDropped() uint64
+}
+
+// SumDropped totals the given outboxes' drop counters (nil-safe — servers
+// call it with boxes that may not be wired yet).
+func SumDropped(boxes ...*Outbox) uint64 {
+	var n uint64
+	for _, b := range boxes {
+		if b != nil {
+			n += b.Dropped()
+		}
+	}
+	return n
+}
 
 // Drop discards the staged requests (peer restarted; its queue is gone).
 func (o *Outbox) Drop() {
-	o.dropped += uint64(len(o.q))
+	o.dropped.Add(uint64(len(o.q)))
 	o.q = o.q[:0]
 }
