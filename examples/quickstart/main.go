@@ -2,6 +2,13 @@
 // and run a UDP echo between them through the full decomposed stack —
 // driver, IP, packet filter, UDP server, SYSCALL server — using the
 // POSIX-style socket API.
+//
+// The blocking calls below are thin wrappers over the stack's nonblocking
+// core: each socket runs in stack-level nonblocking mode and the library
+// waits on edge-triggered readiness events instead of parking a call in a
+// server. The same machinery scales to one goroutine serving hundreds of
+// sockets (sock.Poller; see experiments.RunManyConns) and to unmodified
+// stdlib code over sock.Dial / sock.Listen (see examples/httpserve).
 package main
 
 import (

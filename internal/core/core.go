@@ -193,24 +193,27 @@ func NewNode(cfg Config, hub *wiring.Hub, devices map[string]*nic.Device) (*Node
 			Shard: k, Shards: shards, Elastic: cfg.ElasticPools,
 		}
 		var tcpShim *wiring.Ports
+		var tcpSubs map[uint32]kipc.EndpointID
 		if !cfg.SyscallServer { // implies shards == 1 (gated above)
 			tcpShim = wiring.NewPorts(hub, "shim-sc-tcp")
+			tcpSubs = make(map[uint32]kipc.EndpointID)
 		}
 		n.addProc(name, opts, func() proc.Service {
 			s := tcpsrv.New(tcpCfg, tcpPorts)
 			if !cfg.SyscallServer {
-				return newDirectFrontWithPorts(s, tcpShim, "sc-tcp", syscallsrv.TCPFrontdoor)
+				return newDirectFrontWithPorts(s, tcpShim, "sc-tcp", syscallsrv.TCPFrontdoor, tcpSubs)
 			}
 			return s
 		})
 	}
 	udpPorts := wiring.NewPorts(hub, CompUDP)
 	udpShim := wiring.NewPorts(hub, "shim-sc-udp")
+	udpSubs := make(map[uint32]kipc.EndpointID)
 	udpCfg := udpsrv.Config{LocalIP: localIP, SrcFor: srcFor, Offload: cfg.Offload, Elastic: cfg.ElasticPools}
 	n.addProc(CompUDP, opts, func() proc.Service {
 		s := udpsrv.New(udpCfg, udpPorts)
 		if !cfg.SyscallServer {
-			return newDirectFrontWithPorts(s, udpShim, "sc-udp", syscallsrv.UDPFrontdoor)
+			return newDirectFrontWithPorts(s, udpShim, "sc-udp", syscallsrv.UDPFrontdoor, udpSubs)
 		}
 		return s
 	})

@@ -18,7 +18,6 @@ import (
 // interference.
 type directFront struct {
 	inner     proc.Service
-	innerPort *wiring.Ports
 	shimPorts *wiring.Ports
 	edge      string
 	fdName    string
@@ -29,6 +28,13 @@ type directFront struct {
 	scratch []msg.Req
 	nextID  uint64
 	pending map[uint64]appCall
+	// subs routes the transport's OpSockEvent readiness edges to the app
+	// endpoint that armed them with OpSockSetFlags. The map is owned by
+	// core and persists across incarnations (like the shim ports): on
+	// restart the new incarnation re-pushes the mode bits to whatever the
+	// engine restored and re-announces edges, so a poller in the direct
+	// row is never left parked on an edge the dead incarnation swallowed.
+	subs map[uint32]kipc.EndpointID
 }
 
 type appCall struct {
@@ -38,25 +44,16 @@ type appCall struct {
 
 var _ proc.Service = (*directFront)(nil)
 
-// newDirectFront wraps a transport service. shim ports must persist across
-// incarnations; core keeps them in the factory closure.
-func newDirectFront(inner proc.Service, innerPorts *wiring.Ports, edge, fdName string) *directFront {
-	return &directFront{
-		inner:     inner,
-		innerPort: innerPorts,
-		shimPorts: wiring.NewPorts(innerPorts.Hub(), "shim-"+edge),
-		edge:      edge,
-		fdName:    fdName,
-	}
-}
-
-// newDirectFrontWithPorts is used by core to reuse persistent shim ports.
-func newDirectFrontWithPorts(inner proc.Service, shimPorts *wiring.Ports, edge, fdName string) *directFront {
+// newDirectFrontWithPorts wraps a transport service. The shim ports and
+// the event subscription table must persist across incarnations; core
+// keeps both in the factory closure.
+func newDirectFrontWithPorts(inner proc.Service, shimPorts *wiring.Ports, edge, fdName string, subs map[uint32]kipc.EndpointID) *directFront {
 	return &directFront{
 		inner:     inner,
 		shimPorts: shimPorts,
 		edge:      edge,
 		fdName:    fdName,
+		subs:      subs,
 	}
 }
 
@@ -76,7 +73,37 @@ func (d *directFront) Init(rt *proc.Runtime, restart bool) error {
 		return fmt.Errorf("directfront: %w", err)
 	}
 	d.ep = ep
+	if restart {
+		// Consume our own port-generation bump first: a batch staged with
+		// a stale generation stamp would be dropped by the first Poll's
+		// Take/Drop, silently losing the re-pushed mode bits.
+		_, _ = d.port.Take()
+		d.reannounce()
+	}
 	return nil
+}
+
+// reannounce runs after a restart of the transport+shim process: re-push
+// the nonblocking mode for every subscribed socket (the restored engine
+// sockets came back in blocking mode) and poke a conservative readiness
+// edge so no poller stays parked on an edge the dead incarnation
+// swallowed. Spurious edges are part of the event contract; TCP pokes
+// carry EvError because established connections died, UDP sockets recover
+// so theirs do not.
+func (d *directFront) reannounce() {
+	bits := uint64(msg.EvReadable | msg.EvWritable | msg.EvAcceptReady | msg.EvError)
+	if d.edge == "sc-udp" {
+		bits = msg.EvReadable | msg.EvWritable
+	}
+	for flow, app := range d.subs {
+		d.nextID++
+		sf := msg.Req{ID: d.nextID, Op: msg.OpSockSetFlags, Flow: flow}
+		sf.Arg[0] = msg.SockNonblock
+		d.box.Push(sf)
+		ev := msg.Req{Op: msg.OpSockEvent, Flow: flow}
+		ev.Arg[0] = bits
+		_ = d.ep.Send(app, kipc.Msg{Type: uint32(ev.Op), Data: ev.MarshalBinary()})
+	}
 }
 
 func (d *directFront) Poll(now time.Time) bool {
@@ -99,6 +126,16 @@ func (d *directFront) Poll(now time.Time) bool {
 		if err != nil {
 			continue
 		}
+		switch req.Op {
+		case msg.OpSockSetFlags:
+			if req.Arg[0]&msg.SockNonblock != 0 {
+				d.subs[req.Flow] = m.From
+			} else {
+				delete(d.subs, req.Flow)
+			}
+		case msg.OpSockClose:
+			delete(d.subs, req.Flow)
+		}
 		d.nextID++
 		id := d.nextID
 		fire := req.Op == msg.OpSockRecvDone
@@ -114,6 +151,12 @@ func (d *directFront) Poll(now time.Time) bool {
 		// Replies back to the applications, drained in batches.
 		if wiring.Drain(dup.In, d.scratch, wiring.RecvBudget, func(b []msg.Req) {
 			for _, r := range b {
+				if r.Op == msg.OpSockEvent {
+					if app, ok := d.subs[r.Flow]; ok {
+						_ = d.ep.Send(app, kipc.Msg{Type: uint32(r.Op), Data: r.MarshalBinary()})
+					}
+					continue
+				}
 				call, ok := d.pending[r.ID]
 				if !ok {
 					continue

@@ -1,0 +1,50 @@
+package experiments
+
+import "testing"
+
+// TestManyConnsPoller is the acceptance gate of the event-driven socket
+// API: one poller goroutine must serve hundreds of concurrent TCP
+// connections through the full split stack, every echo round completing.
+// The full-scale 512-connection row runs in BenchmarkSec4_PollEcho; the
+// test keeps CI fast while still covering accept/readable/EOF edges at
+// real concurrency.
+func TestManyConnsPoller(t *testing.T) {
+	conns := 128
+	if testing.Short() {
+		conns = 32
+	}
+	rep, err := RunManyConns(ManyConnsOpts{Conns: conns, Rounds: 2, Poller: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Completed != conns {
+		t.Fatalf("completed %d of %d connections", rep.Completed, conns)
+	}
+	if rep.PeakActive < conns {
+		t.Fatalf("peak active %d, want %d concurrent connections", rep.PeakActive, conns)
+	}
+	if rep.ServerGoroutines != 1 {
+		t.Fatalf("server used %d goroutines, want 1", rep.ServerGoroutines)
+	}
+	want := int64(conns) * int64(rep.Rounds) * 128
+	if rep.Echoed < want {
+		t.Fatalf("echoed %d bytes, want >= %d", rep.Echoed, want)
+	}
+}
+
+// TestManyConnsGoroutines keeps the classic blocking server shape working
+// over the same nonblocking core (blocking calls are wrappers; there is no
+// second code path to rot).
+func TestManyConnsGoroutines(t *testing.T) {
+	conns := 64
+	if testing.Short() {
+		conns = 16
+	}
+	rep, err := RunManyConns(ManyConnsOpts{Conns: conns, Rounds: 1, Poller: false})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Completed != conns {
+		t.Fatalf("completed %d of %d connections", rep.Completed, conns)
+	}
+}

@@ -56,8 +56,9 @@ const (
 	OpSockRecvData // transport -> SC -> app: Ptrs = received data (transport-owned), app must ack
 	OpSockRecvDone // app -> transport: done copying, free the chunk
 	OpSockClose
-	OpSockReply // generic completion; Status carries errno-style result
-	OpSockEvent // async: new connection on listener, socket readable, peer closed
+	OpSockReply    // generic completion; Status carries errno-style result
+	OpSockSetFlags // set per-socket mode bits; Arg0 = SockNonblock et al.
+	OpSockEvent    // async edge-triggered readiness; Arg0 = Ev* bits (readable, writable, accept-ready, EOF, error)
 
 	// Packet filter configuration (SC <-> PF).
 	OpPFRuleAdd
@@ -86,7 +87,8 @@ var opNames = map[Op]string{
 	OpSockListen: "sock-listen", OpSockAccept: "sock-accept", OpSockSend: "sock-send",
 	OpSockSendDone: "sock-send-done", OpSockRecv: "sock-recv",
 	OpSockRecvData: "sock-recv-data", OpSockRecvDone: "sock-recv-done",
-	OpSockClose: "sock-close", OpSockReply: "sock-reply", OpSockEvent: "sock-event",
+	OpSockClose: "sock-close", OpSockReply: "sock-reply",
+	OpSockSetFlags: "sock-set-flags", OpSockEvent: "sock-event",
 	OpPFRuleAdd: "pf-rule-add", OpPFRuleFlush: "pf-rule-flush", OpPFStats: "pf-stats",
 	OpStorePut: "store-put", OpStoreGet: "store-get", OpStoreReply: "store-reply",
 	OpStoreInvalidate: "store-invalidate", OpPing: "ping", OpPong: "pong",
@@ -107,6 +109,27 @@ const (
 	FlagCsumOK     = 1 << 3 // RX: device verified checksums
 	FlagLinkDown   = 1 << 4
 	FlagMoreEvents = 1 << 5
+)
+
+// Socket mode bits (OpSockSetFlags Arg0). A nonblocking socket's
+// accept/recv/connect reply StatusErrAgain instead of parking in the
+// engine, and the engine publishes OpSockEvent readiness edges for it.
+const (
+	SockNonblock uint64 = 1 << 0
+)
+
+// Readiness event bits (OpSockEvent Arg0). Events are EDGE-triggered: the
+// engine announces transitions (empty→nonempty receive queue, exhausted→free
+// send buffer, handshake completion, first queued child), not levels.
+// Consumers must treat a bit as a hint to re-issue the nonblocking
+// operation — after a server restart the frontdoor re-announces edges
+// conservatively, so spurious events are part of the contract.
+const (
+	EvReadable    uint64 = 1 << 0 // receive queue went empty → nonempty
+	EvWritable    uint64 = 1 << 1 // send buffer freed / connect completed
+	EvAcceptReady uint64 = 1 << 2 // listener has an established child queued
+	EvEOF         uint64 = 1 << 3 // peer closed its half (FIN)
+	EvError       uint64 = 1 << 4 // socket failed (reset, timeout, server crash)
 )
 
 // MaxPtrs is the maximum chunk-chain length one request can carry. Modern

@@ -1,0 +1,273 @@
+package sock
+
+import (
+	"fmt"
+	"io"
+	"net"
+	"strconv"
+	"time"
+
+	"newtos/internal/netpkt"
+)
+
+// Addr is a net.Addr over the stack's address types.
+type Addr struct {
+	Proto Proto
+	IP    netpkt.IPAddr
+	Port  uint16
+}
+
+// Network returns "tcp" or "udp".
+func (a Addr) Network() string {
+	if a.Proto == UDP {
+		return "udp"
+	}
+	return "tcp"
+}
+
+// String formats ip:port.
+func (a Addr) String() string {
+	return net.JoinHostPort(a.IP.String(), strconv.Itoa(int(a.Port)))
+}
+
+// parseAddr resolves "host:port" into stack types. An empty host means the
+// unspecified address (listeners accept on every local address).
+func parseAddr(address string) (netpkt.IPAddr, uint16, error) {
+	host, portS, err := net.SplitHostPort(address)
+	if err != nil {
+		return netpkt.IPAddr{}, 0, fmt.Errorf("sock: %w", err)
+	}
+	port, err := strconv.ParseUint(portS, 10, 16)
+	if err != nil {
+		return netpkt.IPAddr{}, 0, fmt.Errorf("sock: bad port %q", portS)
+	}
+	var ip netpkt.IPAddr
+	if host != "" && host != "0.0.0.0" {
+		ip, err = netpkt.ParseIP(host)
+		if err != nil {
+			return netpkt.IPAddr{}, 0, err
+		}
+	}
+	return ip, uint16(port), nil
+}
+
+// Conn adapts a stream Socket to net.Conn, so stdlib-shaped code (net/http
+// servers and clients included) runs over the split stack unchanged.
+type Conn struct {
+	s *Socket
+}
+
+var _ net.Conn = (*Conn)(nil)
+
+// NewConn wraps an established socket in the net.Conn adapter.
+func NewConn(s *Socket) *Conn { return &Conn{s: s} }
+
+// Socket exposes the underlying socket (poller registration, ID).
+func (c *Conn) Socket() *Socket { return c.s }
+
+// Read implements io.Reader; stream EOF surfaces as io.EOF. The mapping is
+// TCP-only: a zero-byte read on a datagram socket is an empty datagram,
+// not end-of-stream.
+func (c *Conn) Read(b []byte) (int, error) {
+	n, err := c.s.Recv(b)
+	if err != nil {
+		return n, err
+	}
+	if n == 0 && len(b) > 0 && c.s.proto == TCP {
+		return 0, io.EOF
+	}
+	return n, nil
+}
+
+// Write implements io.Writer.
+func (c *Conn) Write(b []byte) (int, error) { return c.s.Send(b) }
+
+// Close closes the connection.
+func (c *Conn) Close() error { return c.s.Close() }
+
+// LocalAddr reports the local port (the address is left unspecified: a
+// socket spans every interface of a multi-homed node).
+func (c *Conn) LocalAddr() net.Addr {
+	return Addr{Proto: c.s.proto, Port: c.s.localPort}
+}
+
+// RemoteAddr reports the connected peer.
+func (c *Conn) RemoteAddr() net.Addr {
+	ip, port := c.s.RemoteAddr()
+	return Addr{Proto: c.s.proto, IP: ip, Port: port}
+}
+
+// SetDeadline implements net.Conn.
+func (c *Conn) SetDeadline(t time.Time) error { return c.s.SetDeadline(t) }
+
+// SetReadDeadline implements net.Conn.
+func (c *Conn) SetReadDeadline(t time.Time) error { return c.s.SetReadDeadline(t) }
+
+// SetWriteDeadline implements net.Conn.
+func (c *Conn) SetWriteDeadline(t time.Time) error { return c.s.SetWriteDeadline(t) }
+
+// Listener adapts a listening Socket to net.Listener.
+type Listener struct {
+	s    *Socket
+	addr Addr
+}
+
+var _ net.Listener = (*Listener)(nil)
+
+// Accept waits for and returns the next connection.
+func (l *Listener) Accept() (net.Conn, error) {
+	child, err := l.s.Accept()
+	if err != nil {
+		return nil, err
+	}
+	return &Conn{s: child}, nil
+}
+
+// Close stops the listener.
+func (l *Listener) Close() error { return l.s.Close() }
+
+// Addr returns the listening address.
+func (l *Listener) Addr() net.Addr { return l.addr }
+
+// Socket exposes the underlying listening socket.
+func (l *Listener) Socket() *Socket { return l.s }
+
+// PacketConn adapts a UDP Socket to net.PacketConn.
+type PacketConn struct {
+	s    *Socket
+	addr Addr
+}
+
+var _ net.PacketConn = (*PacketConn)(nil)
+
+// ReadFrom implements net.PacketConn.
+func (p *PacketConn) ReadFrom(b []byte) (int, net.Addr, error) {
+	n, ip, port, err := p.s.RecvFrom(b)
+	if err != nil {
+		return n, nil, err
+	}
+	return n, Addr{Proto: UDP, IP: ip, Port: port}, nil
+}
+
+// WriteTo implements net.PacketConn. addr may be a sock.Addr, *net.UDPAddr,
+// or any net.Addr whose String() is "ip:port".
+func (p *PacketConn) WriteTo(b []byte, addr net.Addr) (int, error) {
+	var ip netpkt.IPAddr
+	var port uint16
+	switch a := addr.(type) {
+	case Addr:
+		ip, port = a.IP, a.Port
+	case *net.UDPAddr:
+		parsed, err := netpkt.ParseIP(a.IP.String())
+		if err != nil {
+			return 0, err
+		}
+		ip, port = parsed, uint16(a.Port)
+	default:
+		parsed, pt, err := parseAddr(addr.String())
+		if err != nil {
+			return 0, err
+		}
+		ip, port = parsed, pt
+	}
+	return p.s.SendTo(b, ip, port)
+}
+
+// Close closes the socket.
+func (p *PacketConn) Close() error { return p.s.Close() }
+
+// LocalAddr returns the bound address.
+func (p *PacketConn) LocalAddr() net.Addr { return p.addr }
+
+// SetDeadline implements net.PacketConn.
+func (p *PacketConn) SetDeadline(t time.Time) error { return p.s.SetDeadline(t) }
+
+// SetReadDeadline implements net.PacketConn.
+func (p *PacketConn) SetReadDeadline(t time.Time) error { return p.s.SetReadDeadline(t) }
+
+// SetWriteDeadline implements net.PacketConn.
+func (p *PacketConn) SetWriteDeadline(t time.Time) error { return p.s.SetWriteDeadline(t) }
+
+// Socket exposes the underlying socket.
+func (p *PacketConn) Socket() *Socket { return p.s }
+
+// Dial opens a connection through the stack and returns it as a net.Conn.
+// network must be "tcp" or "udp"; address is "ip:port". A "udp" dial
+// returns a connected datagram socket behind the stream interface, like
+// net.Dial does.
+func (c *Client) Dial(network, address string) (net.Conn, error) {
+	var proto Proto
+	switch network {
+	case "tcp", "tcp4":
+		proto = TCP
+	case "udp", "udp4":
+		proto = UDP
+	default:
+		return nil, fmt.Errorf("sock: unsupported network %q", network)
+	}
+	ip, port, err := parseAddr(address)
+	if err != nil {
+		return nil, err
+	}
+	s, err := c.Socket(proto)
+	if err != nil {
+		return nil, err
+	}
+	if err := s.Connect(ip, port); err != nil {
+		_ = s.Close()
+		return nil, err
+	}
+	return &Conn{s: s}, nil
+}
+
+// Listen opens a TCP listener through the stack and returns it as a
+// net.Listener — handing it to http.Serve runs a stdlib web server over
+// the full split stack. address is "ip:port" or ":port" (the host part is
+// advisory: sockets listen on every local address).
+func (c *Client) Listen(network, address string) (net.Listener, error) {
+	switch network {
+	case "tcp", "tcp4":
+	default:
+		return nil, fmt.Errorf("sock: unsupported network %q", network)
+	}
+	ip, port, err := parseAddr(address)
+	if err != nil {
+		return nil, err
+	}
+	s, err := c.Socket(TCP)
+	if err != nil {
+		return nil, err
+	}
+	if err := s.Bind(port); err != nil {
+		_ = s.Close()
+		return nil, err
+	}
+	if err := s.Listen(128); err != nil {
+		_ = s.Close()
+		return nil, err
+	}
+	return &Listener{s: s, addr: Addr{Proto: TCP, IP: ip, Port: port}}, nil
+}
+
+// ListenPacket opens a bound UDP socket through the stack and returns it
+// as a net.PacketConn. address is "ip:port" or ":port".
+func (c *Client) ListenPacket(network, address string) (net.PacketConn, error) {
+	switch network {
+	case "udp", "udp4":
+	default:
+		return nil, fmt.Errorf("sock: unsupported network %q", network)
+	}
+	ip, port, err := parseAddr(address)
+	if err != nil {
+		return nil, err
+	}
+	s, err := c.Socket(UDP)
+	if err != nil {
+		return nil, err
+	}
+	if err := s.Bind(port); err != nil {
+		_ = s.Close()
+		return nil, err
+	}
+	return &PacketConn{s: s, addr: Addr{Proto: UDP, IP: ip, Port: port}}, nil
+}

@@ -1,0 +1,63 @@
+package sock
+
+import (
+	"errors"
+	"net"
+	"testing"
+
+	"newtos/internal/netpkt"
+)
+
+func TestParseAddr(t *testing.T) {
+	cases := []struct {
+		in      string
+		wantIP  netpkt.IPAddr
+		wantPt  uint16
+		wantErr bool
+	}{
+		{"10.0.0.2:8080", netpkt.MustIP("10.0.0.2"), 8080, false},
+		{":8080", netpkt.IPAddr{}, 8080, false},
+		{"0.0.0.0:53", netpkt.IPAddr{}, 53, false},
+		{"10.0.0.2", netpkt.IPAddr{}, 0, true},   // no port
+		{"10.0.0.2:x", netpkt.IPAddr{}, 0, true}, // bad port
+		{"nothost:80", netpkt.IPAddr{}, 0, true}, // unresolvable
+	}
+	for _, c := range cases {
+		ip, pt, err := parseAddr(c.in)
+		if c.wantErr {
+			if err == nil {
+				t.Errorf("parseAddr(%q): no error", c.in)
+			}
+			continue
+		}
+		if err != nil || ip != c.wantIP || pt != c.wantPt {
+			t.Errorf("parseAddr(%q) = %v:%d, %v; want %v:%d", c.in, ip, pt, err, c.wantIP, c.wantPt)
+		}
+	}
+}
+
+func TestAddrFormat(t *testing.T) {
+	a := Addr{Proto: TCP, IP: netpkt.MustIP("10.0.1.2"), Port: 443}
+	if a.Network() != "tcp" || a.String() != "10.0.1.2:443" {
+		t.Fatalf("tcp addr: %s %s", a.Network(), a.String())
+	}
+	u := Addr{Proto: UDP, Port: 53}
+	if u.Network() != "udp" || u.String() != "0.0.0.0:53" {
+		t.Fatalf("udp addr: %s %s", u.Network(), u.String())
+	}
+}
+
+// TestTimeoutSatisfiesNetError pins the stdlib-interop contract: deadline
+// expiry must look like a net.Error timeout to http clients and servers.
+func TestTimeoutSatisfiesNetError(t *testing.T) {
+	var ne net.Error
+	if !errors.As(ErrTimeout, &ne) {
+		t.Fatal("ErrTimeout is not a net.Error")
+	}
+	if !ne.Timeout() {
+		t.Fatal("ErrTimeout.Timeout() = false")
+	}
+	if !errors.Is(statusErr(-110), ErrTimeout) {
+		t.Fatal("StatusErrTimedOut does not map to ErrTimeout")
+	}
+}

@@ -1,9 +1,17 @@
 // Package sock is the application-side socket library — the "C library"
-// of NewtOS (paper §V-B): it "implements the synchronous calls as messages
-// to the SYSCALL server, which blocks the user process on receive until it
-// gets a reply". Payload bytes never cross the kernel: they are written
-// into (and read out of) per-socket shared buffers, and only 16-byte rich
-// pointers travel in the control messages.
+// of NewtOS (paper §V-B). Payload bytes never cross the kernel: they are
+// written into (and read out of) per-socket shared buffers, and only
+// 16-byte rich pointers travel in the control messages.
+//
+// Since the event-driven redesign the library speaks ONE protocol to the
+// stack: every socket runs in stack-level nonblocking mode, where
+// accept/recv/connect reply StatusErrAgain instead of parking in the
+// engine, and the engines publish edge-triggered readiness events
+// (msg.OpSockEvent) that the client pump demultiplexes. The traditional
+// blocking calls are thin wrappers — nonblocking op, then a wait for the
+// readiness edge — so there is no second code path, and one goroutine can
+// drive thousands of flows through a Poller instead of parking a goroutine
+// per socket.
 //
 // The same library also works without a SYSCALL server (paper Table II
 // row 2): the frontdoor endpoint names are then registered by the
@@ -19,23 +27,28 @@ import (
 
 	"newtos/internal/kipc"
 	"newtos/internal/msg"
-	"newtos/internal/netpkt"
-	"newtos/internal/shm"
-	"newtos/internal/sockbuf"
 	"newtos/internal/wiring"
 )
 
+// timeoutError implements net.Error so the net.Conn adapters surface
+// deadline expiry the way net/http and friends expect.
+type timeoutError struct{}
+
+func (timeoutError) Error() string   { return "sock: operation timed out" }
+func (timeoutError) Timeout() bool   { return true }
+func (timeoutError) Temporary() bool { return true }
+
 // Exported errors, mapped from reply statuses.
 var (
-	ErrTimeout      = errors.New("sock: operation timed out")
-	ErrRefused      = errors.New("sock: connection refused")
-	ErrReset        = errors.New("sock: connection reset by peer")
-	ErrAborted      = errors.New("sock: operation aborted (server restarted)")
-	ErrClosed       = errors.New("sock: socket closed")
-	ErrAddrInUse    = errors.New("sock: address in use")
-	ErrNotConnected = errors.New("sock: not connected")
-	ErrWouldBlock   = errors.New("sock: would block")
-	ErrStack        = errors.New("sock: stack error")
+	ErrTimeout      error = timeoutError{}
+	ErrRefused            = errors.New("sock: connection refused")
+	ErrReset              = errors.New("sock: connection reset by peer")
+	ErrAborted            = errors.New("sock: operation aborted (server restarted)")
+	ErrClosed             = errors.New("sock: socket closed")
+	ErrAddrInUse          = errors.New("sock: address in use")
+	ErrNotConnected       = errors.New("sock: not connected")
+	ErrWouldBlock         = errors.New("sock: would block")
+	ErrStack              = errors.New("sock: stack error")
 	// ErrNoBufs reports buffer-memory exhaustion (ENOBUFS-style): an
 	// elastic pool at its hard cap or a socket buffer that could not be
 	// provisioned. It matches ErrWouldBlock under errors.Is — the stack
@@ -90,21 +103,50 @@ const (
 	UDP
 )
 
+// evKey identifies a socket in the client's event-routing table. TCP and
+// UDP socket id spaces overlap, so the protocol is part of the key.
+type evKey struct {
+	proto Proto
+	id    uint32
+}
+
 // Client is one application process's handle to the stack. It is safe for
 // concurrent use by multiple goroutines (one may block in Recv while
 // another Sends): a pump goroutine owns the kernel endpoint's receive side
-// and dispatches replies to waiting callers by request ID.
+// and dispatches replies to waiting callers by request ID, and readiness
+// events to their sockets by id.
 type Client struct {
 	hub    *wiring.Hub
 	ep     *kipc.Endpoint
 	nextID atomic.Uint64
-	// CallTimeout bounds one blocking call (0 = forever).
+	// CallTimeout bounds the stack's reply to one control message
+	// (0 = forever). It is a health bound on the stack's round trip, not
+	// an operation timeout: since the nonblocking redesign no call parks
+	// in a server, so replies are immediate and waiting for data happens
+	// against the socket's deadline instead. A per-socket deadline that
+	// expires sooner than CallTimeout overrides it.
 	CallTimeout time.Duration
 
 	mu      sync.Mutex
 	waiters map[uint64]chan msg.Req
+	// orphans records calls abandoned on deadline expiry whose reply may
+	// still arrive and carry state nobody else will collect (a dequeued
+	// datagram's deliver cookie, an accepted child). The pump consumes the
+	// entry when the reply lands. Bounded: replies normally arrive within
+	// the stack's round trip, and entries for replies that never come
+	// (transport died) are capped by maxOrphans.
+	orphans map[uint64]orphanCall
+	evs     map[evKey]*evState
 	stop    chan struct{}
 	done    chan struct{}
+
+	// Cached frontdoor endpoint ids, used to attribute an incoming event
+	// to its transport (events carry a socket id, and the id spaces of the
+	// transports overlap). Refreshed on miss: frontdoors re-register with
+	// new ids when a server reincarnates.
+	fdMu  sync.Mutex
+	fdTCP kipc.EndpointID
+	fdUDP kipc.EndpointID
 }
 
 // NewClient registers an application endpoint named name.
@@ -116,6 +158,8 @@ func NewClient(hub *wiring.Hub, name string) (*Client, error) {
 	c := &Client{
 		hub: hub, ep: ep, CallTimeout: 10 * time.Second,
 		waiters: make(map[uint64]chan msg.Req),
+		orphans: make(map[uint64]orphanCall),
+		evs:     make(map[evKey]*evState),
 		stop:    make(chan struct{}),
 		done:    make(chan struct{}),
 	}
@@ -123,7 +167,8 @@ func NewClient(hub *wiring.Hub, name string) (*Client, error) {
 	return c, nil
 }
 
-// pump receives every reply and routes it to its caller.
+// pump receives every reply and routes it to its caller; readiness events
+// route to their socket's event state (and any Poller attached to it).
 func (c *Client) pump() {
 	defer close(c.done)
 	for {
@@ -146,15 +191,127 @@ func (c *Client) pump() {
 		if err != nil {
 			continue
 		}
+		if rep.Op == msg.OpSockEvent {
+			c.routeEvent(m.From, rep)
+			continue
+		}
 		c.mu.Lock()
 		ch, ok := c.waiters[rep.ID]
 		if ok {
 			delete(c.waiters, rep.ID)
+			// The buffered send happens UNDER the lock: an abandoning
+			// caller that finds its waiter gone is then guaranteed to find
+			// the reply in the channel, with no in-between window.
+			ch <- rep
+		}
+		orph, abandoned := c.orphans[rep.ID]
+		if abandoned {
+			delete(c.orphans, rep.ID)
 		}
 		c.mu.Unlock()
 		if ok {
-			ch <- rep
+			continue
 		}
+		if abandoned {
+			c.handleOrphan(orph.proto, orph.op, rep)
+		} else if rep.Op == msg.OpSockRecvData {
+			c.releaseOrphanData(c.protoOf(m.From), rep)
+		}
+	}
+}
+
+// orphanCall remembers what an abandoned call was, so its late reply can
+// be collected correctly.
+type orphanCall struct {
+	proto Proto
+	op    msg.Op
+}
+
+// maxOrphans bounds the abandoned-call table (entries whose reply never
+// arrives — a dead transport — would otherwise accumulate).
+const maxOrphans = 4096
+
+// handleOrphan collects the late reply of an abandoned call: received data
+// is released, an accepted child the app will never learn about is closed.
+// The outbound messages go out on their own goroutine: this runs on the
+// pump, and a rendezvous send toward a frontdoor that is itself blocked
+// sending to this pump would deadlock both.
+func (c *Client) handleOrphan(p Proto, op msg.Op, rep msg.Req) {
+	switch {
+	case rep.Op == msg.OpSockRecvData:
+		c.releaseOrphanData(p, rep)
+	case op == msg.OpSockAccept && rep.Op == msg.OpSockReply && rep.Status == msg.StatusOK:
+		if child := uint32(rep.Arg[0]); child != 0 {
+			go func() { _ = c.post(p, msg.Req{Op: msg.OpSockClose, Flow: child}) }()
+		}
+	}
+}
+
+// releaseOrphanData handles a data reply whose caller timed out before it
+// arrived. A UDP reply carries a dequeued datagram whose IP buffer is
+// pinned by the deliver cookie — acknowledge it so the pool drains (the
+// datagram is lost, which datagram semantics allow). TCP needs nothing:
+// the engine keeps the stream bytes queued until a recv-done consumes
+// them, so the next Recv simply reads the same data again.
+func (c *Client) releaseOrphanData(p Proto, rep msg.Req) {
+	if p != UDP || rep.Op != msg.OpSockRecvData || rep.Arg[2] == 0 {
+		return
+	}
+	done := msg.Req{Op: msg.OpSockRecvDone, Flow: rep.Flow}
+	done.Arg[0] = rep.Arg[2]
+	go func() { _ = c.post(UDP, done) }()
+}
+
+// routeEvent delivers one readiness event to the socket it names.
+func (c *Client) routeEvent(from kipc.EndpointID, rep msg.Req) {
+	proto := c.protoOf(from)
+	c.mu.Lock()
+	ev := c.evs[evKey{proto, rep.Flow}]
+	c.mu.Unlock()
+	if ev != nil {
+		ev.post(rep.Arg[0])
+	}
+}
+
+// protoOf attributes a frontdoor sender endpoint to its transport.
+func (c *Client) protoOf(from kipc.EndpointID) Proto {
+	c.fdMu.Lock()
+	defer c.fdMu.Unlock()
+	if from == c.fdTCP {
+		return TCP
+	}
+	if from == c.fdUDP {
+		return UDP
+	}
+	if id, ok := c.hub.Kern.Lookup("frontdoor-tcp"); ok {
+		c.fdTCP = id
+	}
+	if id, ok := c.hub.Kern.Lookup("frontdoor-udp"); ok {
+		c.fdUDP = id
+	}
+	if from == c.fdUDP {
+		return UDP
+	}
+	return TCP
+}
+
+// register creates the event state for a socket. It must run before the
+// socket enters nonblocking mode so the arming announcement is never lost.
+func (c *Client) register(s *Socket) *evState {
+	ev := &evState{sock: s, notify: make(chan struct{}, 1)}
+	c.mu.Lock()
+	c.evs[evKey{s.proto, s.id}] = ev
+	c.mu.Unlock()
+	return ev
+}
+
+// unregister tears down a socket's event state, waking every waiter.
+func (c *Client) unregister(s *Socket) {
+	c.mu.Lock()
+	delete(c.evs, evKey{s.proto, s.id})
+	c.mu.Unlock()
+	if s.ev != nil {
+		s.ev.close()
 	}
 }
 
@@ -178,8 +335,16 @@ func (c *Client) frontdoor(p Proto) (kipc.EndpointID, error) {
 	return id, nil
 }
 
-// call performs one synchronous stack call.
-func (c *Client) call(p Proto, req msg.Req) (msg.Req, error) {
+// call performs one stack call and waits for its reply. The reply wait is
+// bounded by CallTimeout (0 = forever) or by deadline, whichever expires
+// first; a zero deadline imposes no per-call bound.
+func (c *Client) call(p Proto, req msg.Req, deadline time.Time) (msg.Req, error) {
+	// An already-expired deadline fails BEFORE the op is issued: sending
+	// and then abandoning the reply would consume engine-side state (a
+	// dequeued datagram, an accepted child) that nobody collects.
+	if !deadline.IsZero() && !time.Now().Before(deadline) {
+		return msg.Req{}, ErrTimeout
+	}
 	req.ID = c.nextID.Add(1)
 	dst, err := c.frontdoor(p)
 	if err != nil {
@@ -199,24 +364,58 @@ func (c *Client) call(p Proto, req msg.Req) (msg.Req, error) {
 		return msg.Req{}, fmt.Errorf("sock: call: %w", err)
 	}
 	timeout := c.CallTimeout
-	if timeout <= 0 {
-		timeout = time.Hour
+	if !deadline.IsZero() {
+		d := time.Until(deadline)
+		if d <= 0 {
+			c.abandon(p, req, ch)
+			return msg.Req{}, ErrTimeout
+		}
+		if timeout <= 0 || d < timeout {
+			timeout = d
+		}
 	}
-	t := time.NewTimer(timeout)
-	defer t.Stop()
+	var timer *time.Timer
+	var expiry <-chan time.Time // nil (blocks forever) when timeout is 0
+	if timeout > 0 {
+		timer = time.NewTimer(timeout)
+		defer timer.Stop()
+		expiry = timer.C
+	}
 	select {
 	case rep := <-ch:
 		return rep, nil
-	case <-t.C:
-		cleanup()
-		return msg.Req{}, fmt.Errorf("sock: reply: %w", ErrTimeout)
+	case <-expiry:
+		c.abandon(p, req, ch)
+		return msg.Req{}, ErrTimeout
 	case <-c.stop:
 		cleanup()
 		return msg.Req{}, ErrClosed
 	}
 }
 
-// send posts a fire-and-forget message (no reply expected).
+// abandon gives up on a call at deadline expiry without losing what its
+// reply carries: if the reply is still outstanding, an orphan record lets
+// the pump collect it later; if it already raced into the waiter channel
+// (the pump buffers under the same lock), it is collected here.
+func (c *Client) abandon(p Proto, req msg.Req, ch chan msg.Req) {
+	c.mu.Lock()
+	if _, waiting := c.waiters[req.ID]; waiting {
+		delete(c.waiters, req.ID)
+		if (req.Op == msg.OpSockRecv || req.Op == msg.OpSockAccept) && len(c.orphans) < maxOrphans {
+			c.orphans[req.ID] = orphanCall{proto: p, op: req.Op}
+		}
+		c.mu.Unlock()
+		return
+	}
+	c.mu.Unlock()
+	select {
+	case rep := <-ch:
+		c.handleOrphan(p, req.Op, rep)
+	default:
+	}
+}
+
+// post sends a fire-and-forget message (no reply expected).
 func (c *Client) post(p Proto, req msg.Req) error {
 	req.ID = c.nextID.Add(1)
 	dst, err := c.frontdoor(p)
@@ -224,243 +423,4 @@ func (c *Client) post(p Proto, req msg.Req) error {
 		return err
 	}
 	return c.ep.Send(dst, kipc.Msg{Type: uint32(req.Op), Data: req.MarshalBinary()})
-}
-
-// Socket is one open socket.
-type Socket struct {
-	c     *Client
-	proto Proto
-	id    uint32
-	buf   *sockbuf.Buf
-	// leftover is received data handed to us that the caller has not
-	// consumed yet: views plus the consumed-byte count to acknowledge.
-	leftover []byte
-	eof      bool
-}
-
-// Socket opens a socket on the given transport.
-func (c *Client) Socket(p Proto) (*Socket, error) {
-	rep, err := c.call(p, msg.Req{Op: msg.OpSockCreate})
-	if err != nil {
-		return nil, err
-	}
-	if err := statusErr(rep.Status); err != nil {
-		return nil, err
-	}
-	return &Socket{c: c, proto: p, id: rep.Flow}, nil
-}
-
-// ID returns the stack-side socket identifier.
-func (s *Socket) ID() uint32 { return s.id }
-
-// Bind binds the socket to a local port.
-func (s *Socket) Bind(port uint16) error {
-	r := msg.Req{Op: msg.OpSockBind, Flow: s.id}
-	r.Arg[0] = uint64(port)
-	rep, err := s.c.call(s.proto, r)
-	if err != nil {
-		return err
-	}
-	return statusErr(rep.Status)
-}
-
-// Listen makes a bound TCP socket accept connections.
-func (s *Socket) Listen(backlog int) error {
-	r := msg.Req{Op: msg.OpSockListen, Flow: s.id}
-	r.Arg[0] = uint64(backlog)
-	rep, err := s.c.call(s.proto, r)
-	if err != nil {
-		return err
-	}
-	return statusErr(rep.Status)
-}
-
-// Accept blocks until a connection arrives and returns its socket.
-func (s *Socket) Accept() (*Socket, error) {
-	rep, err := s.c.call(s.proto, msg.Req{Op: msg.OpSockAccept, Flow: s.id})
-	if err != nil {
-		return nil, err
-	}
-	if err := statusErr(rep.Status); err != nil {
-		return nil, err
-	}
-	return &Socket{c: s.c, proto: s.proto, id: uint32(rep.Arg[0])}, nil
-}
-
-// Connect establishes a connection (TCP) or sets the default remote (UDP).
-func (s *Socket) Connect(ip netpkt.IPAddr, port uint16) error {
-	r := msg.Req{Op: msg.OpSockConnect, Flow: s.id}
-	r.Arg[0] = uint64(ip.U32())
-	r.Arg[1] = uint64(port)
-	rep, err := s.c.call(s.proto, r)
-	if err != nil {
-		return err
-	}
-	return statusErr(rep.Status)
-}
-
-// fetchBuf attaches the socket's shared TX buffer (exported by the
-// transport at socket/connection setup).
-func (s *Socket) fetchBuf() error {
-	if s.buf != nil {
-		return nil
-	}
-	pfx := "sockbuf/tcp/"
-	if s.proto == UDP {
-		pfx = "sockbuf/udp/"
-	}
-	a, ok := s.c.hub.Reg.Get(pfx + fmt.Sprint(s.id))
-	if !ok {
-		return fmt.Errorf("sock: no shared buffer for socket %d", s.id)
-	}
-	buf, ok := a.Value.(*sockbuf.Buf)
-	if !ok {
-		return fmt.Errorf("sock: bad buffer announcement for socket %d", s.id)
-	}
-	s.buf = buf
-	return nil
-}
-
-// Send writes data to the socket, blocking for buffer space and stack
-// acceptance; it returns the number of bytes accepted.
-func (s *Socket) Send(data []byte) (int, error) {
-	return s.SendTo(data, netpkt.IPAddr{}, 0)
-}
-
-// SendTo is Send with an explicit destination (UDP).
-func (s *Socket) SendTo(data []byte, dst netpkt.IPAddr, port uint16) (int, error) {
-	if err := s.fetchBuf(); err != nil {
-		return 0, err
-	}
-	total := 0
-	for total < len(data) {
-		r := msg.Req{Op: msg.OpSockSend, Flow: s.id}
-		r.Arg[0] = uint64(dst.U32())
-		r.Arg[1] = uint64(port)
-		n, filled, err := s.fillChain(&r, data[total:])
-		if err != nil {
-			return total, err
-		}
-		if filled == 0 {
-			// No free chunks: the stack is still draining earlier data.
-			time.Sleep(50 * time.Microsecond)
-			continue
-		}
-		rep, err := s.c.call(s.proto, r)
-		if err != nil {
-			return total, err
-		}
-		if err := statusErr(rep.Status); err != nil {
-			if errors.Is(err, ErrWouldBlock) {
-				// The stack rejected the chain under buffer pressure and
-				// recycled it; Send is blocking, so wait and restage.
-				time.Sleep(50 * time.Microsecond)
-				continue
-			}
-			return total, err
-		}
-		total += n
-	}
-	return total, nil
-}
-
-// fillChain moves as much of data as fits into free shared-buffer chunks,
-// recording the rich pointers in r. Returns bytes staged and chunks used.
-func (s *Socket) fillChain(r *msg.Req, data []byte) (int, int, error) {
-	staged := 0
-	var chain []shm.RichPtr
-	for len(chain) < msg.MaxPtrs-1 && staged < len(data) {
-		chunk, ok := s.buf.Get()
-		if !ok {
-			break
-		}
-		n := len(data) - staged
-		if n > s.buf.ChunkSize() {
-			n = s.buf.ChunkSize()
-		}
-		ptr, err := s.buf.Write(chunk, data[staged:staged+n])
-		if err != nil {
-			return staged, len(chain), err
-		}
-		chain = append(chain, ptr)
-		staged += n
-	}
-	r.SetChain(chain)
-	return staged, len(chain), nil
-}
-
-// Recv reads up to len(p) bytes, blocking until data (or EOF) arrives.
-// A return of (0, nil) means EOF.
-func (s *Socket) Recv(p []byte) (int, error) {
-	n, _, _, err := s.recvMeta(p)
-	return n, err
-}
-
-// RecvFrom is Recv returning the datagram source (UDP).
-func (s *Socket) RecvFrom(p []byte) (int, netpkt.IPAddr, uint16, error) {
-	return s.recvMeta(p)
-}
-
-func (s *Socket) recvMeta(p []byte) (int, netpkt.IPAddr, uint16, error) {
-	// Serve leftover bytes first.
-	if len(s.leftover) > 0 {
-		n := copy(p, s.leftover)
-		s.leftover = s.leftover[n:]
-		return n, netpkt.IPAddr{}, 0, nil
-	}
-	if s.eof {
-		return 0, netpkt.IPAddr{}, 0, nil
-	}
-	rep, err := s.c.call(s.proto, msg.Req{Op: msg.OpSockRecv, Flow: s.id})
-	if err != nil {
-		return 0, netpkt.IPAddr{}, 0, err
-	}
-	if rep.Op == msg.OpSockReply {
-		return 0, netpkt.IPAddr{}, 0, statusErr(rep.Status)
-	}
-	if err := statusErr(rep.Status); err != nil {
-		return 0, netpkt.IPAddr{}, 0, err
-	}
-	total := int(rep.Arg[0])
-	if total == 0 {
-		s.eof = true
-		return 0, netpkt.IPAddr{}, 0, nil
-	}
-	// Copy out of the shared views, then acknowledge so the stack can
-	// release the buffers and reopen the window.
-	var all []byte
-	for _, ptr := range rep.Chain() {
-		v, err := s.c.hub.Space.View(ptr)
-		if err != nil {
-			// The pool owner restarted under us; the bytes are gone.
-			break
-		}
-		all = append(all, v...)
-	}
-	done := msg.Req{Op: msg.OpSockRecvDone, Flow: s.id}
-	done.Arg[0] = uint64(len(all))
-	if s.proto == UDP {
-		done.Arg[0] = rep.Arg[2] // deliver cookie for datagram release
-	}
-	_ = s.c.post(s.proto, done)
-
-	n := copy(p, all)
-	if n < len(all) {
-		s.leftover = append(s.leftover[:0], all[n:]...)
-	}
-	srcIP := netpkt.IPFromU32(uint32(rep.Arg[0]))
-	srcPort := uint16(rep.Arg[1])
-	if s.proto == TCP {
-		srcIP, srcPort = netpkt.IPAddr{}, 0
-	}
-	return n, srcIP, srcPort, nil
-}
-
-// Close closes the socket.
-func (s *Socket) Close() error {
-	rep, err := s.c.call(s.proto, msg.Req{Op: msg.OpSockClose, Flow: s.id})
-	if err != nil {
-		return err
-	}
-	return statusErr(rep.Status)
 }

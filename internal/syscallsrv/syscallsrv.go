@@ -76,6 +76,15 @@ type gather struct {
 	bindPort uint16
 }
 
+// sub records which application endpoint subscribed to a socket's
+// readiness events (by putting it in nonblocking mode with OpSockSetFlags).
+// Subscriptions are in-memory: they die with the SYSCALL server, and the
+// application's poller re-arms them by re-issuing SetFlags.
+type sub struct {
+	app   kipc.EndpointID
+	epIdx int
+}
+
 // vsock is the frontdoor's view of one TCP socket it named (id below
 // tcpeng.SockIDBase): which shard owns it, whether it listens, and the
 // accept plumbing for listeners.
@@ -84,6 +93,10 @@ type vsock struct {
 	owner     int // owning shard; -1 until connect routes it
 	port      uint16
 	listening bool
+	// nonblock mirrors the app's OpSockSetFlags: accepts on a listening
+	// vsock answer from childQ or EAGAIN instead of parking the app, and
+	// the standing accepts keep running so EvAcceptReady edges fire.
+	nonblock bool
 	// childQ holds accepted-connection replies from standing accepts that
 	// arrived while no application accept was waiting.
 	childQ []msg.Req
@@ -129,6 +142,11 @@ type Server struct {
 	// lastOp remembers the unfinished operation per socket so it can be
 	// reissued after a transport crash (recv/select-class only).
 	lastOp map[uint32]pendingCall
+	// subsTCP / subsUDP route OpSockEvent readiness edges from the
+	// transports to the application endpoint that armed them. Keyed per
+	// transport because TCP and UDP socket id spaces overlap.
+	subsTCP map[uint32]sub
+	subsUDP map[uint32]sub
 
 	// Sharded-TCP routing state (empty when nShards <= 1).
 	vsocks map[uint32]*vsock
@@ -154,6 +172,8 @@ func (s *Server) Init(rt *proc.Runtime, restart bool) error {
 	s.pending = make(map[uint64]pendingCall)
 	s.lastOp = make(map[uint32]pendingCall)
 	s.vsocks = make(map[uint32]*vsock)
+	s.subsTCP = make(map[uint32]sub)
+	s.subsUDP = make(map[uint32]sub)
 	if restart && s.nShards > 1 {
 		s.loadShardMeta()
 	}
@@ -230,14 +250,14 @@ func (s *Server) Poll(now time.Time) bool {
 
 	// Replies from the transports.
 	for _, port := range s.tcpPorts {
-		if s.drainReplies(port) {
+		if s.drainReplies(port, s.subsTCP) {
 			worked = true
 		}
 	}
-	if s.drainReplies(s.udpPort) {
+	if s.drainReplies(s.udpPort, s.subsUDP) {
 		worked = true
 	}
-	if s.drainReplies(s.pfPort) {
+	if s.drainReplies(s.pfPort, nil) {
 		worked = true
 	}
 
@@ -260,6 +280,7 @@ func (s *Server) Poll(now time.Time) bool {
 // internal ID. epIdx identifies which frontdoor it arrived on (0 = TCP,
 // 1 = UDP, 2 = PF).
 func (s *Server) dispatch(epIdx int, from kipc.EndpointID, req msg.Req) {
+	s.noteSubscription(epIdx, from, req)
 	if epIdx == 0 && s.nShards > 1 {
 		s.dispatchTCPSharded(from, req)
 		return
@@ -291,6 +312,52 @@ func (s *Server) dispatch(epIdx int, from kipc.EndpointID, req msg.Req) {
 	}
 }
 
+// noteSubscription maintains the event-routing tables: an app that puts a
+// socket in nonblocking mode becomes the recipient of its OpSockEvent
+// edges; clearing the flag or closing the socket unsubscribes.
+func (s *Server) noteSubscription(epIdx int, from kipc.EndpointID, req msg.Req) {
+	var subs map[uint32]sub
+	switch epIdx {
+	case 0:
+		subs = s.subsTCP
+	case 1:
+		subs = s.subsUDP
+	default:
+		return
+	}
+	switch req.Op {
+	case msg.OpSockSetFlags:
+		if req.Arg[0]&msg.SockNonblock != 0 {
+			subs[req.Flow] = sub{app: from, epIdx: epIdx}
+		} else {
+			delete(subs, req.Flow)
+		}
+	case msg.OpSockClose:
+		delete(subs, req.Flow)
+	}
+}
+
+// deliverEvent relays one transport readiness event to its subscriber.
+func (s *Server) deliverEvent(subs map[uint32]sub, r msg.Req) {
+	if sb, ok := subs[r.Flow]; ok {
+		_ = s.sendToApp(sb.epIdx, sb.app, r)
+	}
+}
+
+// pokeEvent synthesizes a readiness event towards a subscriber. Used after
+// restarts: edges in flight to or from a dead incarnation are gone, so the
+// frontdoor re-announces conservatively and the app re-checks with
+// nonblocking ops (spurious events are part of the contract).
+func (s *Server) pokeEvent(subs map[uint32]sub, flow uint32, bits uint64) {
+	sb, ok := subs[flow]
+	if !ok {
+		return
+	}
+	ev := msg.Req{Op: msg.OpSockEvent, Flow: flow}
+	ev.Arg[0] = bits
+	_ = s.sendToApp(sb.epIdx, sb.app, ev)
+}
+
 // dispatchTCPSharded routes one TCP socket call in a sharded deployment
 // (see the package comment for the contract).
 func (s *Server) dispatchTCPSharded(from kipc.EndpointID, req msg.Req) {
@@ -320,6 +387,13 @@ func (s *Server) dispatchTCPSharded(from kipc.EndpointID, req msg.Req) {
 		}
 		s.persistShardMeta()
 		s.broadcastTCP(from, req, req, v.id)
+		if v.nonblock {
+			// A nonblocking listener needs children flowing into childQ
+			// before the app's first accept, or no EvAcceptReady ever fires.
+			s.armAccepts(v)
+		}
+	case msg.OpSockSetFlags:
+		s.setFlagsTCPSharded(from, req)
 	case msg.OpSockAccept:
 		s.acceptTCP(from, req)
 	case msg.OpSockConnect:
@@ -338,6 +412,11 @@ func (s *Server) dispatchTCPSharded(from kipc.EndpointID, req msg.Req) {
 				s.rr++
 			}
 			s.persistShardMeta()
+			if v.nonblock {
+				// The owner's engine must know the mode BEFORE the connect
+				// lands, or it parks a call the app expects back as EAGAIN.
+				s.pushSetFlags(v.owner, v.id)
+			}
 		}
 		s.forwardTCP(s.shardOfFlow(req.Flow), from, req)
 	case msg.OpSockClose:
@@ -360,6 +439,44 @@ func (s *Server) dispatchTCPSharded(from kipc.EndpointID, req msg.Req) {
 	default:
 		s.forwardTCP(s.shardOfFlow(req.Flow), from, req)
 	}
+}
+
+// setFlagsTCPSharded applies OpSockSetFlags in a sharded deployment. For
+// engine-assigned ids the owning shard handles it; for frontdoor-named
+// sockets the frontdoor answers itself (listeners are served from childQ by
+// the standing-accept machinery, so their clones stay in parking mode) and
+// forwards the mode to the owning shard once one exists.
+func (s *Server) setFlagsTCPSharded(from kipc.EndpointID, req msg.Req) {
+	v := s.vsocks[req.Flow]
+	if v == nil {
+		s.forwardTCP(s.shardOfFlow(req.Flow), from, req)
+		return
+	}
+	v.nonblock = req.Arg[0]&msg.SockNonblock != 0
+	s.persistShardMeta()
+	if !v.listening && v.owner >= 0 {
+		s.pushSetFlags(v.owner, v.id)
+	}
+	if v.listening && v.nonblock {
+		s.armAccepts(v)
+	}
+	rep := msg.Req{ID: req.ID, Op: msg.OpSockReply, Flow: v.id, Status: msg.StatusOK}
+	_ = s.sendToApp(0, from, rep)
+}
+
+// pushSetFlags forwards a socket's current mode to one shard's engine
+// (fire-and-forget; the reply's unknown ID is skipped by drainReplies).
+func (s *Server) pushSetFlags(shard int, flow uint32) {
+	v := s.vsocks[flow]
+	if v == nil {
+		return
+	}
+	s.nextID++
+	sf := msg.Req{ID: s.nextID, Op: msg.OpSockSetFlags, Flow: flow}
+	if v.nonblock {
+		sf.Arg[0] = msg.SockNonblock
+	}
+	s.tcpBoxes[shard].Push(sf)
 }
 
 // forwardTCP sends one call to a single TCP shard as a plain app call.
@@ -408,6 +525,14 @@ func (s *Server) acceptTCP(from kipc.EndpointID, req msg.Req) {
 		v.childQ = v.childQ[1:]
 		rep.ID = req.ID
 		_ = s.sendToApp(0, from, rep)
+		return
+	}
+	if v.nonblock {
+		// Nonblocking accept: answer EAGAIN now, keep the standing accepts
+		// running so the next child raises EvAcceptReady.
+		rep := msg.Req{ID: req.ID, Op: msg.OpSockReply, Flow: v.id, Status: msg.StatusErrAgain}
+		_ = s.sendToApp(0, from, rep)
+		s.armAccepts(v)
 		return
 	}
 	v.waiters = append(v.waiters, pendingCall{app: from, appID: req.ID, sock: v.id, op: req.Op, orig: req, epIdx: 0})
@@ -477,14 +602,22 @@ func (s *Server) newVsock() *vsock {
 }
 
 // drainReplies relays transport replies back to blocked applications,
-// draining the reply queue in batches.
-func (s *Server) drainReplies(port *wiring.Port) bool {
+// draining the reply queue in batches. Readiness events (OpSockEvent) are
+// not replies: they carry no pending ID and route through the subscription
+// table for the port's transport instead.
+func (s *Server) drainReplies(port *wiring.Port, subs map[uint32]sub) bool {
 	dup := port.Cur()
 	if !dup.Valid() {
 		return false
 	}
 	return wiring.Drain(dup.In, s.scratch, wiring.RecvBudget, func(b []msg.Req) {
 		for _, r := range b {
+			if r.Op == msg.OpSockEvent {
+				if subs != nil {
+					s.deliverEvent(subs, r)
+				}
+				continue
+			}
 			call, known := s.pending[r.ID]
 			if !known {
 				continue // reply from a previous transport incarnation
@@ -506,7 +639,14 @@ func (s *Server) drainReplies(port *wiring.Port) bool {
 				if last, ok := s.lastOp[call.sock]; ok && last.appID == call.appID {
 					delete(s.lastOp, call.sock)
 				}
-				if call.op == msg.OpSockConnect && r.Status != msg.StatusOK {
+				// Release the routed owner ONLY on port exhaustion: there
+				// the clone holds no handshake state and a retry must be
+				// free to pick a shard with ephemeral ports to spare.
+				// EAGAIN means in progress, and hard failures pin a sticky
+				// status on the owner — both need later connect polls to
+				// keep landing on the SAME shard, or the router would
+				// start a duplicate handshake on a fresh clone.
+				if call.op == msg.OpSockConnect && r.Status == msg.StatusErrNoBufs {
 					s.noteConnectFailed(call.sock, call.shard)
 				}
 				rep := r
@@ -572,11 +712,18 @@ func (s *Server) standingAcceptReply(call pendingCall, r msg.Req) {
 		rep := r
 		rep.ID = w.appID
 		_ = s.sendToApp(w.epIdx, w.app, rep)
-		if len(v.waiters) > 0 {
+		if len(v.waiters) > 0 || v.nonblock {
 			s.armAccepts(v)
 		}
 	} else {
 		v.childQ = append(v.childQ, r)
+		if len(v.childQ) == 1 {
+			// Empty → nonempty edge for a nonblocking accepter.
+			s.pokeEvent(s.subsTCP, v.id, msg.EvAcceptReady)
+		}
+		if v.nonblock {
+			s.armAccepts(v)
+		}
 	}
 }
 
@@ -613,7 +760,7 @@ func (s *Server) recoverTCPShard(k int) {
 		case call.standing:
 			if v := s.vsocks[call.sock]; v != nil {
 				v.armed[k] = false
-				if len(v.waiters) > 0 {
+				if len(v.waiters) > 0 || v.nonblock {
 					rearm[v] = true
 				}
 			}
@@ -654,6 +801,26 @@ func (s *Server) recoverTCPShard(k int) {
 		}
 		v.childQ = kept
 	}
+	// Re-announce readiness for the shard's subscribers: every edge in
+	// flight to or from the dead incarnation is gone, and a poller that
+	// waits for it would deadlock — the recovery contract says spurious
+	// re-announced edges, never lost ones. Established sockets on the dead
+	// shard are unrecoverable, so their poke carries EvError; the app's
+	// next nonblocking op observes the real outcome. The new incarnation
+	// also needs the mode bits back for sockets it restored.
+	for flow := range s.subsTCP {
+		v := s.vsocks[flow]
+		if v != nil && v.listening {
+			// Listener clones recovered on the new incarnation; childQ for
+			// the dead shard was purged above, so just wake the accepter.
+			s.pokeEvent(s.subsTCP, flow, msg.EvAcceptReady)
+			continue
+		}
+		if s.shardOfFlow(flow) == k {
+			s.pushSetFlags(k, flow)
+			s.pokeEvent(s.subsTCP, flow, msg.EvError|msg.EvReadable|msg.EvWritable)
+		}
+	}
 }
 
 // recoverTransport handles a transport server restart: recv-class
@@ -689,6 +856,32 @@ func (s *Server) recoverTransport(isTCP bool) {
 		fwd.ID = nid
 		box.Push(fwd)
 	}
+	// Re-announce for subscribers: re-send the mode bits to the new
+	// incarnation (UDP restores its sockets, TCP its listeners; SetFlags on
+	// a dead socket answers ErrNoSock to an ID nobody waits on) and poke a
+	// conservative readiness edge so no poller stays parked on an edge the
+	// dead incarnation swallowed. TCP pokes carry EvError because
+	// established connections died; UDP sockets survive, so theirs do not.
+	if isTCP {
+		for flow := range s.subsTCP {
+			s.resendSetFlags(box, flow)
+			s.pokeEvent(s.subsTCP, flow, msg.EvError|msg.EvReadable|msg.EvWritable|msg.EvAcceptReady)
+		}
+	} else {
+		for flow := range s.subsUDP {
+			s.resendSetFlags(box, flow)
+			s.pokeEvent(s.subsUDP, flow, msg.EvReadable|msg.EvWritable)
+		}
+	}
+}
+
+// resendSetFlags pushes a nonblocking-mode SetFlags for flow onto box
+// (fire-and-forget, unsharded transports).
+func (s *Server) resendSetFlags(box *wiring.Outbox, flow uint32) {
+	s.nextID++
+	sf := msg.Req{ID: s.nextID, Op: msg.OpSockSetFlags, Flow: flow}
+	sf.Arg[0] = msg.SockNonblock
+	box.Push(sf)
 }
 
 // callBelongsTo decides which transport a pending call was sent to. The
@@ -713,6 +906,7 @@ type savedVsock struct {
 	Owner     int
 	Port      uint16
 	Listening bool
+	Nonblock  bool
 }
 
 // persistShardMeta parks the routing table in the storage server. It only
@@ -721,7 +915,7 @@ type savedVsock struct {
 func (s *Server) persistShardMeta() {
 	meta := savedShardMeta{NextV: s.nextV, RR: s.rr, Socks: make(map[uint32]savedVsock, len(s.vsocks))}
 	for id, v := range s.vsocks {
-		meta.Socks[id] = savedVsock{Owner: v.owner, Port: v.port, Listening: v.listening}
+		meta.Socks[id] = savedVsock{Owner: v.owner, Port: v.port, Listening: v.listening, Nonblock: v.nonblock}
 	}
 	var buf bytes.Buffer
 	if gob.NewEncoder(&buf).Encode(meta) == nil {
@@ -745,7 +939,7 @@ func (s *Server) loadShardMeta() {
 	for id, sv := range meta.Socks {
 		s.vsocks[id] = &vsock{
 			id: id, owner: sv.Owner, port: sv.Port, listening: sv.Listening,
-			armed: make([]bool, s.nShards),
+			nonblock: sv.Nonblock, armed: make([]bool, s.nShards),
 		}
 	}
 }

@@ -164,8 +164,12 @@ func (e *Engine) established(p *pcb) {
 	p.rtoAt = zeroTime
 	p.retxCount = 0
 	if p.pendingConnect != 0 {
-		e.reply(p.pendingConnect, p.id, msg.StatusOK)
+		e.replyConnected(p.pendingConnect, p)
 		p.pendingConnect = 0
+	} else if p.listenerID == 0 {
+		// Nonblocking active open completed: announce the edge; the app
+		// learns the outcome by re-issuing the connect.
+		e.event(p, msg.EvWritable)
 	}
 	if p.listenerID != 0 {
 		if l, ok := e.sockets[p.listenerID]; ok && l.state == StateListen {
@@ -175,6 +179,11 @@ func (e *Engine) established(p *pcb) {
 				e.replyAccept(id, l.id, p.id)
 			} else {
 				l.acceptQ = append(l.acceptQ, p.id)
+				if len(l.acceptQ) == 1 {
+					// Empty → nonempty edge; nonblocking accepters must
+					// drain the queue until EAGAIN on each wakeup.
+					e.event(l, msg.EvAcceptReady)
+				}
 			}
 		}
 		e.stats.ConnsAccepted++
@@ -221,7 +230,11 @@ func (e *Engine) processAck(p *pcb, th netpkt.TCPHeader, hasPayload bool) {
 		p.cwnd += max32(uint32(p.mss)*uint32(p.mss)/p.cwnd, 1) // AIMD
 	}
 
-	// Free stream chunks that are fully acknowledged.
+	// Free stream chunks that are fully acknowledged. If the supply ring
+	// was exhausted (the app's fillChain came up empty), the recycle is the
+	// exhausted → free edge a nonblocking sender waits on.
+	ringWasEmpty := p.buf != nil && p.buf.Free() == 0
+	recycled := false
 	for len(p.stream) > 0 {
 		c := p.stream[0]
 		if !netpkt.SeqLEQ(c.seq+c.ptr.Len, ack) {
@@ -229,8 +242,12 @@ func (e *Engine) processAck(p *pcb, th netpkt.TCPHeader, hasPayload bool) {
 		}
 		if p.buf != nil {
 			p.buf.Recycle(c.ptr)
+			recycled = true
 		}
 		p.stream = p.stream[1:]
+	}
+	if recycled && ringWasEmpty {
+		e.event(p, msg.EvWritable)
 	}
 
 	// Retransmission timer.
@@ -319,10 +336,14 @@ func (e *Engine) processData(p *pcb, th netpkt.TCPHeader, seg shm.RichPtr, plen 
 		payload:   seg.Slice(off, off+take),
 		deliverID: deliverID,
 	}
+	wasEmpty := p.rcvQueued == 0
 	p.rcvQ = append(p.rcvQ, item)
 	p.rcvQueued += take
 	p.rcvNxt = seq + take
 	e.stats.BytesIn += uint64(take)
+	if wasEmpty && p.pendingRecv == 0 {
+		e.event(p, msg.EvReadable)
+	}
 
 	// ACK policy: every second segment — or a PSH boundary (the end of a
 	// sender burst) — immediately; otherwise delayed. Acking on PSH keeps
@@ -366,6 +387,7 @@ func (e *Engine) processFin(p *pcb) {
 		rep := msg.Req{ID: id, Op: msg.OpSockRecvData, Flow: p.id, Status: msg.StatusOK}
 		e.toFront = append(e.toFront, rep)
 	}
+	e.event(p, msg.EvEOF|msg.EvReadable)
 	e.persist()
 }
 
@@ -379,19 +401,26 @@ func (e *Engine) enterTimeWait(p *pcb) {
 // connReset tears a connection down on RST: pending app operations fail
 // with ECONNRESET.
 func (e *Engine) connReset(p *pcb) {
-	p.reset = true
+	// Park the failure for a later connect poll ONLY when nobody is being
+	// told now: a blocking connect (pendingConnect) gets its reply below,
+	// and parking the status too would make the app's NEXT connect return
+	// this stale refusal instead of dialing.
+	status := msg.StatusErrConnRst
+	if p.state == StateSynSent {
+		status = msg.StatusErrRefused
+	}
 	if p.pendingConnect != 0 {
 		e.reply(p.pendingConnect, p.id, msg.StatusErrRefused)
 		p.pendingConnect = 0
+		status = 0
 	}
 	if p.pendingRecv != 0 {
 		e.reply(p.pendingRecv, p.id, msg.StatusErrConnRst)
 		p.pendingRecv = 0
 	}
-	e.destroy(p)
 	// Keep the pcb visible as reset for subsequent app calls.
-	p.state = StateClosed
-	e.sockets[p.id] = p
+	e.parkFailed(p, status)
+	e.event(p, msg.EvError|msg.EvReadable|msg.EvWritable)
 	e.persist()
 }
 

@@ -309,6 +309,15 @@ func (e *Engine) rtoFire(p *pcb) {
 			if p.pendingConnect != 0 {
 				e.reply(p.pendingConnect, p.id, msg.StatusErrTimedOut)
 				p.pendingConnect = 0
+				e.destroy(p)
+				return
+			}
+			if p.state == StateSynSent {
+				// Nonblocking active open gave up: keep the pcb visible as
+				// failed so the app's connect poll learns the outcome.
+				e.parkFailed(p, msg.StatusErrTimedOut)
+				e.event(p, msg.EvError|msg.EvWritable)
+				return
 			}
 			e.destroy(p)
 			return

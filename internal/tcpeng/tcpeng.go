@@ -196,7 +196,13 @@ type pcb struct {
 	ackPending  int // segments since last ack
 
 	// App interface.
-	buf            *sockbuf.Buf
+	buf *sockbuf.Buf
+	// nonblock makes accept/recv/connect reply StatusErrAgain instead of
+	// parking, and turns on edge-triggered OpSockEvent publication.
+	nonblock bool
+	// connStatus is the sticky outcome of a failed nonblocking connect
+	// (the app learns it by re-issuing OpSockConnect).
+	connStatus     int32
 	pendingRecv    uint64
 	pendingConnect uint64
 	pendingAccept  []uint64 // parked accepts (listeners)
@@ -314,6 +320,8 @@ func (e *Engine) FromFront(r msg.Req, now time.Time) {
 		e.recv(r)
 	case msg.OpSockRecvDone:
 		e.recvDone(r)
+	case msg.OpSockSetFlags:
+		e.setFlags(r)
 	case msg.OpSockClose:
 		e.closeSock(r)
 	default:
@@ -334,6 +342,53 @@ func (e *Engine) FromIP(r msg.Req, now time.Time) {
 
 func (e *Engine) reply(id uint64, flow uint32, status int32) {
 	e.toFront = append(e.toFront, msg.Req{ID: id, Op: msg.OpSockReply, Flow: flow, Status: status})
+}
+
+// event publishes an edge-triggered readiness event for a nonblocking
+// socket. Events ride the same ordered queue as replies, so an app never
+// observes an event "from the future" relative to its replies.
+func (e *Engine) event(p *pcb, bits uint64) {
+	if !p.nonblock || bits == 0 {
+		return
+	}
+	ev := msg.Req{Op: msg.OpSockEvent, Flow: p.id}
+	ev.Arg[0] = bits
+	e.toFront = append(e.toFront, ev)
+}
+
+// setFlags switches a socket's mode. Entering nonblocking mode re-announces
+// the socket's CURRENT readiness as an event: edges that fired before the
+// subscription would otherwise be lost, and a poller armed late would
+// deadlock (the same level-check every epoll-style API performs on arm).
+func (e *Engine) setFlags(r msg.Req) {
+	p, ok := e.sockets[r.Flow]
+	if !ok {
+		e.reply(r.ID, r.Flow, msg.StatusErrNoSock)
+		return
+	}
+	p.nonblock = r.Arg[0]&msg.SockNonblock != 0
+	e.reply(r.ID, r.Flow, msg.StatusOK)
+	if !p.nonblock {
+		return
+	}
+	var bits uint64
+	if p.rcvQueued > 0 {
+		bits |= msg.EvReadable
+	}
+	if p.finRcvd {
+		bits |= msg.EvEOF | msg.EvReadable
+	}
+	if len(p.acceptQ) > 0 {
+		bits |= msg.EvAcceptReady
+	}
+	if p.reset || p.connStatus != 0 {
+		bits |= msg.EvError
+	}
+	switch p.state {
+	case StateEstablished, StateCloseWait:
+		bits |= msg.EvWritable
+	}
+	e.event(p, bits)
 }
 
 // create opens a socket. Arg[0], when non-zero, is a frontdoor-assigned
@@ -401,7 +456,19 @@ func (e *Engine) accept(r msg.Req) {
 		e.replyAccept(r.ID, p.id, child)
 		return
 	}
+	if p.nonblock {
+		e.reply(r.ID, r.Flow, msg.StatusErrAgain)
+		return
+	}
 	p.pendingAccept = append(p.pendingAccept, r.ID)
+}
+
+// replyConnected completes a connect with the engine-chosen local port in
+// Arg[1], so the application can report its local address.
+func (e *Engine) replyConnected(frontID uint64, p *pcb) {
+	rep := msg.Req{ID: frontID, Op: msg.OpSockReply, Flow: p.id, Status: msg.StatusOK}
+	rep.Arg[1] = uint64(p.localPort)
+	e.toFront = append(e.toFront, rep)
 }
 
 func (e *Engine) replyAccept(frontID uint64, listener, child uint32) {
@@ -439,7 +506,32 @@ func (e *Engine) connect(r msg.Req) {
 		e.reply(r.ID, r.Flow, msg.StatusErrNoSock)
 		return
 	}
-	if p.state != StateClosed {
+	// A nonblocking connect completes across calls: the first starts the
+	// handshake and replies EAGAIN, later calls poll its outcome (the
+	// getsockopt(SO_ERROR) of this API). Failure statuses READ-CLEAR, like
+	// SO_ERROR: once the app has been told, the next connect re-dials —
+	// the classic retry-until-the-server-is-up loop must keep working.
+	if p.connStatus != 0 {
+		st := p.connStatus
+		p.connStatus = 0
+		p.reset = false
+		e.reply(r.ID, p.id, st)
+		return
+	}
+	switch p.state {
+	case StateSynSent, StateSynRcvd:
+		e.reply(r.ID, p.id, msg.StatusErrAgain)
+		return
+	case StateEstablished, StateCloseWait:
+		e.replyConnected(r.ID, p)
+		return
+	case StateClosed:
+		if p.reset {
+			p.reset = false
+			e.reply(r.ID, p.id, msg.StatusErrConnRst)
+			return
+		}
+	default:
 		e.reply(r.ID, r.Flow, msg.StatusErrInval)
 		return
 	}
@@ -472,7 +564,13 @@ func (e *Engine) connect(r msg.Req) {
 	e.conns[key] = p.id
 	e.initSendState(p)
 	p.state = StateSynSent
-	p.pendingConnect = r.ID
+	if p.nonblock {
+		// In progress: the app polls with another connect, or waits for
+		// the EvWritable/EvError edge.
+		e.reply(r.ID, p.id, msg.StatusErrAgain)
+	} else {
+		p.pendingConnect = r.ID
+	}
 	e.emitSegment(p, netpkt.TCPSyn, p.iss, nil, 0, true)
 	p.sndNxt = p.iss + 1
 	p.rto = synRTO
@@ -592,7 +690,7 @@ func (e *Engine) recv(r msg.Req) {
 		e.toFront = append(e.toFront, rep)
 		return
 	}
-	if p.pendingRecv != 0 {
+	if p.nonblock || p.pendingRecv != 0 {
 		e.reply(r.ID, r.Flow, msg.StatusErrAgain)
 		return
 	}
@@ -697,6 +795,28 @@ func (e *Engine) queueFin(p *pcb) {
 	p.streamEnd++
 	e.output(p)
 	e.persist()
+}
+
+// parkFailed tears a connection down but keeps the pcb visible as failed,
+// so the app can learn the outcome (and re-dial: the status read-clears).
+// Timers are disarmed — a parked pcb must never re-enter rtoFire, which
+// would spam EvError events and re-poison the read-cleared status — and
+// the socket's port reservation is retained: the app still holds the
+// socket, so autobind must not hand its port to someone else before the
+// close.
+func (e *Engine) parkFailed(p *pcb, status int32) {
+	e.destroy(p)
+	p.state = StateClosed
+	p.reset = true
+	if status != 0 && p.connStatus == 0 && p.pendingConnect == 0 {
+		p.connStatus = status
+	}
+	p.rtoAt, p.delAckAt = zeroTime, zeroTime
+	p.retxCount = 0
+	e.sockets[p.id] = p
+	if p.bound {
+		e.usedPorts[p.localPort] = true
+	}
 }
 
 // destroy removes a pcb, releasing receive-pool references and freeing the

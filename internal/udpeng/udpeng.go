@@ -81,6 +81,9 @@ type socket struct {
 	remoteIP  netpkt.IPAddr
 	remotePt  uint16
 	connected bool
+	// nonblock makes recv reply StatusErrAgain instead of parking and
+	// turns on edge-triggered OpSockEvent publication.
+	nonblock bool
 
 	buf         *sockbuf.Buf
 	recvQ       []rxItem
@@ -161,6 +164,8 @@ func (e *Engine) FromFront(r msg.Req) {
 		e.recv(r)
 	case msg.OpSockRecvDone:
 		e.recvDone(r)
+	case msg.OpSockSetFlags:
+		e.setFlags(r)
 	case msg.OpSockClose:
 		e.close(r)
 	default:
@@ -266,6 +271,37 @@ func (e *Engine) autobind(s *socket) {
 			return
 		}
 	}
+}
+
+// event publishes an edge-triggered readiness event for a nonblocking
+// socket (see msg.Ev*).
+func (e *Engine) event(s *socket, bits uint64) {
+	if !s.nonblock || bits == 0 {
+		return
+	}
+	ev := msg.Req{Op: msg.OpSockEvent, Flow: s.id}
+	ev.Arg[0] = bits
+	e.toFront = append(e.toFront, ev)
+}
+
+// setFlags switches a socket's mode, re-announcing current readiness on
+// entry to nonblocking mode so a late subscriber never misses a past edge.
+func (e *Engine) setFlags(r msg.Req) {
+	s, ok := e.sockets[r.Flow]
+	if !ok {
+		e.toFront = append(e.toFront, r.Reply(msg.OpSockReply, msg.StatusErrNoSock))
+		return
+	}
+	s.nonblock = r.Arg[0]&msg.SockNonblock != 0
+	e.toFront = append(e.toFront, r.Reply(msg.OpSockReply, msg.StatusOK))
+	if !s.nonblock {
+		return
+	}
+	bits := uint64(msg.EvWritable) // a UDP socket with free chunks can always send
+	if len(s.recvQ) > 0 {
+		bits |= msg.EvReadable
+	}
+	e.event(s, bits)
 }
 
 // recycleChain hands a rejected send's staged chunks back to the socket's
@@ -397,8 +433,14 @@ func (e *Engine) sendDone(r msg.Req) {
 	}
 	_ = e.hdrPool.Free(ps.hdr)
 	if s, ok := e.sockets[ps.sock]; ok && s.buf != nil {
+		// Recycling into an exhausted supply ring is the edge a nonblocking
+		// sender waits on.
+		ringWasEmpty := s.buf.Free() == 0
 		for _, p := range ps.payload {
 			s.buf.Recycle(p)
+		}
+		if ringWasEmpty && len(ps.payload) > 0 {
+			e.event(s, msg.EvWritable)
 		}
 	}
 	rep := msg.Req{ID: ps.frontID, Op: msg.OpSockReply, Flow: ps.sock, Status: r.Status}
@@ -440,12 +482,17 @@ func (e *Engine) deliver(r msg.Req) {
 		payload:   seg.Slice(netpkt.UDPHeaderLen, uint32(netpkt.UDPHeaderLen+plen)),
 		deliverID: r.ID,
 	}
+	wasEmpty := len(s.recvQ) == 0
 	s.recvQ = append(s.recvQ, item)
 	e.stats.DatagramsIn++
 	if s.pendingRecv != 0 {
 		id := s.pendingRecv
 		s.pendingRecv = 0
 		e.replyRecv(id, s)
+		return
+	}
+	if wasEmpty {
+		e.event(s, msg.EvReadable)
 	}
 }
 
@@ -461,8 +508,8 @@ func (e *Engine) recv(r msg.Req) {
 		return
 	}
 	if len(s.recvQ) == 0 {
-		if s.pendingRecv != 0 {
-			// One outstanding recv per socket.
+		if s.nonblock || s.pendingRecv != 0 {
+			// Nonblocking socket, or one outstanding recv per socket.
 			e.toFront = append(e.toFront, r.Reply(msg.OpSockReply, msg.StatusErrAgain))
 			return
 		}
