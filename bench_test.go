@@ -232,6 +232,40 @@ func BenchmarkSec4_TCPSharded(b *testing.B) {
 	}
 }
 
+// BenchmarkTable2_Scaling measures the multi-core scaling curve: the same
+// aggregate bulk transfer as BenchmarkSec4_TCPSharded, swept over
+// TCPShards 1/2/4 both with the loops left to the Go scheduler (unpinned)
+// and with core-affine pinned loop groups (core.Config.PinCores). On a
+// multi-core runner the pinned curve should rise monotonically with the
+// shard count and sit at or above the unpinned one; on a single-core CI
+// box both curves are flat and the sweep merely smoke-tests the pinned
+// code path end to end.
+func BenchmarkTable2_Scaling(b *testing.B) {
+	for _, pinned := range []bool{false, true} {
+		name := "unpinned"
+		if pinned {
+			name = "pinned"
+		}
+		b.Run(name, func(b *testing.B) {
+			for _, shards := range []int{1, 2, 4} {
+				b.Run(fmt.Sprint(shards), func(b *testing.B) {
+					var total float64
+					for i := 0; i < b.N; i++ {
+						mbps, err := experiments.RunScaling(shards, pinned, experiments.Table2Opts{
+							Duration: 600 * time.Millisecond, Wires: 2, ConnsPerWire: 4,
+						})
+						if err != nil {
+							b.Fatal(err)
+						}
+						total += mbps
+					}
+					b.ReportMetric(total/float64(b.N), "Mbps")
+				})
+			}
+		})
+	}
+}
+
 // BenchmarkSec4_RxBurst measures the elastic RX-pool burst path
 // (docs/ARCHITECTURE.md "Elastic pools"): a 4× over-complement burst that
 // must complete with zero device drops while the pool grows and then

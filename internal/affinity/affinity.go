@@ -1,0 +1,35 @@
+// Package affinity pins OS threads to CPUs where the platform allows it
+// (sched_setaffinity on Linux), so core-affine loop groups actually land
+// on distinct cores instead of merely being locked to distinct threads.
+// On platforms without an affinity syscall the package degrades to a
+// deterministic GOMAXPROCS-partitioned group→CPU mapping that callers can
+// still use for placement decisions, with PinThread reporting
+// ErrUnsupported.
+package affinity
+
+import (
+	"errors"
+	"runtime"
+)
+
+// ErrUnsupported is returned by PinThread on platforms without a thread
+// affinity syscall.
+var ErrUnsupported = errors.New("affinity: not supported on this platform")
+
+// CPUForGroup maps a loop group (numbered from 1) to a CPU index,
+// partitioning the available parallelism: distinct groups land on
+// distinct CPUs until groups outnumber CPUs, then wrap. Group 0 is
+// "ungrouped" and maps to -1 (no placement).
+func CPUForGroup(group int) int {
+	if group <= 0 {
+		return -1
+	}
+	n := runtime.NumCPU()
+	if p := runtime.GOMAXPROCS(0); p < n {
+		n = p
+	}
+	if n < 1 {
+		n = 1
+	}
+	return (group - 1) % n
+}

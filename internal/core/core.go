@@ -80,6 +80,13 @@ type Config struct {
 	ElasticPools bool
 	// DedicatedCores pins each server loop to an OS thread.
 	DedicatedCores bool
+	// PinCores additionally assigns the data-plane loops to core-affine
+	// loop groups (implies per-loop OS threads): drivers, IP, and each TCP
+	// shard land on distinct CPUs (wrapping when groups outnumber cores),
+	// then SC, PF, and UDP. Storage stays ungrouped — it is not on the hot
+	// path. Uses sched_setaffinity where available; elsewhere the groups
+	// degrade to LockOSThread-only placement (internal/affinity).
+	PinCores bool
 	// Kernel sets the simulated kernel cost model.
 	Kernel kipc.Config
 	// HeartbeatMiss tunes hang detection (default 250ms).
@@ -133,6 +140,18 @@ func NewNode(cfg Config, hub *wiring.Hub, devices map[string]*nic.Device) (*Node
 	}
 
 	opts := proc.Options{DedicatedCore: cfg.DedicatedCores}
+	// Core-affine loop groups (Config.PinCores): the hot path is numbered
+	// in placement priority — drivers (they soak interrupts and DMA
+	// completions), then IP, then the TCP shards — so when groups
+	// outnumber CPUs and the mapping wraps, the loops that benefit most
+	// from a dedicated core claimed theirs first. SC, PF, and UDP follow;
+	// storage stays ungrouped (not on the hot path).
+	pin := func(group int) proc.Options {
+		if !cfg.PinCores {
+			return opts
+		}
+		return proc.Options{DedicatedCore: true, LoopGroup: group}
+	}
 
 	// Storage server.
 	n.addProc(CompStorage, opts, func() proc.Service {
@@ -142,14 +161,21 @@ func NewNode(cfg Config, hub *wiring.Hub, devices map[string]*nic.Device) (*Node
 	// Drivers: one per device, attached to devices built with the node's
 	// shared space.
 	drvNames := make([]string, 0, len(devices))
+	drvGroup := 0
 	for name, dev := range devices {
 		name, dev := name, dev
 		drvNames = append(drvNames, name)
+		drvGroup++
 		ports := wiring.NewPorts(hub, name)
-		n.addProc(name, opts, func() proc.Service {
+		n.addProc(name, pin(drvGroup), func() proc.Service {
 			return driver.New(name, ports, dev)
 		})
 	}
+	ipGroup := len(devices) + 1
+	tcpGroup0 := ipGroup + 1 // shard k gets tcpGroup0+k
+	scGroup := tcpGroup0 + cfg.tcpShardCount()
+	pfGroup := scGroup + 1
+	udpGroup := pfGroup + 1
 
 	// IP.
 	ipPorts := wiring.NewPorts(hub, CompIP)
@@ -158,14 +184,14 @@ func NewNode(cfg Config, hub *wiring.Hub, devices map[string]*nic.Device) (*Node
 		Drivers: drvNames, TCPShards: cfg.tcpShardCount(),
 		Elastic: cfg.ElasticPools,
 	}
-	n.addProc(CompIP, opts, func() proc.Service {
+	n.addProc(CompIP, pin(ipGroup), func() proc.Service {
 		return ipsrv.New(ipCfg, ipPorts)
 	})
 
 	// PF.
 	if cfg.PF {
 		pfPorts := wiring.NewPorts(hub, CompPF)
-		n.addProc(CompPF, opts, func() proc.Service {
+		n.addProc(CompPF, pin(pfGroup), func() proc.Service {
 			return pf.New(pfPorts)
 		})
 	}
@@ -198,7 +224,7 @@ func NewNode(cfg Config, hub *wiring.Hub, devices map[string]*nic.Device) (*Node
 			tcpShim = wiring.NewPorts(hub, "shim-sc-tcp")
 			tcpSubs = make(map[uint32]kipc.EndpointID)
 		}
-		n.addProc(name, opts, func() proc.Service {
+		n.addProc(name, pin(tcpGroup0+k), func() proc.Service {
 			s := tcpsrv.New(tcpCfg, tcpPorts)
 			if !cfg.SyscallServer {
 				return newDirectFrontWithPorts(s, tcpShim, "sc-tcp", syscallsrv.TCPFrontdoor, tcpSubs)
@@ -210,7 +236,7 @@ func NewNode(cfg Config, hub *wiring.Hub, devices map[string]*nic.Device) (*Node
 	udpShim := wiring.NewPorts(hub, "shim-sc-udp")
 	udpSubs := make(map[uint32]kipc.EndpointID)
 	udpCfg := udpsrv.Config{LocalIP: localIP, SrcFor: srcFor, Offload: cfg.Offload, Elastic: cfg.ElasticPools}
-	n.addProc(CompUDP, opts, func() proc.Service {
+	n.addProc(CompUDP, pin(udpGroup), func() proc.Service {
 		s := udpsrv.New(udpCfg, udpPorts)
 		if !cfg.SyscallServer {
 			return newDirectFrontWithPorts(s, udpShim, "sc-udp", syscallsrv.UDPFrontdoor, udpSubs)
@@ -221,7 +247,7 @@ func NewNode(cfg Config, hub *wiring.Hub, devices map[string]*nic.Device) (*Node
 	// SYSCALL server.
 	if cfg.SyscallServer {
 		scPorts := wiring.NewPorts(hub, CompSC)
-		n.addProc(CompSC, opts, func() proc.Service {
+		n.addProc(CompSC, pin(scGroup), func() proc.Service {
 			return syscallsrv.New(scPorts, shards)
 		})
 	}

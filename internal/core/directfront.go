@@ -67,6 +67,7 @@ func (d *directFront) Init(rt *proc.Runtime, restart bool) error {
 	// substring after "sc-".
 	d.port = d.shimPorts.Export(d.edge, d.edge[3:])
 	d.box = wiring.NewOutbox(d.port)
+	d.box.EnablePacing(wiring.DefaultPacing())
 	d.scratch = make([]msg.Req, wiring.ScratchLen)
 	ep, err := d.shimPorts.Hub().Kern.Register(d.fdName, rt.Bell)
 	if err != nil {
@@ -169,7 +170,7 @@ func (d *directFront) Poll(now time.Time) bool {
 		}) {
 			worked = true
 		}
-		if d.box.Flush() {
+		if d.box.FlushPaced(now, !worked) {
 			worked = true
 		}
 	}

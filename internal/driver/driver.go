@@ -56,6 +56,7 @@ func (s *Server) Init(rt *proc.Runtime, restart bool) error {
 	s.ports.Begin(rt.Bell)
 	s.ipPort = s.ports.Attach("ip-" + s.name)
 	s.outIP = wiring.NewOutbox(s.ipPort)
+	s.outIP.EnablePacing(wiring.DefaultPacing())
 	s.scratch = make([]msg.Req, wiring.ScratchLen)
 	ep, err := s.ports.Hub().Kern.Register(s.name, rt.Bell)
 	if err != nil {
@@ -155,7 +156,7 @@ func (s *Server) Poll(now time.Time) bool {
 		worked = true
 	}
 
-	if s.outIP.Flush() {
+	if s.outIP.FlushPaced(now, !worked) {
 		worked = true
 	}
 	return worked

@@ -139,6 +139,10 @@ func RunLANTransfer(cfg core.Config, wcfg nic.WireConfig, opts Table2Opts) (floa
 				close(ready)
 				return
 			}
+			// Close the client on exit: each leaked pump goroutine keeps
+			// polling its endpoint forever, and accumulated pumps from
+			// repeated runs in one process eventually starve the loops.
+			defer cli.Close()
 			s, err := cli.Socket(sock.TCP)
 			if err != nil {
 				errs <- err
@@ -179,6 +183,7 @@ func RunLANTransfer(cfg core.Config, wcfg nic.WireConfig, opts Table2Opts) (floa
 				errs <- err
 				return
 			}
+			defer cli.Close()
 			cli.CallTimeout = 30 * time.Second
 			s, err := cli.Socket(sock.TCP)
 			if err != nil {

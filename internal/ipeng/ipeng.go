@@ -123,6 +123,11 @@ type Stats struct {
 	// RxPressure counts RX-buffer allocations that failed while supplying
 	// a driver: each one is a receive buffer the device went without.
 	RxPressure uint64
+	// GRODeliveries counts merged (multi-segment) deliveries to TCP
+	// shards; GROCoalesced counts the extra segments folded into them —
+	// each one an OpIPDeliver/OpIPDeliverDone round trip saved.
+	GRODeliveries uint64
+	GROCoalesced  uint64
 }
 
 type iface struct {
@@ -188,6 +193,47 @@ type inPkt struct {
 	srcPort uint16
 	dstPort uint16
 	portsOK bool
+	// GRO metadata, parsed at intake alongside the ports: data-bearing
+	// TCP segments with only ACK(+PSH) set are coalescing candidates
+	// (groOK); the sequence/ack/window fields decide in-order same-flow
+	// adjacency in the shard's GRO slot.
+	groOK      bool
+	tcpSeq     uint32
+	tcpAckNo   uint32
+	tcpWnd     uint16
+	tcpFlags   uint8
+	tcpDataOff uint32
+	tcpPayLen  uint32
+}
+
+// GRO tuning: a merged delivery carries at most groMaxSegs segments (the
+// chain is 1 full segment + payload-only views, bounded well under
+// msg.MaxPtrs) and at most groMaxBytes of payload.
+const (
+	groMaxSegs  = 16
+	groMaxBytes = 64 << 10
+)
+
+// groSlot accumulates an in-order run of same-flow TCP segments bound for
+// one shard, merged into a single OpIPDeliver before dispatch. One slot
+// per shard; it never survives a loop iteration (DrainToTCPShard flushes).
+type groSlot struct {
+	active  bool
+	srcIP   netpkt.IPAddr
+	dstIP   netpkt.IPAddr
+	srcPort uint16
+	dstPort uint16
+	nextSeq uint32
+	ack     uint32
+	wnd     uint16
+	bytes   uint32
+	pkts    []*inPkt
+}
+
+// groBatch is the request-database payload of a merged delivery: every
+// buffer recycles together when the shard acknowledges (or dies).
+type groBatch struct {
+	pkts []*inPkt
 }
 
 // Engine is the IP server's logic. Single-threaded.
@@ -207,6 +253,9 @@ type Engine struct {
 	// toTCP holds one output batch per TCP shard, so each shard edge gets
 	// one SendBatch (and its peer one wakeup) per loop iteration.
 	toTCP [][]msg.Req
+	// gro holds each shard's RX-coalescing slot (merge in-order same-flow
+	// TCP segments into one delivery before shard dispatch).
+	gro   []groSlot
 	toUDP []msg.Req
 	stats Stats
 	now   time.Time
@@ -247,6 +296,7 @@ func New(cfg Config) (*Engine, error) {
 		tcpShards: shards,
 		toDrv:     make(map[string][]msg.Req),
 		toTCP:     make([][]msg.Req, shards),
+		gro:       make([]groSlot, shards),
 	}
 	for _, ic := range cfg.Ifaces {
 		e.ifaces[ic.Name] = &iface{
@@ -341,11 +391,14 @@ func (e *Engine) DrainToPF() []msg.Req {
 // whole TCP server in unsharded deployments (monolith, single-server rows).
 func (e *Engine) DrainToTCP() []msg.Req { return e.DrainToTCPShard(0) }
 
-// DrainToTCPShard returns pending deliveries/completions for one TCP shard.
+// DrainToTCPShard returns pending deliveries/completions for one TCP
+// shard, closing the shard's GRO run first — coalescing never holds a
+// segment past the loop iteration that received it.
 func (e *Engine) DrainToTCPShard(shard int) []msg.Req {
 	if shard < 0 || shard >= e.tcpShards {
 		return nil
 	}
+	e.groFlush(shard)
 	out := e.toTCP[shard]
 	e.toTCP[shard] = nil
 	return out
@@ -441,6 +494,17 @@ func (e *Engine) OnTransportRestart(proto uint8, now time.Time) {
 // recovery must leave every other shard's established state alone.
 func (e *Engine) OnTCPShardRestart(shard int, now time.Time) {
 	e.now = now
+	if shard >= 0 && shard < e.tcpShards {
+		// Segments still accumulating in the GRO slot were never tracked:
+		// recycle them directly.
+		slot := &e.gro[shard]
+		if slot.active {
+			for _, p := range slot.pkts {
+				e.recycleRx(p)
+			}
+			slot.active = false
+		}
+	}
 	e.db.AbortDest(tcpDest(shard))
 }
 
@@ -1059,6 +1123,22 @@ func (e *Engine) handleIPv4(ifc *iface, name string, buf shm.RichPtr, view []byt
 		pkt.srcPort = uint16(l4[0])<<8 | uint16(l4[1])
 		pkt.dstPort = uint16(l4[2])<<8 | uint16(l4[3])
 		pkt.portsOK = true
+		if ih.Proto == netpkt.ProtoTCP {
+			// Same economy for the GRO fields: a data-bearing segment
+			// with only ACK(+PSH) set can merge into the shard's slot.
+			// PSH does NOT end a run — the transmitter pushes every
+			// burst, so flushing on it would disable coalescing.
+			if th, err := netpkt.ParseTCP(l4); err == nil {
+				pkt.tcpSeq = th.Seq
+				pkt.tcpAckNo = th.Ack
+				pkt.tcpWnd = th.Window
+				pkt.tcpFlags = th.Flags
+				pkt.tcpDataOff = uint32(th.DataOff)
+				pkt.tcpPayLen = uint32(len(l4) - th.DataOff)
+				pkt.groOK = th.Flags&^(netpkt.TCPAck|netpkt.TCPPsh) == 0 &&
+					th.Flags&netpkt.TCPAck != 0 && pkt.tcpPayLen > 0
+			}
+		}
 	}
 	if !e.cfg.PFEnabled {
 		e.demux(pkt)
@@ -1092,21 +1172,18 @@ func (e *Engine) demux(pkt *inPkt) {
 	case netpkt.ProtoICMP:
 		e.handleICMP(pkt)
 		e.recycleRx(pkt)
-	case netpkt.ProtoTCP, netpkt.ProtoUDP:
-		id := e.db.NewID()
-		dest := "udp"
-		shard := 0
-		if pkt.proto == netpkt.ProtoTCP {
-			shard = e.tcpShardFor(pkt)
-			if shard < 0 {
-				// Segment too short to carry ports: malformed, drop.
-				e.stats.DropsMalformed++
-				e.recycleRx(pkt)
-				return
-			}
-			dest = tcpDest(shard)
+	case netpkt.ProtoTCP:
+		shard := e.tcpShardFor(pkt)
+		if shard < 0 {
+			// Segment too short to carry ports: malformed, drop.
+			e.stats.DropsMalformed++
+			e.recycleRx(pkt)
+			return
 		}
-		e.db.Track(id, dest, pkt, func(_ uint64, data any) {
+		e.groAdd(shard, pkt)
+	case netpkt.ProtoUDP:
+		id := e.db.NewID()
+		e.db.Track(id, "udp", pkt, func(_ uint64, data any) {
 			// Transport crashed before acknowledging the delivery; the
 			// buffer comes home.
 			e.recycleRx(data.(*inPkt))
@@ -1116,14 +1193,98 @@ func (e *Engine) demux(pkt *inPkt) {
 		req.Arg[0] = uint64(pkt.l4Off)
 		req.Arg[1] = uint64(pkt.srcIP.U32())
 		req.Arg[2] = uint64(pkt.dstIP.U32())
-		if pkt.proto == netpkt.ProtoTCP {
-			e.toTCP[shard] = append(e.toTCP[shard], req)
-		} else {
-			e.toUDP = append(e.toUDP, req)
-		}
+		e.toUDP = append(e.toUDP, req)
 	default:
 		e.recycleRx(pkt)
 	}
+}
+
+// groAdd routes one inbound TCP segment through the shard's GRO slot:
+// an in-order continuation of the slot's run joins it; anything else
+// flushes the slot first (order to the shard is preserved) and either
+// starts a new run or ships solo.
+func (e *Engine) groAdd(shard int, pkt *inPkt) {
+	slot := &e.gro[shard]
+	if !pkt.groOK {
+		e.groFlush(shard)
+		e.deliverTCP(shard, pkt)
+		return
+	}
+	if slot.active &&
+		slot.srcIP == pkt.srcIP && slot.dstIP == pkt.dstIP &&
+		slot.srcPort == pkt.srcPort && slot.dstPort == pkt.dstPort &&
+		slot.nextSeq == pkt.tcpSeq &&
+		// Identical ack/window required: the merged delivery carries only
+		// the first segment's header, which must fully represent the
+		// run's control information.
+		slot.ack == pkt.tcpAckNo && slot.wnd == pkt.tcpWnd &&
+		len(slot.pkts) < groMaxSegs && slot.bytes+pkt.tcpPayLen <= groMaxBytes {
+		slot.pkts = append(slot.pkts, pkt)
+		slot.nextSeq += pkt.tcpPayLen
+		slot.bytes += pkt.tcpPayLen
+		return
+	}
+	e.groFlush(shard)
+	slot.active = true
+	slot.srcIP, slot.dstIP = pkt.srcIP, pkt.dstIP
+	slot.srcPort, slot.dstPort = pkt.srcPort, pkt.dstPort
+	slot.nextSeq = pkt.tcpSeq + pkt.tcpPayLen
+	slot.ack, slot.wnd = pkt.tcpAckNo, pkt.tcpWnd
+	slot.bytes = pkt.tcpPayLen
+	slot.pkts = append(slot.pkts[:0], pkt)
+}
+
+// groFlush dispatches the shard's pending run: a single segment ships
+// exactly like the uncoalesced path; a longer run becomes one delivery
+// whose chain is the first segment's full L4 view followed by the
+// payload-only views of the rest, with the segment count in Arg[3].
+func (e *Engine) groFlush(shard int) {
+	slot := &e.gro[shard]
+	if !slot.active {
+		return
+	}
+	pkts := slot.pkts
+	slot.active = false
+	if len(pkts) == 1 {
+		e.deliverTCP(shard, pkts[0])
+		return
+	}
+	batch := &groBatch{pkts: append([]*inPkt(nil), pkts...)}
+	id := e.db.NewID()
+	e.db.Track(id, tcpDest(shard), batch, func(_ uint64, data any) {
+		for _, p := range data.(*groBatch).pkts {
+			e.recycleRx(p)
+		}
+	})
+	first := pkts[0]
+	chain := make([]shm.RichPtr, 0, len(pkts))
+	chain = append(chain, first.buf.Slice(first.l4Off, first.buf.Len))
+	for _, p := range pkts[1:] {
+		chain = append(chain, p.buf.Slice(p.l4Off+p.tcpDataOff, p.buf.Len))
+	}
+	req := msg.Req{ID: id, Op: msg.OpIPDeliver}
+	req.SetChain(chain)
+	req.Arg[0] = uint64(first.l4Off)
+	req.Arg[1] = uint64(first.srcIP.U32())
+	req.Arg[2] = uint64(first.dstIP.U32())
+	req.Arg[3] = uint64(len(pkts))
+	e.toTCP[shard] = append(e.toTCP[shard], req)
+	e.stats.GRODeliveries++
+	e.stats.GROCoalesced += uint64(len(pkts) - 1)
+}
+
+// deliverTCP ships one segment to its shard uncoalesced.
+func (e *Engine) deliverTCP(shard int, pkt *inPkt) {
+	id := e.db.NewID()
+	e.db.Track(id, tcpDest(shard), pkt, func(_ uint64, data any) {
+		e.recycleRx(data.(*inPkt))
+	})
+	req := msg.Req{ID: id, Op: msg.OpIPDeliver}
+	req.SetChain([]shm.RichPtr{pkt.buf.Slice(pkt.l4Off, pkt.buf.Len)})
+	req.Arg[0] = uint64(pkt.l4Off)
+	req.Arg[1] = uint64(pkt.srcIP.U32())
+	req.Arg[2] = uint64(pkt.dstIP.U32())
+	e.toTCP[shard] = append(e.toTCP[shard], req)
 }
 
 // tcpShardFor computes the owning shard of an inbound segment from the
@@ -1140,14 +1301,20 @@ func (e *Engine) tcpShardFor(pkt *inPkt) int {
 	return netpkt.TCPShardOf(pkt.dstPort, pkt.srcIP, pkt.srcPort, e.tcpShards)
 }
 
-// deliverDone: the transport is finished with an RX buffer.
+// deliverDone: the transport is finished with an RX buffer (or, for a
+// merged GRO delivery, with the whole run's buffers).
 func (e *Engine) deliverDone(r msg.Req) {
 	data, ok := e.db.Complete(r.ID)
 	if !ok {
 		return
 	}
-	if pkt, ok := data.(*inPkt); ok {
-		e.recycleRx(pkt)
+	switch d := data.(type) {
+	case *inPkt:
+		e.recycleRx(d)
+	case *groBatch:
+		for _, p := range d.pkts {
+			e.recycleRx(p)
+		}
 	}
 }
 

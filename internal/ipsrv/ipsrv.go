@@ -104,10 +104,12 @@ func (s *Server) Init(rt *proc.Runtime, restart bool) error {
 	for _, d := range s.cfg.Drivers {
 		s.drvPort[d] = s.ports.Export("ip-"+d, d)
 		s.drvBox[d] = wiring.NewOutbox(s.drvPort[d])
+		s.drvBox[d].EnablePacing(wiring.DefaultPacing())
 	}
 	if s.cfg.PFEnabled {
 		s.pfPort = s.ports.Export("ip-pf", "pf")
 		s.pfBox = wiring.NewOutbox(s.pfPort)
+		s.pfBox.EnablePacing(wiring.DefaultPacing())
 	}
 	shards := s.cfg.TCPShards
 	if shards < 1 {
@@ -119,9 +121,11 @@ func (s *Server) Init(rt *proc.Runtime, restart bool) error {
 		edge, peer := tcpsrv.IPEdge(k, shards)
 		s.tcpPorts[k] = s.ports.Export(edge, peer)
 		s.tcpBoxes[k] = wiring.NewOutbox(s.tcpPorts[k])
+		s.tcpBoxes[k].EnablePacing(wiring.DefaultPacing())
 	}
 	s.udpPort = s.ports.Export("ip-udp", "udp")
 	s.udpBox = wiring.NewOutbox(s.udpPort)
+	s.udpBox.EnablePacing(wiring.DefaultPacing())
 	s.scratch = make([]msg.Req, wiring.ScratchLen)
 
 	// Inject faults that corrupt routing state (fault-injection hook).
@@ -200,27 +204,29 @@ func (s *Server) Poll(now time.Time) bool {
 	// grow/shrink policy.
 	s.eng.Tick(now)
 
-	// Flush engine output: one batch (and one wakeup) per destination.
+	// Flush engine output: one paced batch (and one wakeup) per
+	// destination.
+	idle := !worked
 	for name := range s.drvPort {
 		s.drvBox[name].Push(s.eng.DrainToDriver(name)...)
-		if s.drvBox[name].Flush() {
+		if s.drvBox[name].FlushPaced(now, idle) {
 			worked = true
 		}
 	}
 	if s.pfPort != nil {
 		s.pfBox.Push(s.eng.DrainToPF()...)
-		if s.pfBox.Flush() {
+		if s.pfBox.FlushPaced(now, idle) {
 			worked = true
 		}
 	}
 	for k := range s.tcpBoxes {
 		s.tcpBoxes[k].Push(s.eng.DrainToTCPShard(k)...)
-		if s.tcpBoxes[k].Flush() {
+		if s.tcpBoxes[k].FlushPaced(now, idle) {
 			worked = true
 		}
 	}
 	s.udpBox.Push(s.eng.DrainToUDP()...)
-	if s.udpBox.Flush() {
+	if s.udpBox.FlushPaced(now, idle) {
 		worked = true
 	}
 	return worked

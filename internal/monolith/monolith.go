@@ -21,10 +21,10 @@ package monolith
 import (
 	"errors"
 	"fmt"
-	"runtime"
 	"sync"
 	"time"
 
+	"newtos/internal/channel"
 	"newtos/internal/ipeng"
 	"newtos/internal/kipc"
 	"newtos/internal/msg"
@@ -172,7 +172,7 @@ func (s *Stack) Close() {
 // loop polls devices and timers.
 func (s *Stack) loop() {
 	defer close(s.done)
-	idle := 0
+	var backoff channel.Backoff
 	for {
 		select {
 		case <-s.stop:
@@ -189,15 +189,10 @@ func (s *Stack) loop() {
 		}
 		s.mu.Unlock()
 		if worked {
-			idle = 0
+			backoff.Reset()
 			continue
 		}
-		idle++
-		if idle < 2000 {
-			runtime.Gosched()
-		} else {
-			time.Sleep(100 * time.Microsecond)
-		}
+		backoff.Wait()
 	}
 }
 

@@ -349,9 +349,10 @@ func (d *Device) transmitDesc(tx *wireDir, desc TxDesc) bool {
 		// unmapped region would be squashed by the IOMMU.
 		return false
 	}
-	frame := pkt.Bytes() // gather DMA
 	if desc.Flags&TxTSO != 0 && desc.SegSize > 0 {
-		frames, err := tsoSplit(frame, int(desc.SegSize))
+		// Segment straight off the scatter/gather chain: the oversized
+		// burst is never linearized; each MTU frame gathers its own span.
+		frames, err := tsoSplitChain(pkt, int(desc.SegSize))
 		if err != nil {
 			return false
 		}
@@ -363,6 +364,7 @@ func (d *Device) transmitDesc(tx *wireDir, desc TxDesc) bool {
 		}
 		return true
 	}
+	frame := pkt.Bytes() // gather DMA
 	if tx.validFrame(len(frame)) != nil {
 		return false
 	}

@@ -89,24 +89,49 @@ func verifyChecksums(frame []byte) bool {
 	return true
 }
 
-// tsoSplit implements TCP segmentation offload: one oversized frame
-// (Ethernet + IPv4 + TCP + payload) becomes many MTU-sized frames with
+// tsoMaxHdr bounds the linearized header prefix a TSO descriptor needs:
+// Ethernet (14) plus maximal IPv4 (60) plus maximal TCP (60).
+const tsoMaxHdr = netpkt.EthHeaderLen + 60 + 60
+
+// tsoSplit implements TCP segmentation offload on an already-linearized
+// frame. Kept for callers (and tests) that hold a flat buffer; the device
+// TX path uses tsoSplitChain to avoid linearizing the burst first.
+func tsoSplit(frame []byte, mss int) ([][]byte, error) {
+	return tsoSplitChain(netpkt.Packet{Chunks: []netpkt.Chunk{{Data: frame}}}, mss)
+}
+
+// tsoSplitChain implements TCP segmentation offload directly on a
+// scatter/gather chain: one oversized packet (Ethernet + IPv4 + TCP header
+// chunk followed by payload chunks) becomes many MTU-sized frames with
 // advancing sequence numbers, incrementing IP IDs, FIN/PSH moved to the
 // last segment, and all checksums recomputed in hardware. This is the
 // offload that lets the stack "remove a great amount of the communication"
 // (Table II rows 5-6): one channel request now carries seg*mss bytes.
-func tsoSplit(frame []byte, mss int) ([][]byte, error) {
+//
+// Working on the chain matters for the gather-DMA model: the 64 KB burst is
+// never copied into one flat staging buffer first — the header template is
+// read once and each output frame gathers only its own payload span, so
+// every payload byte is touched exactly once on the TX path.
+func tsoSplitChain(pkt netpkt.Packet, mss int) ([][]byte, error) {
 	if mss <= 0 {
 		return nil, errors.New("nic: tso with zero mss")
 	}
-	eth, err := netpkt.ParseEth(frame)
+	total := pkt.Len()
+	headLen := total
+	if headLen > tsoMaxHdr {
+		headLen = tsoMaxHdr
+	}
+	head := make([]byte, headLen)
+	pkt.CopyTo(head)
+
+	eth, err := netpkt.ParseEth(head)
 	if err != nil {
 		return nil, err
 	}
 	if eth.Type != netpkt.EtherTypeIPv4 {
 		return nil, errors.New("nic: tso on non-IPv4 frame")
 	}
-	ipb := frame[netpkt.EthHeaderLen:]
+	ipb := head[netpkt.EthHeaderLen:]
 	ip, err := netpkt.ParseIPv4(ipb, false)
 	if err != nil {
 		return nil, err
@@ -119,33 +144,58 @@ func tsoSplit(frame []byte, mss int) ([][]byte, error) {
 	if err != nil {
 		return nil, err
 	}
-	payload := tcpb[tcp.DataOff:]
-	if int(ip.TotalLen) >= ip.HeaderLen+tcp.DataOff &&
-		int(ip.TotalLen)-ip.HeaderLen-tcp.DataOff <= len(payload) {
-		payload = payload[:int(ip.TotalLen)-ip.HeaderLen-tcp.DataOff]
+	hdrLen := netpkt.EthHeaderLen + ip.HeaderLen + tcp.DataOff
+	if hdrLen > len(head) {
+		return nil, errors.New("nic: tso header exceeds frame")
 	}
-	if len(payload) <= mss {
-		return [][]byte{frame}, nil
+	payLen := total - hdrLen
+	if want := int(ip.TotalLen) - ip.HeaderLen - tcp.DataOff; want >= 0 && want < payLen {
+		payLen = want
+	}
+	if payLen <= mss {
+		return [][]byte{pkt.Bytes()}, nil
 	}
 
-	hdrLen := netpkt.EthHeaderLen + ip.HeaderLen + tcp.DataOff
-	var out [][]byte
-	for off := 0; off < len(payload); off += mss {
-		end := off + mss
-		last := false
-		if end >= len(payload) {
-			end = len(payload)
-			last = true
+	// Cursor over the chain, positioned at the start of the payload.
+	ci, co := 0, 0
+	for skip := hdrLen; skip > 0; {
+		c := pkt.Chunks[ci].Data
+		if n := len(c) - co; n <= skip {
+			skip -= n
+			ci++
+			co = 0
+		} else {
+			co += skip
+			skip = 0
 		}
-		chunk := payload[off:end]
-		seg := make([]byte, hdrLen+len(chunk))
-		copy(seg, frame[:hdrLen])
-		copy(seg[hdrLen:], chunk)
+	}
+
+	var out [][]byte
+	for off := 0; off < payLen; off += mss {
+		n := payLen - off
+		last := true
+		if n > mss {
+			n = mss
+			last = false
+		}
+		seg := make([]byte, hdrLen+n)
+		copy(seg, head[:hdrLen])
+		// Gather this segment's payload span from the chain.
+		for w := hdrLen; w < len(seg); {
+			c := pkt.Chunks[ci].Data
+			m := copy(seg[w:], c[co:])
+			w += m
+			co += m
+			if co >= len(c) {
+				ci++
+				co = 0
+			}
+		}
 
 		sipb := seg[netpkt.EthHeaderLen:]
 		stcp := sipb[ip.HeaderLen:]
 		// IP: new total length, incremented ID, fresh checksum.
-		binary.BigEndian.PutUint16(sipb[2:4], uint16(ip.HeaderLen+tcp.DataOff+len(chunk)))
+		binary.BigEndian.PutUint16(sipb[2:4], uint16(ip.HeaderLen+tcp.DataOff+n))
 		binary.BigEndian.PutUint16(sipb[4:6], ip.ID+uint16(off/mss))
 		binary.BigEndian.PutUint16(sipb[10:12], 0)
 		binary.BigEndian.PutUint16(sipb[10:12], netpkt.Checksum(sipb[:ip.HeaderLen]))
@@ -158,13 +208,13 @@ func tsoSplit(frame []byte, mss int) ([][]byte, error) {
 		stcp[13] = flags
 		// TCP checksum over the segment.
 		binary.BigEndian.PutUint16(stcp[16:18], 0)
-		l4 := stcp[:tcp.DataOff+len(chunk)]
+		l4 := stcp[:tcp.DataOff+n]
 		binary.BigEndian.PutUint16(stcp[16:18],
 			netpkt.TransportChecksum(ip.Src, ip.Dst, netpkt.ProtoTCP, l4))
 		out = append(out, seg)
 	}
 	if len(out) == 0 {
-		return nil, fmt.Errorf("nic: tso produced no segments (payload %d, mss %d)", len(payload), mss)
+		return nil, fmt.Errorf("nic: tso produced no segments (payload %d, mss %d)", payLen, mss)
 	}
 	return out, nil
 }

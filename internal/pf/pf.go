@@ -85,6 +85,8 @@ func (s *Server) Init(rt *proc.Runtime, restart bool) error {
 	s.scPort = s.ports.Attach("sc-pf")
 	s.ipBox = wiring.NewOutbox(s.ipPort)
 	s.scBox = wiring.NewOutbox(s.scPort)
+	s.ipBox.EnablePacing(wiring.DefaultPacing())
+	s.scBox.EnablePacing(wiring.DefaultPacing())
 	s.scratch = make([]msg.Req, wiring.ScratchLen)
 	return nil
 }
@@ -111,7 +113,7 @@ func (s *Server) Poll(now time.Time) bool {
 		}) {
 			worked = true
 		}
-		if s.ipBox.Flush() {
+		if s.ipBox.FlushPaced(now, !worked) {
 			worked = true
 		}
 	}
@@ -129,7 +131,7 @@ func (s *Server) Poll(now time.Time) bool {
 		}) {
 			worked = true
 		}
-		if s.scBox.Flush() {
+		if s.scBox.FlushPaced(now, !worked) {
 			worked = true
 		}
 	}

@@ -1,0 +1,93 @@
+package proc
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"newtos/internal/affinity"
+)
+
+// TestLoopGroupsStartStopConcurrently exercises core-affine loop groups
+// under the race detector: several pinned, grouped loops start, poll,
+// restart, and shut down concurrently. On platforms with
+// sched_setaffinity the loops pin and unpin their threads; elsewhere the
+// group is only a placement hint — either way no shared proc state may
+// race.
+func TestLoopGroupsStartStopConcurrently(t *testing.T) {
+	const groups = 4
+	procs := make([]*Proc, groups)
+	svcs := make([]*echoService, groups)
+	for g := 0; g < groups; g++ {
+		svcs[g] = &echoService{}
+		svc := svcs[g]
+		procs[g] = New(fmt.Sprintf("grp%d", g+1), func() Service { return svc },
+			Options{DedicatedCore: true, LoopGroup: g + 1, SpinBudget: 8}, nil)
+	}
+	for _, p := range procs {
+		if err := p.Start(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Each loop must make progress on its assigned CPU (or unpinned
+	// fallback).
+	deadline := time.Now().Add(2 * time.Second)
+	for _, svc := range svcs {
+		for svc.polls.Load() == 0 && time.Now().Before(deadline) {
+			time.Sleep(time.Millisecond)
+		}
+		if svc.polls.Load() == 0 {
+			t.Fatal("grouped loop never polled")
+		}
+	}
+	// Concurrent restarts re-pin on fresh goroutines while old threads
+	// unpin on the way out.
+	done := make(chan error, groups)
+	for _, p := range procs {
+		go func(p *Proc) { done <- p.Restart() }(p)
+	}
+	for range procs {
+		if err := <-done; err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, p := range procs {
+		go func(p *Proc) { p.Shutdown(); done <- nil }(p)
+	}
+	for range procs {
+		<-done
+	}
+	for _, p := range procs {
+		if got := p.Status(); got != StatusStopped {
+			t.Fatalf("status after shutdown = %v", got)
+		}
+	}
+}
+
+// TestCPUForGroupPartitions pins down the group→CPU fallback mapping:
+// ungrouped maps to no placement, groups spread over available CPUs and
+// wrap.
+func TestCPUForGroupPartitions(t *testing.T) {
+	if got := affinity.CPUForGroup(0); got != -1 {
+		t.Fatalf("CPUForGroup(0) = %d, want -1", got)
+	}
+	if got := affinity.CPUForGroup(1); got != 0 {
+		t.Fatalf("CPUForGroup(1) = %d, want 0", got)
+	}
+	// Groups never map outside the available CPUs, and consecutive groups
+	// only collide once groups outnumber CPUs.
+	seen := map[int]int{}
+	for g := 1; g <= 64; g++ {
+		cpu := affinity.CPUForGroup(g)
+		if cpu < 0 {
+			t.Fatalf("CPUForGroup(%d) = %d", g, cpu)
+		}
+		seen[cpu]++
+	}
+	width := len(seen)
+	for g := 1; g <= width; g++ {
+		if affinity.CPUForGroup(g) != g-1 {
+			t.Fatalf("group %d did not land on CPU %d", g, g-1)
+		}
+	}
+}

@@ -17,6 +17,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"newtos/internal/affinity"
 	"newtos/internal/channel"
 	"newtos/internal/faults"
 )
@@ -93,6 +94,14 @@ type Options struct {
 	// DedicatedCore pins the loop to an OS thread, approximating a core
 	// dedicated to the component.
 	DedicatedCore bool
+	// LoopGroup assigns the loop to a core-affine group (numbered from 1;
+	// 0 means ungrouped). With DedicatedCore set, the loop's thread is
+	// additionally pinned to affinity.CPUForGroup(LoopGroup) where the
+	// platform supports sched_setaffinity; elsewhere the group is only the
+	// GOMAXPROCS-partitioned placement hint and the loop stays
+	// LockOSThread-pinned without a CPU mask. Distinct groups land on
+	// distinct CPUs until groups outnumber CPUs, then wrap.
+	LoopGroup int
 }
 
 func (o *Options) fill() {
@@ -276,6 +285,13 @@ func (p *Proc) run(inc *incarnation, restart bool, initDone chan<- error) {
 	if p.opts.DedicatedCore {
 		runtime.LockOSThread()
 		defer runtime.UnlockOSThread()
+		if cpu := affinity.CPUForGroup(p.opts.LoopGroup); cpu >= 0 {
+			if affinity.PinThread(cpu) == nil {
+				// LIFO defers: the mask is restored before the thread
+				// unlocks back into the scheduler's pool.
+				defer affinity.UnpinThread()
+			}
+		}
 	}
 	defer func() {
 		if r := recover(); r != nil {
@@ -298,6 +314,7 @@ func (p *Proc) run(inc *incarnation, restart bool, initDone chan<- error) {
 	p.hb.Store(time.Now().UnixNano())
 
 	idle := 0
+	var backoff channel.Backoff
 	for {
 		select {
 		case <-inc.stop:
@@ -313,11 +330,12 @@ func (p *Proc) run(inc *incarnation, restart bool, initDone chan<- error) {
 		inc.rt.Fault.Check()
 		if inc.svc.Poll(now) {
 			idle = 0
+			backoff.Reset()
 			continue
 		}
 		idle++
-		if idle < p.opts.SpinBudget {
-			runtime.Gosched()
+		if idle < p.opts.SpinBudget && !backoff.Saturated() {
+			backoff.Wait()
 			continue
 		}
 		// Fall off the polling fast path: arm the doorbell, re-check, sleep.
@@ -338,6 +356,10 @@ func (p *Proc) run(inc *incarnation, restart bool, initDone chan<- error) {
 		} else {
 			inc.rt.Bell.Disarm()
 		}
+		// The backoff streak deliberately survives the nap: only a poll
+		// that finds work resets it, so a persistently idle loop settles
+		// into doorbell naps instead of re-running the micro-sleep ramp
+		// (a timer-interrupt storm when many loops idle on few cores).
 		idle = 0
 	}
 }

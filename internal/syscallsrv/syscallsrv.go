@@ -184,11 +184,14 @@ func (s *Server) Init(rt *proc.Runtime, restart bool) error {
 		edge, peer := tcpsrv.SCEdge(k, s.nShards)
 		s.tcpPorts[k] = s.ports.Export(edge, peer)
 		s.tcpBoxes[k] = wiring.NewOutbox(s.tcpPorts[k])
+		s.tcpBoxes[k].EnablePacing(wiring.DefaultPacing())
 	}
 	s.udpPort = s.ports.Export("sc-udp", "udp")
 	s.pfPort = s.ports.Export("sc-pf", "pf")
 	s.udpBox = wiring.NewOutbox(s.udpPort)
 	s.pfBox = wiring.NewOutbox(s.pfPort)
+	s.udpBox.EnablePacing(wiring.DefaultPacing())
+	s.pfBox.EnablePacing(wiring.DefaultPacing())
 	s.scratch = make([]msg.Req, wiring.ScratchLen)
 	kern := s.ports.Hub().Kern
 	s.eps = nil
@@ -261,16 +264,17 @@ func (s *Server) Poll(now time.Time) bool {
 		worked = true
 	}
 
-	// Flush queued forwards: one batch per transport per iteration.
+	// Flush queued forwards: one paced batch per transport per iteration.
+	idle := !worked
 	for _, box := range s.tcpBoxes {
-		if box.Flush() {
+		if box.FlushPaced(now, idle) {
 			worked = true
 		}
 	}
-	if s.udpBox.Flush() {
+	if s.udpBox.FlushPaced(now, idle) {
 		worked = true
 	}
-	if s.pfBox.Flush() {
+	if s.pfBox.FlushPaced(now, idle) {
 		worked = true
 	}
 	return worked
@@ -407,9 +411,11 @@ func (s *Server) dispatchTCPSharded(from kipc.EndpointID, req msg.Req) {
 				v.owner = netpkt.TCPShardOf(v.port, dst, uint16(req.Arg[1]), s.nShards)
 			} else {
 				// Unbound: any shard will do — its engine autobinds a
-				// port whose hash lands on itself.
-				v.owner = s.rr % s.nShards
-				s.rr++
+				// port whose hash lands on itself. Route to the least
+				// loaded shard so a skewed inbound hash (one hot shard's
+				// accept backlog full while others idle) does not keep
+				// stacking outbound connections on the hot shard too.
+				v.owner = s.leastLoadedShard()
 			}
 			s.persistShardMeta()
 			if v.nonblock {
@@ -477,6 +483,43 @@ func (s *Server) pushSetFlags(shard int, flow uint32) {
 		sf.Arg[0] = msg.SockNonblock
 	}
 	s.tcpBoxes[shard].Push(sf)
+}
+
+// leastLoadedShard picks the owner for an unbound routed connect: the
+// shard with the fewest owned sockets, queued-but-undelivered accepted
+// children, and in-flight routed calls. Loads are recomputed from the
+// router's live tables (not incrementally counted), so shard restarts and
+// reissues can never leave a stale counter steering connects; the scan
+// starts at the round-robin cursor so ties still rotate.
+func (s *Server) leastLoadedShard() int {
+	loads := make([]int, s.nShards)
+	for _, v := range s.vsocks {
+		if v.owner >= 0 {
+			loads[v.owner]++
+		}
+		// Accepted children parked in childQ occupy their engine's shard
+		// until the app collects them — this is the accept backlog a
+		// skewed SYN hash piles onto one shard.
+		for _, child := range v.childQ {
+			if flow := uint32(child.Arg[0]); flow >= tcpeng.SockIDBase {
+				loads[(flow-tcpeng.SockIDBase)%uint32(s.nShards)]++
+			}
+		}
+	}
+	for _, c := range s.pending {
+		if c.shard >= 0 && !c.standing {
+			loads[c.shard]++
+		}
+	}
+	start := s.rr % s.nShards
+	best := start
+	for i := 1; i < s.nShards; i++ {
+		if k := (start + i) % s.nShards; loads[k] < loads[best] {
+			best = k
+		}
+	}
+	s.rr++
+	return best
 }
 
 // forwardTCP sends one call to a single TCP shard as a plain app call.

@@ -8,9 +8,13 @@ import (
 	"newtos/internal/shm"
 )
 
-// segmentIn processes one inbound TCP segment delivered by IP.
+// segmentIn processes one inbound TCP delivery from IP.
 // r.Ptrs[0] points at the L4 segment inside IP's receive pool; r.ID is the
 // deliver cookie we must eventually hand back so IP can recycle the buffer.
+// A GRO-merged delivery (Arg[3] > 1) carries the payload-only views of the
+// coalesced trailing segments in Ptrs[1:]; the run is contiguous in
+// sequence space and all segments shared the first header's ack and window,
+// so the lead header represents the whole run.
 func (e *Engine) segmentIn(r msg.Req) {
 	seg := r.Ptrs[0]
 	view, err := e.cfg.Space.View(seg)
@@ -23,13 +27,21 @@ func (e *Engine) segmentIn(r msg.Req) {
 		e.releaseDeliver(r.ID)
 		return
 	}
-	e.stats.SegsIn++
+	nseg := int(r.Arg[3])
+	if nseg < 1 {
+		nseg = 1
+	}
+	var extras []shm.RichPtr
+	if nseg > 1 {
+		extras = r.Chain()[1:]
+	}
+	e.stats.SegsIn += uint64(nseg)
 	srcIP := netpkt.IPFromU32(uint32(r.Arg[1]))
 	key := fourTuple{localPort: th.DstPort, remoteIP: srcIP, remotePort: th.SrcPort}
 
 	dstIP := netpkt.IPFromU32(uint32(r.Arg[2]))
 	if id, ok := e.conns[key]; ok {
-		e.segmentForConn(e.sockets[id], th, seg, view, r.ID)
+		e.segmentForConn(e.sockets[id], th, seg, view, extras, nseg, r.ID)
 		return
 	}
 	// No connection: a listener may take a SYN.
@@ -73,8 +85,10 @@ func (e *Engine) handleListenSyn(l *pcb, th netpkt.TCPHeader, key fourTuple, dst
 	c.rtoAt = e.now.Add(c.rto)
 }
 
-// segmentForConn is the per-connection receive state machine.
-func (e *Engine) segmentForConn(p *pcb, th netpkt.TCPHeader, seg shm.RichPtr, view []byte, deliverID uint64) {
+// segmentForConn is the per-connection receive state machine. extras are
+// the payload-only views of GRO-coalesced trailing segments (nil for a
+// plain single-segment delivery); nseg is the wire segment count.
+func (e *Engine) segmentForConn(p *pcb, th netpkt.TCPHeader, seg shm.RichPtr, view []byte, extras []shm.RichPtr, nseg int, deliverID uint64) {
 	defer func() {
 		// Everything below either queued the payload range (keeping the
 		// deliver cookie) or is done with the buffer.
@@ -111,8 +125,11 @@ func (e *Engine) segmentForConn(p *pcb, th netpkt.TCPHeader, seg shm.RichPtr, vi
 		return
 	}
 
-	// ACK processing.
+	// ACK processing. plen spans the whole (possibly merged) run.
 	plen := uint32(len(view) - th.DataOff)
+	for _, ex := range extras {
+		plen += ex.Len
+	}
 	if th.Flags&netpkt.TCPAck != 0 {
 		e.processAck(p, th, plen > 0)
 	}
@@ -124,7 +141,7 @@ func (e *Engine) segmentForConn(p *pcb, th netpkt.TCPHeader, seg shm.RichPtr, vi
 	}
 	used := false
 	if plen > 0 {
-		used = e.processData(p, th, seg, plen, deliverID)
+		used = e.processData(p, th, seg, extras, nseg, plen, deliverID)
 	}
 
 	// FIN processing (only when all data up to the FIN has arrived).
@@ -296,8 +313,12 @@ func (e *Engine) rttSample(p *pcb, rtt time.Duration) {
 // processData queues in-order payload; out-of-order segments are dropped
 // with an immediate duplicate ACK (the retransmission recovers them — a
 // deliberate lwIP-class simplification documented in DESIGN.md).
+// The payload may span several views (a GRO-merged run: the lead segment's
+// payload plus one payload-only view per coalesced trailing segment, all
+// contiguous in sequence space); one rxItem is queued per view part that
+// lands in the window, each holding a reference on the deliver cookie.
 // Returns true when the deliver buffer was retained in the receive queue.
-func (e *Engine) processData(p *pcb, th netpkt.TCPHeader, seg shm.RichPtr, plen uint32, deliverID uint64) bool {
+func (e *Engine) processData(p *pcb, th netpkt.TCPHeader, seg shm.RichPtr, extras []shm.RichPtr, nseg int, plen uint32, deliverID uint64) bool {
 	switch p.state {
 	case StateEstablished, StateFinWait1, StateFinWait2:
 	default:
@@ -331,13 +352,43 @@ func (e *Engine) processData(p *pcb, th netpkt.TCPHeader, seg shm.RichPtr, plen 
 		e.stats.DropsWindow++
 		take = e.rcvWnd(p)
 	}
-	off := uint32(th.DataOff) + start
-	item := rxItem{
-		payload:   seg.Slice(off, off+take),
-		deliverID: deliverID,
+
+	// Walk the payload views, skipping the trimmed head and stopping at the
+	// window clamp. The lead view's payload begins at the TCP data offset;
+	// the extras are payload-only.
+	type paySpan struct {
+		ptr  shm.RichPtr
+		base uint32 // payload start within ptr
+		n    uint32 // payload bytes in this view
+	}
+	spans := make([]paySpan, 0, 1+len(extras))
+	spans = append(spans, paySpan{ptr: seg, base: uint32(th.DataOff), n: seg.Len - uint32(th.DataOff)})
+	for _, ex := range extras {
+		spans = append(spans, paySpan{ptr: ex, n: ex.Len})
 	}
 	wasEmpty := p.rcvQueued == 0
-	p.rcvQ = append(p.rcvQ, item)
+	skip, left, used := start, take, false
+	for _, sp := range spans {
+		if left == 0 {
+			break
+		}
+		if skip >= sp.n {
+			skip -= sp.n
+			continue
+		}
+		n := sp.n - skip
+		if n > left {
+			n = left
+		}
+		p.rcvQ = append(p.rcvQ, rxItem{
+			payload:   sp.ptr.Slice(sp.base+skip, sp.base+skip+n),
+			deliverID: deliverID,
+		})
+		e.retainDeliver(deliverID)
+		skip = 0
+		left -= n
+		used = true
+	}
 	p.rcvQueued += take
 	p.rcvNxt = seq + take
 	e.stats.BytesIn += uint64(take)
@@ -346,9 +397,10 @@ func (e *Engine) processData(p *pcb, th netpkt.TCPHeader, seg shm.RichPtr, plen 
 	}
 
 	// ACK policy: every second segment — or a PSH boundary (the end of a
-	// sender burst) — immediately; otherwise delayed. Acking on PSH keeps
-	// TSO bursts from stalling on the delayed-ACK timer.
-	p.ackPending++
+	// sender burst) — immediately; otherwise delayed. A merged delivery
+	// counts as its wire segment count so ack clocking is unchanged by GRO.
+	// Acking on PSH keeps TSO bursts from stalling on the delayed-ACK timer.
+	p.ackPending += nseg
 	if p.ackPending >= 2 || th.Flags&netpkt.TCPPsh != 0 {
 		e.sendAck(p)
 	} else if p.delAckAt.IsZero() {
@@ -361,7 +413,7 @@ func (e *Engine) processData(p *pcb, th netpkt.TCPHeader, seg shm.RichPtr, plen 
 		p.pendingRecv = 0
 		e.replyRecv(id, p)
 	}
-	return true
+	return used
 }
 
 func (e *Engine) processFin(p *pcb) {

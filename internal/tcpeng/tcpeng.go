@@ -223,9 +223,13 @@ type Engine struct {
 	conns     map[fourTuple]uint32
 	listeners map[uint16]uint32
 	usedPorts map[uint16]bool
-	next      uint32
-	idStride  uint32
-	issClock  uint32
+	// deliverRefs counts receive-queue items still referencing a deliver
+	// cookie. GRO-merged deliveries carry several payload views under one
+	// cookie; OpIPDeliverDone must go back exactly once, after the last one.
+	deliverRefs map[uint64]int
+	next        uint32
+	idStride    uint32
+	issClock    uint32
 
 	toIP    []msg.Req
 	toFront []msg.Req
@@ -237,16 +241,17 @@ type Engine struct {
 // New creates a TCP engine; hdrPool holds in-flight segment headers.
 func New(cfg Config, hdrPool *shm.Pool) *Engine {
 	e := &Engine{
-		cfg:       cfg,
-		hdrPool:   hdrPool,
-		db:        channel.NewReqDB(),
-		sockets:   make(map[uint32]*pcb),
-		conns:     make(map[fourTuple]uint32),
-		listeners: make(map[uint16]uint32),
-		usedPorts: make(map[uint16]bool),
-		next:      2000,
-		idStride:  1,
-		issClock:  1,
+		cfg:         cfg,
+		hdrPool:     hdrPool,
+		db:          channel.NewReqDB(),
+		sockets:     make(map[uint32]*pcb),
+		conns:       make(map[fourTuple]uint32),
+		listeners:   make(map[uint16]uint32),
+		usedPorts:   make(map[uint16]bool),
+		deliverRefs: make(map[uint64]int),
+		next:        2000,
+		idStride:    1,
+		issClock:    1,
 	}
 	if cfg.ShardCount > 1 {
 		// Engine-assigned ids must be unique across shards and reveal their
@@ -839,10 +844,24 @@ func (e *Engine) destroy(p *pcb) {
 	delete(e.sockets, p.id)
 }
 
-func (e *Engine) releaseDeliver(id uint64) {
+// retainDeliver records one more receive-queue reference to a deliver
+// cookie (a GRO-merged delivery is retained once per queued payload view).
+func (e *Engine) retainDeliver(id uint64) {
 	if id != 0 {
-		e.toIP = append(e.toIP, msg.Req{ID: id, Op: msg.OpIPDeliverDone})
+		e.deliverRefs[id]++
 	}
+}
+
+func (e *Engine) releaseDeliver(id uint64) {
+	if id == 0 {
+		return
+	}
+	if n := e.deliverRefs[id]; n > 1 {
+		e.deliverRefs[id] = n - 1
+		return
+	}
+	delete(e.deliverRefs, id)
+	e.toIP = append(e.toIP, msg.Req{ID: id, Op: msg.OpIPDeliverDone})
 }
 
 // persist saves the recoverable state snapshot.
@@ -975,5 +994,6 @@ func (e *Engine) OnIPRestart() {
 			p.rcvQ[i].deliverID = 0 // old IP is gone; nothing to release to
 		}
 	}
+	e.deliverRefs = make(map[uint64]int) // the cookies died with the pool
 	e.db.AbortDest("ip")
 }

@@ -105,6 +105,8 @@ func (s *Server) Init(rt *proc.Runtime, restart bool) error {
 	s.scPort = s.ports.Attach("sc-udp")
 	s.ipBox = wiring.NewOutbox(s.ipPort)
 	s.scBox = wiring.NewOutbox(s.scPort)
+	s.ipBox.EnablePacing(wiring.DefaultPacing())
+	s.scBox.EnablePacing(wiring.DefaultPacing())
 	s.scratch = make([]msg.Req, wiring.ScratchLen)
 	return nil
 }
@@ -167,11 +169,12 @@ func (s *Server) Poll(now time.Time) bool {
 	s.eng.Tick()
 
 	s.ipBox.Push(s.eng.DrainToIP()...)
-	if s.ipBox.Flush() {
+	s.scBox.Push(s.eng.DrainToFront()...)
+	idle := !worked
+	if s.ipBox.FlushPaced(now, idle) {
 		worked = true
 	}
-	s.scBox.Push(s.eng.DrainToFront()...)
-	if s.scBox.Flush() {
+	if s.scBox.FlushPaced(now, idle) {
 		worked = true
 	}
 	return worked

@@ -2,9 +2,11 @@ package wiring
 
 import (
 	"sync/atomic"
+	"time"
 
 	"newtos/internal/channel"
 	"newtos/internal/msg"
+	"newtos/internal/trace"
 )
 
 // Shared drain tuning for server loops: RecvBudget caps how many requests
@@ -55,6 +57,7 @@ type Outbox struct {
 	port *Port
 	q    []msg.Req
 	gen  int
+	pace *pacer
 	// dropped is atomic: the owning loop writes it, but DropReporter
 	// consumers (recovery experiments) read it from other goroutines.
 	dropped atomic.Uint64
@@ -135,4 +138,166 @@ func SumDropped(boxes ...*Outbox) uint64 {
 func (o *Outbox) Drop() {
 	o.dropped.Add(uint64(len(o.q)))
 	o.q = o.q[:0]
+	if o.pace != nil {
+		o.pace.heldSince = time.Time{}
+	}
+}
+
+// Pacing tunes an Outbox's adaptive flush policy — the interrupt-
+// coalescing trade applied to doorbell rings. In latency mode every
+// FlushPaced opportunity flushes (one ring per loop iteration, exactly
+// the classic policy); once BurstRuns consecutive opportunities arrive
+// with a full batch staged, the pacer shifts to throughput mode and holds
+// batches until FlushN requests are staged or the oldest staged request
+// is FlushAge old, whichever comes first. Small batches shift it back.
+type Pacing struct {
+	// FlushN is the staged-request count that triggers a throughput-mode
+	// flush (and, seen repeatedly in latency mode, signals a burst).
+	FlushN int
+	// FlushAge bounds how long a staged batch may be held, so pacing can
+	// never add more than FlushAge to a request's delivery latency.
+	FlushAge time.Duration
+	// BurstRuns is how many consecutive full-batch opportunities flip the
+	// pacer from latency to throughput mode.
+	BurstRuns int
+}
+
+// DefaultPacing returns the tuning used by the server shells.
+func DefaultPacing() Pacing {
+	return Pacing{FlushN: 64, FlushAge: 25 * time.Microsecond, BurstRuns: 3}
+}
+
+func (p *Pacing) fill() {
+	if p.FlushN <= 0 {
+		p.FlushN = 64
+	}
+	if p.FlushAge <= 0 {
+		p.FlushAge = 25 * time.Microsecond
+	}
+	if p.BurstRuns <= 0 {
+		p.BurstRuns = 3
+	}
+}
+
+// pacer is an Outbox's adaptive flush state. Owned by the loop goroutine;
+// only the counters are shared.
+type pacer struct {
+	cfg        Pacing
+	counters   *trace.PacerCounters
+	throughput bool
+	runs       int
+	// heldSince is when the oldest staged (unflushed) request was first
+	// seen by FlushPaced; zero while nothing is staged.
+	heldSince time.Time
+}
+
+// EnablePacing switches the outbox from flush-every-opportunity to the
+// adaptive policy and returns its counters. Call once after creation,
+// from the owning loop.
+func (o *Outbox) EnablePacing(cfg Pacing) *trace.PacerCounters {
+	cfg.fill()
+	o.pace = &pacer{cfg: cfg, counters: &trace.PacerCounters{}}
+	return o.pace.counters
+}
+
+// PacerCounters returns the pacing counters (nil when pacing is off).
+func (o *Outbox) PacerCounters() *trace.PacerCounters {
+	if o.pace == nil {
+		return nil
+	}
+	return o.pace.counters
+}
+
+// SumPacing aggregates the given outboxes' pacing counters into one
+// report (nil-safe, skips unpaced boxes).
+func SumPacing(boxes ...*Outbox) *trace.PacerCounters {
+	sum := &trace.PacerCounters{}
+	for _, b := range boxes {
+		if b != nil {
+			sum.Add(b.PacerCounters())
+		}
+	}
+	return sum
+}
+
+// FlushPaced is the loop-iteration-boundary flush under the adaptive
+// policy: it decides whether this opportunity sends the staged batch or
+// holds it for coalescing. idle reports that the owning loop found no
+// other work this iteration — holding then buys nothing (the loop is
+// about to arm its doorbell and sleep), so the batch always goes out.
+// Without EnablePacing it degrades to plain Flush. Reports whether
+// anything moved.
+//
+// Held batches stay bounded: the loop calls FlushPaced once per
+// iteration, an idle iteration always flushes, and a busy loop's next
+// opportunity arrives within one poll — so a request is delayed by at
+// most min(FlushAge, one busy iteration).
+func (o *Outbox) FlushPaced(now time.Time, idle bool) bool {
+	p := o.pace
+	if p == nil {
+		return o.Flush()
+	}
+	n := len(o.q)
+	if n == 0 {
+		p.heldSince = time.Time{}
+		return false
+	}
+	if o.port != nil && o.gen != o.port.Gen() {
+		// Stale batch: Flush drops it regardless of pacing.
+		p.heldSince = time.Time{}
+		return o.Flush()
+	}
+	if p.heldSince.IsZero() {
+		p.heldSince = now
+	}
+	if !p.throughput {
+		// Latency mode: every opportunity flushes. A run of full batches
+		// is a burst — shift to throughput mode and start coalescing.
+		if n >= p.cfg.FlushN {
+			p.runs++
+			if p.runs >= p.cfg.BurstRuns {
+				p.throughput = true
+				p.runs = 0
+			}
+		} else {
+			p.runs = 0
+		}
+		return o.flushRecorded(p.counters.FlushEager)
+	}
+	switch {
+	case n >= p.cfg.FlushN:
+		return o.flushRecorded(p.counters.FlushSize)
+	case idle:
+		// The load dropped enough that the loop ran dry: small batches
+		// from here on belong back in latency mode.
+		if n < p.cfg.FlushN/2 {
+			p.throughput = false
+			p.runs = 0
+		}
+		return o.flushRecorded(p.counters.FlushIdle)
+	case now.Sub(p.heldSince) >= p.cfg.FlushAge:
+		if n < p.cfg.FlushN/2 {
+			p.throughput = false
+			p.runs = 0
+		}
+		return o.flushRecorded(p.counters.FlushAge)
+	default:
+		p.counters.Held()
+		return false
+	}
+}
+
+// flushRecorded sends like Flush and records the moved count with the
+// chosen trigger counter. The hold clock only resets when the queue
+// fully drains: a kept remainder is still aging.
+func (o *Outbox) flushRecorded(record func(int)) bool {
+	before := len(o.q)
+	if !o.Flush() {
+		return false
+	}
+	record(before - len(o.q))
+	if len(o.q) == 0 {
+		o.pace.heldSince = time.Time{}
+	}
+	return true
 }

@@ -1,0 +1,187 @@
+package wiring
+
+import (
+	"testing"
+	"time"
+
+	"newtos/internal/channel"
+	"newtos/internal/msg"
+)
+
+// pacedEdge builds a wired edge with a paced outbox plus a helper that
+// reads how many requests the peer received since the last check.
+func pacedEdge(t *testing.T, cfg Pacing) (box *Outbox, recvd func() int) {
+	t.Helper()
+	_, ipSide, _, tcpSide := wireEdge(t)
+	box = NewOutbox(ipSide)
+	box.EnablePacing(cfg)
+	dst := make([]msg.Req, 256)
+	recvd = func() int {
+		total := 0
+		for {
+			n := tcpSide.Cur().In.RecvBatch(dst)
+			if n == 0 {
+				return total
+			}
+			total += n
+		}
+	}
+	return box, recvd
+}
+
+// push stages n dummy requests.
+func push(box *Outbox, n int) {
+	for i := 0; i < n; i++ {
+		box.Push(msg.Req{ID: uint64(i + 1)})
+	}
+}
+
+// enterThroughput drives the pacer into throughput mode: BurstRuns
+// consecutive full-batch flush opportunities.
+func enterThroughput(t *testing.T, box *Outbox, cfg Pacing, now time.Time) time.Time {
+	t.Helper()
+	for i := 0; i < cfg.BurstRuns; i++ {
+		push(box, cfg.FlushN)
+		if !box.FlushPaced(now, false) {
+			t.Fatalf("latency-mode opportunity %d did not flush", i)
+		}
+		now = now.Add(time.Microsecond)
+	}
+	return now
+}
+
+// TestPacerFlushTriggers is the pacing policy contract, table-driven over
+// the three throughput-mode triggers: a batch goes out when N requests
+// are staged, when the oldest staged request reaches age T, or
+// immediately when the owning loop goes idle — and is held otherwise.
+func TestPacerFlushTriggers(t *testing.T) {
+	cfg := Pacing{FlushN: 8, FlushAge: 100 * time.Microsecond, BurstRuns: 2}
+	cases := []struct {
+		name      string
+		staged    int           // requests staged before the opportunity
+		elapsed   time.Duration // batch age at the opportunity
+		idle      bool          // loop found no other work
+		wantFlush bool
+		wantMoved int
+	}{
+		{"held: small young batch, busy loop", 3, 0, false, false, 0},
+		{"held: just under N, just under T", 7, 99 * time.Microsecond, false, false, 0},
+		{"flush at N staged", 8, 0, false, true, 8},
+		{"flush above N staged", 12, 0, false, true, 12},
+		{"flush at T elapsed", 3, 100 * time.Microsecond, false, true, 3},
+		{"flush past T elapsed", 1, time.Millisecond, false, true, 1},
+		{"flush immediately on loop idle", 1, 0, true, true, 1},
+		{"nothing staged: no flush even idle", 0, 0, true, false, 0},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			box, recvd := pacedEdge(t, cfg)
+			now := enterThroughput(t, box, cfg, time.Unix(0, 0))
+			recvd() // discard the mode-entry traffic
+
+			push(box, tc.staged)
+			// First opportunity starts the batch-age clock.
+			if tc.staged > 0 && tc.elapsed > 0 {
+				if box.FlushPaced(now, false) {
+					t.Fatal("age-clock-start opportunity flushed early")
+				}
+			}
+			got := box.FlushPaced(now.Add(tc.elapsed), tc.idle)
+			if got != tc.wantFlush {
+				t.Fatalf("FlushPaced = %v, want %v", got, tc.wantFlush)
+			}
+			if n := recvd(); n != tc.wantMoved {
+				t.Fatalf("peer received %d, want %d", n, tc.wantMoved)
+			}
+			if tc.wantFlush && box.Len() != 0 {
+				t.Fatalf("staged after flush = %d", box.Len())
+			}
+		})
+	}
+}
+
+// TestPacerLatencyModeFlushesEveryOpportunity: before any burst the pacer
+// behaves exactly like the classic flush-every-iteration policy.
+func TestPacerLatencyModeFlushesEveryOpportunity(t *testing.T) {
+	cfg := DefaultPacing()
+	box, recvd := pacedEdge(t, cfg)
+	now := time.Unix(0, 0)
+	for i := 0; i < 5; i++ {
+		push(box, 1)
+		if !box.FlushPaced(now, false) {
+			t.Fatalf("latency-mode opportunity %d held a single request", i)
+		}
+		if n := recvd(); n != 1 {
+			t.Fatalf("opportunity %d moved %d, want 1", i, n)
+		}
+		now = now.Add(time.Microsecond)
+	}
+	pc := box.PacerCounters()
+	if pc.Eager() != 5 || pc.HeldCount() != 0 {
+		t.Fatalf("counters = %v", pc)
+	}
+}
+
+// TestPacerModeTransitions: BurstRuns full batches enter throughput mode;
+// a small idle flush returns to latency mode.
+func TestPacerModeTransitions(t *testing.T) {
+	cfg := Pacing{FlushN: 8, FlushAge: time.Second, BurstRuns: 2}
+	box, recvd := pacedEdge(t, cfg)
+	now := enterThroughput(t, box, cfg, time.Unix(0, 0))
+	recvd()
+
+	// Throughput mode: a small batch on a busy loop is held.
+	push(box, 2)
+	if box.FlushPaced(now, false) {
+		t.Fatal("throughput mode flushed a small young batch")
+	}
+	// Loop goes idle with the small batch: flush and drop back to latency.
+	if !box.FlushPaced(now, true) {
+		t.Fatal("idle opportunity did not flush")
+	}
+	if recvd() != 2 {
+		t.Fatal("idle flush lost requests")
+	}
+	// Back in latency mode: a single request flushes on a busy loop again.
+	push(box, 1)
+	if !box.FlushPaced(now, false) {
+		t.Fatal("pacer did not return to latency mode after an idle drain")
+	}
+	pc := box.PacerCounters()
+	if pc.Idle() != 1 || pc.HeldCount() != 1 {
+		t.Fatalf("counters = %v", pc)
+	}
+}
+
+// TestPacerDropsStaleBatchImmediately: the port-generation contract holds
+// under pacing — a held batch staged for a dead incarnation is dropped at
+// the next opportunity, never delivered late to the new one.
+func TestPacerDropsStaleBatchImmediately(t *testing.T) {
+	_, ipSide, tcpPorts, _ := wireEdge(t)
+	box := NewOutbox(ipSide)
+	box.EnablePacing(Pacing{FlushN: 8, FlushAge: time.Second, BurstRuns: 1})
+	now := time.Unix(0, 0)
+	// Enter throughput mode, then hold a batch.
+	push(box, 8)
+	box.FlushPaced(now, false)
+	push(box, 3)
+	if box.FlushPaced(now, false) {
+		t.Fatal("small young batch was not held")
+	}
+
+	// Peer reincarnates under the held batch.
+	tcpPorts.Begin(channel.NewDoorbell())
+	tcpSide2 := tcpPorts.Attach("ip-tcp")
+
+	if box.FlushPaced(now, false) {
+		t.Fatal("stale held batch was delivered")
+	}
+	if box.Len() != 0 || box.Dropped() != 3 {
+		t.Fatalf("Len=%d Dropped=%d, want 0/3", box.Len(), box.Dropped())
+	}
+	if d, _ := tcpSide2.Take(); d.Valid() {
+		if _, ok := d.In.Recv(); ok {
+			t.Fatal("stale request crossed the reincarnation")
+		}
+	}
+}
