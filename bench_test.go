@@ -8,7 +8,9 @@ package newtos_bench
 
 import (
 	"fmt"
+	"os"
 	"runtime"
+	"strconv"
 	"testing"
 	"time"
 
@@ -345,6 +347,46 @@ func BenchmarkSec4_PollEcho(b *testing.B) {
 			b.ReportMetric(peak/float64(b.N), "peak-concurrent")
 		})
 	}
+}
+
+// BenchmarkSec4_C100K measures connection scale: many mostly-idle TCP
+// connections held established through the split stack while a 512-conn
+// subset echoes. Reports establishment rate, per-Tick engine cost at
+// baseline vs full population (the timing-wheel claim: idle connections
+// are ~free per Tick), whole-process heap per connection, and active-
+// subset echo latency. Defaults to 10k connections so the CI bench smoke
+// stays fast; set C100K_CONNS=100000 for the full EXPERIMENTS.md row.
+func BenchmarkSec4_C100K(b *testing.B) {
+	conns := 10_000
+	if v := os.Getenv("C100K_CONNS"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n < 1 {
+			b.Fatalf("bad C100K_CONNS=%q", v)
+		}
+		conns = n
+	}
+	var rate, ratio, fullNs, heap, rtt float64
+	for i := 0; i < b.N; i++ {
+		rep, err := experiments.RunC100K(experiments.C100KOpts{Conns: conns})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if rep.Established != conns {
+			b.Fatalf("established %d of %d connections", rep.Established, conns)
+		}
+		rate += rep.ConnectRate
+		ratio += rep.TickRatio
+		fullNs += rep.FullTickNs
+		heap += rep.HeapPerConn
+		rtt += float64(rep.EchoAvgRTT.Microseconds())
+	}
+	n := float64(b.N)
+	b.ReportMetric(rate/n, "conns/sec")
+	b.ReportMetric(ratio/n, "tick-cost-ratio")
+	b.ReportMetric(fullNs/n, "ns/tick-full")
+	b.ReportMetric(heap/n, "B/conn")
+	b.ReportMetric(rtt/n, "echo-rtt-us")
+	b.ReportMetric(float64(conns), "conns")
 }
 
 // BenchmarkSec4_KernelTrapHot is the ~150-cycle comparison point.

@@ -15,6 +15,8 @@ import (
 	"log"
 	"net"
 	"net/http"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"newtos/internal/core"
@@ -85,6 +87,47 @@ func run() error {
 		}
 		fmt.Printf("GET %d: %d %s", i, resp.StatusCode, body)
 	}
+	// Many-client load: 64 concurrent clients, each with its own TCP
+	// connection (ForceAttemptHTTP2 off, no idle reuse across the burst),
+	// hammer the same handler. The server side demultiplexes all of them
+	// through the stack's listener — the connection-scale story at example
+	// size (the 100k row lives in BenchmarkSec4_C100K).
+	const clients, reqsPer = 64, 4
+	var wg sync.WaitGroup
+	var okCount atomic.Int64
+	errCh := make(chan error, clients)
+	start := time.Now()
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for r := 0; r < reqsPer; r++ {
+				resp, err := httpc.Get(url)
+				if err != nil {
+					errCh <- err
+					return
+				}
+				_, err = io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+				if err != nil || resp.StatusCode != http.StatusOK {
+					errCh <- fmt.Errorf("load GET: %v %s", err, resp.Status)
+					return
+				}
+				okCount.Add(1)
+			}
+		}()
+	}
+	wg.Wait()
+	select {
+	case err := <-errCh:
+		return err
+	default:
+	}
+	elapsed := time.Since(start)
+	fmt.Printf("load: %d clients x %d requests = %d OK in %v (%.0f req/s)\n",
+		clients, reqsPer, okCount.Load(), elapsed.Round(time.Millisecond),
+		float64(okCount.Load())/elapsed.Seconds())
+
 	tr.CloseIdleConnections()
 	if err := server.Close(); err != nil {
 		return err

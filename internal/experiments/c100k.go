@@ -1,0 +1,474 @@
+package experiments
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"newtos/internal/core"
+	"newtos/internal/msg"
+	"newtos/internal/nic"
+	"newtos/internal/sock"
+	"newtos/internal/tcpsrv"
+)
+
+// C100KOpts tunes the connection-scale experiment.
+type C100KOpts struct {
+	// Conns is the total number of concurrent TCP connections to hold
+	// established (default 100_000). All but ActiveSubset stay idle.
+	Conns int
+	// Ports is how many listener ports the server spreads accepts over
+	// (default 8). Ephemeral-port capacity on the client is ~33k per
+	// remote port, so >= 4 ports are needed to reach 100k connections
+	// between one address pair.
+	Ports int
+	// Backlog is the per-listener accept backlog (default 4096).
+	Backlog int
+	// ActiveSubset is how many connections run echo traffic while the
+	// rest idle (default 512).
+	ActiveSubset int
+	// Rounds is echo round trips per active connection in the latency
+	// phase (default 4).
+	Rounds int
+	// Payload is the echo message size (default 128).
+	Payload int
+	// Workers is the client-side connect/echo worker pool size
+	// (default 128). The load generator is not under test; workers just
+	// pipeline control-plane calls.
+	Workers int
+	// Baseline is the connection count for the reference Tick-cost
+	// sample (default 1000). The acceptance claim is that per-Tick cost
+	// at Conns idle connections stays within 2x of this baseline.
+	Baseline int
+	// TickProbe is how many connections echo during a Tick sampling
+	// window to keep the engine's loop iterating (default 64). Identical
+	// at baseline and at scale, so the samples differ only in idle
+	// population.
+	TickProbe int
+	// TickWindow is the sampling duration (default 300ms).
+	TickWindow time.Duration
+}
+
+func (o *C100KOpts) fill() {
+	if o.Conns == 0 {
+		o.Conns = 100_000
+	}
+	if o.Ports == 0 {
+		o.Ports = 8
+	}
+	if o.Backlog == 0 {
+		o.Backlog = 4096
+	}
+	if o.ActiveSubset == 0 {
+		o.ActiveSubset = 512
+	}
+	if o.ActiveSubset > o.Conns {
+		o.ActiveSubset = o.Conns
+	}
+	if o.Rounds == 0 {
+		o.Rounds = 4
+	}
+	if o.Payload == 0 {
+		o.Payload = 128
+	}
+	if o.Workers == 0 {
+		o.Workers = 128
+	}
+	if o.Baseline == 0 {
+		o.Baseline = 1000
+	}
+	if o.Baseline > o.Conns {
+		o.Baseline = o.Conns
+	}
+	if o.TickProbe == 0 {
+		o.TickProbe = 64
+	}
+	if o.TickProbe > o.Baseline {
+		o.TickProbe = o.Baseline
+	}
+	if o.TickWindow == 0 {
+		o.TickWindow = 300 * time.Millisecond
+	}
+}
+
+// C100KReport is the outcome of one RunC100K run.
+type C100KReport struct {
+	Conns       int // requested
+	Established int // connections that completed the handshake
+	PeakActive  int // most server-side connections open at once
+
+	ConnectElapsed time.Duration // wall time to establish Established conns
+	ConnectRate    float64       // conns/sec during establishment
+
+	// Tick cost: average nanoseconds per TCP-engine Tick during an
+	// identical probe workload, sampled at Baseline conns and at full
+	// population. TickRatio = Full/Baseline; the timing wheel's claim is
+	// that idle connections are free, so this stays near 1.
+	BaselineConns  int
+	BaselineTickNs float64
+	FullTickNs     float64
+	TickRatio      float64
+
+	// HeapPerConn is the whole-process heap growth per established
+	// connection (both stack nodes AND both app sides live in this
+	// process, so it bounds the stack's true per-connection cost from
+	// above).
+	HeapPerConn float64
+
+	// Echo latency over the active subset while Conns-ActiveSubset
+	// connections idle alongside.
+	EchoConns  int
+	EchoRounds int
+	EchoAvgRTT time.Duration
+	EchoMaxRTT time.Duration
+}
+
+func heapAlloc() uint64 {
+	runtime.GC()
+	var m runtime.MemStats
+	runtime.ReadMemStats(&m)
+	return m.HeapAlloc
+}
+
+// RunC100K holds Conns concurrent TCP connections established through the
+// full split stack — mostly idle, with a small active echo subset — and
+// measures what scale costs: connection-establishment rate, per-Tick
+// engine cost at baseline vs full population (the timing-wheel claim:
+// idle connections cost ~zero per Tick), heap per connection (slab pcbs,
+// lazy TX buffers), and active-subset echo latency under the idle mass.
+func RunC100K(opts C100KOpts) (C100KReport, error) {
+	opts.fill()
+	rep := C100KReport{Conns: opts.Conns, BaselineConns: opts.Baseline}
+
+	cfg := core.SplitTSO()
+	// Scale runs keep every loop busy for long stretches; under -race or
+	// on loaded CI machines the default 250ms hang heartbeat would
+	// false-positive and restart servers mid-experiment.
+	cfg.HeartbeatMiss = 10 * time.Second
+	lan, err := core.NewLAN(cfg, 1, nic.Gigabit())
+	if err != nil {
+		return rep, err
+	}
+	defer lan.Stop()
+	if err := lan.Start(); err != nil {
+		return rep, err
+	}
+
+	const basePort = 7100
+	srvCli, err := sock.NewClient(lan.B.Hub, "c100ksrv")
+	if err != nil {
+		return rep, err
+	}
+	srvCli.CallTimeout = 120 * time.Second
+	listeners := make([]*sock.Socket, opts.Ports)
+	for i := range listeners {
+		l, err := srvCli.Socket(sock.TCP)
+		if err != nil {
+			return rep, err
+		}
+		if err := l.Bind(uint16(basePort + i)); err != nil {
+			return rep, err
+		}
+		if err := l.Listen(opts.Backlog); err != nil {
+			return rep, err
+		}
+		listeners[i] = l
+	}
+	var peak, accepted atomic.Int64
+	srvDone := make(chan struct{})
+	go c100kEchoServer(srvCli, listeners, &peak, &accepted, srvDone)
+
+	cli, err := sock.NewClient(lan.A.Hub, "c100kcli")
+	if err != nil {
+		return rep, err
+	}
+	cli.CallTimeout = 120 * time.Second
+	dst := lan.IPOf("b", 0)
+
+	eng := lan.B.Proc(core.CompTCP).Service().(*tcpsrv.Server).Engine()
+
+	heap0 := heapAlloc()
+
+	// conns[i] is index-assigned by exactly one worker: no locking.
+	conns := make([]*sock.Socket, opts.Conns)
+	var established, issued atomic.Int64
+	// Pacing: the accept side costs ~2 control RPCs per child through one
+	// poller goroutine, so an unthrottled connect storm overruns the
+	// aggregate accept backlog and SYNs start dropping until clients time
+	// out. Keep issued-but-unaccepted connections well under the backlog.
+	maxOutstanding := int64(opts.Ports*opts.Backlog) / 4
+	if maxOutstanding > 8192 {
+		maxOutstanding = 8192
+	}
+	connect := func(lo, hi int) error {
+		var wg sync.WaitGroup
+		errCh := make(chan error, opts.Workers)
+		for w := 0; w < opts.Workers; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				for i := lo + w; i < hi; i += opts.Workers {
+					stall := time.Now()
+					for issued.Add(1); issued.Load()-accepted.Load() > maxOutstanding; {
+						issued.Add(-1)
+						if time.Since(stall) > 60*time.Second {
+							errCh <- errors.New("c100k: accept side stalled")
+							return
+						}
+						time.Sleep(time.Millisecond)
+						issued.Add(1)
+					}
+					s, err := cli.Socket(sock.TCP)
+					if err != nil {
+						errCh <- err
+						return
+					}
+					if err := s.Connect(dst, uint16(basePort+i%opts.Ports)); err != nil {
+						errCh <- fmt.Errorf("conn %d: %w", i, err)
+						return
+					}
+					conns[i] = s
+					established.Add(1)
+				}
+			}(w)
+		}
+		wg.Wait()
+		select {
+		case err := <-errCh:
+			return err
+		default:
+			return nil
+		}
+	}
+
+	// Phase 1: baseline population, then the reference Tick sample.
+	start := time.Now()
+	if err := connect(0, opts.Baseline); err != nil {
+		return rep, err
+	}
+	probe := conns[:opts.TickProbe]
+	rep.BaselineTickNs, err = sampleTick(eng, probe, opts.Payload, opts.TickWindow)
+	if err != nil {
+		return rep, err
+	}
+
+	// Phase 2: the idle mass.
+	if err := connect(opts.Baseline, opts.Conns); err != nil {
+		return rep, err
+	}
+	rep.ConnectElapsed = time.Since(start)
+	rep.Established = int(established.Load())
+	if rep.ConnectElapsed > 0 {
+		rep.ConnectRate = float64(rep.Established) / rep.ConnectElapsed.Seconds()
+	}
+	heap1 := heapAlloc()
+	if rep.Established > 0 && heap1 > heap0 {
+		rep.HeapPerConn = float64(heap1-heap0) / float64(rep.Established)
+	}
+
+	// Phase 3: the same probe workload with the idle mass in place.
+	rep.FullTickNs, err = sampleTick(eng, probe, opts.Payload, opts.TickWindow)
+	if err != nil {
+		return rep, err
+	}
+	if rep.BaselineTickNs > 0 {
+		rep.TickRatio = rep.FullTickNs / rep.BaselineTickNs
+	}
+
+	// Phase 4: echo latency over the active subset.
+	rep.EchoConns, rep.EchoRounds = opts.ActiveSubset, opts.Rounds
+	active := conns[:opts.ActiveSubset]
+	rtts := make([]time.Duration, opts.ActiveSubset*opts.Rounds)
+	var wg sync.WaitGroup
+	echoErr := make(chan error, opts.Workers)
+	for w := 0; w < opts.Workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			data := make([]byte, opts.Payload)
+			buf := make([]byte, opts.Payload)
+			for i := w; i < len(active); i += opts.Workers {
+				for r := 0; r < opts.Rounds; r++ {
+					t0 := time.Now()
+					if err := echoRound(active[i], data, buf); err != nil {
+						echoErr <- fmt.Errorf("echo conn %d round %d: %w", i, r, err)
+						return
+					}
+					rtts[i*opts.Rounds+r] = time.Since(t0)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	select {
+	case err := <-echoErr:
+		return rep, err
+	default:
+	}
+	var sum time.Duration
+	for _, d := range rtts {
+		sum += d
+		if d > rep.EchoMaxRTT {
+			rep.EchoMaxRTT = d
+		}
+	}
+	if len(rtts) > 0 {
+		rep.EchoAvgRTT = sum / time.Duration(len(rtts))
+	}
+	rep.PeakActive = int(peak.Load())
+
+	for _, l := range listeners {
+		_ = l.Close()
+	}
+	select {
+	case <-srvDone:
+	case <-time.After(5 * time.Second):
+	}
+	return rep, nil
+}
+
+// echoRound does one blocking send + full-payload receive.
+func echoRound(s *sock.Socket, data, buf []byte) error {
+	if _, err := s.Send(data); err != nil {
+		return err
+	}
+	for got := 0; got < len(buf); {
+		n, err := s.Recv(buf[got:])
+		if err != nil {
+			return err
+		}
+		if n == 0 {
+			return errors.New("unexpected EOF")
+		}
+		got += n
+	}
+	return nil
+}
+
+// sampleTick measures average nanoseconds per TCP-engine Tick while the
+// probe connections echo (server loops park when idle; the probe keeps
+// Ticks flowing without itself scaling with the idle population).
+func sampleTick(eng interface{ TickStats() (uint64, uint64) }, probe []*sock.Socket, payload int, window time.Duration) (float64, error) {
+	data := make([]byte, payload)
+	buf := make([]byte, payload)
+	c0, n0 := eng.TickStats()
+	deadline := time.Now().Add(window)
+	for time.Now().Before(deadline) {
+		for _, s := range probe {
+			if err := echoRound(s, data, buf); err != nil {
+				return 0, err
+			}
+		}
+	}
+	c1, n1 := eng.TickStats()
+	if c1 == c0 {
+		return 0, errors.New("c100k: no engine ticks observed in sampling window")
+	}
+	return float64(n1-n0) / float64(c1-c0), nil
+}
+
+// c100kEchoServer is pollerEchoServer generalized to a set of listeners:
+// ONE goroutine owns every listener and every accepted connection,
+// demultiplexing readiness edges through a single Poller. Returns when all
+// listeners have closed.
+func c100kEchoServer(cli *sock.Client, listeners []*sock.Socket, peak, accepted *atomic.Int64, done chan<- struct{}) {
+	defer close(done)
+	p := cli.NewPoller()
+	defer p.Close()
+	isListener := make(map[*sock.Socket]bool, len(listeners))
+	for _, l := range listeners {
+		l.SetNonblock(true)
+		if err := p.Add(l, msg.EvAcceptReady|msg.EvError); err != nil {
+			return
+		}
+		isListener[l] = true
+	}
+	active := 0
+	var echoed atomic.Int64
+	buf := make([]byte, 64*1024)
+	pending := map[*sock.Socket][]byte{}
+	closeConn := func(s *sock.Socket) {
+		p.Del(s)
+		delete(pending, s)
+		_ = s.Close()
+		active--
+	}
+	write := func(s *sock.Socket, data []byte) bool {
+		for len(data) > 0 {
+			n, err := s.Send(data)
+			echoed.Add(int64(n))
+			data = data[n:]
+			if errors.Is(err, sock.ErrWouldBlock) || (err == nil && len(data) > 0 && n == 0) {
+				pending[s] = append(pending[s], data...)
+				return true
+			}
+			if err != nil {
+				closeConn(s)
+				return false
+			}
+		}
+		return true
+	}
+	for len(isListener) > 0 {
+		events, err := p.Wait(-1)
+		if err != nil {
+			return
+		}
+		for _, e := range events {
+			if isListener[e.Sock] {
+				for {
+					child, err := e.Sock.Accept()
+					if errors.Is(err, sock.ErrWouldBlock) {
+						break
+					}
+					if err != nil {
+						// Listener closed: stop serving it.
+						p.Del(e.Sock)
+						delete(isListener, e.Sock)
+						break
+					}
+					child.SetNonblock(true)
+					if err := p.Add(child, msg.EvReadable|msg.EvWritable|msg.EvEOF|msg.EvError); err != nil {
+						_ = child.Close()
+						continue
+					}
+					active++
+					accepted.Add(1)
+					if int64(active) > peak.Load() {
+						peak.Store(int64(active))
+					}
+				}
+				continue
+			}
+			s := e.Sock
+			if q := pending[s]; len(q) > 0 {
+				delete(pending, s)
+				if !write(s, q) {
+					continue
+				}
+				if len(pending[s]) > 0 {
+					continue
+				}
+			}
+			for {
+				n, err := s.Recv(buf)
+				if errors.Is(err, sock.ErrWouldBlock) {
+					break
+				}
+				if err != nil || n == 0 {
+					closeConn(s)
+					break
+				}
+				if !write(s, buf[:n]) {
+					break
+				}
+				if len(pending[s]) > 0 {
+					break
+				}
+			}
+		}
+	}
+}

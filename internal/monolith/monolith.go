@@ -467,6 +467,19 @@ func (c *Conn) fetchBuf() error {
 	c.s.mu.Lock()
 	buf := c.s.bufs[key]
 	c.s.mu.Unlock()
+	if buf == nil && c.proto == netpkt.ProtoTCP {
+		// TCP provisions TX buffers lazily: ask the engine for one now.
+		rep, err := c.s.call(c.proto, msg.Req{Op: msg.OpSockBufEnsure, Flow: c.id})
+		if err != nil {
+			return err
+		}
+		if rep.Status != msg.StatusOK {
+			return fmt.Errorf("monolith: buf ensure: status %d", rep.Status)
+		}
+		c.s.mu.Lock()
+		buf = c.s.bufs[key]
+		c.s.mu.Unlock()
+	}
 	if buf == nil {
 		return fmt.Errorf("monolith: no socket buffer for %d", c.id)
 	}

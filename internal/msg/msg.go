@@ -56,9 +56,10 @@ const (
 	OpSockRecvData // transport -> SC -> app: Ptrs = received data (transport-owned), app must ack
 	OpSockRecvDone // app -> transport: done copying, free the chunk
 	OpSockClose
-	OpSockReply    // generic completion; Status carries errno-style result
-	OpSockSetFlags // set per-socket mode bits; Arg0 = SockNonblock et al.
-	OpSockEvent    // async edge-triggered readiness; Arg0 = Ev* bits (readable, writable, accept-ready, EOF, error)
+	OpSockReply     // generic completion; Status carries errno-style result
+	OpSockSetFlags  // set per-socket mode bits; Arg0 = SockNonblock et al.
+	OpSockEvent     // async edge-triggered readiness; Arg0 = Ev* bits (readable, writable, accept-ready, EOF, error)
+	OpSockBufEnsure // app -> transport: provision + publish the socket's lazy TX buffer
 
 	// Packet filter configuration (SC <-> PF).
 	OpPFRuleAdd
@@ -89,7 +90,8 @@ var opNames = map[Op]string{
 	OpSockRecvData: "sock-recv-data", OpSockRecvDone: "sock-recv-done",
 	OpSockClose: "sock-close", OpSockReply: "sock-reply",
 	OpSockSetFlags: "sock-set-flags", OpSockEvent: "sock-event",
-	OpPFRuleAdd: "pf-rule-add", OpPFRuleFlush: "pf-rule-flush", OpPFStats: "pf-stats",
+	OpSockBufEnsure: "sock-buf-ensure",
+	OpPFRuleAdd:     "pf-rule-add", OpPFRuleFlush: "pf-rule-flush", OpPFStats: "pf-stats",
 	OpStorePut: "store-put", OpStoreGet: "store-get", OpStoreReply: "store-reply",
 	OpStoreInvalidate: "store-invalidate", OpPing: "ping", OpPong: "pong",
 }

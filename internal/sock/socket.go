@@ -301,8 +301,10 @@ func (s *Socket) Connect(ip netpkt.IPAddr, port uint16) error {
 	}
 }
 
-// fetchBuf attaches the socket's shared TX buffer (exported by the
-// transport at socket/connection setup).
+// fetchBuf attaches the socket's shared TX buffer. TCP provisions buffers
+// lazily (an idle connection holds no TX memory), so a missing export is
+// resolved by asking the transport to provision one now; UDP still exports
+// eagerly at socket creation.
 func (s *Socket) fetchBuf() error {
 	if s.buf != nil {
 		return nil
@@ -312,6 +314,16 @@ func (s *Socket) fetchBuf() error {
 		pfx = "sockbuf/udp/"
 	}
 	a, ok := s.c.hub.Reg.Get(pfx + fmt.Sprint(s.id))
+	if !ok && s.proto == TCP {
+		rep, err := s.c.call(s.proto, msg.Req{Op: msg.OpSockBufEnsure, Flow: s.id}, s.writeDeadline())
+		if err != nil {
+			return err
+		}
+		if err := statusErr(rep.Status); err != nil {
+			return err
+		}
+		a, ok = s.c.hub.Reg.Get(pfx + fmt.Sprint(s.id))
+	}
 	if !ok {
 		return fmt.Errorf("sock: no shared buffer for socket %d", s.id)
 	}

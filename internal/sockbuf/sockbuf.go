@@ -164,6 +164,13 @@ func (b *Buf) Recycle(ptr shm.RichPtr) {
 	}
 }
 
+// Destroy removes the backing pool from the shared space: called when the
+// owning socket is destroyed so buffer memory does not outlive it.
+// Outstanding rich pointers into the pool resolve to ErrNoSuchPool after.
+func (b *Buf) Destroy(space *shm.Space) {
+	space.Drop(b.pool.ID())
+}
+
 // Tick advances the elastic quiescence clock without a recycle (the owning
 // transport calls it from its loop so idle sockets shrink too). No-op for
 // static buffers.

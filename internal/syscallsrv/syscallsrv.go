@@ -58,6 +58,18 @@ const (
 // restart keeps routing established sockets to their shards.
 const ShardMetaKey = "sc/tcp/shards"
 
+// Shard-meta persistence pacing: with few sockets every control-plane call
+// flushes eagerly (a crash loses nothing); past metaEagerSocks the O(n)
+// encode would dominate connection setup, so writes coalesce into one
+// flush per gap driven from Poll. Like the TCP engine's state saves, the
+// gap adapts to metaCostFactor× the measured cost of the previous encode —
+// a fixed interval is still quadratic during a connect storm.
+const (
+	metaEagerSocks   = 1024
+	metaSaveInterval = 50 * time.Millisecond
+	metaCostFactor   = 20
+)
+
 // gather tracks one broadcast operation (create/bind/listen/close) until
 // every shard has answered; the app gets one reply with the first non-OK
 // status (close is always reported OK — a shard that lost its clone in a
@@ -139,9 +151,6 @@ type Server struct {
 
 	nextID  uint64
 	pending map[uint64]pendingCall
-	// lastOp remembers the unfinished operation per socket so it can be
-	// reissued after a transport crash (recv/select-class only).
-	lastOp map[uint32]pendingCall
 	// subsTCP / subsUDP route OpSockEvent readiness edges from the
 	// transports to the application endpoint that armed them. Keyed per
 	// transport because TCP and UDP socket id spaces overlap.
@@ -152,6 +161,11 @@ type Server struct {
 	vsocks map[uint32]*vsock
 	nextV  uint32
 	rr     int
+
+	// Coalesced shard-meta persistence (see metaEagerSocks).
+	metaDirty    bool
+	lastMetaSave time.Time
+	metaGap      time.Duration // adaptive coalescing gap, ≥ metaSaveInterval
 }
 
 var _ proc.Service = (*Server)(nil)
@@ -170,7 +184,6 @@ func New(ports *wiring.Ports, tcpShards int) *Server {
 // table is recovered from the storage server.
 func (s *Server) Init(rt *proc.Runtime, restart bool) error {
 	s.pending = make(map[uint64]pendingCall)
-	s.lastOp = make(map[uint32]pendingCall)
 	s.vsocks = make(map[uint32]*vsock)
 	s.subsTCP = make(map[uint32]sub)
 	s.subsUDP = make(map[uint32]sub)
@@ -277,6 +290,13 @@ func (s *Server) Poll(now time.Time) bool {
 	if s.pfBox.FlushPaced(now, idle) {
 		worked = true
 	}
+
+	// Coalesced shard-meta flush (dirtied past the eager threshold).
+	if s.metaDirty && now.Sub(s.lastMetaSave) >= s.metaFlushGap() {
+		s.lastMetaSave = now
+		s.flushShardMeta()
+		worked = true
+	}
 	return worked
 }
 
@@ -302,8 +322,6 @@ func (s *Server) dispatch(epIdx int, from kipc.EndpointID, req msg.Req) {
 	// Fire-and-forget operations produce no reply.
 	if req.Op == msg.OpSockRecvDone {
 		delete(s.pending, id)
-	} else {
-		s.lastOp[req.Flow] = call
 	}
 
 	switch epIdx {
@@ -679,9 +697,6 @@ func (s *Server) drainReplies(port *wiring.Port, subs map[uint32]sub) bool {
 			case call.standing:
 				s.standingAcceptReply(call, r)
 			default:
-				if last, ok := s.lastOp[call.sock]; ok && last.appID == call.appID {
-					delete(s.lastOp, call.sock)
-				}
 				// Release the routed owner ONLY on port exhaustion: there
 				// the clone holds no handshake state and a retry must be
 				// free to pick a shard with ephemeral ports to spare.
@@ -929,8 +944,8 @@ func (s *Server) resendSetFlags(box *wiring.Outbox, flow uint32) {
 
 // callBelongsTo decides which transport a pending call was sent to. The
 // SYSCALL server keeps no per-socket table beyond this (it is stateless);
-// the frontdoor split makes the mapping unambiguous for creates, and
-// subsequent ops inherit it through lastOp bookkeeping.
+// the frontdoor split makes the mapping unambiguous: each call records the
+// endpoint it arrived on, and sockets never migrate between frontdoors.
 func (s *Server) callBelongsTo(isTCP bool, call pendingCall) bool {
 	if isTCP {
 		return call.epIdx == 0
@@ -952,10 +967,24 @@ type savedVsock struct {
 	Nonblock  bool
 }
 
-// persistShardMeta parks the routing table in the storage server. It only
-// changes on control-plane calls (create/bind/listen/connect/close), never
-// on the data path.
+// persistShardMeta records that the routing table changed. Below
+// metaEagerSocks it flushes immediately; beyond, it marks the table dirty
+// and Poll writes one coalesced snapshot per metaSaveInterval, keeping
+// connection setup O(1) in the socket count. It only runs on control-plane
+// calls (create/bind/listen/connect/close), never on the data path.
 func (s *Server) persistShardMeta() {
+	if len(s.vsocks) > metaEagerSocks {
+		s.metaDirty = true
+		return
+	}
+	s.flushShardMeta()
+}
+
+// flushShardMeta writes the routing-table snapshot to the storage server
+// and re-derives the coalescing gap from the encode cost.
+func (s *Server) flushShardMeta() {
+	s.metaDirty = false
+	start := time.Now()
 	meta := savedShardMeta{NextV: s.nextV, RR: s.rr, Socks: make(map[uint32]savedVsock, len(s.vsocks))}
 	for id, v := range s.vsocks {
 		meta.Socks[id] = savedVsock{Owner: v.owner, Port: v.port, Listening: v.listening, Nonblock: v.nonblock}
@@ -964,6 +993,19 @@ func (s *Server) persistShardMeta() {
 	if gob.NewEncoder(&buf).Encode(meta) == nil {
 		s.ports.Hub().Store.Put(ShardMetaKey, buf.Bytes())
 	}
+	s.metaGap = time.Since(start) * metaCostFactor
+	if s.metaGap < metaSaveInterval {
+		s.metaGap = metaSaveInterval
+	}
+}
+
+// metaFlushGap is the current coalescing gap: the metaSaveInterval floor
+// until a large flush has been timed, then metaCostFactor× its cost.
+func (s *Server) metaFlushGap() time.Duration {
+	if s.metaGap < metaSaveInterval {
+		return metaSaveInterval
+	}
+	return s.metaGap
 }
 
 // loadShardMeta restores the routing table after a SYSCALL-server restart.
@@ -995,8 +1037,13 @@ func (s *Server) OutboxDropped() uint64 {
 	return n
 }
 
-// Deadline: no timers.
-func (s *Server) Deadline(now time.Time) time.Time { return time.Time{} }
+// Deadline: the only timer is the coalesced shard-meta flush.
+func (s *Server) Deadline(now time.Time) time.Time {
+	if s.metaDirty {
+		return s.lastMetaSave.Add(s.metaFlushGap())
+	}
+	return time.Time{}
+}
 
 // Stop closes the frontdoor endpoints.
 func (s *Server) Stop() {

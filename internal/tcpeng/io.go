@@ -40,14 +40,14 @@ func (e *Engine) segmentIn(r msg.Req) {
 	key := fourTuple{localPort: th.DstPort, remoteIP: srcIP, remotePort: th.SrcPort}
 
 	dstIP := netpkt.IPFromU32(uint32(r.Arg[2]))
-	if id, ok := e.conns[key]; ok {
-		e.segmentForConn(e.sockets[id], th, seg, view, extras, nseg, r.ID)
+	if slot, ok := e.byTuple.get(key.key()); ok {
+		e.segmentForConn(e.slab.at(slot), th, seg, view, extras, nseg, r.ID)
 		return
 	}
 	// No connection: a listener may take a SYN.
 	if th.Flags&netpkt.TCPSyn != 0 && th.Flags&netpkt.TCPAck == 0 {
 		if lid, ok := e.listeners[th.DstPort]; ok {
-			e.handleListenSyn(e.sockets[lid], th, key, dstIP)
+			e.handleListenSyn(e.pcbOf(lid), th, key, dstIP)
 			e.releaseDeliver(r.ID)
 			return
 		}
@@ -65,7 +65,8 @@ func (e *Engine) handleListenSyn(l *pcb, th netpkt.TCPHeader, key fourTuple, dst
 	if len(l.acceptQ)+1 > l.backlog {
 		return // silently drop; peer retries
 	}
-	c := &pcb{id: e.allocID(), state: StateSynRcvd, mss: MSS, listenerID: l.id}
+	c, slot := e.slab.alloc()
+	c.id, c.state, c.mss, c.listenerID = e.allocID(), StateSynRcvd, MSS, l.id
 	c.fourTuple = key
 	c.localIP = dstIP
 	c.bound = true
@@ -76,13 +77,14 @@ func (e *Engine) handleListenSyn(l *pcb, th netpkt.TCPHeader, key fourTuple, dst
 	c.irs = th.Seq
 	c.rcvNxt = th.Seq + 1
 	c.sndWnd = uint32(th.Window)
-	e.sockets[c.id] = c
-	e.conns[key] = c.id
-	e.ensureBuf(c)
+	e.byID.put(uint64(c.id), slot)
+	e.byTuple.put(key.key(), slot)
+	// No TX buffer yet: it is provisioned lazily on the first send, so an
+	// accepted-but-idle connection costs no socket-buffer memory.
 	e.emitSegment(c, netpkt.TCPSyn|netpkt.TCPAck, c.iss, nil, 0, true)
 	c.sndNxt = c.iss + 1
 	c.rto = synRTO
-	c.rtoAt = e.now.Add(c.rto)
+	e.armTimer(c, timerRTO, e.now.Add(c.rto))
 }
 
 // segmentForConn is the per-connection receive state machine. extras are
@@ -136,7 +138,7 @@ func (e *Engine) segmentForConn(p *pcb, th netpkt.TCPHeader, seg shm.RichPtr, vi
 	windowOpened := p.sndWnd == 0 && th.Window > 0
 	p.sndWnd = uint32(th.Window)
 	if windowOpened {
-		p.rtoAt = zeroTime
+		e.disarmTimer(p, timerRTO)
 		p.retxCount = 0
 	}
 	used := false
@@ -178,7 +180,7 @@ func (e *Engine) established(p *pcb) {
 	}
 	p.state = StateEstablished
 	p.rto = minRTO * 4
-	p.rtoAt = zeroTime
+	e.disarmTimer(p, timerRTO)
 	p.retxCount = 0
 	if p.pendingConnect != 0 {
 		e.replyConnected(p.pendingConnect, p)
@@ -189,7 +191,7 @@ func (e *Engine) established(p *pcb) {
 		e.event(p, msg.EvWritable)
 	}
 	if p.listenerID != 0 {
-		if l, ok := e.sockets[p.listenerID]; ok && l.state == StateListen {
+		if l := e.pcbOf(p.listenerID); l != nil && l.state == StateListen {
 			if len(l.pendingAccept) > 0 {
 				id := l.pendingAccept[0]
 				l.pendingAccept = l.pendingAccept[1:]
@@ -269,10 +271,12 @@ func (e *Engine) processAck(p *pcb, th netpkt.TCPHeader, hasPayload bool) {
 
 	// Retransmission timer.
 	if p.sndUna == p.sndNxt {
-		p.rtoAt = zeroTime
+		e.disarmTimer(p, timerRTO)
 		p.retxCount = 0
 	} else {
-		p.rtoAt = e.now.Add(p.rto)
+		// Push the deadline out; the existing wheel entry (if earlier) is
+		// reused and re-indexes itself when it comes up.
+		e.armTimer(p, timerRTO, e.now.Add(p.rto))
 	}
 
 	// Half-close progress.
@@ -404,7 +408,7 @@ func (e *Engine) processData(p *pcb, th netpkt.TCPHeader, seg shm.RichPtr, extra
 	if p.ackPending >= 2 || th.Flags&netpkt.TCPPsh != 0 {
 		e.sendAck(p)
 	} else if p.delAckAt.IsZero() {
-		p.delAckAt = e.now.Add(delAckDelay)
+		e.armTimer(p, timerDelAck, e.now.Add(delAckDelay))
 	}
 
 	// Wake a parked recv.
@@ -445,8 +449,8 @@ func (e *Engine) processFin(p *pcb) {
 
 func (e *Engine) enterTimeWait(p *pcb) {
 	p.state = StateTimeWait
-	p.timeWaitAt = e.now.Add(timeWait)
-	p.rtoAt = zeroTime
+	e.armTimer(p, timerTimeWait, e.now.Add(timeWait))
+	e.disarmTimer(p, timerRTO)
 	e.persist()
 }
 

@@ -199,11 +199,7 @@ func TestSetFlagsAnnouncesReadiness(t *testing.T) {
 // poller learns about half-close without a read.
 func TestEOFEdge(t *testing.T) {
 	pi := newPipe(t, false)
-	_, child := pi.connectPair(8084)
-	csock := uint32(0)
-	for id := range pi.a.sockets {
-		csock = id
-	}
+	csock, child := pi.connectPair(8084)
 	pi.setNonblock(pi.b, child)
 	pi.takeEvents(pi.b, child)
 

@@ -45,7 +45,7 @@ func (e *Engine) output(p *pcb) {
 			// the timer so rtoFire sends a zero-window probe (there is no
 			// separate persist timer; the RTO doubles as it).
 			if p.sndWnd == 0 && inflight == 0 && p.rtoAt.IsZero() {
-				p.rtoAt = e.now.Add(p.rto)
+				e.armTimer(p, timerRTO, e.now.Add(p.rto))
 			}
 			break
 		}
@@ -87,7 +87,7 @@ func (e *Engine) output(p *pcb) {
 		p.finSent = true
 	}
 	if p.sndNxt != p.sndUna && p.rtoAt.IsZero() {
-		p.rtoAt = e.now.Add(p.rto)
+		e.armTimer(p, timerRTO, e.now.Add(p.rto))
 	}
 }
 
@@ -181,7 +181,9 @@ func (e *Engine) emit(p *pcb, flags uint8, seq uint32, payload []shm.RichPtr, pl
 	// Any segment carrying ACK satisfies pending ack obligations.
 	if flags&netpkt.TCPAck != 0 {
 		p.ackPending = 0
-		p.delAckAt = zeroTime
+		if !p.delAckAt.IsZero() {
+			e.disarmTimer(p, timerDelAck)
+		}
 	}
 }
 
@@ -264,39 +266,52 @@ func (e *Engine) fastRetransmit(p *pcb) {
 	p.rttSeq = 0 // Karn
 }
 
-// Tick drives every per-connection timer: retransmission, delayed ACK,
-// TIME-WAIT reaping, and handshake retries.
+// Tick drives every per-connection timer through the timing wheel:
+// retransmission, delayed ACK, TIME-WAIT reaping, and handshake retries.
+// Cost scales with due timers and live TX buffers, not total connections —
+// an idle connection contributes nothing here.
 func (e *Engine) Tick(now time.Time) {
+	t0 := time.Now()
 	e.now = now
 	// Elastic pools: evaluate the header pool's grow/shrink policy once per
 	// loop iteration (quiescence is counted in iterations).
 	e.hdrPool.Tick()
-	var dead []*pcb
-	for _, p := range e.sockets {
-		// Advance each socket buffer's quiescence clock so idle
-		// connections shrink back to their base complement.
-		if p.buf != nil {
-			p.buf.Tick()
-		}
-		// Delayed ACK.
-		if !p.delAckAt.IsZero() && !now.Before(p.delAckAt) {
-			e.sendAck(p)
-		}
-		// TIME-WAIT expiry.
-		if p.state == StateTimeWait && !now.Before(p.timeWaitAt) {
-			dead = append(dead, p)
-			continue
-		}
-		// Retransmission timeout.
-		if !p.rtoAt.IsZero() && !now.Before(p.rtoAt) {
-			e.rtoFire(p)
-		}
+	// Advance socket-buffer quiescence clocks so idle-but-buffered
+	// connections shrink back to their base complement. Only sockets that
+	// ever sent have a buffer (lazy provisioning), so this walks the active
+	// set, not the connection table.
+	for _, p := range e.bufs {
+		p.buf.Tick()
 	}
-	for _, p := range dead {
-		e.destroy(p)
-	}
-	if len(dead) > 0 {
+	e.wheel.advance(now, e.fireTimer)
+	if len(e.dead) > 0 {
+		for i, p := range e.dead {
+			e.destroy(p)
+			e.dead[i] = nil
+		}
+		e.dead = e.dead[:0]
 		e.persist()
+	}
+	if e.saveDirty && now.Sub(e.lastSave) >= e.flushGap() {
+		e.flushSave()
+	}
+	e.tickCount.Add(1)
+	e.tickNanos.Add(uint64(time.Since(t0)))
+}
+
+// fireTimer dispatches one due wheel timer. TIME-WAIT expiries are only
+// collected here — destroy frees slab slots, which must not happen while
+// the wheel is mid-advance.
+func (e *Engine) fireTimer(p *pcb, kind int) {
+	switch kind {
+	case timerDelAck:
+		e.sendAck(p)
+	case timerTimeWait:
+		if p.state == StateTimeWait {
+			e.dead = append(e.dead, p)
+		}
+	case timerRTO:
+		e.rtoFire(p)
 	}
 }
 
@@ -362,42 +377,44 @@ func (e *Engine) rtoFire(p *pcb) {
 	if p.rto > maxRTO {
 		p.rto = maxRTO
 	}
-	p.rtoAt = e.now.Add(p.rto)
+	e.armTimer(p, timerRTO, e.now.Add(p.rto))
 }
 
 // ResubmitInflight implements the post-IP-crash policy: rewind sndNxt to
 // sndUna on every connection with unacknowledged data and retransmit
 // immediately with fresh request IDs.
 func (e *Engine) ResubmitInflight() {
-	for _, p := range e.sockets {
+	e.eachPCB(func(p *pcb) {
 		if p.sndNxt == p.sndUna {
-			continue
+			return
 		}
 		p.sndNxt = p.sndUna
 		p.finSent = false
 		p.rttSeq = 0
 		e.stats.SendsResubmitted++
 		e.output(p)
-	}
+	})
 }
 
-// Deadline returns the earliest pending timer across all connections.
+// Deadline returns the earliest pending timer (a conservative lower bound
+// from the wheel — see nextDeadline) and, when a coalesced state save is
+// outstanding, its flush time. O(wheel slots), independent of connections.
 func (e *Engine) Deadline(now time.Time) time.Time {
-	var min time.Time
-	upd := func(t time.Time) {
-		if t.IsZero() {
-			return
-		}
-		if min.IsZero() || t.Before(min) {
+	min := e.wheel.nextDeadline()
+	if e.saveDirty {
+		if t := e.lastSave.Add(e.flushGap()); min.IsZero() || t.Before(min) {
 			min = t
 		}
 	}
-	for _, p := range e.sockets {
-		upd(p.rtoAt)
-		upd(p.delAckAt)
-		if p.state == StateTimeWait {
-			upd(p.timeWaitAt)
-		}
-	}
 	return min
+}
+
+// flushGap is the current coalescing gap for state saves: the floor
+// persistInterval until the first large flush has been timed, then
+// persistCostFactor× the measured encode cost (see the const block).
+func (e *Engine) flushGap() time.Duration {
+	if e.saveGap < persistInterval {
+		return persistInterval
+	}
+	return e.saveGap
 }

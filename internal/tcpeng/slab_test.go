@@ -1,0 +1,164 @@
+package tcpeng
+
+import (
+	"math/rand"
+	"testing"
+
+	"newtos/internal/netpkt"
+)
+
+// TestSlabAllocRelease: slots are reused LIFO, pcb pointers are stable,
+// and timer generations survive slot reuse (stale wheel entries of a dead
+// occupant must fail their sequence check against the next one).
+func TestSlabAllocRelease(t *testing.T) {
+	var s pcbSlab
+	p1, slot1 := s.alloc()
+	p1.timerSeq[timerRTO] = 7
+	if s.inUse != 1 {
+		t.Fatalf("inUse=%d", s.inUse)
+	}
+	s.release(p1)
+	if s.inUse != 0 {
+		t.Fatalf("inUse=%d after release", s.inUse)
+	}
+	// Release bumped every generation, orphaning wheel entries.
+	if p1.timerSeq[timerRTO] != 8 {
+		t.Fatalf("timerSeq=%d after release, want 8", p1.timerSeq[timerRTO])
+	}
+	p2, slot2 := s.alloc()
+	if slot2 != slot1 || p2 != p1 {
+		t.Fatalf("slot not reused: got %d/%p, want %d/%p", slot2, p2, slot1, p1)
+	}
+	// The new occupant inherits the bumped generation, not zero: an entry
+	// made for the old occupant (seq 7) must stay stale.
+	if p2.timerSeq[timerRTO] != 8 {
+		t.Fatalf("reused slot timerSeq=%d, want 8 (generation preserved)", p2.timerSeq[timerRTO])
+	}
+	if p2.id != 0 || p2.state != 0 || p2.bufIdx != -1 {
+		t.Fatalf("reused pcb not reset: %+v", p2)
+	}
+
+	// Cross block boundaries; addresses must stay stable.
+	ptrs := make([]*pcb, 0, 3*slabBlockSize)
+	for i := 0; i < 3*slabBlockSize; i++ {
+		p, slot := s.alloc()
+		p.id = uint32(i + 1)
+		if s.at(slot) != p {
+			t.Fatalf("at(%d) != alloc result", slot)
+		}
+		ptrs = append(ptrs, p)
+	}
+	for i, p := range ptrs {
+		if p.id != uint32(i+1) {
+			t.Fatalf("pcb %d moved or was overwritten (id=%d)", i, p.id)
+		}
+	}
+}
+
+// TestIdx64VsMap: randomized put/get/del churn against a map reference,
+// covering growth, overwrite, tombstone accumulation and same-size rehash.
+func TestIdx64VsMap(t *testing.T) {
+	for seed := int64(1); seed <= 5; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		var ix idx64
+		ref := make(map[uint64]uint32)
+		// Small key space forces overwrites and del/put cycles on the same
+		// keys — the tombstone-heavy regime.
+		keyOf := func() uint64 { return uint64(rng.Intn(512)) * 0x9e3779b97f4a7c15 }
+		for step := 0; step < 20000; step++ {
+			switch rng.Intn(3) {
+			case 0:
+				k, v := keyOf(), rng.Uint32()
+				ix.put(k, v)
+				ref[k] = v
+			case 1:
+				k := keyOf()
+				got := ix.del(k)
+				_, want := ref[k]
+				if got != want {
+					t.Fatalf("seed %d step %d: del(%x)=%v, want %v", seed, step, k, got, want)
+				}
+				delete(ref, k)
+			case 2:
+				k := keyOf()
+				v, ok := ix.get(k)
+				wv, wok := ref[k]
+				if ok != wok || (ok && v != wv) {
+					t.Fatalf("seed %d step %d: get(%x)=(%d,%v), want (%d,%v)", seed, step, k, v, ok, wv, wok)
+				}
+			}
+			if ix.len() != len(ref) {
+				t.Fatalf("seed %d step %d: len=%d, want %d", seed, step, ix.len(), len(ref))
+			}
+		}
+		// each() visits exactly the live set.
+		seen := make(map[uint64]uint32)
+		ix.each(func(k uint64, v uint32) { seen[k] = v })
+		if len(seen) != len(ref) {
+			t.Fatalf("seed %d: each visited %d entries, want %d", seed, len(seen), len(ref))
+		}
+		for k, v := range ref {
+			if seen[k] != v {
+				t.Fatalf("seed %d: each missed %x", seed, k)
+			}
+		}
+	}
+}
+
+// TestPortTable: exclusive reservations and refcounted ephemeral use are
+// mutually exclusive per port; releases restore availability.
+func TestPortTable(t *testing.T) {
+	var pt portTable
+	if !pt.reserve(8080) {
+		t.Fatal("fresh reserve failed")
+	}
+	if pt.reserve(8080) {
+		t.Fatal("double reserve succeeded")
+	}
+	// A reserved port cannot be picked up ephemerally by autobind's check.
+	if !pt.isReserved(8080) {
+		t.Fatal("isReserved lost the reservation")
+	}
+	pt.unreserve(8080)
+	if pt.isReserved(8080) {
+		t.Fatal("unreserve did not clear")
+	}
+	if !pt.reserve(8080) {
+		t.Fatal("re-reserve after unreserve failed")
+	}
+	pt.unreserve(8080)
+
+	// Ephemeral refcounting: two connections share a port; bind() must fail
+	// until both are gone.
+	pt.ephemAcquire(40000)
+	pt.ephemAcquire(40000)
+	if pt.reserve(40000) {
+		t.Fatal("reserve succeeded over live ephemeral use")
+	}
+	pt.ephemRelease(40000)
+	if pt.reserve(40000) {
+		t.Fatal("reserve succeeded with one ephemeral user left")
+	}
+	pt.ephemRelease(40000)
+	if !pt.reserve(40000) {
+		t.Fatal("reserve failed after all ephemeral users released")
+	}
+}
+
+// TestTupleKeyDistinct: distinct four-tuples pack to distinct keys (the
+// packing is a bijection over its fields).
+func TestTupleKeyDistinct(t *testing.T) {
+	seen := make(map[uint64]bool)
+	ips := []netpkt.IPAddr{netpkt.IPFromU32(0x0a000001), netpkt.IPFromU32(0x0a000002)}
+	for _, lp := range []uint16{80, 8080, 65535} {
+		for _, ip := range ips {
+			for _, rp := range []uint16{1, 80, 40000} {
+				k := tupleKey(lp, ip, rp)
+				if seen[k] {
+					t.Fatalf("collision at (%d,%v,%d)", lp, ip, rp)
+				}
+				seen[k] = true
+			}
+		}
+	}
+}

@@ -20,12 +20,20 @@
 // listeners are replicated by the frontdoor so a SYN hashed to any shard
 // finds one locally — the whole established connection then lives on that
 // shard alone.
+//
+// Connection scale (docs/ARCHITECTURE.md "Connection scale"): pcbs live in
+// a slab indexed by compact open-addressing tables (slab.go), all timers
+// ride a hierarchical timing wheel (wheel.go), TX buffers are provisioned
+// lazily on first use, and state persistence is coalesced past a size
+// threshold — so both Tick and memory cost scale with active connections,
+// not total connections.
 package tcpeng
 
 import (
 	"bytes"
 	"encoding/gob"
 	"fmt"
+	"sync/atomic"
 	"time"
 
 	"newtos/internal/channel"
@@ -54,6 +62,25 @@ const (
 	delAckDelay = 500 * time.Microsecond
 	timeWait    = 200 * time.Millisecond
 	synRTO      = 100 * time.Millisecond
+)
+
+// Persistence coalescing: with at most persistEagerConns sockets every
+// state transition flushes immediately (crash tests and small deployments
+// see unchanged timing); beyond that, transitions mark the state dirty and
+// Tick flushes at most once per coalescing gap — otherwise a 100k-conn
+// ramp re-encodes the full table on every handshake (O(n²)). The gap
+// itself adapts to the measured cost of the previous flush: a fixed
+// interval is still quadratic during a connect storm (each 50ms window
+// re-encodes an ever-larger table), so the gap stretches to
+// persistCostFactor× the last encode time, bounding persistence at
+// ~1/persistCostFactor of engine time. The price is staleness: after a
+// crash, PF conntrack and the listener table may lag by one gap (seconds
+// at 100k conns) — acceptable because established connections are not
+// recoverable anyway, and listeners change rarely.
+const (
+	persistEagerConns = 256
+	persistInterval   = 50 * time.Millisecond
+	persistCostFactor = 20
 )
 
 // SockIDBase splits the socket-id space between the two allocators: ids
@@ -119,6 +146,8 @@ type Config struct {
 	ShardCount int
 	// PublishBuf exports a socket's TX buffer to the application.
 	PublishBuf func(sock uint32, buf *sockbuf.Buf)
+	// UnpublishBuf retracts a destroyed socket's TX buffer export.
+	UnpublishBuf func(sock uint32)
 	// ElasticBufs provisions per-socket TX buffers elastically: each
 	// socket starts at sockbuf.ElasticBaseChunks and grows on demand to
 	// sockbuf.DefaultChunks, shrinking back when the app goes idle — so
@@ -146,6 +175,8 @@ type fourTuple struct {
 	remotePort uint16
 }
 
+func (t fourTuple) key() uint64 { return tupleKey(t.localPort, t.remoteIP, t.remotePort) }
+
 // streamChunk is one app-written chunk in the send stream.
 type streamChunk struct {
 	seq uint32 // sequence number of first byte
@@ -161,10 +192,12 @@ type rxItem struct {
 
 type pcb struct {
 	id    uint32
+	slot  uint32 // slab slot; stable for this pcb's lifetime
 	state State
 	fourTuple
-	localIP netpkt.IPAddr
-	bound   bool
+	localIP   netpkt.IPAddr
+	bound     bool
+	portEphem bool // localPort came from autobind (refcounted, not exclusive)
 
 	// Send state.
 	iss, sndUna, sndNxt uint32
@@ -187,6 +220,12 @@ type pcb struct {
 	dupAcks      int
 	recover      uint32 // fast-recovery high-water mark
 
+	// Timing-wheel bookkeeping (wheel.go): per-kind generation counters
+	// (bumped on disarm/re-arm/slot-reuse to invalidate stale entries) and
+	// the tick of the live wheel entry (0 = none indexed).
+	timerSeq [numTimers]uint32
+	wheelAt  [numTimers]int64
+
 	// Receive state.
 	irs, rcvNxt uint32
 	rcvQ        []rxItem
@@ -196,7 +235,8 @@ type pcb struct {
 	ackPending  int // segments since last ack
 
 	// App interface.
-	buf *sockbuf.Buf
+	buf    *sockbuf.Buf
+	bufIdx int32 // index in Engine.bufs; -1 when buf == nil
 	// nonblock makes accept/recv/connect reply StatusErrAgain instead of
 	// parking, and turns on edge-triggered OpSockEvent publication.
 	nonblock bool
@@ -213,16 +253,32 @@ type pcb struct {
 	reset          bool // connection was reset
 }
 
+// timerAt returns the deadline field backing one timer kind.
+func (p *pcb) timerAt(kind int) *time.Time {
+	switch kind {
+	case timerRTO:
+		return &p.rtoAt
+	case timerDelAck:
+		return &p.delAckAt
+	}
+	return &p.timeWaitAt
+}
+
 // Engine is one TCP instance. Single-threaded.
 type Engine struct {
 	cfg     Config
 	hdrPool *shm.Pool
 	db      *channel.ReqDB
 
-	sockets   map[uint32]*pcb
-	conns     map[fourTuple]uint32
+	slab      pcbSlab
+	byID      idx64 // socket id -> slab slot
+	byTuple   idx64 // packed four-tuple -> slab slot
 	listeners map[uint16]uint32
-	usedPorts map[uint16]bool
+	ports     portTable
+	wheel     timerWheel
+	bufs      []*pcb // sockets with a live TX buffer (Tick only walks these)
+	dead      []*pcb // TIME-WAIT expiries collected during wheel advance
+
 	// deliverRefs counts receive-queue items still referencing a deliver
 	// cookie. GRO-merged deliveries carry several payload views under one
 	// cookie; OpIPDeliverDone must go back exactly once, after the last one.
@@ -236,6 +292,16 @@ type Engine struct {
 
 	stats Stats
 	now   time.Time // updated at every entry point
+
+	saveDirty bool
+	lastSave  time.Time
+	saveGap   time.Duration // adaptive coalescing gap, ≥ persistInterval
+
+	// tickCount/tickNanos are cumulative Tick invocations and time spent in
+	// them, atomics so experiments can sample per-Tick cost from outside
+	// the server loop.
+	tickCount atomic.Uint64
+	tickNanos atomic.Uint64
 }
 
 // New creates a TCP engine; hdrPool holds in-flight segment headers.
@@ -244,10 +310,7 @@ func New(cfg Config, hdrPool *shm.Pool) *Engine {
 		cfg:         cfg,
 		hdrPool:     hdrPool,
 		db:          channel.NewReqDB(),
-		sockets:     make(map[uint32]*pcb),
-		conns:       make(map[fourTuple]uint32),
 		listeners:   make(map[uint16]uint32),
-		usedPorts:   make(map[uint16]bool),
 		deliverRefs: make(map[uint64]int),
 		next:        2000,
 		idStride:    1,
@@ -271,6 +334,13 @@ func (e *Engine) allocID() uint32 {
 // Stats returns activity counters.
 func (e *Engine) Stats() Stats { return e.stats }
 
+// TickStats returns cumulative Tick invocations and nanoseconds spent in
+// them. Safe to call from other goroutines (atomics): experiments sample
+// deltas to measure per-Tick cost at different connection counts.
+func (e *Engine) TickStats() (count, nanos uint64) {
+	return e.tickCount.Load(), e.tickNanos.Load()
+}
+
 // srcFor picks the local address used towards dst.
 func (e *Engine) srcFor(dst netpkt.IPAddr) netpkt.IPAddr {
 	if e.cfg.SrcFor != nil {
@@ -280,15 +350,69 @@ func (e *Engine) srcFor(dst netpkt.IPAddr) netpkt.IPAddr {
 }
 
 // NumSockets returns the live socket count.
-func (e *Engine) NumSockets() int { return len(e.sockets) }
+func (e *Engine) NumSockets() int { return e.byID.len() }
+
+// pcbOf resolves a socket id through the slab index; nil when unknown.
+func (e *Engine) pcbOf(id uint32) *pcb {
+	slot, ok := e.byID.get(uint64(id))
+	if !ok {
+		return nil
+	}
+	return e.slab.at(slot)
+}
+
+// eachPCB visits every live socket. Membership must not change mid-walk.
+func (e *Engine) eachPCB(fn func(*pcb)) {
+	e.byID.each(func(_ uint64, slot uint32) { fn(e.slab.at(slot)) })
+}
 
 // SocketState returns a socket's connection state.
 func (e *Engine) SocketState(id uint32) (State, bool) {
-	p, ok := e.sockets[id]
-	if !ok {
+	p := e.pcbOf(id)
+	if p == nil {
 		return StateClosed, false
 	}
 	return p.state, true
+}
+
+// armTimer sets a pcb timer's deadline and indexes it on the wheel.
+func (e *Engine) armTimer(p *pcb, kind int, at time.Time) {
+	*p.timerAt(kind) = at
+	e.wheel.maybeInit(e.now)
+	e.wheel.arm(p, kind, at)
+}
+
+// disarmTimer clears a pcb timer; its wheel entry (if any) is lazily
+// dropped by generation when its slot comes up — O(1) cancellation.
+func (e *Engine) disarmTimer(p *pcb, kind int) {
+	*p.timerAt(kind) = zeroTime
+	p.timerSeq[kind]++
+	p.wheelAt[kind] = 0
+}
+
+// disarmAll clears every timer of a pcb (park, destroy).
+func (e *Engine) disarmAll(p *pcb) {
+	for k := 0; k < numTimers; k++ {
+		e.disarmTimer(p, k)
+	}
+}
+
+// trackBuf registers a socket in the live-buffer list Tick walks.
+func (e *Engine) trackBuf(p *pcb) {
+	p.bufIdx = int32(len(e.bufs))
+	e.bufs = append(e.bufs, p)
+}
+
+func (e *Engine) untrackBuf(p *pcb) {
+	if p.bufIdx < 0 {
+		return
+	}
+	last := len(e.bufs) - 1
+	e.bufs[p.bufIdx] = e.bufs[last]
+	e.bufs[p.bufIdx].bufIdx = p.bufIdx
+	e.bufs[last] = nil
+	e.bufs = e.bufs[:last]
+	p.bufIdx = -1
 }
 
 // DrainToIP returns and clears pending requests towards IP.
@@ -327,6 +451,8 @@ func (e *Engine) FromFront(r msg.Req, now time.Time) {
 		e.recvDone(r)
 	case msg.OpSockSetFlags:
 		e.setFlags(r)
+	case msg.OpSockBufEnsure:
+		e.bufEnsure(r)
 	case msg.OpSockClose:
 		e.closeSock(r)
 	default:
@@ -366,8 +492,8 @@ func (e *Engine) event(p *pcb, bits uint64) {
 // subscription would otherwise be lost, and a poller armed late would
 // deadlock (the same level-check every epoll-style API performs on arm).
 func (e *Engine) setFlags(r msg.Req) {
-	p, ok := e.sockets[r.Flow]
-	if !ok {
+	p := e.pcbOf(r.Flow)
+	if p == nil {
 		e.reply(r.ID, r.Flow, msg.StatusErrNoSock)
 		return
 	}
@@ -405,37 +531,38 @@ func (e *Engine) create(r msg.Req) {
 	id := uint32(r.Arg[0])
 	if id == 0 {
 		id = e.allocID()
-	} else if _, exists := e.sockets[id]; exists || id >= SockIDBase {
+	} else if _, exists := e.byID.get(uint64(id)); exists || id >= SockIDBase {
 		e.reply(r.ID, id, msg.StatusErrInval)
 		return
 	}
-	p := &pcb{id: id, state: StateClosed, mss: MSS}
-	e.sockets[p.id] = p
+	p, slot := e.slab.alloc()
+	p.id, p.state, p.mss = id, StateClosed, MSS
+	e.byID.put(uint64(id), slot)
 	rep := r.Reply(msg.OpSockReply, msg.StatusOK)
 	rep.Flow = p.id
 	e.toFront = append(e.toFront, rep)
 }
 
 func (e *Engine) bind(r msg.Req) {
-	p, ok := e.sockets[r.Flow]
-	if !ok {
+	p := e.pcbOf(r.Flow)
+	if p == nil {
 		e.reply(r.ID, r.Flow, msg.StatusErrNoSock)
 		return
 	}
 	port := uint16(r.Arg[0])
-	if e.usedPorts[port] {
+	if !e.ports.reserve(port) {
 		e.reply(r.ID, r.Flow, msg.StatusErrInUse)
 		return
 	}
 	p.localPort = port
 	p.bound = true
-	e.usedPorts[port] = true
+	p.portEphem = false
 	e.reply(r.ID, r.Flow, msg.StatusOK)
 }
 
 func (e *Engine) listen(r msg.Req) {
-	p, ok := e.sockets[r.Flow]
-	if !ok || !p.bound {
+	p := e.pcbOf(r.Flow)
+	if p == nil || !p.bound {
 		e.reply(r.ID, r.Flow, msg.StatusErrInval)
 		return
 	}
@@ -450,8 +577,8 @@ func (e *Engine) listen(r msg.Req) {
 }
 
 func (e *Engine) accept(r msg.Req) {
-	p, ok := e.sockets[r.Flow]
-	if !ok || p.state != StateListen {
+	p := e.pcbOf(r.Flow)
+	if p == nil || p.state != StateListen {
 		e.reply(r.ID, r.Flow, msg.StatusErrInval)
 		return
 	}
@@ -477,7 +604,7 @@ func (e *Engine) replyConnected(frontID uint64, p *pcb) {
 }
 
 func (e *Engine) replyAccept(frontID uint64, listener, child uint32) {
-	c := e.sockets[child]
+	c := e.pcbOf(child)
 	rep := msg.Req{ID: frontID, Op: msg.OpSockReply, Flow: listener, Status: msg.StatusOK}
 	rep.Arg[0] = uint64(child)
 	rep.Arg[1] = uint64(c.remoteIP.U32())
@@ -485,29 +612,46 @@ func (e *Engine) replyAccept(frontID uint64, listener, child uint32) {
 	e.toFront = append(e.toFront, rep)
 }
 
-// autobind picks a free ephemeral port. In a sharded deployment it only
-// accepts ports whose flow hash (with the already-set remote endpoint)
-// lands on this shard, so IP's hash routing delivers the connection's
-// inbound segments here — the sharded stack's substitute for telling IP
-// about every active connection.
+// autobind picks an ephemeral port for the already-set remote endpoint. A
+// port qualifies when it is not exclusively reserved (bind/listen), the
+// exact four-tuple is free, and — in a sharded deployment — its flow hash
+// (netpkt.TCPShardOf) lands on this shard, so IP's hash routing delivers
+// the connection's inbound segments here. Ports are reused across distinct
+// remote endpoints (per-destination reuse), so the connection capacity is
+// ports × remotes, not 2^16; a rotating cursor keeps the search O(1)
+// amortized instead of rescanning from the range start.
 func (e *Engine) autobind(p *pcb) {
-	for port := uint16(45000); port < 65500; port++ {
-		if e.usedPorts[port] {
+	const span = uint32(ephemHigh - ephemLow + 1)
+	if e.ports.cursor < ephemLow {
+		e.ports.cursor = ephemLow
+	}
+	start := uint32(e.ports.cursor - ephemLow)
+	for i := uint32(0); i < span; i++ {
+		port := uint16(ephemLow + (start+i)%span)
+		if e.ports.isReserved(port) {
 			continue
 		}
 		if e.cfg.ShardCount > 1 &&
 			netpkt.TCPShardOf(port, p.remoteIP, p.remotePort, e.cfg.ShardCount) != e.cfg.ShardID {
 			continue
 		}
-		p.localPort, p.bound = port, true
-		e.usedPorts[port] = true
+		if _, busy := e.byTuple.get(tupleKey(port, p.remoteIP, p.remotePort)); busy {
+			continue
+		}
+		p.localPort, p.bound, p.portEphem = port, true, true
+		e.ports.ephemAcquire(port)
+		next := port + 1
+		if next < ephemLow {
+			next = ephemLow
+		}
+		e.ports.cursor = next
 		return
 	}
 }
 
 func (e *Engine) connect(r msg.Req) {
-	p, ok := e.sockets[r.Flow]
-	if !ok {
+	p := e.pcbOf(r.Flow)
+	if p == nil {
 		e.reply(r.ID, r.Flow, msg.StatusErrNoSock)
 		return
 	}
@@ -546,27 +690,22 @@ func (e *Engine) connect(r msg.Req) {
 		// Remote endpoint first: autobind hashes it to stay on-shard.
 		e.autobind(p)
 		if !p.bound {
-			// Ephemeral range exhausted (a shard only owns ~1/N of it):
-			// fail loudly instead of SYNing from port 0, whose replies
-			// would hash to some other shard and hang the handshake.
+			// Ephemeral range exhausted towards this remote (a shard only
+			// owns ~1/N of it): fail loudly instead of SYNing from port 0,
+			// whose replies would hash to some other shard and hang the
+			// handshake.
 			e.reply(r.ID, r.Flow, msg.StatusErrNoBufs)
 			return
 		}
 	}
 	p.localIP = e.srcFor(p.remoteIP)
 	key := fourTuple{localPort: p.localPort, remoteIP: p.remoteIP, remotePort: p.remotePort}
-	if _, dup := e.conns[key]; dup {
+	if _, dup := e.byTuple.get(key.key()); dup {
 		e.reply(r.ID, r.Flow, msg.StatusErrInUse)
 		return
 	}
-	if !e.ensureBuf(p) {
-		// Socket-buffer memory exhausted: EWOULDBLOCK-style backpressure
-		// (the port stays bound, the app may retry), not a dead socket.
-		e.reply(r.ID, r.Flow, msg.StatusErrNoBufs)
-		return
-	}
 	p.fourTuple = key
-	e.conns[key] = p.id
+	e.byTuple.put(key.key(), p.slot)
 	e.initSendState(p)
 	p.state = StateSynSent
 	if p.nonblock {
@@ -579,7 +718,7 @@ func (e *Engine) connect(r msg.Req) {
 	e.emitSegment(p, netpkt.TCPSyn, p.iss, nil, 0, true)
 	p.sndNxt = p.iss + 1
 	p.rto = synRTO
-	p.rtoAt = e.now.Add(p.rto)
+	e.armTimer(p, timerRTO, e.now.Add(p.rto))
 	e.stats.ConnsOpened++
 	e.persist()
 }
@@ -595,7 +734,9 @@ func (e *Engine) initSendState(p *pcb) {
 
 // ensureBuf creates and publishes the socket's TX buffer; false means
 // socket-buffer memory could not be provisioned (callers must surface that
-// as backpressure, not silence).
+// as backpressure, not silence). Buffers are provisioned lazily — on first
+// send, or an explicit OpSockBufEnsure from the app's first buffer fetch —
+// so an idle connection holds no TX buffer memory at all.
 func (e *Engine) ensureBuf(p *pcb) bool {
 	if p.buf != nil {
 		return true
@@ -616,15 +757,31 @@ func (e *Engine) ensureBuf(p *pcb) bool {
 		return false
 	}
 	p.buf = buf
+	e.trackBuf(p)
 	if e.cfg.PublishBuf != nil {
 		e.cfg.PublishBuf(p.id, buf)
 	}
 	return true
 }
 
+// bufEnsure is the app-side handle on lazy buffer provisioning: the socket
+// layer issues it when a send finds no published buffer yet.
+func (e *Engine) bufEnsure(r msg.Req) {
+	p := e.pcbOf(r.Flow)
+	if p == nil {
+		e.reply(r.ID, r.Flow, msg.StatusErrNoSock)
+		return
+	}
+	if !e.ensureBuf(p) {
+		e.reply(r.ID, r.Flow, msg.StatusErrNoBufs)
+		return
+	}
+	e.reply(r.ID, r.Flow, msg.StatusOK)
+}
+
 func (e *Engine) send(r msg.Req) {
-	p, ok := e.sockets[r.Flow]
-	if !ok {
+	p := e.pcbOf(r.Flow)
+	if p == nil {
 		e.reply(r.ID, r.Flow, msg.StatusErrNoSock)
 		return
 	}
@@ -645,8 +802,8 @@ func (e *Engine) send(r msg.Req) {
 		return
 	}
 	if p.buf == nil && !e.ensureBuf(p) {
-		// The socket's shared buffer never materialized (alloc failure at
-		// connection setup): backpressure, not a hard error.
+		// The socket's shared buffer could not be provisioned: backpressure,
+		// not a hard error.
 		e.reply(r.ID, r.Flow, msg.StatusErrAgain)
 		return
 	}
@@ -676,8 +833,8 @@ func (e *Engine) recycleChain(p *pcb, r msg.Req) {
 }
 
 func (e *Engine) recv(r msg.Req) {
-	p, ok := e.sockets[r.Flow]
-	if !ok {
+	p := e.pcbOf(r.Flow)
+	if p == nil {
 		e.reply(r.ID, r.Flow, msg.StatusErrNoSock)
 		return
 	}
@@ -726,8 +883,8 @@ func (e *Engine) replyRecv(frontID uint64, p *pcb) {
 // recvDone: the app consumed Arg0 bytes of previously returned data; IP
 // buffers that are fully consumed are released and the window reopens.
 func (e *Engine) recvDone(r msg.Req) {
-	p, ok := e.sockets[r.Flow]
-	if !ok {
+	p := e.pcbOf(r.Flow)
+	if p == nil {
 		return
 	}
 	n := uint32(r.Arg[0])
@@ -762,8 +919,8 @@ func (e *Engine) rcvWnd(p *pcb) uint32 {
 }
 
 func (e *Engine) closeSock(r msg.Req) {
-	p, ok := e.sockets[r.Flow]
-	if !ok {
+	p := e.pcbOf(r.Flow)
+	if p == nil {
 		e.reply(r.ID, r.Flow, msg.StatusErrNoSock)
 		return
 	}
@@ -806,42 +963,69 @@ func (e *Engine) queueFin(p *pcb) {
 // so the app can learn the outcome (and re-dial: the status read-clears).
 // Timers are disarmed — a parked pcb must never re-enter rtoFire, which
 // would spam EvError events and re-poison the read-cleared status — and
-// the socket's port reservation is retained: the app still holds the
-// socket, so autobind must not hand its port to someone else before the
-// close.
+// the socket's slab slot, id, port, and buffer are retained: the app still
+// holds the socket, so autobind must not hand its port to someone else
+// before the close.
 func (e *Engine) parkFailed(p *pcb, status int32) {
-	e.destroy(p)
+	for _, item := range p.rcvQ {
+		e.releaseDeliver(item.deliverID)
+	}
+	p.rcvQ, p.rcvQueued = nil, 0
+	e.dropTuple(p)
+	e.disarmAll(p)
+	p.retxCount = 0
 	p.state = StateClosed
 	p.reset = true
 	if status != 0 && p.connStatus == 0 && p.pendingConnect == 0 {
 		p.connStatus = status
 	}
-	p.rtoAt, p.delAckAt = zeroTime, zeroTime
-	p.retxCount = 0
-	e.sockets[p.id] = p
-	if p.bound {
-		e.usedPorts[p.localPort] = true
-	}
 }
 
-// destroy removes a pcb, releasing receive-pool references and freeing the
-// socket buffer supply.
+// dropTuple removes the pcb's four-tuple index entry — but only while it
+// still points at this pcb's slot: a parked pcb's old tuple may have been
+// re-claimed by a newer connection, whose index entry must survive.
+func (e *Engine) dropTuple(p *pcb) {
+	if p.fourTuple == (fourTuple{}) {
+		return
+	}
+	key := p.fourTuple.key()
+	if slot, ok := e.byTuple.get(key); ok && slot == p.slot {
+		e.byTuple.del(key)
+	}
+	p.fourTuple = fourTuple{}
+}
+
+// destroy removes a pcb entirely: receive-pool references are released,
+// the port reservation is dropped (listener ports stay reserved until the
+// listener closes), the TX buffer's backing pool is removed from the
+// shared space and its registry export withdrawn, and the slab slot is
+// freed for reuse.
 func (e *Engine) destroy(p *pcb) {
 	for _, item := range p.rcvQ {
 		e.releaseDeliver(item.deliverID)
 	}
 	p.rcvQ = nil
 	if p.bound && p.state != StateListen {
-		// Keep listener ports reserved until the listener closes.
-		if _, isListener := e.listeners[p.localPort]; !isListener {
-			delete(e.usedPorts, p.localPort)
+		if p.portEphem {
+			e.ports.ephemRelease(p.localPort)
+		} else if _, isListener := e.listeners[p.localPort]; !isListener {
+			// Keep listener ports reserved until the listener closes.
+			e.ports.unreserve(p.localPort)
 		}
 	}
-	if p.fourTuple != (fourTuple{}) {
-		delete(e.conns, p.fourTuple)
+	e.dropTuple(p)
+	e.disarmAll(p)
+	if p.buf != nil {
+		e.untrackBuf(p)
+		p.buf.Destroy(e.cfg.Space)
+		if e.cfg.UnpublishBuf != nil {
+			e.cfg.UnpublishBuf(p.id)
+		}
+		p.buf = nil
 	}
 	p.state = StateClosed
-	delete(e.sockets, p.id)
+	e.byID.del(uint64(p.id))
+	e.slab.release(p)
 }
 
 // retainDeliver records one more receive-queue reference to a deliver
@@ -864,13 +1048,29 @@ func (e *Engine) releaseDeliver(id uint64) {
 	e.toIP = append(e.toIP, msg.Req{ID: id, Op: msg.OpIPDeliverDone})
 }
 
-// persist saves the recoverable state snapshot.
+// persist saves the recoverable state snapshot — immediately while the
+// socket table is small, coalesced through Tick beyond persistEagerConns.
 func (e *Engine) persist() {
 	if e.cfg.SaveState == nil {
 		return
 	}
+	if e.byID.len() <= persistEagerConns {
+		e.flushSave()
+		return
+	}
+	e.saveDirty = true
+}
+
+func (e *Engine) flushSave() {
+	e.saveDirty = false
+	e.lastSave = e.now
+	start := time.Now()
 	if blob, err := e.SaveState(); err == nil {
 		e.cfg.SaveState(blob)
+	}
+	e.saveGap = time.Since(start) * persistCostFactor
+	if e.saveGap < persistInterval {
+		e.saveGap = persistInterval
 	}
 }
 
@@ -901,16 +1101,16 @@ func (e *Engine) SaveState() ([]byte, error) {
 	var st savedState
 	st.NextSock = e.next
 	for port, id := range e.listeners {
-		p := e.sockets[id]
+		p := e.pcbOf(id)
 		st.Listeners = append(st.Listeners, savedListener{ID: id, Port: port, Backlog: p.backlog})
 	}
-	for key, id := range e.conns {
-		p := e.sockets[id]
+	e.byTuple.each(func(_ uint64, slot uint32) {
+		p := e.slab.at(slot)
 		st.Conns = append(st.Conns, savedConn{
-			LocalPort: key.localPort, RemoteIP: key.remoteIP,
-			RemotePort: key.remotePort, State: int(p.state),
+			LocalPort: p.localPort, RemoteIP: p.remoteIP,
+			RemotePort: p.remotePort, State: int(p.state),
 		})
-	}
+	})
 	var buf bytes.Buffer
 	if err := gob.NewEncoder(&buf).Encode(st); err != nil {
 		return nil, fmt.Errorf("tcpeng: encode: %w", err)
@@ -930,11 +1130,12 @@ func (e *Engine) RestoreState(blob []byte) error {
 		e.next = st.NextSock
 	}
 	for _, l := range st.Listeners {
-		p := &pcb{id: l.ID, state: StateListen, backlog: l.Backlog, bound: true, mss: MSS}
+		p, slot := e.slab.alloc()
+		p.id, p.state, p.backlog, p.bound, p.mss = l.ID, StateListen, l.Backlog, true, MSS
 		p.localPort = l.Port
-		e.sockets[p.id] = p
+		e.byID.put(uint64(p.id), slot)
 		e.listeners[l.Port] = p.id
-		e.usedPorts[l.Port] = true
+		e.ports.reserve(l.Port)
 	}
 	return nil
 }
@@ -945,23 +1146,23 @@ func (e *Engine) RestoreState(blob []byte) error {
 // through different interfaces, and PF's rebuilt conntrack entries must
 // carry the address the packets really use, not the node's first address.
 func (e *Engine) Flows() []msg.Req {
-	out := make([]msg.Req, 0, len(e.conns))
-	for key, id := range e.conns {
-		p := e.sockets[id]
+	out := make([]msg.Req, 0, e.byTuple.len())
+	e.byTuple.each(func(_ uint64, slot uint32) {
+		p := e.slab.at(slot)
 		if p.state != StateEstablished {
-			continue
+			return
 		}
 		local := p.localIP
 		if local == (netpkt.IPAddr{}) {
-			local = e.srcFor(key.remoteIP)
+			local = e.srcFor(p.remoteIP)
 		}
-		r := msg.Req{Op: msg.OpPFStats, Flow: id}
+		r := msg.Req{Op: msg.OpPFStats, Flow: p.id}
 		r.Arg[0] = uint64(netpkt.ProtoTCP) | uint64(local.U32())<<8
-		r.Arg[1] = uint64(key.localPort)
-		r.Arg[2] = uint64(key.remoteIP.U32())
-		r.Arg[3] = uint64(key.remotePort)
+		r.Arg[1] = uint64(p.localPort)
+		r.Arg[2] = uint64(p.remoteIP.U32())
+		r.Arg[3] = uint64(p.remotePort)
 		out = append(out, r)
-	}
+	})
 	return out
 }
 
@@ -972,10 +1173,10 @@ func (e *Engine) Flows() []msg.Req {
 // never learns about. Accepted children stay in their listeners' accept
 // queues for the new incarnation's reissued accepts.
 func (e *Engine) OnFrontRestart() {
-	for _, p := range e.sockets {
+	e.eachPCB(func(p *pcb) {
 		p.pendingAccept = nil
 		p.pendingRecv = 0
-	}
+	})
 }
 
 // OnIPRestart aborts in-flight sends to the dead IP incarnation,
@@ -984,7 +1185,7 @@ func (e *Engine) OnFrontRestart() {
 // detection and congestion avoidance"), and drops stale receive-pool
 // references.
 func (e *Engine) OnIPRestart() {
-	for _, p := range e.sockets {
+	e.eachPCB(func(p *pcb) {
 		// Drop unconsumed receive data that lives in the dead pool. The
 		// bytes were ACKed but never given to the app — this is exactly
 		// the "connection damage" an IP crash can cause; we keep rcvNxt
@@ -993,7 +1194,7 @@ func (e *Engine) OnIPRestart() {
 		for i := range p.rcvQ {
 			p.rcvQ[i].deliverID = 0 // old IP is gone; nothing to release to
 		}
-	}
+	})
 	e.deliverRefs = make(map[uint64]int) // the cookies died with the pool
 	e.db.AbortDest("ip")
 }

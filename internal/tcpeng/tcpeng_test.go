@@ -262,8 +262,15 @@ func (pi *pipe) connectPair(port uint16) (uint32, uint32) {
 }
 
 // sendBytes pushes data through sock on engine e using its socket buffer.
+// Buffers are provisioned lazily, so the first send asks the engine to
+// ensure one — exactly what the socket layer's fetchBuf does.
 func (pi *pipe) sendBytes(e *Engine, bufs bufMap, sock uint32, data []byte) {
 	pi.t.Helper()
+	if bufs[sock] == nil {
+		if rep := pi.call(e, msg.Req{Op: msg.OpSockBufEnsure, Flow: sock}); rep.Status != msg.StatusOK {
+			pi.t.Fatalf("buf ensure for %d: %d", sock, rep.Status)
+		}
+	}
 	buf := bufs[sock]
 	if buf == nil {
 		pi.t.Fatalf("no socket buffer for %d", sock)
@@ -531,19 +538,15 @@ func TestSaveRestoreListenersSurviveConnectionsDie(t *testing.T) {
 	// The client's next segment to the dead connection draws an RST and
 	// the client observes ECONNRESET.
 	pi.b = b2
-	captureBufs(pi.a)
 	// Force the client to transmit: a pure ACK probe via recv+timer isn't
-	// enough, so send data.
+	// enough, so send data. Buffers are lazy — provision the client's now.
 	aBufs := captureBufs(pi.a)
+	if rep := pi.call(pi.a, msg.Req{Op: msg.OpSockBufEnsure, Flow: csock}); rep.Status != msg.StatusOK {
+		t.Fatalf("buf ensure: %d", rep.Status)
+	}
 	buf := aBufs[csock]
 	if buf == nil {
-		// Buffer was published before capture; fetch via a fresh send of
-		// zero chunks is impossible — push one chunk through the engine's
-		// internal buffer instead.
-		pi.a.sockets[csock].stream = append(pi.a.sockets[csock].stream, streamChunk{
-			seq: pi.a.sockets[csock].streamEnd,
-		})
-		t.Skip("buffer published before capture; covered by integration tests")
+		t.Fatalf("no buffer published for %d after ensure", csock)
 	}
 	chunk, _ := buf.Get()
 	ptr, _ := buf.Write(chunk, []byte("hello?"))
@@ -582,7 +585,10 @@ func TestResubmitInflightAfterIPCrash(t *testing.T) {
 	captureBufs(pi.b)
 	csock, child := pi.connectPair(9009)
 
-	// Queue data but sever the pipe before delivery.
+	// Queue data but sever the pipe before delivery (buffers are lazy).
+	if rep := pi.call(pi.a, msg.Req{Op: msg.OpSockBufEnsure, Flow: csock}); rep.Status != msg.StatusOK {
+		t.Fatalf("buf ensure: %d", rep.Status)
+	}
 	buf := aBufs[csock]
 	chunk, _ := buf.Get()
 	ptr, _ := buf.Write(chunk, pattern(1000))

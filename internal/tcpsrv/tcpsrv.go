@@ -157,6 +157,9 @@ func (s *Server) Init(rt *proc.Runtime, restart bool) error {
 		PublishBuf: func(sock uint32, buf *sockbuf.Buf) {
 			hub.Reg.Publish(BufKeyPfx+fmt.Sprint(sock), buf)
 		},
+		UnpublishBuf: func(sock uint32) {
+			hub.Reg.Withdraw(BufKeyPfx + fmt.Sprint(sock))
+		},
 		SaveState: func(blob []byte) {
 			hub.Store.Put(storageKey, blob)
 			s.persistFlows()

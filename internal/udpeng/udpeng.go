@@ -59,6 +59,11 @@ type Engine struct {
 	byPort  map[uint16]uint32
 	next    uint32
 
+	// bufs is the dense slice of sockets with a live TX buffer, so Tick's
+	// per-iteration elastic-pool scan walks a flat array instead of the
+	// whole socket map (cache-hostile at many thousands of sockets).
+	bufs []*socket
+
 	toIP    []msg.Req
 	toFront []msg.Req
 
@@ -86,6 +91,7 @@ type socket struct {
 	nonblock bool
 
 	buf         *sockbuf.Buf
+	bufIdx      int // position in Engine.bufs (swap-removed on close)
 	recvQ       []rxItem
 	pendingRecv uint64 // parked front request ID, 0 = none
 }
@@ -189,11 +195,25 @@ func (e *Engine) FromIP(r msg.Req) {
 // it once per iteration.
 func (e *Engine) Tick() {
 	e.hdrPool.Tick()
-	for _, s := range e.sockets {
-		if s.buf != nil {
-			s.buf.Tick()
-		}
+	for _, s := range e.bufs {
+		s.buf.Tick()
 	}
+}
+
+// trackBuf registers a socket on the dense Tick scan list.
+func (e *Engine) trackBuf(s *socket) {
+	s.bufIdx = len(e.bufs)
+	e.bufs = append(e.bufs, s)
+}
+
+// untrackBuf swap-removes a socket from the Tick scan list.
+func (e *Engine) untrackBuf(s *socket) {
+	i := s.bufIdx
+	last := len(e.bufs) - 1
+	e.bufs[i] = e.bufs[last]
+	e.bufs[i].bufIdx = i
+	e.bufs = e.bufs[:last]
+	s.bufIdx = -1
 }
 
 // newBuf provisions one socket's shared TX buffer, elastic or static per
@@ -216,6 +236,7 @@ func (e *Engine) create(r msg.Req) {
 		return
 	}
 	s.buf = buf
+	e.trackBuf(s)
 	e.sockets[id] = s
 	if e.cfg.PublishBuf != nil {
 		e.cfg.PublishBuf(id, buf)
@@ -553,6 +574,7 @@ func (e *Engine) close(r msg.Req) {
 	if s.bound {
 		delete(e.byPort, s.port)
 	}
+	e.untrackBuf(s)
 	delete(e.sockets, s.id)
 	e.toFront = append(e.toFront, r.Reply(msg.OpSockReply, msg.StatusOK))
 	e.persist()
@@ -626,6 +648,7 @@ func (e *Engine) RestoreState(blob []byte) error {
 			return fmt.Errorf("udpeng: restore buf: %w", err)
 		}
 		s.buf = buf
+		e.trackBuf(s)
 		e.sockets[s.id] = s
 		if s.bound {
 			e.byPort[s.port] = s.id
