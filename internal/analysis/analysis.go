@@ -1,0 +1,203 @@
+// Package analysis is a self-contained static-analysis framework for this
+// repository: a deliberately small mirror of the golang.org/x/tools
+// go/analysis API (Analyzer, Pass, Diagnostic) built on the standard
+// library only, because the build environment is offline and the module has
+// no external dependencies.
+//
+// The shape is kept close to go/analysis so the netlint analyzers can be
+// ported to the real framework mechanically if x/tools ever becomes
+// available: an Analyzer owns a Run function over a Pass, a Pass carries one
+// type-checked package plus a Report sink, and diagnostics are positions
+// with messages. Two extensions cover what this repo needs without facts:
+//
+//   - Global analyzers (Analyzer.Global) run once over the whole loaded
+//     program instead of once per package, which is how hotloop follows
+//     call chains from server Poll loops into engine packages.
+//
+//   - Suppression directives. A line of the form
+//
+//     //lint:ignore <analyzer> <reason>
+//
+//     on the flagged line or the line directly above it suppresses that
+//     analyzer's diagnostics for that line. The directive is checked: the
+//     analyzer name must exist in the running suite and the reason must be
+//     non-empty, otherwise the directive itself is reported.
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"newtos/internal/analysis/loader"
+)
+
+// Analyzer describes one invariant checker.
+type Analyzer struct {
+	// Name is the short identifier used in diagnostics and in
+	// //lint:ignore directives (e.g. "chunkleak").
+	Name string
+	// Doc is the one-paragraph contract this analyzer enforces.
+	Doc string
+	// Global makes the analyzer run once with Pass.Program holding every
+	// loaded package, instead of once per target package. Use it for
+	// checks that follow references across package boundaries.
+	Global bool
+	// Run performs the analysis and reports findings via pass.Report.
+	Run func(pass *Pass) error
+}
+
+// Pass carries the input to one Analyzer.Run invocation.
+type Pass struct {
+	Analyzer *Analyzer
+	Fset     *token.FileSet
+	// Files, Pkg and TypesInfo describe the single package under analysis.
+	// For Global analyzers they describe the first target package and are
+	// mostly irrelevant; such analyzers should walk Program instead.
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+	// Program is every package loaded from the module, including
+	// dependencies of the targets (Global analyzers need their bodies).
+	Program []*loader.Package
+	// Targets is the subset of Program named by the load patterns.
+	// Global analyzers should restrict reports to these.
+	Targets []*loader.Package
+	// Report records one finding.
+	Report func(Diagnostic)
+}
+
+// Diagnostic is one finding at one position.
+type Diagnostic struct {
+	Pos     token.Pos
+	Message string
+}
+
+// InTargets reports whether pos falls inside one of the pass's target
+// packages — Global analyzers use it to avoid reporting into dependency
+// packages that were only loaded for their bodies.
+func (p *Pass) InTargets(pos token.Pos) bool {
+	f := p.Fset.File(pos)
+	if f == nil {
+		return false
+	}
+	for _, t := range p.Targets {
+		for _, af := range t.Files {
+			if p.Fset.File(af.Pos()) == f {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// ignoreDirective is one parsed //lint:ignore comment.
+type ignoreDirective struct {
+	analyzer string
+	reason   string
+	file     string
+	line     int
+}
+
+// IgnoreIndex resolves suppression directives for a loaded program.
+type IgnoreIndex struct {
+	// byLine maps file:line to the directives that govern that line.
+	byLine map[string][]*ignoreDirective
+	all    []*ignoreDirective
+}
+
+const ignorePrefix = "//lint:ignore "
+
+// BuildIgnoreIndex scans every file in the program for //lint:ignore
+// directives. A directive suppresses diagnostics on its own line and on the
+// line immediately below it (the usual "comment above the statement" form).
+func BuildIgnoreIndex(fset *token.FileSet, pkgs []*loader.Package) *IgnoreIndex {
+	idx := &IgnoreIndex{byLine: make(map[string][]*ignoreDirective)}
+	for _, p := range pkgs {
+		for _, f := range p.Files {
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					if !strings.HasPrefix(c.Text, ignorePrefix) {
+						continue
+					}
+					rest := strings.TrimSpace(strings.TrimPrefix(c.Text, ignorePrefix))
+					name, reason, _ := strings.Cut(rest, " ")
+					pos := fset.Position(c.Pos())
+					d := &ignoreDirective{
+						analyzer: name,
+						reason:   strings.TrimSpace(reason),
+						file:     pos.Filename,
+						line:     pos.Line,
+					}
+					idx.all = append(idx.all, d)
+					idx.byLine[key(pos.Filename, pos.Line)] = append(idx.byLine[key(pos.Filename, pos.Line)], d)
+					idx.byLine[key(pos.Filename, pos.Line+1)] = append(idx.byLine[key(pos.Filename, pos.Line+1)], d)
+				}
+			}
+		}
+	}
+	return idx
+}
+
+func key(file string, line int) string {
+	return file + ":" + itoa(line)
+}
+
+// Suppressed reports whether a diagnostic from the named analyzer at pos is
+// covered by a well-formed ignore directive.
+func (ix *IgnoreIndex) Suppressed(fset *token.FileSet, analyzer string, pos token.Pos) bool {
+	p := fset.Position(pos)
+	for _, d := range ix.byLine[key(p.Filename, p.Line)] {
+		if d.analyzer == analyzer && d.reason != "" {
+			return true
+		}
+	}
+	return false
+}
+
+// Check validates every directive in the given files against the suite:
+// the analyzer name must be known and a reason must be given. Malformed
+// directives are returned as diagnostics so a typo cannot silently disable
+// enforcement.
+func (ix *IgnoreIndex) Check(known map[string]bool, inFiles map[string]bool) []Diagnostic {
+	var out []Diagnostic
+	for _, d := range ix.all {
+		if !inFiles[d.file] {
+			continue
+		}
+		switch {
+		case d.analyzer == "" || !known[d.analyzer]:
+			out = append(out, Diagnostic{Message: d.file + ":" + itoa(d.line) +
+				": lint:ignore names unknown analyzer " + quote(d.analyzer)})
+		case d.reason == "":
+			out = append(out, Diagnostic{Message: d.file + ":" + itoa(d.line) +
+				": lint:ignore " + d.analyzer + " needs a reason"})
+		}
+	}
+	return out
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	neg := n < 0
+	if neg {
+		n = -n
+	}
+	var b [20]byte
+	i := len(b)
+	for n > 0 {
+		i--
+		b[i] = byte('0' + n%10)
+		n /= 10
+	}
+	if neg {
+		i--
+		b[i] = '-'
+	}
+	return string(b[i:])
+}
+
+func quote(s string) string { return `"` + s + `"` }

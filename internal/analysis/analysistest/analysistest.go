@@ -1,0 +1,191 @@
+// Package analysistest runs one analyzer over packages under a testdata
+// tree and checks its diagnostics against expectations written in the
+// sources, mirroring golang.org/x/tools/go/analysis/analysistest:
+//
+//	pool.Free(ptr) // want `regexp matching the message`
+//
+// A want comment expects exactly one diagnostic on its line whose message
+// matches the (back)quoted regular expression; several quoted regexps in one
+// comment expect several diagnostics. Diagnostics with no matching want, and
+// wants with no matching diagnostic, fail the test.
+//
+// Testdata packages live under <testdata>/src/<name> and may import real
+// module packages (newtos/internal/shm, ...) — the loader resolves them from
+// the enclosing module.
+package analysistest
+
+import (
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+
+	"newtos/internal/analysis"
+	"newtos/internal/analysis/loader"
+)
+
+// want is one expectation parsed from a `// want "re"` comment.
+type want struct {
+	file    string
+	line    int
+	re      *regexp.Regexp
+	raw     string
+	matched bool
+}
+
+// Run loads each named package from testdata/src, applies the analyzer, and
+// reports mismatches between its diagnostics and the want comments.
+func Run(t *testing.T, testdata string, a *analysis.Analyzer, pkgs ...string) {
+	t.Helper()
+	testdata, err := filepath.Abs(testdata)
+	if err != nil {
+		t.Fatal(err)
+	}
+	root, err := loader.ModuleRoot(testdata)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var patterns []string
+	for _, p := range pkgs {
+		patterns = append(patterns, filepath.Join(testdata, "src", p))
+	}
+	pr, targets, err := loader.Load(root, patterns...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	findings, err := analysis.Run(pr, targets, []*analysis.Analyzer{a})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	wants := collectWants(t, pr, targets)
+	for _, f := range findings {
+		file, line, msg := locate(f)
+		if file == "" {
+			t.Errorf("diagnostic without position: %s: %s", f.Analyzer, f.Message)
+			continue
+		}
+		if w := match(wants, file, line, msg); w != nil {
+			w.matched = true
+			continue
+		}
+		t.Errorf("%s:%d: unexpected diagnostic: %s", file, line, msg)
+	}
+	for _, w := range wants {
+		if !w.matched {
+			t.Errorf("%s:%d: no diagnostic matching %q", w.file, w.line, w.raw)
+		}
+	}
+}
+
+// match finds the first unmatched want on file:line whose regexp matches.
+func match(wants []*want, file string, line int, msg string) *want {
+	for _, w := range wants {
+		if !w.matched && w.file == file && w.line == line && w.re.MatchString(msg) {
+			return w
+		}
+	}
+	return nil
+}
+
+// locate extracts (file, line, message) from a finding. Position-less
+// findings (directive checks) carry "file:line: " in the message instead.
+func locate(f analysis.Finding) (string, int, string) {
+	if f.Pos != "" {
+		// Pos is file:line:col; the file part may contain colons on other
+		// platforms, so split from the right.
+		rest := f.Pos[:strings.LastIndexByte(f.Pos, ':')] // drop :col
+		i := strings.LastIndexByte(rest, ':')
+		if i < 0 {
+			return "", 0, f.Message
+		}
+		line, err := strconv.Atoi(rest[i+1:])
+		if err != nil {
+			return "", 0, f.Message
+		}
+		return rest[:i], line, f.Message
+	}
+	// "path/to/file.go:NN: message"
+	m := posInMessage.FindStringSubmatch(f.Message)
+	if m == nil {
+		return "", 0, f.Message
+	}
+	line, _ := strconv.Atoi(m[2])
+	return m[1], line, m[3]
+}
+
+var posInMessage = regexp.MustCompile(`^(.+\.go):(\d+): (.*)$`)
+
+// collectWants parses `// want "re" "re"` comments in the target files.
+func collectWants(t *testing.T, pr *loader.Program, targets []*loader.Package) []*want {
+	t.Helper()
+	var out []*want
+	for _, pkg := range targets {
+		for _, f := range pkg.Files {
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					text, ok := strings.CutPrefix(c.Text, "//")
+					if !ok {
+						continue // a /* */ group; wants are line comments
+					}
+					text = strings.TrimSpace(text)
+					rest, ok := strings.CutPrefix(text, "want ")
+					if !ok {
+						continue
+					}
+					pos := pr.Fset.Position(c.Pos())
+					for _, raw := range splitQuoted(t, pos.String(), rest) {
+						re, err := regexp.Compile(raw)
+						if err != nil {
+							t.Fatalf("%s: bad want regexp %q: %v", pos, raw, err)
+						}
+						out = append(out, &want{
+							file: pos.Filename,
+							line: pos.Line,
+							re:   re,
+							raw:  raw,
+						})
+					}
+				}
+			}
+		}
+	}
+	return out
+}
+
+// splitQuoted extracts the quoted or backquoted regexps of a want comment.
+func splitQuoted(t *testing.T, pos, s string) []string {
+	t.Helper()
+	var out []string
+	s = strings.TrimSpace(s)
+	for s != "" {
+		var quoted string
+		switch s[0] {
+		case '"':
+			end := strings.IndexByte(s[1:], '"')
+			if end < 0 {
+				t.Fatalf("%s: unterminated want string: %s", pos, s)
+			}
+			quoted = s[:end+2]
+			s = s[end+2:]
+		case '`':
+			end := strings.IndexByte(s[1:], '`')
+			if end < 0 {
+				t.Fatalf("%s: unterminated want string: %s", pos, s)
+			}
+			out = append(out, s[1:end+1])
+			s = strings.TrimSpace(s[end+2:])
+			continue
+		default:
+			t.Fatalf("%s: want expects quoted regexps, got: %s", pos, s)
+		}
+		unq, err := strconv.Unquote(quoted)
+		if err != nil {
+			t.Fatalf("%s: bad want string %s: %v", pos, quoted, err)
+		}
+		out = append(out, unq)
+		s = strings.TrimSpace(s)
+	}
+	return out
+}

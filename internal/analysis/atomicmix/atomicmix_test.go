@@ -1,0 +1,12 @@
+package atomicmix_test
+
+import (
+	"testing"
+
+	"newtos/internal/analysis/analysistest"
+	"newtos/internal/analysis/atomicmix"
+)
+
+func TestAtomicmix(t *testing.T) {
+	analysistest.Run(t, "testdata", atomicmix.Analyzer, "a")
+}

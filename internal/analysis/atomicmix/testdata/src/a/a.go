@@ -1,0 +1,38 @@
+// Package a exercises the atomicmix analyzer.
+package a
+
+import "sync/atomic"
+
+// Counter mixes atomic and plain access to hits (bad) and uses total only
+// plainly (fine).
+type Counter struct {
+	hits  uint64
+	total uint64
+}
+
+func (c *Counter) Inc() {
+	atomic.AddUint64(&c.hits, 1)
+	c.total++
+}
+
+func (c *Counter) Read() uint64 {
+	return c.hits // want `field hits is accessed with sync/atomic elsewhere; this plain access races it`
+}
+
+func (c *Counter) ReadAtomic() uint64 {
+	return atomic.LoadUint64(&c.hits)
+}
+
+// NewCounter initializes via a composite literal: keys are plain
+// identifiers, not field selections, so construction is exempt.
+func NewCounter() *Counter {
+	return &Counter{hits: 0, total: 0}
+}
+
+// debugRead is a torn-value-tolerant probe, annotated as such.
+func (c *Counter) debugRead() uint64 {
+	//lint:ignore atomicmix test-only probe; a torn read is acceptable here.
+	return c.hits
+}
+
+var _ = (&Counter{}).debugRead

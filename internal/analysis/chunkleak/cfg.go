@@ -1,0 +1,262 @@
+package chunkleak
+
+import (
+	"go/ast"
+)
+
+// The leak check needs path sensitivity ("is there a path from the Alloc to
+// a return that never mentions the chunk?"), so this file builds a small
+// statement-level control-flow graph. It covers the structured subset of Go
+// the engines use — blocks, if/else, for, range, switch, type switch,
+// select, return, unlabeled break/continue, panic — and refuses functions
+// using goto, labels, or fallthrough (the analyzer then skips the function
+// rather than guess).
+
+type cfgNode struct {
+	// stmt is the statement this node represents (nil for the synthetic
+	// exit node). For composite statements (if/for/switch heads) it is the
+	// whole statement — the analyzer uses it to locate err-check branches.
+	stmt ast.Stmt
+	// use lists the sub-nodes this node actually evaluates (for a simple
+	// statement, the statement itself; for an if head, only Init and Cond,
+	// never the branch bodies). Use-checks scan these.
+	use   []ast.Node
+	succs []*cfgNode
+	// terminates marks nodes that end the function by crashing
+	// (panic/log.Fatal): paths through them never leak live chunks.
+	terminates bool
+}
+
+type cfg struct {
+	nodes []*cfgNode
+	exit  *cfgNode
+	// byStmt finds the node of a statement (alloc sites).
+	byStmt map[ast.Stmt]*cfgNode
+	// unsupported is set when the function uses control flow this builder
+	// does not model; the analyzer must skip the function.
+	unsupported bool
+}
+
+type cfgBuilder struct {
+	g *cfg
+	// breakTo / continueTo are the current unlabeled-branch targets.
+	breakTo    []*cfgNode
+	continueTo []*cfgNode
+}
+
+// buildCFG returns the graph of body and its entry node.
+func buildCFG(body *ast.BlockStmt) (*cfg, *cfgNode) {
+	g := &cfg{byStmt: map[ast.Stmt]*cfgNode{}}
+	g.exit = &cfgNode{}
+	g.nodes = append(g.nodes, g.exit)
+	b := &cfgBuilder{g: g}
+	entry := b.stmts(body.List, g.exit)
+	return g, entry
+}
+
+func (b *cfgBuilder) newNode(s ast.Stmt) *cfgNode {
+	n := &cfgNode{stmt: s}
+	if s != nil {
+		n.use = []ast.Node{s}
+		b.g.byStmt[s] = n
+	}
+	b.g.nodes = append(b.g.nodes, n)
+	return n
+}
+
+// newHead makes a node for a composite statement that only evaluates the
+// given sub-expressions (branch bodies get their own nodes).
+func (b *cfgBuilder) newHead(s ast.Stmt, eval ...ast.Node) *cfgNode {
+	n := b.newNode(s)
+	n.use = nil
+	for _, e := range eval {
+		if e != nil {
+			n.use = append(n.use, e)
+		}
+	}
+	return n
+}
+
+// stmts wires a statement list and returns its entry, falling through to
+// next at the end.
+func (b *cfgBuilder) stmts(list []ast.Stmt, next *cfgNode) *cfgNode {
+	entry := next
+	for i := len(list) - 1; i >= 0; i-- {
+		entry = b.stmt(list[i], entry)
+	}
+	return entry
+}
+
+// stmt wires one statement and returns its entry node.
+func (b *cfgBuilder) stmt(s ast.Stmt, next *cfgNode) *cfgNode {
+	switch s := s.(type) {
+	case *ast.BlockStmt:
+		return b.stmts(s.List, next)
+
+	case *ast.IfStmt:
+		head := b.newHead(s, s.Init, s.Cond) // succs are the branches
+		thenEntry := b.stmts(s.Body.List, next)
+		elseEntry := next
+		if s.Else != nil {
+			elseEntry = b.stmt(s.Else, next)
+		}
+		head.succs = []*cfgNode{thenEntry, elseEntry}
+		return head
+
+	case *ast.ForStmt:
+		head := b.newHead(s, s.Cond)
+		var post *cfgNode
+		if s.Post != nil {
+			post = b.newNode(s.Post)
+			post.succs = []*cfgNode{head}
+		} else {
+			post = head
+		}
+		b.breakTo = append(b.breakTo, next)
+		b.continueTo = append(b.continueTo, post)
+		bodyEntry := b.stmts(s.Body.List, post)
+		b.breakTo = b.breakTo[:len(b.breakTo)-1]
+		b.continueTo = b.continueTo[:len(b.continueTo)-1]
+		head.succs = []*cfgNode{bodyEntry}
+		if s.Cond != nil {
+			head.succs = append(head.succs, next) // cond may be false
+		}
+		if s.Init != nil {
+			init := b.newNode(s.Init)
+			init.succs = []*cfgNode{head}
+			return init
+		}
+		return head
+
+	case *ast.RangeStmt:
+		head := b.newHead(s, s.Key, s.Value, s.X)
+		b.breakTo = append(b.breakTo, next)
+		b.continueTo = append(b.continueTo, head)
+		bodyEntry := b.stmts(s.Body.List, head)
+		b.breakTo = b.breakTo[:len(b.breakTo)-1]
+		b.continueTo = b.continueTo[:len(b.continueTo)-1]
+		head.succs = []*cfgNode{bodyEntry, next}
+		return head
+
+	case *ast.SwitchStmt, *ast.TypeSwitchStmt:
+		var head *cfgNode
+		var body *ast.BlockStmt
+		if sw, ok := s.(*ast.SwitchStmt); ok {
+			head = b.newHead(s, sw.Init, sw.Tag)
+			body = sw.Body
+		} else {
+			ts := s.(*ast.TypeSwitchStmt)
+			head = b.newHead(s, ts.Init, ts.Assign)
+			body = ts.Body
+		}
+		// Case-clause guard expressions are evaluated by the head.
+		for _, c := range body.List {
+			for _, e := range c.(*ast.CaseClause).List {
+				head.use = append(head.use, e)
+			}
+		}
+		b.breakTo = append(b.breakTo, next)
+		hasDefault := false
+		for _, c := range body.List {
+			cc := c.(*ast.CaseClause)
+			if cc.List == nil {
+				hasDefault = true
+			}
+			head.succs = append(head.succs, b.stmts(cc.Body, next))
+		}
+		b.breakTo = b.breakTo[:len(b.breakTo)-1]
+		if !hasDefault {
+			head.succs = append(head.succs, next)
+		}
+		return head
+
+	case *ast.SelectStmt:
+		head := b.newHead(s)
+		b.breakTo = append(b.breakTo, next)
+		for _, c := range s.Body.List {
+			cc := c.(*ast.CommClause)
+			entry := b.stmts(cc.Body, next)
+			if cc.Comm != nil {
+				comm := b.newNode(cc.Comm)
+				comm.succs = []*cfgNode{entry}
+				entry = comm
+			}
+			head.succs = append(head.succs, entry)
+		}
+		b.breakTo = b.breakTo[:len(b.breakTo)-1]
+		if len(head.succs) == 0 {
+			head.succs = []*cfgNode{next}
+		}
+		return head
+
+	case *ast.ReturnStmt:
+		n := b.newNode(s)
+		n.succs = []*cfgNode{b.g.exit}
+		return n
+
+	case *ast.BranchStmt:
+		if s.Label != nil {
+			b.g.unsupported = true
+			return b.newNode(s)
+		}
+		n := b.newNode(s)
+		switch s.Tok.String() {
+		case "break":
+			if len(b.breakTo) == 0 {
+				b.g.unsupported = true
+				return n
+			}
+			n.succs = []*cfgNode{b.breakTo[len(b.breakTo)-1]}
+		case "continue":
+			if len(b.continueTo) == 0 {
+				b.g.unsupported = true
+				return n
+			}
+			n.succs = []*cfgNode{b.continueTo[len(b.continueTo)-1]}
+		default: // goto, fallthrough
+			b.g.unsupported = true
+		}
+		return n
+
+	case *ast.LabeledStmt:
+		b.g.unsupported = true
+		return b.stmt(s.Stmt, next)
+
+	case *ast.ExprStmt:
+		n := b.newNode(s)
+		if isCrash(s.X) {
+			n.terminates = true
+			n.succs = []*cfgNode{b.g.exit}
+		} else {
+			n.succs = []*cfgNode{next}
+		}
+		return n
+
+	default:
+		// Assignments, declarations, sends, defers, go, inc/dec, empty:
+		// straight-line.
+		n := b.newNode(s)
+		n.succs = []*cfgNode{next}
+		return n
+	}
+}
+
+// isCrash recognizes calls that never return: panic(...) and log.Fatal*.
+func isCrash(e ast.Expr) bool {
+	call, ok := ast.Unparen(e).(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		return fun.Name == "panic"
+	case *ast.SelectorExpr:
+		if pkg, ok := fun.X.(*ast.Ident); ok && pkg.Name == "log" {
+			switch fun.Sel.Name {
+			case "Fatal", "Fatalf", "Fatalln", "Panic", "Panicf", "Panicln":
+				return true
+			}
+		}
+	}
+	return false
+}

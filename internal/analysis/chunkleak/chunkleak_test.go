@@ -1,0 +1,12 @@
+package chunkleak_test
+
+import (
+	"testing"
+
+	"newtos/internal/analysis/analysistest"
+	"newtos/internal/analysis/chunkleak"
+)
+
+func TestChunkleak(t *testing.T) {
+	analysistest.Run(t, "testdata", chunkleak.Analyzer, "a")
+}

@@ -1,0 +1,108 @@
+// Package a exercises the chunkleak analyzer.
+package a
+
+import (
+	"newtos/internal/shm"
+)
+
+// leakOnBranch loses the chunk when cond is true.
+func leakOnBranch(pool *shm.Pool, cond bool) error {
+	ptr, buf, err := pool.Alloc() // want `chunk ptr from Pool.Alloc may reach a return without Free, stage, or hand-off`
+	if err != nil {
+		return err
+	}
+	if cond {
+		return nil
+	}
+	_ = buf
+	return pool.Free(ptr)
+}
+
+// freeAllPaths consumes the chunk on every branch.
+func freeAllPaths(pool *shm.Pool, cond bool) error {
+	ptr, _, err := pool.Alloc()
+	if err != nil {
+		return err
+	}
+	if cond {
+		return pool.Free(ptr)
+	}
+	return pool.Free(ptr)
+}
+
+// handOff passes ownership to a sink; mentioning the pointer counts.
+func handOff(pool *shm.Pool, sink func(shm.RichPtr)) error {
+	ptr, _, err := pool.Alloc()
+	if err != nil {
+		return err
+	}
+	sink(ptr)
+	return nil
+}
+
+// deferredFree covers every path with one defer.
+func deferredFree(pool *shm.Pool, cond bool) error {
+	ptr, _, err := pool.Alloc()
+	if err != nil {
+		return err
+	}
+	defer pool.Free(ptr)
+	if cond {
+		return nil
+	}
+	return nil
+}
+
+// crashPath may panic before the free; crash paths are exempt.
+func crashPath(pool *shm.Pool, cond bool) {
+	ptr, _, err := pool.Alloc()
+	if err != nil {
+		return
+	}
+	if cond {
+		panic("invariant broken")
+	}
+	_ = pool.Free(ptr)
+}
+
+// loopLeak breaks out of the loop with the chunk still owned by nobody.
+func loopLeak(pool *shm.Pool, n int) {
+	for i := 0; i < n; i++ {
+		ptr, _, err := pool.Alloc() // want `chunk ptr from Pool.Alloc may reach a return`
+		if err != nil {
+			return
+		}
+		if i == 3 {
+			break
+		}
+		_ = pool.Free(ptr)
+	}
+}
+
+// inClosure allocates inside a handler closure; closures are analyzed as
+// their own flows.
+func inClosure(pool *shm.Pool, run func(func(bool) error)) {
+	run(func(cond bool) error {
+		ptr, _, err := pool.Alloc() // want `chunk ptr from Pool.Alloc may reach a return`
+		if err != nil {
+			return err
+		}
+		if cond {
+			return nil
+		}
+		return pool.Free(ptr)
+	})
+}
+
+// suppressed shows the checked escape hatch.
+func suppressed(pool *shm.Pool, cond bool) error {
+	//lint:ignore chunkleak the chunk is owned by the test harness after this call.
+	ptr, _, err := pool.Alloc()
+	if err != nil {
+		return err
+	}
+	if cond {
+		return nil
+	}
+	return pool.Free(ptr)
+}

@@ -1,0 +1,12 @@
+package hotloop_test
+
+import (
+	"testing"
+
+	"newtos/internal/analysis/analysistest"
+	"newtos/internal/analysis/hotloop"
+)
+
+func TestHotloop(t *testing.T) {
+	analysistest.Run(t, "testdata", hotloop.Analyzer, "a")
+}

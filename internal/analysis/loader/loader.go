@@ -1,0 +1,266 @@
+// Package loader loads and type-checks packages of this module for the
+// netlint analyzers, using only the standard library. Packages inside the
+// module are parsed and type-checked from source (so analyzers see their
+// bodies); standard-library imports are satisfied by the go/importer source
+// importer, which reads GOROOT and therefore works offline.
+package loader
+
+import (
+	"fmt"
+	"go/ast"
+	"go/build"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Package is one type-checked module package with its syntax retained.
+type Package struct {
+	// Path is the import path ("newtos/internal/ipeng"), or the directory
+	// path for packages loaded from outside the module tree (testdata).
+	Path  string
+	Dir   string
+	Files []*ast.File
+	Types *types.Package
+	Info  *types.Info
+}
+
+// Program is the result of one Load: all module packages reached, in a
+// deterministic order (dependencies before dependents).
+type Program struct {
+	Fset     *token.FileSet
+	Packages []*Package
+	byPath   map[string]*Package
+}
+
+// Package returns the loaded package with the given path, or nil.
+func (pr *Program) Package(path string) *Package { return pr.byPath[path] }
+
+// ModuleRoot walks up from dir to the enclosing go.mod directory.
+func ModuleRoot(dir string) (string, error) {
+	d, err := filepath.Abs(dir)
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(d, "go.mod")); err == nil {
+			return d, nil
+		}
+		parent := filepath.Dir(d)
+		if parent == d {
+			return "", fmt.Errorf("loader: no go.mod above %s", dir)
+		}
+		d = parent
+	}
+}
+
+func moduleName(root string) (string, error) {
+	data, err := os.ReadFile(filepath.Join(root, "go.mod"))
+	if err != nil {
+		return "", err
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if name, ok := strings.CutPrefix(line, "module "); ok {
+			return strings.TrimSpace(name), nil
+		}
+	}
+	return "", fmt.Errorf("loader: no module line in %s/go.mod", root)
+}
+
+// Load type-checks the packages named by patterns. Each pattern is either a
+// directory path (absolute or relative to root), a module import path, or a
+// "..." wildcard over either form. The returned program also contains every
+// module package the targets transitively import. The target packages are
+// returned in pattern order (wildcards expand sorted).
+func Load(root string, patterns ...string) (*Program, []*Package, error) {
+	modName, err := moduleName(root)
+	if err != nil {
+		return nil, nil, err
+	}
+	ld := &loaderState{
+		fset:    token.NewFileSet(),
+		root:    root,
+		module:  modName,
+		byPath:  make(map[string]*Package),
+		loading: make(map[string]bool),
+	}
+	ld.stdlib = importer.ForCompiler(ld.fset, "source", nil)
+
+	var targets []*Package
+	for _, pat := range patterns {
+		dirs, err := ld.expand(pat)
+		if err != nil {
+			return nil, nil, err
+		}
+		for _, dir := range dirs {
+			pkg, err := ld.loadDir(dir)
+			if err != nil {
+				return nil, nil, err
+			}
+			if pkg != nil {
+				targets = append(targets, pkg)
+			}
+		}
+	}
+	pr := &Program{Fset: ld.fset, Packages: ld.order, byPath: ld.byPath}
+	return pr, targets, nil
+}
+
+type loaderState struct {
+	fset    *token.FileSet
+	root    string
+	module  string
+	stdlib  types.Importer
+	byPath  map[string]*Package
+	order   []*Package
+	loading map[string]bool
+}
+
+// expand resolves one pattern to a sorted list of package directories.
+func (ld *loaderState) expand(pat string) ([]string, error) {
+	recursive := false
+	if rest, ok := strings.CutSuffix(pat, "/..."); ok {
+		recursive, pat = true, rest
+	} else if pat == "..." {
+		recursive, pat = true, "."
+	}
+	dir := pat
+	if rest, ok := strings.CutPrefix(pat, ld.module); ok {
+		dir = "." + rest
+	}
+	if !filepath.IsAbs(dir) {
+		dir = filepath.Join(ld.root, dir)
+	}
+	if !recursive {
+		return []string{dir}, nil
+	}
+	var dirs []string
+	err := filepath.WalkDir(dir, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() {
+			return nil
+		}
+		name := d.Name()
+		if path != dir && (strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") || name == "testdata") {
+			return filepath.SkipDir
+		}
+		if hasGoFiles(path) {
+			dirs = append(dirs, path)
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	sort.Strings(dirs)
+	return dirs, nil
+}
+
+func hasGoFiles(dir string) bool {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return false
+	}
+	for _, e := range ents {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") && !strings.HasSuffix(e.Name(), "_test.go") {
+			return true
+		}
+	}
+	return false
+}
+
+// pathFor derives the canonical package path for a directory: an import
+// path when the directory is inside the module, the cleaned directory path
+// otherwise (testdata packages).
+func (ld *loaderState) pathFor(dir string) (string, error) {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return "", err
+	}
+	if rel, err := filepath.Rel(ld.root, abs); err == nil && rel != ".." && !strings.HasPrefix(rel, ".."+string(filepath.Separator)) {
+		if rel == "." {
+			return ld.module, nil
+		}
+		return ld.module + "/" + filepath.ToSlash(rel), nil
+	}
+	return abs, nil
+}
+
+// loadDir parses and type-checks the package in dir (once; cached by path).
+// Directories with no buildable Go files return (nil, nil).
+func (ld *loaderState) loadDir(dir string) (*Package, error) {
+	path, err := ld.pathFor(dir)
+	if err != nil {
+		return nil, err
+	}
+	if p, ok := ld.byPath[path]; ok {
+		return p, nil
+	}
+	if ld.loading[path] {
+		return nil, fmt.Errorf("loader: import cycle through %s", path)
+	}
+	ld.loading[path] = true
+	defer delete(ld.loading, path)
+
+	bp, err := build.Default.ImportDir(dir, 0)
+	if err != nil {
+		if _, ok := err.(*build.NoGoError); ok {
+			return nil, nil
+		}
+		return nil, fmt.Errorf("loader: %s: %w", dir, err)
+	}
+	var files []*ast.File
+	for _, name := range bp.GoFiles {
+		f, err := parser.ParseFile(ld.fset, filepath.Join(dir, name), nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Implicits:  make(map[ast.Node]types.Object),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+	conf := types.Config{Importer: (*progImporter)(ld)}
+	tpkg, err := conf.Check(path, ld.fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("loader: typecheck %s: %w", path, err)
+	}
+	p := &Package{Path: path, Dir: dir, Files: files, Types: tpkg, Info: info}
+	ld.byPath[path] = p
+	ld.order = append(ld.order, p)
+	return p, nil
+}
+
+// progImporter satisfies imports during type checking: module paths load
+// recursively from source, everything else (the standard library) goes to
+// the source importer.
+type progImporter loaderState
+
+func (pi *progImporter) Import(path string) (*types.Package, error) {
+	ld := (*loaderState)(pi)
+	if path == ld.module || strings.HasPrefix(path, ld.module+"/") {
+		dir := filepath.Join(ld.root, strings.TrimPrefix(path, ld.module))
+		p, err := ld.loadDir(dir)
+		if err != nil {
+			return nil, err
+		}
+		if p == nil {
+			return nil, fmt.Errorf("loader: no Go files in %s", dir)
+		}
+		return p.Types, nil
+	}
+	return ld.stdlib.Import(path)
+}

@@ -1,0 +1,170 @@
+// Package opswitch enforces exhaustive dispatch over the stack's message
+// vocabulary. A switch whose tag is a msg.Op, or whose cases compare an
+// int32 against the msg.Status* reply codes, must either cover every
+// declared constant or carry an explicit default — a silently-ignored
+// opcode or status is exactly the PR 5 bug class (a connect status that
+// mapped to nothing re-routed sockets and opened duplicate handshakes).
+package opswitch
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/types"
+	"sort"
+	"strings"
+
+	"newtos/internal/analysis"
+)
+
+const msgPath = "newtos/internal/msg"
+
+// Analyzer reports non-exhaustive, default-less switches over msg.Op and
+// the msg.Status* codes.
+var Analyzer = &analysis.Analyzer{
+	Name: "opswitch",
+	Doc: "switches over msg.Op or msg.Status* codes must be exhaustive " +
+		"or carry an explicit default",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			sw, ok := n.(*ast.SwitchStmt)
+			if !ok || sw.Tag == nil {
+				return true
+			}
+			check(pass, sw)
+			return true
+		})
+	}
+	return nil
+}
+
+func check(pass *analysis.Pass, sw *ast.SwitchStmt) {
+	tagType := pass.TypesInfo.Types[sw.Tag].Type
+	if tagType == nil {
+		return
+	}
+
+	covered := map[int64]bool{}
+	hasDefault := false
+	statusLike := false
+	for _, clause := range sw.Body.List {
+		cc := clause.(*ast.CaseClause)
+		if cc.List == nil {
+			hasDefault = true
+			continue
+		}
+		for _, e := range cc.List {
+			tv := pass.TypesInfo.Types[e]
+			if tv.Value != nil {
+				if v, ok := constant.Int64Val(constant.ToInt(tv.Value)); ok {
+					covered[v] = true
+				}
+			}
+			if obj := caseObject(pass.TypesInfo, e); obj != nil &&
+				obj.Pkg() != nil && obj.Pkg().Path() == msgPath &&
+				strings.HasPrefix(obj.Name(), "Status") {
+				statusLike = true
+			}
+		}
+	}
+	if hasDefault {
+		return
+	}
+
+	var kind string
+	var missing []string
+	switch {
+	case analysis.IsNamedType(tagType, msgPath, "Op"):
+		kind = "msg.Op"
+		missing = missingConsts(pass, covered, func(c *types.Const) bool {
+			return analysis.IsNamedType(c.Type(), msgPath, "Op")
+		})
+	case statusLike:
+		kind = "msg status code"
+		missing = missingConsts(pass, covered, func(c *types.Const) bool {
+			if !strings.HasPrefix(c.Name(), "Status") {
+				return false
+			}
+			b, ok := c.Type().(*types.Basic)
+			return ok && b.Kind() == types.Int32
+		})
+	default:
+		return
+	}
+	if len(missing) == 0 {
+		return
+	}
+	list := strings.Join(missing, ", ")
+	if len(missing) > 6 {
+		list = strings.Join(missing[:6], ", ") + ", ..."
+	}
+	pass.Report(analysis.Diagnostic{
+		Pos: sw.Pos(),
+		Message: "switch over " + kind + " is not exhaustive and has no " +
+			"default (missing: " + list + ")",
+	})
+}
+
+// caseObject resolves the object a case expression names, if any.
+func caseObject(info *types.Info, e ast.Expr) types.Object {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		return info.Uses[e]
+	case *ast.SelectorExpr:
+		return info.Uses[e.Sel]
+	}
+	return nil
+}
+
+// missingConsts enumerates the msg package's constants selected by want and
+// returns the names of those whose value the switch does not cover.
+func missingConsts(pass *analysis.Pass, covered map[int64]bool, want func(*types.Const) bool) []string {
+	msgPkg := findImport(pass.Pkg, msgPath)
+	if msgPkg == nil {
+		return nil
+	}
+	var missing []string
+	scope := msgPkg.Scope()
+	for _, name := range scope.Names() {
+		c, ok := scope.Lookup(name).(*types.Const)
+		if !ok || !want(c) {
+			continue
+		}
+		v, ok := constant.Int64Val(constant.ToInt(c.Val()))
+		if !ok || covered[v] {
+			continue
+		}
+		missing = append(missing, c.Name())
+	}
+	sort.Strings(missing)
+	return missing
+}
+
+// findImport locates the msg package among pkg's direct and transitive
+// imports (the switch may live in a package that reaches msg indirectly).
+func findImport(pkg *types.Package, path string) *types.Package {
+	if pkg.Path() == path {
+		return pkg
+	}
+	seen := map[*types.Package]bool{}
+	var walk func(p *types.Package) *types.Package
+	walk = func(p *types.Package) *types.Package {
+		if seen[p] {
+			return nil
+		}
+		seen[p] = true
+		for _, imp := range p.Imports() {
+			if imp.Path() == path {
+				return imp
+			}
+			if found := walk(imp); found != nil {
+				return found
+			}
+		}
+		return nil
+	}
+	return walk(pkg)
+}

@@ -1,0 +1,12 @@
+package opswitch_test
+
+import (
+	"testing"
+
+	"newtos/internal/analysis/analysistest"
+	"newtos/internal/analysis/opswitch"
+)
+
+func TestOpswitch(t *testing.T) {
+	analysistest.Run(t, "testdata", opswitch.Analyzer, "a")
+}

@@ -1,0 +1,75 @@
+// Package a exercises the opswitch analyzer.
+package a
+
+import "newtos/internal/msg"
+
+// dispatchNoDefault silently drops every op it does not name.
+func dispatchNoDefault(r msg.Req) int {
+	switch r.Op { // want `switch over msg.Op is not exhaustive and has no default`
+	case msg.OpSockSend:
+		return 1
+	case msg.OpSockRecv:
+		return 2
+	}
+	return 0
+}
+
+// dispatchDefault states what happens to everything else.
+func dispatchDefault(r msg.Req) int {
+	switch r.Op {
+	case msg.OpSockSend:
+		return 1
+	default:
+		return -1
+	}
+}
+
+// statusNoDefault maps reply codes and drops the rest.
+func statusNoDefault(r msg.Req) error {
+	switch r.Status { // want `switch over msg status code is not exhaustive and has no default`
+	case msg.StatusOK:
+		return nil
+	case msg.StatusErrAgain:
+		return errAgain
+	}
+	return nil
+}
+
+// statusDefault is the required shape for error mapping.
+func statusDefault(r msg.Req) error {
+	switch r.Status {
+	case msg.StatusOK:
+		return nil
+	default:
+		return errAgain
+	}
+}
+
+// plainIntSwitch has nothing to do with msg and is never flagged.
+func plainIntSwitch(n int32) int {
+	switch n {
+	case 1:
+		return 1
+	case 2:
+		return 2
+	}
+	return 0
+}
+
+// suppressed shows the checked escape hatch.
+func suppressed(r msg.Req) int {
+	//lint:ignore opswitch this probe counts two ops and ignores the rest by design.
+	switch r.Op {
+	case msg.OpSockSend:
+		return 1
+	case msg.OpSockRecv:
+		return 2
+	}
+	return 0
+}
+
+type errString string
+
+func (e errString) Error() string { return string(e) }
+
+const errAgain = errString("again")

@@ -1,0 +1,12 @@
+package outboxflush_test
+
+import (
+	"testing"
+
+	"newtos/internal/analysis/analysistest"
+	"newtos/internal/analysis/outboxflush"
+)
+
+func TestOutboxflush(t *testing.T) {
+	analysistest.Run(t, "testdata", outboxflush.Analyzer, "a")
+}

@@ -1,0 +1,83 @@
+// Package a exercises the outboxflush analyzer.
+package a
+
+import (
+	"time"
+
+	"newtos/internal/msg"
+	"newtos/internal/wiring"
+)
+
+// Bad stages in a dispatch helper but its Poll never flushes: the peer's
+// doorbell never rings.
+type Bad struct {
+	out *wiring.Outbox
+}
+
+func (s *Bad) Poll(now time.Time) bool {
+	s.stage()
+	return false
+}
+
+func (s *Bad) stage() {
+	s.out.Push(msg.Req{}) // want `outbox out is staged into \(Push\) but never flushed on any path from \(\*Bad\)\.Poll`
+}
+
+// Good pushes and flushes in the same iteration.
+type Good struct {
+	out *wiring.Outbox
+}
+
+func (s *Good) Poll(now time.Time) bool {
+	s.out.Push(msg.Req{})
+	return s.out.FlushPaced(now, true)
+}
+
+// Sliced stages through a range alias and a helper parameter, and flushes
+// through another helper — all attributed back to the field.
+type Sliced struct {
+	boxes []*wiring.Outbox
+}
+
+func (s *Sliced) Poll(now time.Time) bool {
+	for _, box := range s.boxes {
+		stageInto(box)
+	}
+	return s.flushAll(now)
+}
+
+func stageInto(box *wiring.Outbox) {
+	box.Push(msg.Req{})
+}
+
+func (s *Sliced) flushAll(now time.Time) bool {
+	worked := false
+	for _, box := range s.boxes {
+		if box.Flush() {
+			worked = true
+		}
+	}
+	return worked
+}
+
+// Dropper tears down instead of delivering; Drop is a valid consumption.
+type Dropper struct {
+	out *wiring.Outbox
+}
+
+func (s *Dropper) Poll(now time.Time) bool {
+	s.out.Push(msg.Req{})
+	s.out.Drop()
+	return false
+}
+
+// Suppressed hands the box to an external flusher, annotated as such.
+type Suppressed struct {
+	out *wiring.Outbox
+}
+
+func (s *Suppressed) Poll(now time.Time) bool {
+	//lint:ignore outboxflush the embedding loop group flushes this box after Poll returns.
+	s.out.Push(msg.Req{})
+	return false
+}

@@ -1,0 +1,112 @@
+package analysis
+
+import (
+	"fmt"
+	"sort"
+
+	"newtos/internal/analysis/loader"
+)
+
+// Finding is one diagnostic attributed to its analyzer, with the position
+// already resolved for printing.
+type Finding struct {
+	Analyzer string
+	Pos      string // "file:line:col", empty for position-less diagnostics
+	Message  string
+	// sortKey orders findings deterministically (file, line, col).
+	file      string
+	line, col int
+}
+
+func (f Finding) String() string {
+	if f.Pos == "" {
+		return fmt.Sprintf("%s: %s", f.Analyzer, f.Message)
+	}
+	return fmt.Sprintf("%s: %s: %s", f.Pos, f.Analyzer, f.Message)
+}
+
+// Run executes the suite over the loaded program. Per-package analyzers run
+// once per target package; Global analyzers run once with the whole program
+// and their reports are clipped to the targets. Diagnostics covered by a
+// well-formed //lint:ignore directive are dropped; malformed directives are
+// themselves findings (analyzer name "lint").
+func Run(pr *loader.Program, targets []*loader.Package, analyzers []*Analyzer) ([]Finding, error) {
+	ignores := BuildIgnoreIndex(pr.Fset, pr.Packages)
+	known := map[string]bool{}
+	for _, a := range analyzers {
+		known[a.Name] = true
+	}
+
+	var findings []Finding
+	add := func(a *Analyzer, d Diagnostic) {
+		if d.Pos.IsValid() && ignores.Suppressed(pr.Fset, a.Name, d.Pos) {
+			return
+		}
+		f := Finding{Analyzer: a.Name, Message: d.Message}
+		if d.Pos.IsValid() {
+			p := pr.Fset.Position(d.Pos)
+			f.Pos = p.String()
+			f.file, f.line, f.col = p.Filename, p.Line, p.Column
+		}
+		findings = append(findings, f)
+	}
+
+	for _, a := range analyzers {
+		pass := &Pass{
+			Analyzer: a,
+			Fset:     pr.Fset,
+			Program:  pr.Packages,
+			Targets:  targets,
+		}
+		if a.Global {
+			if len(targets) > 0 {
+				pass.Files = targets[0].Files
+				pass.Pkg = targets[0].Types
+				pass.TypesInfo = targets[0].Info
+			}
+			pass.Report = func(d Diagnostic) {
+				if d.Pos.IsValid() && !pass.InTargets(d.Pos) {
+					return
+				}
+				add(a, d)
+			}
+			if err := a.Run(pass); err != nil {
+				return nil, fmt.Errorf("%s: %w", a.Name, err)
+			}
+			continue
+		}
+		for _, t := range targets {
+			p := *pass
+			p.Files, p.Pkg, p.TypesInfo = t.Files, t.Types, t.Info
+			p.Report = func(d Diagnostic) { add(a, d) }
+			if err := a.Run(&p); err != nil {
+				return nil, fmt.Errorf("%s: %s: %w", a.Name, t.Path, err)
+			}
+		}
+	}
+
+	targetFiles := map[string]bool{}
+	for _, t := range targets {
+		for _, f := range t.Files {
+			targetFiles[pr.Fset.Position(f.Pos()).Filename] = true
+		}
+	}
+	for _, d := range ignores.Check(known, targetFiles) {
+		findings = append(findings, Finding{Analyzer: "lint", Message: d.Message})
+	}
+
+	sort.SliceStable(findings, func(i, j int) bool {
+		a, b := findings[i], findings[j]
+		if a.file != b.file {
+			return a.file < b.file
+		}
+		if a.line != b.line {
+			return a.line < b.line
+		}
+		if a.col != b.col {
+			return a.col < b.col
+		}
+		return a.Message < b.Message
+	})
+	return findings, nil
+}

@@ -1,0 +1,23 @@
+// Package suite registers the netlint analyzers. It exists apart from
+// package analysis so individual analyzers can import the framework without
+// a cycle, and apart from cmd/netlint so tests can run the exact suite CI
+// runs.
+package suite
+
+import (
+	"newtos/internal/analysis"
+	"newtos/internal/analysis/atomicmix"
+	"newtos/internal/analysis/chunkleak"
+	"newtos/internal/analysis/hotloop"
+	"newtos/internal/analysis/opswitch"
+	"newtos/internal/analysis/outboxflush"
+)
+
+// Analyzers is the full netlint suite, in reporting-name order.
+var Analyzers = []*analysis.Analyzer{
+	atomicmix.Analyzer,
+	chunkleak.Analyzer,
+	hotloop.Analyzer,
+	opswitch.Analyzer,
+	outboxflush.Analyzer,
+}

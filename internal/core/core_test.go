@@ -190,6 +190,9 @@ func TestUDPQueryOverFullStack(t *testing.T) {
 }
 
 func TestPFBlocksAndStatefulPasses(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-stack PF pump (~7s); skipped in -short")
+	}
 	lan := testLAN(t, nil)
 
 	// Block all inbound TCP to port 7100 on B.
@@ -247,6 +250,9 @@ func TestPFBlocksAndStatefulPasses(t *testing.T) {
 // the control plane (pf.PackRule Iface bytes) and the verdict queries carry
 // the crossing interface, so the whole per-interface PF path is end to end.
 func TestPFPolicyPerInterface(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-stack PF pump (~7s); skipped in -short")
+	}
 	cfg := SplitTSO()
 	cfg.DedicatedCores = false
 	cfg.HeartbeatMiss = 150 * time.Millisecond

@@ -136,6 +136,9 @@ func (d *directFront) Poll(now time.Time) bool {
 			}
 		case msg.OpSockClose:
 			delete(d.subs, req.Flow)
+		default:
+			// Other ops don't touch the subscription table; they are
+			// forwarded to the transport below unchanged.
 		}
 		d.nextID++
 		id := d.nextID

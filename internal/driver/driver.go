@@ -193,6 +193,10 @@ func (s *Server) handleIPReq(r msg.Req) {
 		}
 	case msg.OpDrvReset:
 		s.dev.Reset()
+	default:
+		// Anything else on the IP→driver edge is a protocol violation by
+		// the sender; drop it rather than guess (chunk recovery is the
+		// sender's RTO/recycling problem, as for real loss).
 	}
 }
 

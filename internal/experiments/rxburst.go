@@ -146,6 +146,8 @@ func RunRxBurst(opts RxBurstOpts) (RxBurstResult, error) {
 				_ = devA.PostRx(r.Ptrs[0])
 			case msg.OpTxSubmit:
 				_ = devA.PostTx(nic.TxDesc{Ptrs: r.Chain(), Cookie: r.ID})
+			default:
+				// The experiment pump only plays the RX/TX data path.
 			}
 		}
 		now := time.Now()

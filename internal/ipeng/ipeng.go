@@ -517,6 +517,9 @@ func (e *Engine) FromTransport(proto uint8, r msg.Req, now time.Time) {
 		e.sendOut(proto, 0, r)
 	case msg.OpIPDeliverDone:
 		e.deliverDone(r)
+	default:
+		// Transports only send IPSend/DeliverDone; ignore anything else
+		// rather than corrupt engine state on a confused peer.
 	}
 }
 
@@ -530,6 +533,8 @@ func (e *Engine) FromTCPShard(shard int, r msg.Req, now time.Time) {
 		e.sendOut(netpkt.ProtoTCP, shard, r)
 	case msg.OpIPDeliverDone:
 		e.deliverDone(r)
+	default:
+		// Shards only send IPSend/DeliverDone; see FromTransport.
 	}
 }
 
@@ -589,6 +594,9 @@ func (e *Engine) FromDriver(name string, r msg.Req, now time.Time) {
 			ifc.mac = mac
 			ifc.macOK = true
 		}
+	default:
+		// Drivers only send RxPacket/TxDone/LinkEvent/DrvInfo; ignore
+		// anything else rather than corrupt engine state.
 	}
 }
 

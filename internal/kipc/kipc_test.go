@@ -3,6 +3,7 @@ package kipc
 import (
 	"errors"
 	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 )
@@ -235,9 +236,11 @@ func TestCloseUnblocksSenders(t *testing.T) {
 	}
 }
 
-type testWaker struct{ n int }
+// testWaker counts rings atomically: the kernel rings it from the sender's
+// goroutine while the test goroutine reads the count.
+type testWaker struct{ n atomic.Int32 }
 
-func (w *testWaker) Ring() { w.n++ }
+func (w *testWaker) Ring() { w.n.Add(1) }
 
 func TestWakerRungOnArrival(t *testing.T) {
 	k := newTestKernel()
@@ -245,12 +248,12 @@ func TestWakerRungOnArrival(t *testing.T) {
 	b, _ := k.Register("b", w)
 	a, _ := k.Register("a", nil)
 	_ = a.Notify(b.ID())
-	if w.n == 0 {
+	if w.n.Load() == 0 {
 		t.Fatal("waker not rung on notify")
 	}
 	go func() { _ = a.Send(b.ID(), Msg{}) }()
 	time.Sleep(20 * time.Millisecond)
-	if w.n < 2 {
+	if w.n.Load() < 2 {
 		t.Fatal("waker not rung on send")
 	}
 	if _, err := b.Receive(Any, time.Second); err != nil {

@@ -279,6 +279,8 @@ func (s *Stack) pumpLocked(now time.Time) {
 					}
 				case msg.OpRxSupply:
 					_ = dev.PostRx(r.Ptrs[0])
+				default:
+					// The IP→driver edge only carries TxSubmit/RxSupply.
 				}
 			}
 		}

@@ -139,6 +139,9 @@ func TestMonolithUDP(t *testing.T) {
 }
 
 func TestMonolithPFBlocks(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-stack PF pump (~7s); skipped in -short")
+	}
 	sa, sb, done := pairUp(t, CostModelNone, true)
 	defer done()
 	sb.AddRule(pfeng.Rule{Action: pfeng.Block, Dir: pfeng.In, Proto: netpkt.ProtoTCP, DstPort: 81, Quick: true})

@@ -174,6 +174,10 @@ func (s *Server) config(r msg.Req) {
 		rep.Arg[2] = st.StateHits
 		rep.Arg[3] = uint64(s.eng.NumRules())
 		s.scBox.Push(rep)
+	default:
+		// Unknown control op: reply with an error instead of leaving the
+		// requester waiting forever.
+		s.scBox.Push(r.Reply(msg.OpSockReply, msg.StatusErrInval))
 	}
 }
 

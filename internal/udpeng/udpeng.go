@@ -14,6 +14,7 @@ import (
 	"encoding/binary"
 	"encoding/gob"
 	"fmt"
+	"strconv"
 
 	"newtos/internal/channel"
 	"newtos/internal/msg"
@@ -186,6 +187,9 @@ func (e *Engine) FromIP(r msg.Req) {
 		e.deliver(r)
 	case msg.OpIPSendDone:
 		e.sendDone(r)
+	default:
+		// IP only sends Deliver/SendDone; ignore anything else rather
+		// than corrupt socket state.
 	}
 }
 
@@ -230,7 +234,7 @@ func (e *Engine) create(r msg.Req) {
 	e.next++
 	id := e.next
 	s := &socket{id: id}
-	buf, err := e.newBuf(fmt.Sprintf("udp.sock.%d", id))
+	buf, err := e.newBuf("udp.sock." + strconv.FormatUint(uint64(id), 10))
 	if err != nil {
 		e.toFront = append(e.toFront, r.Reply(msg.OpSockReply, msg.StatusErrNoBufs))
 		return

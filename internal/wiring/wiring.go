@@ -82,6 +82,7 @@ func (p *Port) set(d channel.Duplex) {
 // last Take. A change means the peer (or this end) reincarnated: the owner
 // must run its abort/resubmit recovery actions.
 func (p *Port) Take() (channel.Duplex, bool) {
+	//lint:ignore hotloop the rebind registry emulates the kernel remapping channels during restart; uncontended except while the supervisor reincarnates a peer.
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	if p.gen == p.seen {
@@ -94,6 +95,7 @@ func (p *Port) Take() (channel.Duplex, bool) {
 
 // Cur returns the owner's cached duplex without checking for changes.
 func (p *Port) Cur() channel.Duplex {
+	//lint:ignore hotloop rebind registry read; see Take.
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	return p.cur
@@ -103,6 +105,7 @@ func (p *Port) Cur() channel.Duplex {
 // advances every time a rebind installs a fresh duplex (either side
 // reincarnated).
 func (p *Port) Gen() int {
+	//lint:ignore hotloop rebind registry read; see Take.
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	return p.gen
@@ -112,6 +115,7 @@ func (p *Port) Gen() int {
 // owner last Took. SeenGen != Gen means a rebind is pending: anything
 // staged for the Cur duplex must not survive into the next incarnation.
 func (p *Port) SeenGen() int {
+	//lint:ignore hotloop rebind registry read; see Take.
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	return p.seen
