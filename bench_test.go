@@ -389,6 +389,39 @@ func BenchmarkSec4_C100K(b *testing.B) {
 	b.ReportMetric(float64(conns), "conns")
 }
 
+// BenchmarkSec4_LiveUpdate measures the zero-downtime engine swap: every
+// TCP shard and the UDP server are live-upgraded while parked
+// connections, a bulk transfer, and a UDP ping-pong run across the swap.
+// Reports the worst handoff pause (the paper's comparison point is the
+// ~1-RTO stall of crash recovery; minRTO here is 20ms). Sized down for
+// the CI bench smoke; the EXPERIMENTS.md row uses the full 512-conn run.
+func BenchmarkSec4_LiveUpdate(b *testing.B) {
+	var pause, drain, transfer, rewire float64
+	for i := 0; i < b.N; i++ {
+		rep, err := experiments.RunLiveUpdate(experiments.LiveUpdateOpts{
+			Conns: 96, Bulk: 256 * 1024,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if rep.Completed != rep.Conns || rep.Resets != 0 || !rep.BulkExact {
+			b.Fatalf("swap was not transparent: %+v", rep)
+		}
+		pause += float64(rep.MaxPause().Microseconds())
+		for _, ph := range rep.TCPPhases {
+			drain += float64(ph.Drain.Microseconds())
+			transfer += float64(ph.Transfer.Microseconds())
+			rewire += float64(ph.Rewire.Microseconds())
+		}
+	}
+	n := float64(b.N)
+	shards := n * 2
+	b.ReportMetric(pause/n, "max-pause-us")
+	b.ReportMetric(drain/shards, "drain-us")
+	b.ReportMetric(transfer/shards, "transfer-us")
+	b.ReportMetric(rewire/shards, "rewire-us")
+}
+
 // BenchmarkSec4_KernelTrapHot is the ~150-cycle comparison point.
 func BenchmarkSec4_KernelTrapHot(b *testing.B) {
 	k := kipc.New(kipc.DefaultConfig())

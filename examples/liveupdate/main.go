@@ -1,13 +1,17 @@
-// Liveupdate: replace the UDP server mid-traffic without rebooting — the
+// Liveupdate: replace live engines mid-traffic without rebooting — the
 // paper's MS11-083 scenario (§V): "we are able to replace the buggy UDP
 // component without rebooting. Given the fact that most Internet traffic
 // is carried by the TCP protocol, this traffic remains completely
 // unaffected by the replacement."
 //
-// The demo runs a TCP transfer and periodic UDP queries simultaneously,
-// "live-updates" the UDP server (a restart into a new incarnation — the
-// same mechanism loads patched code), and shows that TCP never hiccups and
-// the UDP socket keeps working without being reopened.
+// Unlike a crash-recovery restart (see examples/reincarnation), this demo
+// rides the drain-and-handoff path: Node.Upgrade quiesces the old engine
+// at a batch boundary, streams its live state to a fresh incarnation, and
+// re-points the wiring — no storage round-trip, no RTO stall. A TCP bulk
+// transfer is mid-flight through the very shard being swapped, and the
+// demo asserts the echoed stream comes back byte-exact; the UDP socket
+// keeps answering without being reopened. Phase timings (drain, transfer,
+// rewire, resume) are printed for each swap.
 package main
 
 import (
@@ -21,6 +25,10 @@ import (
 	"newtos/internal/sock"
 )
 
+const bulkTotal = 512 * 1024
+
+func pattern(off int) byte { return byte(off*7 + off>>8) }
+
 func main() {
 	if err := run(); err != nil {
 		log.Fatal(err)
@@ -29,7 +37,7 @@ func main() {
 
 func run() error {
 	cfg := core.SplitTSO()
-	cfg.HeartbeatMiss = 150 * time.Millisecond
+	cfg.TCPShards = 2
 	lan, err := core.NewLAN(cfg, 1, nic.Gigabit())
 	if err != nil {
 		return err
@@ -94,33 +102,11 @@ func run() error {
 	}
 	_ = udp.Bind(31123)
 
-	// Continuous TCP traffic; count every successful echo.
-	var tcpEchoes, tcpErrors atomic.Int64
-	go func() {
-		payload := make([]byte, 8192)
-		buf := make([]byte, 16384)
-		for {
-			if _, err := tcp.Send(payload); err != nil {
-				tcpErrors.Add(1)
-				return
-			}
-			got := 0
-			for got < len(payload) {
-				n, err := tcp.Recv(buf)
-				if err != nil || n == 0 {
-					tcpErrors.Add(1)
-					return
-				}
-				got += n
-			}
-			tcpEchoes.Add(1)
-		}
-	}()
-
 	query := func(tag string) bool {
 		if _, err := udp.SendTo([]byte(tag), lan.IPOf("b", 0), 123); err != nil {
 			return false
 		}
+		_ = udp.SetReadDeadline(time.Now().Add(2 * time.Second))
 		buf := make([]byte, 256)
 		n, _, _, err := udp.RecvFrom(buf)
 		return err == nil && string(buf[:n]) == tag
@@ -128,17 +114,70 @@ func run() error {
 	if !query("before-update") {
 		return fmt.Errorf("UDP service not answering before the update")
 	}
-	before := tcpEchoes.Load()
-	fmt.Printf("baseline: UDP answering, %d TCP echoes so far\n", before)
 
-	// THE LIVE UPDATE: restart the UDP server on B into a new incarnation.
-	fmt.Println("live-updating the UDP server on node B ...")
-	if err := lan.B.Proc(core.CompUDP).Restart(); err != nil {
+	// Bulk TCP transfer: a patterned 512 KiB stream echoed back through
+	// the shard that is about to be swapped out from under it.
+	var sent atomic.Int64
+	sendErr := make(chan error, 1)
+	go func() {
+		slab := make([]byte, 8192)
+		for off := 0; off < bulkTotal; off += len(slab) {
+			for i := range slab {
+				slab[i] = pattern(off + i)
+			}
+			if _, err := tcp.Send(slab); err != nil {
+				sendErr <- fmt.Errorf("bulk send at %d: %w", off, err)
+				return
+			}
+			sent.Add(int64(len(slab)))
+		}
+		sendErr <- nil
+	}()
+
+	// Read the echo back, verifying every byte; once a third of the
+	// stream is through, live-update every TCP shard and the UDP server
+	// while the transfer keeps running.
+	buf := make([]byte, 64*1024)
+	got, swapped := 0, false
+	for got < bulkTotal {
+		n, err := tcp.Recv(buf)
+		if err != nil {
+			return fmt.Errorf("bulk recv after %d bytes: %w", got, err)
+		}
+		if n == 0 {
+			return fmt.Errorf("unexpected EOF after %d bytes", got)
+		}
+		for i := 0; i < n; i++ {
+			if buf[i] != pattern(got+i) {
+				return fmt.Errorf("byte %d corrupted across the swap", got+i)
+			}
+		}
+		got += n
+		if !swapped && got >= bulkTotal/3 {
+			swapped = true
+			fmt.Printf("mid-transfer (%d/%d bytes echoed): live-updating engines on node B ...\n", got, bulkTotal)
+			for k := 0; k < cfg.TCPShards; k++ {
+				ph, err := lan.B.Upgrade(core.TCPShardName(k, cfg.TCPShards))
+				if err != nil {
+					return fmt.Errorf("upgrade: %w", err)
+				}
+				fmt.Printf("  %s\n", ph)
+			}
+			ph, err := lan.B.Upgrade(core.CompUDP)
+			if err != nil {
+				return fmt.Errorf("upgrade udp: %w", err)
+			}
+			fmt.Printf("  %s\n", ph)
+		}
+	}
+	if err := <-sendErr; err != nil {
 		return err
 	}
-	time.Sleep(200 * time.Millisecond) // rewiring settles
+	if !swapped {
+		return fmt.Errorf("transfer finished before the swap fired")
+	}
 
-	// The socket must still work without reopening (recovered 4-tuples).
+	// The UDP socket must still work without reopening.
 	ok := false
 	for i := 0; i < 10 && !ok; i++ {
 		ok = query(fmt.Sprintf("after-update-%d", i))
@@ -146,12 +185,7 @@ func run() error {
 	if !ok {
 		return fmt.Errorf("UDP socket dead after the update")
 	}
-	time.Sleep(300 * time.Millisecond)
-	after := tcpEchoes.Load()
-	if tcpErrors.Load() > 0 {
-		return fmt.Errorf("TCP traffic disturbed by the UDP update")
-	}
-	fmt.Printf("update complete: UDP socket survived without reopening,\n")
-	fmt.Printf("TCP ran undisturbed throughout (%d -> %d echoes, 0 errors)\n", before, after)
+	fmt.Printf("update complete: %d bytes echoed byte-exact across the live swap,\n", got)
+	fmt.Printf("UDP socket survived without reopening\n")
 	return nil
 }

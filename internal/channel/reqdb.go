@@ -83,6 +83,33 @@ func (db *ReqDB) AbortDest(dest string) int {
 	return len(ids)
 }
 
+// Each visits every outstanding request in ascending-ID order. The live
+// handoff path uses it to serialize in-flight requests so a successor
+// incarnation can keep matching replies that are already on the wire.
+func (db *ReqDB) Each(fn func(id uint64, dest string, data any)) {
+	ids := make([]uint64, 0, len(db.pending))
+	for id := range db.pending {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	for _, id := range ids {
+		e := db.pending[id]
+		fn(id, e.dest, e.data)
+	}
+}
+
+// LastID returns the most recently issued identifier (zero if none).
+func (db *ReqDB) LastID() uint64 { return db.next }
+
+// Seed advances the identifier counter to at least last. A handoff
+// successor seeds with its predecessor's LastID so fresh identifiers never
+// collide with requests still in flight.
+func (db *ReqDB) Seed(last uint64) {
+	if last > db.next {
+		db.next = last
+	}
+}
+
 // PendingTo returns the number of outstanding requests to dest.
 func (db *ReqDB) PendingTo(dest string) int {
 	n := 0

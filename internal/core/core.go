@@ -12,10 +12,12 @@ package core
 
 import (
 	"fmt"
+	"sync"
 	"time"
 
 	"newtos/internal/ipeng"
 	"newtos/internal/kipc"
+	"newtos/internal/liveup"
 	"newtos/internal/netpkt"
 	"newtos/internal/nic"
 	"newtos/internal/pf"
@@ -25,6 +27,7 @@ import (
 	"newtos/internal/storage"
 	"newtos/internal/syscallsrv"
 	"newtos/internal/tcpsrv"
+	"newtos/internal/trace"
 	"newtos/internal/udpsrv"
 	"newtos/internal/wiring"
 
@@ -123,6 +126,9 @@ type Node struct {
 
 	procs   map[string]*proc.Proc
 	devices map[string]*nic.Device
+
+	upMu sync.Mutex
+	up   *liveup.Coordinator
 }
 
 // NewNode builds a node over the given devices (keyed by interface name).
@@ -300,6 +306,28 @@ func (n *Node) Stop() {
 
 // Proc returns a component's process handle (fault injection, restarts).
 func (n *Node) Proc(name string) *proc.Proc { return n.procs[name] }
+
+// Upgrader returns the node's live-update coordinator: all planned engine
+// swaps funnel through it (and through the reincarnation server's Upgrade
+// verb), so phase timings accumulate in one recorder.
+func (n *Node) Upgrader() *liveup.Coordinator {
+	n.upMu.Lock()
+	defer n.upMu.Unlock()
+	if n.up == nil {
+		n.up = liveup.NewCoordinator(n.Monitor)
+	}
+	return n.up
+}
+
+// Upgrade live-swaps the named component for a new incarnation — the
+// zero-downtime update path (docs/ARCHITECTURE.md "Zero-downtime live
+// update"). TCP shards and UDP hand their full state to the successor
+// (zero event loss, no peer-visible change); components without handoff
+// support fall back to a planned graceful restart. Either way the swap is
+// recorded as a Planned event, outside the MaxRestarts crash budget.
+func (n *Node) Upgrade(name string) (trace.HandoffPhases, error) {
+	return n.Upgrader().Upgrade(name)
+}
 
 // OutboxDropped totals, across every running server loop on this node, the
 // staged requests shed because their target incarnation died before they

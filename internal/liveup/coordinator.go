@@ -1,0 +1,44 @@
+package liveup
+
+import (
+	"newtos/internal/reinc"
+	"newtos/internal/trace"
+)
+
+// Coordinator drives planned engine upgrades on one node. Every swap goes
+// through the reincarnation server's Upgrade verb — so planned updates are
+// recorded as their own event kind and never count toward the crash
+// budget — and its phase timings land in the recorder.
+type Coordinator struct {
+	mon *reinc.Monitor
+	rec trace.HandoffRecorder
+}
+
+// NewCoordinator creates the upgrade driver for one node's monitor.
+func NewCoordinator(mon *reinc.Monitor) *Coordinator {
+	return &Coordinator{mon: mon}
+}
+
+// Upgrade live-swaps the named component and returns the measured phase
+// timings. Components whose service implements proc.Handoffer swap with
+// zero event loss and no peer-visible change; the rest fall back to a
+// planned graceful restart (Live=false in the result).
+func (c *Coordinator) Upgrade(name string) (trace.HandoffPhases, error) {
+	rep, err := c.mon.Upgrade(name)
+	if err != nil {
+		return trace.HandoffPhases{}, err
+	}
+	ph := trace.HandoffPhases{
+		Component: name,
+		Live:      rep.Live,
+		Drain:     rep.Drain,
+		Transfer:  rep.Transfer,
+		Rewire:    rep.Rewire,
+		Resume:    rep.Resume,
+	}
+	c.rec.Record(ph)
+	return ph, nil
+}
+
+// Recorder exposes the accumulated phase timings.
+func (c *Coordinator) Recorder() *trace.HandoffRecorder { return &c.rec }

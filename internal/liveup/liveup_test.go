@@ -1,0 +1,77 @@
+package liveup
+
+import (
+	"testing"
+
+	"newtos/internal/msg"
+)
+
+func TestStreamRoundTrip(t *testing.T) {
+	var w StreamWriter
+	w.Add("tcp/engine", []byte{1, 2, 3})
+	w.Add("outbox/ip", []msg.Req{{ID: 7, Op: msg.OpIPSend}, {ID: 8, Op: msg.OpIPDeliverDone}})
+	w.Add("outbox/sc", []msg.Req{{ID: 9, Op: msg.OpSockEvent}})
+	b, err := w.Bytes()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	r, err := OpenStream(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var kinds []string
+	for r.Next() {
+		kinds = append(kinds, r.Kind())
+		switch r.Kind() {
+		case "tcp/engine":
+			var blob []byte
+			if err := r.Decode(&blob); err != nil {
+				t.Fatal(err)
+			}
+			if len(blob) != 3 || blob[0] != 1 {
+				t.Fatalf("blob = %v", blob)
+			}
+		case "outbox/ip":
+			var reqs []msg.Req
+			if err := r.Decode(&reqs); err != nil {
+				t.Fatal(err)
+			}
+			if len(reqs) != 2 || reqs[0].ID != 7 || reqs[1].Op != msg.OpIPDeliverDone {
+				t.Fatalf("reqs = %+v", reqs)
+			}
+		case "outbox/sc":
+			var reqs []msg.Req
+			if err := r.Decode(&reqs); err != nil {
+				t.Fatal(err)
+			}
+			if len(reqs) != 1 || reqs[0].ID != 9 {
+				t.Fatalf("reqs = %+v", reqs)
+			}
+		}
+	}
+	want := []string{"tcp/engine", "outbox/ip", "outbox/sc"}
+	if len(kinds) != len(want) {
+		t.Fatalf("kinds = %v", kinds)
+	}
+	for i := range want {
+		if kinds[i] != want[i] {
+			t.Fatalf("record order: %v", kinds)
+		}
+	}
+}
+
+func TestStreamWriterStickyError(t *testing.T) {
+	var w StreamWriter
+	w.Add("bad", func() {}) // functions are not gob-encodable
+	w.Add("good", []byte{1})
+	if _, err := w.Bytes(); err == nil {
+		t.Fatal("sticky error lost")
+	}
+}
+
+func TestOpenStreamGarbage(t *testing.T) {
+	if _, err := OpenStream([]byte("not a stream")); err == nil {
+		t.Fatal("garbage stream accepted")
+	}
+}

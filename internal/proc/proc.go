@@ -67,6 +67,12 @@ type Runtime struct {
 	Fault *faults.Point
 	// Incarnation counts from 1 and increments per restart.
 	Incarnation int
+	// Handoff is non-nil when this incarnation is the successor of a
+	// zero-downtime live update: it carries the predecessor's serialized
+	// state (whatever its HandoffState returned). The Bell is then the
+	// predecessor's doorbell — every channel peers hold keeps ringing it —
+	// and Init must resume the existing wiring instead of re-announcing.
+	Handoff any
 }
 
 // Service is one server's logic, constructed fresh for every incarnation.
@@ -81,6 +87,46 @@ type Service interface {
 	Deadline(now time.Time) time.Time
 	// Stop releases resources on graceful shutdown.
 	Stop()
+}
+
+// Handoffer is a Service that supports zero-downtime live update: a
+// planned drain-and-handoff swap to a successor incarnation that inherits
+// the doorbell, the channels, and the live protocol state — no event is
+// lost and peers never observe the swap.
+type Handoffer interface {
+	Service
+	// HandoffState serializes the service's complete live state for the
+	// successor incarnation. It runs on the loop goroutine as the
+	// incarnation's final act, after the drain rounds quiesced the engine
+	// at a batch boundary: the loop exits right after, and the successor's
+	// Init observes the returned payload via Runtime.Handoff with a full
+	// happens-before chain (handoff channel send, then goroutine start).
+	HandoffState() (any, error)
+}
+
+// HandoffReport times the phases of one planned upgrade: drain (quiesce
+// the old loop at a batch boundary), transfer (serialize live state onto
+// the handoff channel), rewire (successor Init: re-point ports, restore
+// state, re-arm timers, re-announce readiness edges), resume (until the
+// new loop's first heartbeat). Live is false when the service does not
+// implement Handoffer and the upgrade fell back to a planned graceful
+// restart (stop, then a restart-mode launch recovering from storage).
+type HandoffReport struct {
+	Live                            bool
+	Drain, Transfer, Rewire, Resume time.Duration
+}
+
+// handoffDrainRounds bounds the quiesce: each round is one Poll, which
+// flushes staged output. The inboxes need not run dry — the successor
+// consumes the very same queues — so a saturated loop cannot stall a swap.
+const handoffDrainRounds = 64
+
+type handoffReq struct{ done chan handoffRes }
+
+type handoffRes struct {
+	state           any
+	err             error
+	drain, transfer time.Duration
 }
 
 // Options tune a process.
@@ -129,12 +175,13 @@ type Proc struct {
 }
 
 type incarnation struct {
-	num   int
-	svc   Service
-	rt    *Runtime
-	stop  chan struct{}
-	done  chan struct{}
-	valid atomic.Bool // false once abandoned/superseded
+	num     int
+	svc     Service
+	rt      *Runtime
+	stop    chan struct{}
+	done    chan struct{}
+	handoff chan *handoffReq
+	valid   atomic.Bool // false once abandoned/superseded
 	// ready flips after Init succeeds; Service() hides the incarnation
 	// until then, so observers never see a service mid-construction.
 	ready atomic.Bool
@@ -206,6 +253,153 @@ func (p *Proc) Restart() error {
 	return p.launch(true)
 }
 
+// Upgrade swaps the running incarnation for a successor as a planned live
+// update. When the service implements Handoffer, the swap is a
+// drain-and-handoff: the old loop quiesces at a batch boundary, serializes
+// its live state, and exits; the successor inherits the doorbell and every
+// channel (peers never observe a generation change) and resumes from the
+// transferred state — zero lost events, no crash-recovery stall anywhere.
+// Otherwise the upgrade falls back to a planned graceful restart (stop,
+// then a restart-mode launch recovering from storage), which peers handle
+// with their usual reincarnation actions. Neither path counts toward
+// Crashes(): only an incarnation dying by panic does.
+//
+// If state serialization or the successor's Init fails, the component is
+// relaunched in restart mode (the crash-recovery path, still without crash
+// accounting) and Upgrade returns the original error — the component is
+// never left dead.
+func (p *Proc) Upgrade() (HandoffReport, error) {
+	p.mu.Lock()
+	inc := p.cur
+	p.mu.Unlock()
+	if inc == nil {
+		return HandoffReport{}, fmt.Errorf("proc %s: not running", p.name)
+	}
+	if _, ok := inc.svc.(Handoffer); !ok {
+		start := time.Now()
+		p.Shutdown()
+		if err := p.launch(true); err != nil {
+			return HandoffReport{}, err
+		}
+		return HandoffReport{Rewire: time.Since(start)}, nil
+	}
+
+	req := &handoffReq{done: make(chan handoffRes, 1)}
+	select {
+	case inc.handoff <- req:
+	case <-inc.done:
+		return HandoffReport{}, fmt.Errorf("proc %s: incarnation died before handoff", p.name)
+	}
+	inc.rt.Bell.Ring()
+	var res handoffRes
+	select {
+	case res = <-req.done:
+	case <-inc.done:
+		// Crashed mid-drain: the crash path owns recovery from here.
+		return HandoffReport{}, fmt.Errorf("proc %s: crashed during handoff", p.name)
+	}
+	// The old loop goroutine exits right after sending; wait for it so the
+	// successor adopts the engine state with a strict happens-before.
+	<-inc.done
+	inc.rt.Fault.Release()
+	p.mu.Lock()
+	if p.cur == inc {
+		p.cur = nil
+	}
+	p.mu.Unlock()
+	if res.err != nil {
+		if lerr := p.launch(true); lerr != nil {
+			return HandoffReport{}, fmt.Errorf("proc %s: handoff: %v; restart fallback: %w", p.name, res.err, lerr)
+		}
+		return HandoffReport{}, fmt.Errorf("proc %s: handoff: %w (recovered via restart)", p.name, res.err)
+	}
+
+	rewireStart := time.Now()
+	if err := p.adopt(inc, res.state); err != nil {
+		if lerr := p.launch(true); lerr != nil {
+			return HandoffReport{}, fmt.Errorf("%v; restart fallback: %w", err, lerr)
+		}
+		return HandoffReport{}, fmt.Errorf("%w (recovered via restart)", err)
+	}
+	rewire := time.Since(rewireStart)
+
+	// Resume: the successor's loop stores its first heartbeat at the top of
+	// its first iteration; waiting for a heartbeat past rewireStart bounds
+	// "the engine is polling again". All predecessor heartbeats
+	// happened-before rewireStart, so the comparison cannot confuse them.
+	mark := time.Now()
+	for time.Since(mark) < time.Second {
+		if p.hb.Load() >= rewireStart.UnixNano() {
+			break
+		}
+		runtime.Gosched()
+	}
+	return HandoffReport{
+		Live:     true,
+		Drain:    res.drain,
+		Transfer: res.transfer,
+		Rewire:   rewire,
+		Resume:   time.Since(mark),
+	}, nil
+}
+
+// completeHandoff runs on the incarnation's loop goroutine: quiesce at a
+// batch boundary, serialize, hand the payload back, exit.
+func (p *Proc) completeHandoff(inc *incarnation, req *handoffReq) {
+	h := inc.svc.(Handoffer)
+	t0 := time.Now()
+	for i := 0; i < handoffDrainRounds; i++ {
+		now := time.Now()
+		p.hb.Store(now.UnixNano())
+		if !inc.svc.Poll(now) {
+			break
+		}
+	}
+	t1 := time.Now()
+	state, err := h.HandoffState()
+	req.done <- handoffRes{state: state, err: err, drain: t1.Sub(t0), transfer: time.Since(t1)}
+}
+
+// adopt launches the successor incarnation of a live handoff: it inherits
+// the predecessor's doorbell (so every duplex peers hold keeps waking it)
+// and receives the serialized state via Runtime.Handoff.
+func (p *Proc) adopt(prev *incarnation, state any) error {
+	p.mu.Lock()
+	if p.cur != nil {
+		p.mu.Unlock()
+		return fmt.Errorf("proc %s: already running", p.name)
+	}
+	p.incNum++
+	inc := &incarnation{
+		num:     p.incNum,
+		svc:     p.factory(),
+		stop:    make(chan struct{}),
+		done:    make(chan struct{}),
+		handoff: make(chan *handoffReq, 1),
+		rt: &Runtime{
+			Bell:        prev.rt.Bell,
+			Fault:       faults.NewPoint(p.name),
+			Incarnation: p.incNum,
+			Handoff:     state,
+		},
+	}
+	inc.valid.Store(true)
+	p.cur = inc
+	p.mu.Unlock()
+
+	initDone := make(chan error, 1)
+	go p.run(inc, false, initDone)
+	if err := <-initDone; err != nil {
+		p.mu.Lock()
+		if p.cur == inc {
+			p.cur = nil
+		}
+		p.mu.Unlock()
+		return fmt.Errorf("proc %s: handoff init: %w", p.name, err)
+	}
+	return nil
+}
+
 // Shutdown gracefully stops the current incarnation and waits for it.
 func (p *Proc) Shutdown() {
 	p.mu.Lock()
@@ -251,10 +445,11 @@ func (p *Proc) launch(restart bool) error {
 	}
 	p.incNum++
 	inc := &incarnation{
-		num:  p.incNum,
-		svc:  p.factory(),
-		stop: make(chan struct{}),
-		done: make(chan struct{}),
+		num:     p.incNum,
+		svc:     p.factory(),
+		stop:    make(chan struct{}),
+		done:    make(chan struct{}),
+		handoff: make(chan *handoffReq, 1),
 		rt: &Runtime{
 			Bell:        channel.NewDoorbell(),
 			Fault:       faults.NewPoint(p.name),
@@ -322,6 +517,9 @@ func (p *Proc) run(inc *incarnation, restart bool, initDone chan<- error) {
 			if inc.valid.Load() {
 				p.status.Store(int32(StatusStopped))
 			}
+			return
+		case req := <-inc.handoff:
+			p.completeHandoff(inc, req)
 			return
 		default:
 		}

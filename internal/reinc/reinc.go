@@ -4,6 +4,7 @@
 package reinc
 
 import (
+	"fmt"
 	"sync"
 	"time"
 
@@ -17,6 +18,10 @@ type Event struct {
 	Reason      string
 	Injected    bool
 	Hang        bool // detected via heartbeat, not crash signal
+	// Planned marks a deliberate live update (Upgrade), not crash
+	// recovery: the component was swapped on purpose, so the event never
+	// counts toward the MaxRestarts crash budget.
+	Planned     bool
 	DetectedAt  time.Time
 	RecoveredAt time.Time
 }
@@ -130,6 +135,41 @@ func (m *Monitor) Down() []string {
 		out = append(out, name)
 	}
 	return out
+}
+
+// Upgrade performs a planned live update of the named child — the
+// deliberate-replacement path (paper §V: patching a component under live
+// traffic), distinct from crash recovery. The swap is proc.Upgrade's
+// drain-and-handoff when the service supports it, a planned graceful
+// restart otherwise. Either way the event is recorded as Planned and is
+// invisible to the MaxRestarts crash budget: Crashes() only advances when
+// an incarnation dies by panic, which no planned path does.
+func (m *Monitor) Upgrade(name string) (proc.HandoffReport, error) {
+	m.mu.Lock()
+	p, ok := m.children[name]
+	m.mu.Unlock()
+	if !ok {
+		return proc.HandoffReport{}, fmt.Errorf("reinc: unknown component %q", name)
+	}
+	ev := Event{
+		Name:        name,
+		Incarnation: p.Incarnation(),
+		Reason:      "planned upgrade",
+		Planned:     true,
+		DetectedAt:  time.Now(),
+	}
+	rep, err := p.Upgrade()
+	if err != nil {
+		return rep, err
+	}
+	if !rep.Live {
+		ev.Reason = "planned upgrade (graceful restart)"
+	}
+	ev.RecoveredAt = time.Now()
+	m.mu.Lock()
+	m.events = append(m.events, ev)
+	m.mu.Unlock()
+	return rep, nil
 }
 
 func (m *Monitor) loop() {

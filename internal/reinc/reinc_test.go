@@ -78,7 +78,14 @@ func TestHangDetectedByHeartbeat(t *testing.T) {
 	if restarts.Load() == 0 {
 		t.Fatal("hung child never reset")
 	}
-	evs := m.Events()
+	// The monitor records the event after the restart completes, so the
+	// restart counter can lead the event log by a beat: wait for the
+	// record rather than racing the append.
+	var evs []Event
+	for len(evs) == 0 && time.Now().Before(deadline) {
+		evs = m.Events()
+		time.Sleep(time.Millisecond)
+	}
 	if len(evs) == 0 || !evs[0].Hang {
 		t.Fatalf("events = %+v", evs)
 	}

@@ -1,0 +1,159 @@
+package tcpeng
+
+import (
+	"bytes"
+	"testing"
+
+	"newtos/internal/msg"
+)
+
+// swap replaces *ep with a successor incarnation built over the same shm
+// space and header pool, exactly as tcpsrv does during a live update: the
+// predecessor serializes, the successor restores from the blob plus the
+// live buffer handles, and the pipe keeps pumping against the new engine.
+func (pi *pipe) swap(ep **Engine) {
+	pi.t.Helper()
+	old := *ep
+	blob, bufs, err := old.HandoffState()
+	if err != nil {
+		pi.t.Fatal(err)
+	}
+	nw := New(old.cfg, old.hdrPool)
+	if err := nw.RestoreHandoff(blob, bufs, pi.now); err != nil {
+		pi.t.Fatal(err)
+	}
+	*ep = nw
+}
+
+// armedTimers counts non-zero wheel indexes across all pcbs. Immediately
+// after a restore this must equal wheel.live exactly: the fresh wheel holds
+// one entry per armed timer and nothing else — any excess is a ghost entry
+// that would double-fire.
+func armedTimers(e *Engine) int {
+	n := 0
+	e.eachPCB(func(p *pcb) {
+		for k := 0; k < numTimers; k++ {
+			if p.wheelAt[k] != 0 {
+				n++
+			}
+		}
+	})
+	return n
+}
+
+func checkNoGhosts(t *testing.T, e *Engine, who string) int {
+	t.Helper()
+	armed := armedTimers(e)
+	if e.wheel.live != armed {
+		t.Fatalf("%s: wheel holds %d entries for %d armed timers (ghosts)", who, e.wheel.live, armed)
+	}
+	return armed
+}
+
+// TestHandoffMidTransfer swaps first the receiver and then the sender in
+// the middle of a bulk transfer; every byte must arrive exactly once and in
+// order across both swaps.
+func TestHandoffMidTransfer(t *testing.T) {
+	pi := newPipe(t, false)
+	aBufs := captureBufs(pi.a)
+	captureBufs(pi.b)
+	csock, child := pi.connectPair(4242)
+
+	data := make([]byte, 48*1024)
+	for i := range data {
+		data[i] = byte(i * 31)
+	}
+	half := len(data) / 2
+
+	pi.sendBytes(pi.a, aBufs, csock, data[:half])
+	pi.swap(&pi.b) // receiver: rcvQ, delayed-ACK state and listener cross over
+	checkNoGhosts(t, pi.b, "receiver after swap")
+	got := pi.recvBytes(pi.b, child, half)
+	if !bytes.Equal(got, data[:half]) {
+		t.Fatal("first half corrupted across receiver swap")
+	}
+
+	pi.swap(&pi.a) // sender: un-ACKed stream chunks and RTO state cross over
+	checkNoGhosts(t, pi.a, "sender after swap")
+	pi.sendBytes(pi.a, aBufs, csock, data[half:])
+	got = pi.recvBytes(pi.b, child, len(data)-half)
+	if !bytes.Equal(got, data[half:]) {
+		t.Fatal("second half corrupted across sender swap")
+	}
+
+	// The restored listener still owns its port...
+	rep := pi.call(pi.b, msg.Req{Op: msg.OpSockCreate})
+	r := msg.Req{Op: msg.OpSockBind, Flow: rep.Flow}
+	r.Arg[0] = 4242
+	if rep = pi.call(pi.b, r); rep.Status != msg.StatusErrInUse {
+		t.Fatalf("bind on restored listener port: status %d, want %d", rep.Status, msg.StatusErrInUse)
+	}
+	// ...and still completes new handshakes.
+	rep = pi.call(pi.a, msg.Req{Op: msg.OpSockCreate})
+	conn := msg.Req{Op: msg.OpSockConnect, Flow: rep.Flow}
+	conn.Arg[0] = uint64(pi.bIP.U32())
+	conn.Arg[1] = 4242
+	if rep = pi.call(pi.a, conn); rep.Status != msg.StatusOK {
+		t.Fatalf("connect to restored listener: %d", rep.Status)
+	}
+}
+
+// TestHandoffGhostTimers runs a double swap back-to-back while timers are
+// armed: the second restore must produce the same timer census as the
+// first — duplicate wheel entries would accumulate swap over swap.
+func TestHandoffGhostTimers(t *testing.T) {
+	pi := newPipe(t, false)
+	aBufs := captureBufs(pi.a)
+	captureBufs(pi.b)
+	csock, child := pi.connectPair(5353)
+	pi.sendBytes(pi.a, aBufs, csock, bytes.Repeat([]byte{0xAB}, 8192))
+
+	pi.swap(&pi.a)
+	first := checkNoGhosts(t, pi.a, "after first swap")
+	pi.swap(&pi.a)
+	second := checkNoGhosts(t, pi.a, "after second swap")
+	if first != second {
+		t.Fatalf("timer census changed across idle swap: %d -> %d", first, second)
+	}
+
+	// Timers still fire on the new wheel: a retransmission deadline left
+	// armed must not strand the connection.
+	if got := pi.recvBytes(pi.b, child, 8192); !bytes.Equal(got, bytes.Repeat([]byte{0xAB}, 8192)) {
+		t.Fatal("payload corrupted across double swap")
+	}
+}
+
+// TestHandoffReannouncesReadiness: a nonblocking socket with queued data
+// must see its readiness edges re-emitted by the successor — the poller may
+// have consumed the edge just before the swap, and edges are not
+// re-derivable by the receiver. Spurious edges, never lost ones.
+func TestHandoffReannouncesReadiness(t *testing.T) {
+	pi := newPipe(t, false)
+	aBufs := captureBufs(pi.a)
+	captureBufs(pi.b)
+	csock, child := pi.connectPair(6464)
+
+	fl := msg.Req{Op: msg.OpSockSetFlags, Flow: child}
+	fl.Arg[0] = msg.SockNonblock
+	if rep := pi.call(pi.b, fl); rep.Status != msg.StatusOK {
+		t.Fatalf("setflags: %d", rep.Status)
+	}
+	pi.sendBytes(pi.a, aBufs, csock, []byte("wake up"))
+	for i := 0; i < 50; i++ { // let the payload land in child's rcvQ
+		pi.step()
+	}
+
+	pi.bFront = nil // drop every pre-swap edge: the successor must re-announce
+	pi.swap(&pi.b)
+	pi.step()
+
+	var bits uint64
+	for _, rep := range pi.bFront {
+		if rep.Op == msg.OpSockEvent && rep.Flow == child {
+			bits |= rep.Arg[0]
+		}
+	}
+	if bits&msg.EvReadable == 0 || bits&msg.EvWritable == 0 {
+		t.Fatalf("readiness lost across handoff: re-announced bits %#x", bits)
+	}
+}

@@ -83,6 +83,7 @@ func (e *Engine) handleListenSyn(l *pcb, th netpkt.TCPHeader, key fourTuple, dst
 	// accepted-but-idle connection costs no socket-buffer memory.
 	e.emitSegment(c, netpkt.TCPSyn|netpkt.TCPAck, c.iss, nil, 0, true)
 	c.sndNxt = c.iss + 1
+	c.sndMax = c.sndNxt
 	c.rto = synRTO
 	e.armTimer(c, timerRTO, e.now.Add(c.rto))
 }
@@ -214,8 +215,13 @@ func (e *Engine) established(p *pcb) {
 // samples RTT, and drives congestion control (Reno).
 func (e *Engine) processAck(p *pcb, th netpkt.TCPHeader, hasPayload bool) {
 	ack := th.Ack
-	if netpkt.SeqLT(p.sndNxt, ack) {
-		// Acks something we never sent: ignore.
+	if netpkt.SeqLT(p.sndMax, ack) {
+		// Acks something we never sent: ignore. The bound is sndMax, not
+		// sndNxt: after a Go-back-N rewind a cumulative ACK for data from
+		// the pre-rewind flight is still valid — judging it against the
+		// rewound sndNxt would discard it and livelock the connection
+		// (the peer keeps dup-acking our retransmissions as duplicates,
+		// we keep ignoring its ACK as "never sent").
 		return
 	}
 	if netpkt.SeqLEQ(ack, p.sndUna) {
@@ -235,6 +241,11 @@ func (e *Engine) processAck(p *pcb, th netpkt.TCPHeader, hasPayload bool) {
 	// New data acknowledged.
 	acked := ack - p.sndUna
 	p.sndUna = ack
+	if netpkt.SeqLT(p.sndNxt, ack) {
+		// Rewound below the cumulative ACK: everything up to ack already
+		// reached the receiver, resume transmission from there.
+		p.sndNxt = ack
+	}
 	p.dupAcks = 0
 
 	// RTT sample (Karn's rule: only for never-retransmitted segments).
@@ -249,25 +260,7 @@ func (e *Engine) processAck(p *pcb, th netpkt.TCPHeader, hasPayload bool) {
 		p.cwnd += max32(uint32(p.mss)*uint32(p.mss)/p.cwnd, 1) // AIMD
 	}
 
-	// Free stream chunks that are fully acknowledged. If the supply ring
-	// was exhausted (the app's fillChain came up empty), the recycle is the
-	// exhausted → free edge a nonblocking sender waits on.
-	ringWasEmpty := p.buf != nil && p.buf.Free() == 0
-	recycled := false
-	for len(p.stream) > 0 {
-		c := p.stream[0]
-		if !netpkt.SeqLEQ(c.seq+c.ptr.Len, ack) {
-			break
-		}
-		if p.buf != nil {
-			p.buf.Recycle(c.ptr)
-			recycled = true
-		}
-		p.stream = p.stream[1:]
-	}
-	if recycled && ringWasEmpty {
-		e.event(p, msg.EvWritable)
-	}
+	e.recycleAcked(p)
 
 	// Retransmission timer.
 	if p.sndUna == p.sndNxt {
@@ -489,5 +482,55 @@ func (e *Engine) sendDone(r msg.Req) {
 	}
 	if hdr, ok := data.(shm.RichPtr); ok {
 		_ = e.hdrPool.Free(hdr)
+	}
+	e.retxDone(r.ID)
+}
+
+// recycleAcked frees stream chunks that are fully acknowledged. If the
+// supply ring was exhausted (the app's fillChain came up empty), the
+// recycle is the exhausted → free edge a nonblocking sender waits on.
+// Deferred while any frame re-covering already-sent bytes is still at the
+// NIC: freeing the ring space would let the app overwrite the very memory
+// the NIC is reading out of that older copy.
+func (e *Engine) recycleAcked(p *pcb) {
+	if p.retxPending > 0 {
+		return
+	}
+	ringWasEmpty := p.buf != nil && p.buf.Free() == 0
+	recycled := false
+	for len(p.stream) > 0 {
+		c := p.stream[0]
+		if !netpkt.SeqLEQ(c.seq+c.ptr.Len, p.sndUna) {
+			break
+		}
+		if p.buf != nil {
+			p.buf.Recycle(c.ptr)
+			recycled = true
+		}
+		p.stream = p.stream[1:]
+	}
+	if recycled && ringWasEmpty {
+		e.event(p, msg.EvWritable)
+	}
+}
+
+// retxDone resolves one tagged frame (see emit): when a connection's last
+// in-flight retransmitted-region frame completes, the deferred ring
+// recycle runs.
+func (e *Engine) retxDone(id uint64) {
+	pid, ok := e.retxFrames[id]
+	if !ok {
+		return
+	}
+	delete(e.retxFrames, id)
+	p := e.pcbOf(pid)
+	if p == nil {
+		return
+	}
+	if p.retxPending > 0 {
+		p.retxPending--
+	}
+	if p.retxPending == 0 {
+		e.recycleAcked(p)
 	}
 }

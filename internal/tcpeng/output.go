@@ -78,12 +78,18 @@ func (e *Engine) output(p *pcb) {
 			p.rttStart = e.now
 		}
 		p.sndNxt += got
+		if netpkt.SeqLT(p.sndMax, p.sndNxt) {
+			p.sndMax = p.sndNxt
+		}
 		e.stats.BytesOut += uint64(got)
 	}
 	// FIN.
 	if p.finQueued && !p.finSent && p.sndNxt == p.finSeq {
 		e.emitSegment(p, netpkt.TCPFin|netpkt.TCPAck, p.finSeq, nil, 0, false)
 		p.sndNxt = p.finSeq + 1
+		if netpkt.SeqLT(p.sndMax, p.sndNxt) {
+			p.sndMax = p.sndNxt
+		}
 		p.finSent = true
 	}
 	if p.sndNxt != p.sndUna && p.rtoAt.IsZero() {
@@ -162,12 +168,22 @@ func (e *Engine) emit(p *pcb, flags uint8, seq uint32, payload []shm.RichPtr, pl
 	}
 
 	id := e.db.NewID()
-	e.db.Track(id, "ip", hdr, func(_ uint64, data any) {
+	if plen > 0 && netpkt.SeqLT(seq, p.sndMax) {
+		// This frame re-covers bytes already transmitted once. A cumulative
+		// ACK for them — elicited by the earlier copy — can arrive while the
+		// NIC is still reading this one; recycling their ring space then
+		// would let the app overwrite memory mid-transmit. Tag the frame so
+		// recycleAcked defers until it completes (sendDone or crash abort).
+		e.retxFrames[id] = p.id
+		p.retxPending++
+	}
+	e.db.Track(id, "ip", hdr, func(aborted uint64, data any) {
 		// Abort action on IP crash: release the header chunk; the data
 		// itself is resubmitted by OnIPRestart through go-back-N.
 		if ptr, ok := data.(shm.RichPtr); ok {
 			_ = e.hdrPool.Free(ptr)
 		}
+		e.retxDone(aborted)
 	})
 	req := msg.Req{ID: id, Op: msg.OpIPSend, Flow: p.id}
 	req.SetChain(append([]shm.RichPtr{hdr}, payload...))
@@ -318,6 +334,16 @@ func (e *Engine) fireTimer(p *pcb, kind int) {
 }
 
 func (e *Engine) rtoFire(p *pcb) {
+	// The give-up threshold counts CONSECUTIVE no-progress RTO fires. A
+	// long-lived bulk stream whose pipe never fully drains must not
+	// accumulate isolated RTO episodes into a spurious local reset — but
+	// retxCount itself stays nonzero through recovery, because it also
+	// gates Karn's rule (output): resetting it on every advancing ACK
+	// would sample RTT off retransmitted data and melt the RTO estimate.
+	if p.sndUna != p.retxMark {
+		p.retxCount = 0
+		p.retxMark = p.sndUna
+	}
 	p.retxCount++
 	e.stats.Retransmits++
 	switch p.state {

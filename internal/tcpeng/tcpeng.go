@@ -202,6 +202,7 @@ type pcb struct {
 
 	// Send state.
 	iss, sndUna, sndNxt uint32
+	sndMax              uint32 // highest sndNxt ever reached (survives Go-back-N rewinds)
 	sndWnd              uint32 // peer's advertised window
 	cwnd, ssthresh      uint32
 	mss                 uint16
@@ -218,6 +219,8 @@ type pcb struct {
 	rttSeq       uint32 // sequence being timed; 0 = none
 	rttStart     time.Time
 	retxCount    int
+	retxMark     uint32 // sndUna at the last RTO fire; progress resets retxCount
+	retxPending  int32  // frames re-covering already-sent bytes still at the NIC
 	dupAcks      int
 	recover      uint32 // fast-recovery high-water mark
 
@@ -284,9 +287,13 @@ type Engine struct {
 	// cookie. GRO-merged deliveries carry several payload views under one
 	// cookie; OpIPDeliverDone must go back exactly once, after the last one.
 	deliverRefs map[uint64]int
-	next        uint32
-	idStride    uint32
-	issClock    uint32
+	// retxFrames maps an in-flight OpIPSend id to its pcb id for frames
+	// that re-cover already-sent bytes: their connection's ring recycle is
+	// deferred until they complete at the NIC (see recycleAcked).
+	retxFrames map[uint64]uint32
+	next       uint32
+	idStride   uint32
+	issClock   uint32
 
 	toIP    []msg.Req
 	toFront []msg.Req
@@ -313,6 +320,7 @@ func New(cfg Config, hdrPool *shm.Pool) *Engine {
 		db:          channel.NewReqDB(),
 		listeners:   make(map[uint16]uint32),
 		deliverRefs: make(map[uint64]int),
+		retxFrames:  make(map[uint64]uint32),
 		next:        2000,
 		idStride:    1,
 		issClock:    1,
@@ -721,6 +729,7 @@ func (e *Engine) connect(r msg.Req) {
 	}
 	e.emitSegment(p, netpkt.TCPSyn, p.iss, nil, 0, true)
 	p.sndNxt = p.iss + 1
+	p.sndMax = p.sndNxt
 	p.rto = synRTO
 	e.armTimer(p, timerRTO, e.now.Add(p.rto))
 	e.stats.ConnsOpened++

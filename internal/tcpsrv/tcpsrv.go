@@ -18,6 +18,7 @@ import (
 	"fmt"
 	"time"
 
+	"newtos/internal/liveup"
 	"newtos/internal/msg"
 	"newtos/internal/netpkt"
 	"newtos/internal/pfeng"
@@ -109,6 +110,7 @@ type Server struct {
 	ports *wiring.Ports
 
 	eng     *tcpeng.Engine
+	hdrPool *shm.Pool
 	ipPort  *wiring.Port
 	scPort  *wiring.Port
 	ipBox   *wiring.Outbox
@@ -116,7 +118,10 @@ type Server struct {
 	scratch []msg.Req
 }
 
-var _ proc.Service = (*Server)(nil)
+var (
+	_ proc.Service   = (*Server)(nil)
+	_ proc.Handoffer = (*Server)(nil)
+)
 
 // New creates a TCP server incarnation.
 func New(cfg Config, ports *wiring.Ports) *Server {
@@ -128,21 +133,38 @@ func (s *Server) Engine() *tcpeng.Engine { return s.eng }
 
 // Init constructs the engine and, on restart, recovers listening sockets
 // from the storage server (established connections are lost by design).
+// When rt.Handoff carries a live-update payload, the incarnation instead
+// adopts its predecessor's full state: header pool and TX buffers by
+// handle, everything else from the state-transfer stream, and the existing
+// wiring resumed in place so peers never observe the swap.
 func (s *Server) Init(rt *proc.Runtime, restart bool) error {
 	hub := s.ports.Hub()
-	// Elastic shards start the header pool at 1/8 of the historical
-	// worst-case complement and grow it segment by segment back to the
-	// same cap under load.
-	hdrChunks, hdrSegs := 8192, 1
-	if s.cfg.Elastic {
-		hdrChunks, hdrSegs = 1024, 8
-	}
-	hdrPool, err := hub.Space.NewPool(fmt.Sprintf("tcp.%d.hdr.%d", s.cfg.Shard, rt.Incarnation), 128, hdrChunks)
-	if err != nil {
-		return fmt.Errorf("tcpsrv: %w", err)
-	}
-	if s.cfg.Elastic {
-		hdrPool.SetElastic(shm.Elastic{MaxSegments: hdrSegs})
+	var payload *liveup.Payload
+	if rt.Handoff != nil {
+		p, ok := rt.Handoff.(*liveup.Payload)
+		if !ok {
+			return fmt.Errorf("tcpsrv: unexpected handoff payload %T", rt.Handoff)
+		}
+		payload = p
+		// Adopt the predecessor's header pool: in-flight segment headers
+		// (and their eventual Free on sendDone) point into it.
+		s.hdrPool = p.Handles.HdrPool
+	} else {
+		// Elastic shards start the header pool at 1/8 of the historical
+		// worst-case complement and grow it segment by segment back to the
+		// same cap under load.
+		hdrChunks, hdrSegs := 8192, 1
+		if s.cfg.Elastic {
+			hdrChunks, hdrSegs = 1024, 8
+		}
+		hdrPool, err := hub.Space.NewPool(fmt.Sprintf("tcp.%d.hdr.%d", s.cfg.Shard, rt.Incarnation), 128, hdrChunks)
+		if err != nil {
+			return fmt.Errorf("tcpsrv: %w", err)
+		}
+		if s.cfg.Elastic {
+			hdrPool.SetElastic(shm.Elastic{MaxSegments: hdrSegs})
+		}
+		s.hdrPool = hdrPool
 	}
 	storageKey := StorageKeyFor(s.cfg.Shard)
 	s.eng = tcpeng.New(tcpeng.Config{
@@ -164,24 +186,111 @@ func (s *Server) Init(rt *proc.Runtime, restart bool) error {
 			hub.Store.Put(storageKey, blob)
 			s.persistFlows()
 		},
-	}, hdrPool)
-	if restart {
+	}, s.hdrPool)
+	if restart && payload == nil {
 		if blob, ok := hub.Store.Get(storageKey); ok {
 			if err := s.eng.RestoreState(blob); err != nil {
 				return fmt.Errorf("tcpsrv: restore: %w", err)
 			}
 		}
 	}
-	s.ports.Begin(rt.Bell)
 	ipEdge, scEdge := s.cfg.edges()
-	s.ipPort = s.ports.Attach(ipEdge)
-	s.scPort = s.ports.Attach(scEdge)
+	if payload != nil {
+		// Rewire phase: inherit the wiring as-is. Resume swaps only the
+		// doorbell target (the pointer is in fact the predecessor's own
+		// bell, handed down through rt.Bell); no re-publish, no Attach, so
+		// port generations stay frozen and no peer runs its crash path.
+		s.ports.Resume(rt.Bell)
+		s.ipPort = s.ports.Port(ipEdge)
+		s.scPort = s.ports.Port(scEdge)
+	} else {
+		s.ports.Begin(rt.Bell)
+		s.ipPort = s.ports.Attach(ipEdge)
+		s.scPort = s.ports.Attach(scEdge)
+	}
 	s.ipBox = wiring.NewOutbox(s.ipPort)
 	s.scBox = wiring.NewOutbox(s.scPort)
 	s.ipBox.EnablePacing(wiring.DefaultPacing())
 	s.scBox.EnablePacing(wiring.DefaultPacing())
 	s.scratch = make([]msg.Req, wiring.ScratchLen)
+	if payload != nil {
+		if err := s.restoreHandoff(payload); err != nil {
+			return err
+		}
+	}
 	return nil
+}
+
+// restoreHandoff replays the predecessor's state-transfer stream into the
+// freshly built engine and outboxes.
+func (s *Server) restoreHandoff(payload *liveup.Payload) error {
+	sr, err := liveup.OpenStream(payload.Stream)
+	if err != nil {
+		return fmt.Errorf("tcpsrv: %w", err)
+	}
+	for sr.Next() {
+		switch sr.Kind() {
+		case "tcp/engine":
+			var blob []byte
+			if err := sr.Decode(&blob); err != nil {
+				return fmt.Errorf("tcpsrv: %w", err)
+			}
+			if err := s.eng.RestoreHandoff(blob, payload.Handles.SockBufs, time.Now()); err != nil {
+				return fmt.Errorf("tcpsrv: %w", err)
+			}
+		case "outbox/ip":
+			var reqs []msg.Req
+			if err := sr.Decode(&reqs); err != nil {
+				return fmt.Errorf("tcpsrv: %w", err)
+			}
+			s.ipBox.Push(reqs...)
+		case "outbox/sc":
+			var reqs []msg.Req
+			if err := sr.Decode(&reqs); err != nil {
+				return fmt.Errorf("tcpsrv: %w", err)
+			}
+			s.scBox.Push(reqs...)
+		default:
+			return fmt.Errorf("tcpsrv: unknown handoff record %q", sr.Kind())
+		}
+	}
+	return nil
+}
+
+// HandoffState implements proc.Handoffer: it runs on the loop goroutine as
+// the old incarnation's final act. The drain rounds before it already
+// consumed inbox batches; here the engine's remaining output is staged,
+// flushed as far as the channels allow, and whatever could not be sent
+// rides the stream so the successor's first Poll re-pushes it — zero lost
+// events, in order.
+func (s *Server) HandoffState() (any, error) {
+	s.ipBox.Push(s.eng.DrainToIP()...)
+	s.scBox.Push(s.eng.DrainToFront()...)
+	s.ipBox.Flush()
+	s.scBox.Flush()
+	ipLeft := s.ipBox.TakeStaged()
+	scLeft := s.scBox.TakeStaged()
+
+	blob, bufs, err := s.eng.HandoffState()
+	if err != nil {
+		return nil, fmt.Errorf("tcpsrv: %w", err)
+	}
+	var w liveup.StreamWriter
+	w.Add("tcp/engine", blob)
+	if len(ipLeft) > 0 {
+		w.Add("outbox/ip", ipLeft)
+	}
+	if len(scLeft) > 0 {
+		w.Add("outbox/sc", scLeft)
+	}
+	stream, err := w.Bytes()
+	if err != nil {
+		return nil, fmt.Errorf("tcpsrv: %w", err)
+	}
+	return &liveup.Payload{
+		Stream:  stream,
+		Handles: liveup.Handles{HdrPool: s.hdrPool, SockBufs: bufs},
+	}, nil
 }
 
 // persistFlows saves this shard's active connection 4-tuples so PF can

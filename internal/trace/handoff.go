@@ -1,0 +1,62 @@
+package trace
+
+import (
+	"fmt"
+	"sync"
+	"time"
+)
+
+// HandoffPhases records one planned live update's phase durations — the
+// measurable pause of the drain-and-handoff protocol (docs/ARCHITECTURE.md
+// "Zero-downtime live update"): drain (old engine quiesces at a batch
+// boundary and flushes its outboxes), transfer (live state serialized onto
+// the handoff channel), rewire (successor re-points ports and restores
+// state, re-arming timers), resume (until the new loop's first heartbeat).
+// Live is false when the component fell back to a planned graceful restart
+// instead of a state-carrying handoff.
+type HandoffPhases struct {
+	Component string
+	Live      bool
+	Drain     time.Duration
+	Transfer  time.Duration
+	Rewire    time.Duration
+	Resume    time.Duration
+}
+
+// Total is the whole pause: the window in which the engine was not polling.
+func (h HandoffPhases) Total() time.Duration {
+	return h.Drain + h.Transfer + h.Rewire + h.Resume
+}
+
+func (h HandoffPhases) String() string {
+	mode := "live-handoff"
+	if !h.Live {
+		mode = "planned-restart"
+	}
+	return fmt.Sprintf("%s %s: drain=%v transfer=%v rewire=%v resume=%v total=%v",
+		h.Component, mode, h.Drain, h.Transfer, h.Rewire, h.Resume, h.Total())
+}
+
+// HandoffRecorder accumulates handoff phase timings across upgrades. Safe
+// for concurrent use: upgrades are control-plane operations driven from
+// arbitrary goroutines.
+type HandoffRecorder struct {
+	mu     sync.Mutex
+	phases []HandoffPhases
+}
+
+// Record appends one upgrade's timings.
+func (r *HandoffRecorder) Record(p HandoffPhases) {
+	r.mu.Lock()
+	r.phases = append(r.phases, p)
+	r.mu.Unlock()
+}
+
+// All returns a copy of every recorded upgrade, in order.
+func (r *HandoffRecorder) All() []HandoffPhases {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]HandoffPhases, len(r.phases))
+	copy(out, r.phases)
+	return out
+}

@@ -76,6 +76,7 @@ type Stats struct {
 	DatagramsOut, DatagramsIn uint64
 	DroppedNoSocket           uint64
 	DroppedQueueFull          uint64
+	DroppedWrongSource        uint64
 	SendsAborted              uint64
 	Resubmitted               uint64
 }
@@ -491,6 +492,16 @@ func (e *Engine) deliver(r msg.Req) {
 		return
 	}
 	s := e.sockets[sockID]
+	// A connected socket receives only from its connected peer (BSD
+	// semantics): datagrams from any other (address, port) source are
+	// dropped before they consume queue space.
+	if s.connected {
+		if srcIP := netpkt.IPFromU32(uint32(r.Arg[1])); srcIP != s.remoteIP || uh.SrcPort != s.remotePt {
+			e.stats.DroppedWrongSource++
+			e.release(r.ID)
+			return
+		}
+	}
 	if len(s.recvQ) >= e.cfg.RecvQueueCap {
 		e.stats.DroppedQueueFull++
 		e.release(r.ID)

@@ -11,6 +11,7 @@ import (
 	"fmt"
 	"time"
 
+	"newtos/internal/liveup"
 	"newtos/internal/msg"
 	"newtos/internal/netpkt"
 	"newtos/internal/pfeng"
@@ -45,6 +46,7 @@ type Server struct {
 	ports *wiring.Ports
 
 	eng     *udpeng.Engine
+	hdrPool *shm.Pool
 	ipPort  *wiring.Port
 	scPort  *wiring.Port
 	ipBox   *wiring.Outbox
@@ -52,7 +54,10 @@ type Server struct {
 	scratch []msg.Req
 }
 
-var _ proc.Service = (*Server)(nil)
+var (
+	_ proc.Service   = (*Server)(nil)
+	_ proc.Handoffer = (*Server)(nil)
+)
 
 // New creates a UDP server incarnation.
 func New(cfg Config, ports *wiring.Ports) *Server {
@@ -63,21 +68,39 @@ func New(cfg Config, ports *wiring.Ports) *Server {
 func (s *Server) Engine() *udpeng.Engine { return s.eng }
 
 // Init constructs the engine; on restart the socket table is recovered
-// from the storage server and the sockets recreated.
+// from the storage server and the sockets recreated. When rt.Handoff
+// carries a live-update payload, the incarnation instead adopts its
+// predecessor's complete state — queued datagrams, parked recvs, in-flight
+// sends, buffer handles — and resumes the existing wiring in place, so
+// peers never observe the swap (the paper's MS11-083 scenario: replace the
+// buggy UDP server under live traffic).
 func (s *Server) Init(rt *proc.Runtime, restart bool) error {
 	hub := s.ports.Hub()
-	// Elastic servers start the header pool at 1/8 of the historical
-	// worst-case complement and grow on demand back to the same cap.
-	hdrChunks, hdrSegs := 4096, 1
-	if s.cfg.Elastic {
-		hdrChunks, hdrSegs = 512, 8
-	}
-	hdrPool, err := hub.Space.NewPool(fmt.Sprintf("udp.hdr.%d", rt.Incarnation), 128, hdrChunks)
-	if err != nil {
-		return fmt.Errorf("udpsrv: %w", err)
-	}
-	if s.cfg.Elastic {
-		hdrPool.SetElastic(shm.Elastic{MaxSegments: hdrSegs})
+	var payload *liveup.Payload
+	if rt.Handoff != nil {
+		p, ok := rt.Handoff.(*liveup.Payload)
+		if !ok {
+			return fmt.Errorf("udpsrv: unexpected handoff payload %T", rt.Handoff)
+		}
+		payload = p
+		// Adopt the predecessor's header pool: in-flight datagram headers
+		// (and their eventual Free on sendDone) point into it.
+		s.hdrPool = p.Handles.HdrPool
+	} else {
+		// Elastic servers start the header pool at 1/8 of the historical
+		// worst-case complement and grow on demand back to the same cap.
+		hdrChunks, hdrSegs := 4096, 1
+		if s.cfg.Elastic {
+			hdrChunks, hdrSegs = 512, 8
+		}
+		hdrPool, err := hub.Space.NewPool(fmt.Sprintf("udp.hdr.%d", rt.Incarnation), 128, hdrChunks)
+		if err != nil {
+			return fmt.Errorf("udpsrv: %w", err)
+		}
+		if s.cfg.Elastic {
+			hdrPool.SetElastic(shm.Elastic{MaxSegments: hdrSegs})
+		}
+		s.hdrPool = hdrPool
 	}
 	s.eng = udpeng.New(udpeng.Config{
 		Space:       hub.Space,
@@ -92,23 +115,107 @@ func (s *Server) Init(rt *proc.Runtime, restart bool) error {
 			hub.Store.Put(StorageKey, blob)
 			s.persistFlows()
 		},
-	}, hdrPool)
-	if restart {
+	}, s.hdrPool)
+	if restart && payload == nil {
 		if blob, ok := hub.Store.Get(StorageKey); ok {
 			if err := s.eng.RestoreState(blob); err != nil {
 				return fmt.Errorf("udpsrv: restore: %w", err)
 			}
 		}
 	}
-	s.ports.Begin(rt.Bell)
-	s.ipPort = s.ports.Attach("ip-udp")
-	s.scPort = s.ports.Attach("sc-udp")
+	if payload != nil {
+		// Rewire phase: inherit the wiring as-is — no re-publish, no
+		// Attach, so port generations stay frozen and no peer runs its
+		// crash path.
+		s.ports.Resume(rt.Bell)
+		s.ipPort = s.ports.Port("ip-udp")
+		s.scPort = s.ports.Port("sc-udp")
+	} else {
+		s.ports.Begin(rt.Bell)
+		s.ipPort = s.ports.Attach("ip-udp")
+		s.scPort = s.ports.Attach("sc-udp")
+	}
 	s.ipBox = wiring.NewOutbox(s.ipPort)
 	s.scBox = wiring.NewOutbox(s.scPort)
 	s.ipBox.EnablePacing(wiring.DefaultPacing())
 	s.scBox.EnablePacing(wiring.DefaultPacing())
 	s.scratch = make([]msg.Req, wiring.ScratchLen)
+	if payload != nil {
+		if err := s.restoreHandoff(payload); err != nil {
+			return err
+		}
+	}
 	return nil
+}
+
+// restoreHandoff replays the predecessor's state-transfer stream into the
+// freshly built engine and outboxes.
+func (s *Server) restoreHandoff(payload *liveup.Payload) error {
+	sr, err := liveup.OpenStream(payload.Stream)
+	if err != nil {
+		return fmt.Errorf("udpsrv: %w", err)
+	}
+	for sr.Next() {
+		switch sr.Kind() {
+		case "udp/engine":
+			var blob []byte
+			if err := sr.Decode(&blob); err != nil {
+				return fmt.Errorf("udpsrv: %w", err)
+			}
+			if err := s.eng.RestoreHandoff(blob, payload.Handles.SockBufs, time.Now()); err != nil {
+				return fmt.Errorf("udpsrv: %w", err)
+			}
+		case "outbox/ip":
+			var reqs []msg.Req
+			if err := sr.Decode(&reqs); err != nil {
+				return fmt.Errorf("udpsrv: %w", err)
+			}
+			s.ipBox.Push(reqs...)
+		case "outbox/sc":
+			var reqs []msg.Req
+			if err := sr.Decode(&reqs); err != nil {
+				return fmt.Errorf("udpsrv: %w", err)
+			}
+			s.scBox.Push(reqs...)
+		default:
+			return fmt.Errorf("udpsrv: unknown handoff record %q", sr.Kind())
+		}
+	}
+	return nil
+}
+
+// HandoffState implements proc.Handoffer: runs on the loop goroutine as
+// the old incarnation's final act, after the drain rounds. Remaining engine
+// output is staged, flushed as far as the channels allow, and the
+// un-sendable remainder rides the stream for the successor's first Poll.
+func (s *Server) HandoffState() (any, error) {
+	s.ipBox.Push(s.eng.DrainToIP()...)
+	s.scBox.Push(s.eng.DrainToFront()...)
+	s.ipBox.Flush()
+	s.scBox.Flush()
+	ipLeft := s.ipBox.TakeStaged()
+	scLeft := s.scBox.TakeStaged()
+
+	blob, bufs, err := s.eng.HandoffState()
+	if err != nil {
+		return nil, fmt.Errorf("udpsrv: %w", err)
+	}
+	var w liveup.StreamWriter
+	w.Add("udp/engine", blob)
+	if len(ipLeft) > 0 {
+		w.Add("outbox/ip", ipLeft)
+	}
+	if len(scLeft) > 0 {
+		w.Add("outbox/sc", scLeft)
+	}
+	stream, err := w.Bytes()
+	if err != nil {
+		return nil, fmt.Errorf("udpsrv: %w", err)
+	}
+	return &liveup.Payload{
+		Stream:  stream,
+		Handles: liveup.Handles{HdrPool: s.hdrPool, SockBufs: bufs},
+	}, nil
 }
 
 func (s *Server) persistFlows() {

@@ -134,6 +134,23 @@ func SumDropped(boxes ...*Outbox) uint64 {
 	return n
 }
 
+// TakeStaged removes and returns the staged batch without sending or
+// dropping it. The live-handoff path calls it after a final Flush so
+// requests the queue did not accept ride the state transfer to the
+// successor incarnation's outbox instead of being lost — the peer never
+// reincarnated, so the batch is still meant for it.
+func (o *Outbox) TakeStaged() []msg.Req {
+	if len(o.q) == 0 {
+		return nil
+	}
+	q := o.q
+	o.q = nil
+	if o.pace != nil {
+		o.pace.heldSince = time.Time{}
+	}
+	return q
+}
+
 // Drop discards the staged requests (peer restarted; its queue is gone).
 func (o *Outbox) Drop() {
 	o.dropped.Add(uint64(len(o.q)))

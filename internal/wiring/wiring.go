@@ -169,6 +169,28 @@ func (ps *Ports) Begin(bell *channel.Doorbell) {
 	ps.hub.Reg.Publish("bell/"+ps.name, bell)
 }
 
+// Resume continues the previous incarnation's wiring in a live-handoff
+// successor. Unlike Begin, nothing is cancelled and nothing is
+// re-announced: the successor inherits the predecessor's doorbell, so
+// every duplex the peers hold keeps ringing the right bell, every
+// subscription stays valid, and no port generation advances — peers never
+// observe the swap and run no crash-recovery actions. bell must be the
+// inherited doorbell (proc hands it to the successor's Runtime).
+func (ps *Ports) Resume(bell *channel.Doorbell) {
+	ps.mu.Lock()
+	ps.bell = bell
+	ps.mu.Unlock()
+}
+
+// Port returns the stable Port for an edge without subscribing. The
+// handoff path re-acquires the ports its predecessor already attached or
+// exported; adding another subscription would double-deliver rebinds.
+func (ps *Ports) Port(edge string) *Port {
+	ps.mu.Lock()
+	defer ps.mu.Unlock()
+	return ps.port(edge)
+}
+
 // port returns (creating if needed) the stable Port for an edge. Ports are
 // stable across incarnations so the loop's "changed" detection spans
 // restarts.
